@@ -1,0 +1,340 @@
+//! A Bandit-style baseline: AST plugins over a *strict* parse.
+//!
+//! Bandit "builds the AST and applies detection plugins" (paper §IV).
+//! Faithful mechanism properties reproduced here:
+//!
+//! - **strict parsing**: a file with any syntax error yields no findings —
+//!   exactly why AST tools lose recall on incomplete AI-generated
+//!   snippets;
+//! - **plugin checks** over call names, keyword arguments, imports, and
+//!   string literals (a representative subset of Bandit's B1xx–B7xx
+//!   plugins);
+//! - fixes are *suggestions in report text only*; the source is never
+//!   modified.
+
+use crate::tool::{DetectionTool, ToolFinding};
+use pyast::{collect_calls, collect_imports, parse_module_strict, ExprKind, Keyword};
+
+/// The Bandit-like analyzer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BanditLike;
+
+impl BanditLike {
+    /// Creates the analyzer.
+    pub fn new() -> Self {
+        BanditLike
+    }
+}
+
+/// One plugin: callee substring + optional kwarg condition.
+struct CallPlugin {
+    id: &'static str,
+    cwe: u16,
+    /// Fires when the dotted callee equals one of these names.
+    callees: &'static [&'static str],
+    /// Additional requirement on keyword arguments (None = fire always).
+    kwarg: Option<(&'static str, &'static str)>,
+    message: &'static str,
+    suggestion: Option<&'static str>,
+}
+
+const CALL_PLUGINS: &[CallPlugin] = &[
+    CallPlugin {
+        id: "B602",
+        cwe: 78,
+        callees: &[
+            "subprocess.call",
+            "subprocess.run",
+            "subprocess.Popen",
+            "subprocess.check_output",
+            "subprocess.check_call",
+        ],
+        kwarg: Some(("shell", "True")),
+        message: "subprocess call with shell=True identified",
+        suggestion: Some("use a list of arguments and shell=False"),
+    },
+    CallPlugin {
+        id: "B605",
+        cwe: 78,
+        callees: &["os.system", "os.popen"],
+        kwarg: None,
+        message: "starting a process with a shell",
+        suggestion: Some("use the subprocess module with a list of arguments"),
+    },
+    CallPlugin {
+        id: "B307",
+        cwe: 95,
+        callees: &["eval"],
+        kwarg: None,
+        message: "use of possibly insecure function eval",
+        suggestion: Some("consider ast.literal_eval"),
+    },
+    CallPlugin {
+        id: "B102",
+        cwe: 94,
+        callees: &["exec"],
+        kwarg: None,
+        message: "use of exec detected",
+        suggestion: None,
+    },
+    CallPlugin {
+        id: "B301",
+        cwe: 502,
+        callees: &["pickle.load", "pickle.loads", "cPickle.load", "cPickle.loads"],
+        kwarg: None,
+        message: "pickle can be unsafe when used to deserialize untrusted data",
+        suggestion: None,
+    },
+    CallPlugin {
+        id: "B506",
+        cwe: 502,
+        callees: &["yaml.load"],
+        kwarg: None,
+        message: "use of unsafe yaml load",
+        suggestion: Some("use yaml.safe_load"),
+    },
+    CallPlugin {
+        id: "B303",
+        cwe: 328,
+        callees: &["hashlib.md5", "hashlib.sha1"],
+        kwarg: None,
+        message: "use of insecure MD5 or SHA1 hash function",
+        suggestion: Some("use hashlib.sha256"),
+    },
+    CallPlugin {
+        id: "B311",
+        cwe: 330,
+        callees: &[
+            "random.random",
+            "random.randint",
+            "random.randrange",
+            "random.choice",
+        ],
+        kwarg: None,
+        message: "standard pseudo-random generators are not suitable for security purposes",
+        suggestion: Some("use the secrets module"),
+    },
+    CallPlugin {
+        id: "B314",
+        cwe: 611,
+        callees: &[
+            "xml.etree.ElementTree.parse",
+            "xml.etree.ElementTree.fromstring",
+            "ET.parse",
+            "ET.fromstring",
+            "minidom.parse",
+            "minidom.parseString",
+        ],
+        kwarg: None,
+        message: "XML parsing vulnerable to external entity attacks",
+        suggestion: Some("use defusedxml"),
+    },
+    CallPlugin {
+        id: "B501",
+        cwe: 295,
+        callees: &[
+            "requests.get",
+            "requests.post",
+            "requests.put",
+            "requests.delete",
+        ],
+        kwarg: Some(("verify", "False")),
+        message: "requests call with verify=False disabling SSL certificate checks",
+        suggestion: Some("set verify=True"),
+    },
+    CallPlugin {
+        id: "B306",
+        cwe: 377,
+        callees: &["tempfile.mktemp"],
+        kwarg: None,
+        message: "use of insecure and deprecated tempfile.mktemp",
+        suggestion: Some("use tempfile.mkstemp"),
+    },
+    CallPlugin {
+        id: "B201",
+        cwe: 209,
+        callees: &["app.run"],
+        kwarg: Some(("debug", "True")),
+        message: "Flask app run with debug=True",
+        suggestion: None,
+    },
+];
+
+fn kwarg_matches(keywords: &[Keyword], want: (&str, &str)) -> bool {
+    keywords.iter().any(|k| {
+        k.name.as_deref() == Some(want.0)
+            && matches!(&k.value.kind, ExprKind::Constant(c) if c == want.1)
+    })
+}
+
+impl DetectionTool for BanditLike {
+    fn name(&self) -> &'static str {
+        "Bandit"
+    }
+
+    fn scan(&self, source: &str) -> Vec<ToolFinding> {
+        // Strict parse: any syntax error aborts the scan (Bandit reports
+        // "syntax error while parsing AST" and produces no findings).
+        let Ok(module) = parse_module_strict(source) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for call in collect_calls(&module) {
+            let ExprKind::Call { keywords, .. } = &call.expr.kind else {
+                continue;
+            };
+            for p in CALL_PLUGINS {
+                if !p.callees.contains(&call.name.as_str()) {
+                    continue;
+                }
+                // `app.run` plugin also covers `appl.run` style aliases.
+                if let Some(want) = p.kwarg {
+                    if !kwarg_matches(keywords, want) {
+                        continue;
+                    }
+                }
+                out.push(ToolFinding {
+                    check_id: p.id.to_string(),
+                    cwe: p.cwe,
+                    line: call.expr.span.line,
+                    message: p.message.to_string(),
+                    suggestion: p.suggestion.map(String::from),
+                });
+            }
+        }
+        // B401-style import checks.
+        for imp in collect_imports(&module) {
+            if imp.module == "telnetlib" {
+                out.push(ToolFinding {
+                    check_id: "B401".into(),
+                    cwe: 319,
+                    line: 1,
+                    message: "telnet-related module imported".into(),
+                    suggestion: Some("use SSH instead".into()),
+                });
+            }
+            if imp.module == "md5" || imp.module == "sha" {
+                out.push(ToolFinding {
+                    check_id: "B403".into(),
+                    cwe: 327,
+                    line: 1,
+                    message: "insecure hash module imported".into(),
+                    suggestion: Some("use hashlib".into()),
+                });
+            }
+        }
+        // B105 hardcoded password strings (assignment to *password* names).
+        for line_no in hardcoded_password_lines(source) {
+            out.push(ToolFinding {
+                check_id: "B105".into(),
+                cwe: 259,
+                line: line_no,
+                message: "possible hardcoded password".into(),
+                suggestion: None,
+            });
+        }
+        out.sort_by_key(|f| f.line);
+        out
+    }
+}
+
+/// Bandit's B105 works on AST string assignments; we approximate with the
+/// parsed assignments of the module so the strict-parse property holds.
+fn hardcoded_password_lines(source: &str) -> Vec<u32> {
+    let Ok(module) = parse_module_strict(source) else {
+        return Vec::new();
+    };
+    struct V {
+        lines: Vec<u32>,
+    }
+    impl pyast::Visitor for V {
+        fn visit_stmt(&mut self, stmt: &pyast::Stmt) {
+            if let pyast::StmtKind::Assign { targets, value } = &stmt.kind {
+                let is_pw_name = targets.iter().any(|t| {
+                    matches!(
+                        &t.kind,
+                        ExprKind::Name(n) if {
+                            let l = n.to_lowercase();
+                            l.contains("password") || l == "passwd" || l == "pwd"
+                        }
+                    )
+                });
+                if is_pw_name && value.is_str() {
+                    self.lines.push(stmt.span.line);
+                }
+            }
+            pyast::walk_stmt(self, stmt);
+        }
+    }
+    let mut v = V { lines: Vec::new() };
+    pyast::walk_module(&mut v, &module);
+    v.lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_shell_true() {
+        let f = BanditLike.scan("import subprocess\nsubprocess.run(cmd, shell=True)\n");
+        assert!(f.iter().any(|x| x.check_id == "B602"));
+    }
+
+    #[test]
+    fn shell_false_not_flagged() {
+        let f = BanditLike.scan("import subprocess\nsubprocess.run(cmd, shell=False)\n");
+        assert!(!f.iter().any(|x| x.check_id == "B602"));
+    }
+
+    #[test]
+    fn syntax_error_yields_nothing() {
+        // The same weakness PatchitPy still catches (see patchit-core
+        // tests) is invisible to the AST tool when the file has an error.
+        let src = "import pickle\ndef f(d):\n    x = pickle.loads(d)\n    if x\n";
+        assert!(BanditLike.scan(src).is_empty());
+        assert!(!BanditLike.flags(src));
+    }
+
+    #[test]
+    fn detects_eval_and_pickle() {
+        let f = BanditLike.scan("import pickle\nx = eval(s)\ny = pickle.loads(b)\n");
+        assert!(f.iter().any(|x| x.check_id == "B307"));
+        assert!(f.iter().any(|x| x.check_id == "B301"));
+    }
+
+    #[test]
+    fn hardcoded_password_assignment() {
+        let f = BanditLike.scan("db_password = \"hunter2\"\n");
+        assert!(f.iter().any(|x| x.check_id == "B105"));
+        let clean = BanditLike.scan("db_password = os.environ[\"PW\"]\n");
+        assert!(!clean.iter().any(|x| x.check_id == "B105"));
+    }
+
+    #[test]
+    fn suggestions_do_not_modify_code() {
+        let src = "import os\nos.system(cmd)\n";
+        let f = BanditLike.scan(src);
+        assert!(f.iter().any(|x| x.suggestion.is_some()));
+        // And some plugins intentionally carry no suggestion at all.
+        let g = BanditLike.scan("import pickle\nx = pickle.loads(b)\n");
+        assert!(g.iter().all(|x| x.suggestion.is_none()));
+        // The tool has no patch API at all — nothing to assert beyond the
+        // fact that scan() borrows the source immutably (compile-time).
+    }
+
+    #[test]
+    fn flask_debug_plugin() {
+        let f = BanditLike.scan("app.run(debug=True)\n");
+        assert!(f.iter().any(|x| x.check_id == "B201"));
+        let f2 = BanditLike.scan("app.run(debug=False)\n");
+        assert!(f2.is_empty());
+    }
+
+    #[test]
+    fn findings_sorted_by_line() {
+        let src = "import telnetlib\nx = eval(s)\n";
+        let f = BanditLike.scan(src);
+        assert!(f.windows(2).all(|w| w[0].line <= w[1].line));
+    }
+}

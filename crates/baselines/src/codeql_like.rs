@@ -1,0 +1,499 @@
+//! A CodeQL-style baseline: relational facts extracted from the AST,
+//! queried by a security suite.
+//!
+//! CodeQL "analyzes source code by transforming it into a relational
+//! database via its AST representation and uses a query-based approach
+//! for detection; its ruleset does not support code patching" (paper
+//! §IV). Reproduced mechanism properties:
+//!
+//! - **strict parse required** to build the database — syntax errors in
+//!   incomplete snippets abort extraction, costing recall;
+//! - **fact tables + queries**: calls, arguments (with a coarse taint
+//!   kind), keyword arguments, imports, assignments, and returns are
+//!   materialized, and each security query joins over them — so constant
+//!   arguments don't trigger injection queries (higher precision than
+//!   plain text patterns);
+//! - **no patching**: the API exposes findings only.
+
+use crate::tool::{DetectionTool, ToolFinding};
+use pyast::{
+    parse_module_strict, walk_expr, walk_module, walk_stmt, Expr, ExprKind, Module,
+    Stmt, StmtKind, Visitor,
+};
+
+/// Coarse classification of an expression as a data source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueKind {
+    /// A plain string literal.
+    StrLiteral,
+    /// An f-string literal (interpolated).
+    FString,
+    /// `"..." % x` percent-formatting.
+    PercentFormat,
+    /// String concatenation with `+`.
+    Concat,
+    /// `"...".format(...)`.
+    DotFormat,
+    /// An attribute path rooted at `request` (HTTP input).
+    RequestData,
+    /// A bare name or anything else dynamic.
+    Dynamic,
+    /// Non-string constant (numbers, True/False/None).
+    Constant,
+}
+
+fn classify(expr: &Expr) -> ValueKind {
+    match &expr.kind {
+        ExprKind::Str(s) => {
+            if s.starts_with('f') || s.starts_with('F') {
+                ValueKind::FString
+            } else {
+                ValueKind::StrLiteral
+            }
+        }
+        ExprKind::Number(_) | ExprKind::Constant(_) => ValueKind::Constant,
+        ExprKind::BinOp { op, left, .. } if op == "%" => {
+            if matches!(classify(left), ValueKind::StrLiteral | ValueKind::FString) {
+                ValueKind::PercentFormat
+            } else {
+                ValueKind::Dynamic
+            }
+        }
+        ExprKind::BinOp { op, left, right } if op == "+" => {
+            if matches!(classify(left), ValueKind::StrLiteral)
+                || matches!(classify(right), ValueKind::StrLiteral)
+            {
+                ValueKind::Concat
+            } else {
+                ValueKind::Dynamic
+            }
+        }
+        ExprKind::Call { func, .. } => {
+            if let ExprKind::Attribute { value, attr } = &func.kind {
+                if attr == "format" && value.is_str() {
+                    return ValueKind::DotFormat;
+                }
+            }
+            if expr
+                .dotted_name()
+                .or_else(|| func.dotted_name())
+                .is_some_and(|n| n.starts_with("request."))
+            {
+                ValueKind::RequestData
+            } else {
+                ValueKind::Dynamic
+            }
+        }
+        ExprKind::Attribute { .. } | ExprKind::Subscript { .. } => {
+            if expr_root_is_request(expr) {
+                ValueKind::RequestData
+            } else {
+                ValueKind::Dynamic
+            }
+        }
+        _ => ValueKind::Dynamic,
+    }
+}
+
+fn expr_root_is_request(expr: &Expr) -> bool {
+    match &expr.kind {
+        ExprKind::Name(n) => n == "request",
+        ExprKind::Attribute { value, .. } | ExprKind::Subscript { value, .. } => {
+            expr_root_is_request(value)
+        }
+        ExprKind::Call { func, .. } => expr_root_is_request(func),
+        _ => false,
+    }
+}
+
+/// One call-site row in the fact base.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallFact {
+    /// Dotted callee name.
+    pub name: String,
+    /// Positional-argument kinds in order.
+    pub args: Vec<ValueKind>,
+    /// `(name, constant_value_text)` keyword facts; value text is the
+    /// raw constant (`"True"`, `"'0.0.0.0'"`) or `"<dynamic>"`.
+    pub kwargs: Vec<(String, String)>,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// One assignment row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssignFact {
+    /// Target name (simple-name targets only).
+    pub target: String,
+    /// Kind of the assigned value.
+    pub value: ValueKind,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// One return-statement row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReturnFact {
+    /// Kind of the returned value.
+    pub value: ValueKind,
+    /// Raw text of a returned string literal (for HTML sniffing).
+    pub literal: Option<String>,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// The relational database extracted from one file's AST.
+#[derive(Debug, Default, Clone)]
+pub struct FactBase {
+    /// Call sites.
+    pub calls: Vec<CallFact>,
+    /// Imported module paths.
+    pub imports: Vec<String>,
+    /// Assignments.
+    pub assigns: Vec<AssignFact>,
+    /// Returns.
+    pub returns: Vec<ReturnFact>,
+}
+
+impl FactBase {
+    /// Extracts facts from source. Fails exactly when the strict parser
+    /// does.
+    pub fn extract(source: &str) -> Result<FactBase, pyast::ParseError> {
+        let module = parse_module_strict(source)?;
+        Ok(Self::from_module(&module))
+    }
+
+    /// Extracts facts from an already-parsed module.
+    pub fn from_module(module: &Module) -> FactBase {
+        struct V {
+            db: FactBase,
+        }
+        impl Visitor for V {
+            fn visit_stmt(&mut self, stmt: &Stmt) {
+                match &stmt.kind {
+                    StmtKind::Import(aliases) => {
+                        for a in aliases {
+                            self.db.imports.push(a.name.clone());
+                        }
+                    }
+                    StmtKind::ImportFrom { module, names, .. } => {
+                        for n in names {
+                            self.db.imports.push(format!("{module}.{}", n.name));
+                        }
+                    }
+                    StmtKind::Assign { targets, value } => {
+                        for t in targets {
+                            if let ExprKind::Name(n) = &t.kind {
+                                self.db.assigns.push(AssignFact {
+                                    target: n.clone(),
+                                    value: classify(value),
+                                    line: stmt.span.line,
+                                });
+                            }
+                        }
+                    }
+                    StmtKind::Return(Some(v)) => {
+                        self.db.returns.push(ReturnFact {
+                            value: classify(v),
+                            literal: v.str_literal().map(String::from).or_else(|| {
+                                // Concatenations keep their left literal.
+                                if let ExprKind::BinOp { left, .. } = &v.kind {
+                                    left.str_literal().map(String::from)
+                                } else {
+                                    None
+                                }
+                            }),
+                            line: stmt.span.line,
+                        });
+                    }
+                    _ => {}
+                }
+                walk_stmt(self, stmt);
+            }
+
+            fn visit_expr(&mut self, expr: &Expr) {
+                if let ExprKind::Call { func, args, keywords } = &expr.kind {
+                    if let Some(name) = func.dotted_name() {
+                        self.db.calls.push(CallFact {
+                            name,
+                            args: args.iter().map(classify).collect(),
+                            kwargs: keywords
+                                .iter()
+                                .map(|k| {
+                                    let v = match &k.value.kind {
+                                        ExprKind::Constant(c) => c.clone(),
+                                        ExprKind::Str(s) => s.clone(),
+                                        ExprKind::Number(n) => n.clone(),
+                                        _ => "<dynamic>".to_string(),
+                                    };
+                                    (k.name.clone().unwrap_or_default(), v)
+                                })
+                                .collect(),
+                            line: expr.span.line,
+                        });
+                    }
+                }
+                walk_expr(self, expr);
+            }
+        }
+        let mut v = V { db: FactBase::default() };
+        walk_module(&mut v, module);
+        v.db
+    }
+
+    fn kwarg<'c>(&self, call: &'c CallFact, name: &str) -> Option<&'c str> {
+        call.kwargs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// The CodeQL-like analyzer (security query suite).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CodeqlLike;
+
+impl CodeqlLike {
+    /// Creates the analyzer.
+    pub fn new() -> Self {
+        CodeqlLike
+    }
+
+    fn run_queries(db: &FactBase) -> Vec<ToolFinding> {
+        let mut out = Vec::new();
+        let mut emit = |id: &str, cwe: u16, line: u32, msg: &str| {
+            out.push(ToolFinding {
+                check_id: id.to_string(),
+                cwe,
+                line,
+                message: msg.to_string(),
+                suggestion: None, // CodeQL does not patch (paper §III-C).
+            });
+        };
+        let tainted = |k: &ValueKind| {
+            matches!(
+                k,
+                ValueKind::FString
+                    | ValueKind::PercentFormat
+                    | ValueKind::Concat
+                    | ValueKind::DotFormat
+                    | ValueKind::RequestData
+                    | ValueKind::Dynamic
+            )
+        };
+
+        for c in &db.calls {
+            // py/command-line-injection — dynamic data in a shell command.
+            if (c.name == "os.system" || c.name == "os.popen")
+                && c.args.first().is_some_and(tainted)
+            {
+                emit("py/command-line-injection", 78, c.line, "shell command built from dynamic data");
+            }
+            if c.name.starts_with("subprocess.")
+                && db.kwarg(c, "shell") == Some("True")
+            {
+                emit("py/shell-command-constructed", 78, c.line, "subprocess with shell=True");
+            }
+            // py/sql-injection.
+            if c.name.ends_with(".execute")
+                && c.args.first().is_some_and(|k| {
+                    matches!(
+                        k,
+                        ValueKind::FString
+                            | ValueKind::PercentFormat
+                            | ValueKind::Concat
+                            | ValueKind::DotFormat
+                    )
+                })
+            {
+                emit("py/sql-injection", 89, c.line, "SQL query built from string interpolation");
+            }
+            // py/code-injection.
+            if (c.name == "eval" || c.name == "exec") && c.args.first().is_some_and(tainted)
+            {
+                emit("py/code-injection", 95, c.line, "dynamic code evaluation");
+            }
+            // py/unsafe-deserialization.
+            if c.name == "pickle.loads" || c.name == "pickle.load" {
+                emit("py/unsafe-deserialization", 502, c.line, "unsafe pickle deserialization");
+            }
+            if c.name == "yaml.load"
+                && !c.kwargs.iter().any(|(_, v)| v.contains("SafeLoader"))
+            {
+                emit("py/unsafe-deserialization", 502, c.line, "unsafe yaml.load");
+            }
+            // py/weak-cryptographic-algorithm.
+            if c.name == "hashlib.md5" || c.name == "hashlib.sha1" || c.name == "DES.new"
+            {
+                emit("py/weak-cryptographic-algorithm", 327, c.line, "broken or weak cryptographic algorithm");
+            }
+            // py/flask-debug.
+            if c.name.ends_with(".run") && db.kwarg(c, "debug") == Some("True") {
+                emit("py/flask-debug", 209, c.line, "Flask application run in debug mode");
+            }
+            // py/request-without-cert-validation.
+            if c.name.starts_with("requests.") && db.kwarg(c, "verify") == Some("False")
+            {
+                emit("py/request-without-cert-validation", 295, c.line, "certificate validation disabled");
+            }
+            // py/full-ssrf.
+            if c.name.starts_with("requests.")
+                && c.args.first() == Some(&ValueKind::RequestData)
+            {
+                emit("py/full-ssrf", 918, c.line, "request URL from remote user input");
+            }
+            // py/url-redirection.
+            if c.name == "redirect" && c.args.first() == Some(&ValueKind::RequestData) {
+                emit("py/url-redirection", 601, c.line, "redirect to user-controlled URL");
+            }
+            // py/xxe.
+            if matches!(
+                c.name.as_str(),
+                "ET.parse"
+                    | "ET.fromstring"
+                    | "xml.etree.ElementTree.parse"
+                    | "xml.etree.ElementTree.fromstring"
+                    | "minidom.parse"
+                    | "minidom.parseString"
+            ) {
+                emit("py/xxe", 611, c.line, "XML parsing without entity protection");
+            }
+            // py/insecure-temporary-file.
+            if c.name == "tempfile.mktemp" {
+                emit("py/insecure-temporary-file", 377, c.line, "insecure temporary file");
+            }
+            // py/bind-socket-all-network-interfaces.
+            if c.name.ends_with(".run")
+                && db.kwarg(c, "host").is_some_and(|h| h.contains("0.0.0.0"))
+            {
+                emit("py/bind-socket-all-network-interfaces", 605, c.line, "binding to all interfaces");
+            }
+            // py/clear-text-logging-sensitive-data.
+            if c.name.starts_with("logging.")
+                && c.kwargs.is_empty()
+                && c.args.len() >= 2
+                && c.args.iter().any(|k| *k == ValueKind::Dynamic)
+            {
+                // Joined with assigns below for password-named data.
+            }
+        }
+        // py/hardcoded-credentials: assignment join.
+        for a in &db.assigns {
+            let t = a.target.to_lowercase();
+            if (t.contains("password")
+                || t.contains("passwd")
+                || t.contains("api_key")
+                || t.contains("secret"))
+                && a.value == ValueKind::StrLiteral
+            {
+                emit("py/hardcoded-credentials", 798, a.line, "hard-coded credential");
+            }
+        }
+        // py/reflected-xss: HTML-looking literal composed with dynamic data.
+        for r in &db.returns {
+            let html = r.literal.as_deref().is_some_and(|l| l.contains('<'));
+            match r.value {
+                ValueKind::FString if html => {
+                    emit("py/reflected-xss", 79, r.line, "reflected XSS from interpolated HTML");
+                }
+                ValueKind::Concat if html => {
+                    emit("py/reflected-xss", 79, r.line, "reflected XSS from concatenated HTML");
+                }
+                _ => {}
+            }
+        }
+        out.sort_by_key(|f| f.line);
+        out
+    }
+}
+
+impl DetectionTool for CodeqlLike {
+    fn name(&self) -> &'static str {
+        "CodeQL"
+    }
+
+    fn scan(&self, source: &str) -> Vec<ToolFinding> {
+        match FactBase::extract(source) {
+            Ok(db) => Self::run_queries(&db),
+            Err(_) => Vec::new(), // database build failed: no findings
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fact_extraction_basic() {
+        let db = FactBase::extract("import os\nx = os.system(cmd)\n").unwrap();
+        assert_eq!(db.imports, ["os"]);
+        assert_eq!(db.calls.len(), 1);
+        assert_eq!(db.calls[0].name, "os.system");
+        assert_eq!(db.calls[0].args, [ValueKind::Dynamic]);
+    }
+
+    #[test]
+    fn constant_arguments_do_not_trigger_injection() {
+        // Precision property regex tools lack: eval of a literal is not
+        // flagged by the query because the argument is a constant.
+        let ql = CodeqlLike::new();
+        assert!(!ql.flags("x = eval(\"2 + 2\")\n"));
+        assert!(ql.flags("x = eval(user_input)\n"));
+        assert!(!ql.flags("os.system(\"stty sane\")\n"));
+        assert!(ql.flags("os.system(\"ping \" + host)\n"));
+    }
+
+    #[test]
+    fn sql_injection_query() {
+        let ql = CodeqlLike::new();
+        assert!(ql.flags("cur.execute(f\"SELECT * FROM t WHERE id={i}\")\n"));
+        assert!(ql.flags("cur.execute(\"SELECT %s\" % name)\n"));
+        assert!(!ql.flags("cur.execute(\"SELECT * FROM t WHERE id=?\", (i,))\n"));
+    }
+
+    #[test]
+    fn strict_parse_required() {
+        let src = "import pickle\ndef f(d):\n    x = pickle.loads(d)\n    if x\n";
+        assert!(CodeqlLike::new().scan(src).is_empty());
+    }
+
+    #[test]
+    fn flask_debug_and_host_queries() {
+        let ql = CodeqlLike::new();
+        let f = ql.scan("app.run(host=\"0.0.0.0\", debug=True)\n");
+        let ids: Vec<&str> = f.iter().map(|x| x.check_id.as_str()).collect();
+        assert!(ids.contains(&"py/flask-debug"));
+        assert!(ids.contains(&"py/bind-socket-all-network-interfaces"));
+    }
+
+    #[test]
+    fn xss_query_needs_html_literal() {
+        let ql = CodeqlLike::new();
+        assert!(ql.flags("def f():\n    return f\"<p>{c}</p>\"\n"));
+        // Plain greeting f-string (no HTML) is not flagged by this query.
+        assert!(!ql.flags("def f():\n    return f\"hello {c}\"\n"));
+    }
+
+    #[test]
+    fn no_suggestions_ever() {
+        let f = CodeqlLike::new().scan("pickle.loads(b)\n");
+        assert!(!f.is_empty());
+        assert!(f.iter().all(|x| x.suggestion.is_none()));
+    }
+
+    #[test]
+    fn hardcoded_credentials_join() {
+        let ql = CodeqlLike::new();
+        assert!(ql.flags("db_password = \"hunter2\"\n"));
+        assert!(!ql.flags("db_password = os.environ[\"PW\"]\n"));
+    }
+
+    #[test]
+    fn ssrf_and_redirect_queries() {
+        let ql = CodeqlLike::new();
+        assert!(ql.flags("requests.get(request.args[\"url\"])\n"));
+        assert!(ql.flags("return redirect(request.args.get(\"next\"))\n"));
+        assert!(!ql.flags("requests.get(\"https://fixed.example\", timeout=5)\n"));
+    }
+}

@@ -1,0 +1,36 @@
+//! # baselines — the comparison tools of the paper's evaluation
+//!
+//! PatchitPy is compared against six baselines (Table II/III): three
+//! static analyzers — CodeQL, Semgrep, Bandit — and three LLMs prompted
+//! zero-shot as security experts — ChatGPT-4o, Claude-3.7-Sonnet,
+//! Gemini-2.0-Flash. This crate rebuilds each baseline at the *mechanism*
+//! level (see DESIGN.md §2 for the substitution argument):
+//!
+//! - [`BanditLike`] — AST plugins over a strict parse; no findings when
+//!   the file has a syntax error; comment-level suggestions only;
+//! - [`SemgrepLike`] — registry-style regex rules; survives syntax
+//!   errors; fixes are *suggestion comments* appended next to findings,
+//!   never code replacements;
+//! - [`CodeqlLike`] — relational fact base extracted from the AST, with
+//!   a security-suite of queries that join over call/kwarg/assign facts
+//!   (so constant arguments don't trigger injection queries); no
+//!   patching API at all;
+//! - [`LlmTool`] — seeded stochastic detector with calibrated
+//!   miss/false-alarm rates and a patcher that *really rewrites code*,
+//!   wrapping remediations in model-specific validation scaffolding, so
+//!   Fig. 3's complexity shift is measured rather than assumed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bandit_like;
+mod codeql_like;
+mod llm;
+mod semgrep_like;
+mod tool;
+
+pub use bandit_like::BanditLike;
+pub use codeql_like::{AssignFact, CallFact, CodeqlLike, FactBase, ReturnFact, ValueKind};
+pub use llm::{LlmKind, LlmPatch, LlmTool};
+pub use semgrep_like::SemgrepLike;
+pub use tool::{DetectionTool, ToolFinding};

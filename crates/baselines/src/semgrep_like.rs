@@ -1,0 +1,283 @@
+//! A Semgrep-style baseline: pattern rules with comment-only fixes.
+//!
+//! Semgrep "uses pattern matching with regular expressions to detect
+//! vulnerabilities" and its public rulesets "provide fixes via suggestion
+//! comments rather than code replacements" (paper §IV). This baseline
+//! reproduces both properties: a registry-style rule list executed with
+//! the same regex engine PatchitPy uses, plus an [`annotate`] mode that
+//! appends `# semgrep:` suggestion comments without changing any code
+//! line — which is why it contributes zero applied patches in Table III.
+
+use crate::tool::{DetectionTool, ToolFinding};
+use rxlite::Regex;
+
+struct SgRule {
+    id: &'static str,
+    cwe: u16,
+    pattern: &'static str,
+    message: &'static str,
+    fix_note: Option<&'static str>,
+}
+
+/// A registry-style subset (narrower than PatchitPy's 85-rule catalog,
+/// which is the mechanism behind its lower recall in Table II).
+const RULES: &[SgRule] = &[
+    SgRule {
+        id: "python.lang.security.audit.dangerous-system-call",
+        cwe: 78,
+        pattern: r"os\.system\(|os\.popen\(",
+        message: "found dynamic content used in a system call",
+        fix_note: Some("use subprocess with a list of arguments"),
+    },
+    SgRule {
+        id: "python.lang.security.audit.subprocess-shell-true",
+        cwe: 78,
+        pattern: r"subprocess\.\w+\([^\n]*shell\s*=\s*True",
+        message: "subprocess call with shell=True",
+        fix_note: Some("set shell=False"),
+    },
+    SgRule {
+        id: "python.lang.security.audit.eval-detected",
+        cwe: 95,
+        pattern: r"\beval\(",
+        message: "detected use of eval",
+        fix_note: Some("use ast.literal_eval"),
+    },
+    SgRule {
+        id: "python.lang.security.audit.exec-detected",
+        cwe: 94,
+        pattern: r"\bexec\(",
+        message: "detected use of exec",
+        fix_note: None,
+    },
+    SgRule {
+        id: "python.lang.security.deserialization.pickle",
+        cwe: 502,
+        pattern: r"pickle\.loads?\(",
+        message: "avoid using pickle, which is known to lead to code execution",
+        fix_note: Some("prefer a safe serializer such as json"),
+    },
+    SgRule {
+        id: "python.lang.security.audit.avoid-pyyaml-load",
+        cwe: 502,
+        pattern: r"yaml\.load\(",
+        message: "detected a possible YAML deserialization vulnerability",
+        fix_note: Some("use yaml.safe_load"),
+    },
+    SgRule {
+        id: "python.lang.security.audit.md5-used-as-hash",
+        cwe: 328,
+        pattern: r"hashlib\.md5\(",
+        message: "detected MD5 hash algorithm which is considered insecure",
+        fix_note: Some("use a stronger hash such as sha256"),
+    },
+    SgRule {
+        id: "python.flask.security.audit.debug-enabled",
+        cwe: 209,
+        pattern: r"\.run\([^\n]*debug\s*=\s*True",
+        message: "detected Flask app with debug=True",
+        fix_note: None,
+    },
+    SgRule {
+        id: "python.flask.security.injection.tainted-sql-string",
+        cwe: 89,
+        pattern: r#"\.execute\(\s*f["']|\.execute\(\s*["'][^"']*["']\s*%"#,
+        message: "detected user input used to manually construct a SQL string",
+        fix_note: Some("use parameterized queries"),
+    },
+    SgRule {
+        id: "python.requests.security.disabled-cert-validation",
+        cwe: 295,
+        pattern: r"verify\s*=\s*False",
+        message: "detected a request with disabled certificate validation",
+        fix_note: Some("enable certificate validation"),
+    },
+    SgRule {
+        id: "python.lang.security.audit.insecure-hash-function-sha1",
+        cwe: 328,
+        pattern: r"hashlib\.sha1\(",
+        message: "detected SHA1 hash algorithm which is considered insecure",
+        fix_note: None,
+    },
+    SgRule {
+        id: "python.lang.security.insecure-tempfile",
+        cwe: 377,
+        pattern: r"tempfile\.mktemp\(",
+        message: "detected insecure temporary file creation",
+        fix_note: Some("use tempfile.NamedTemporaryFile"),
+    },
+    SgRule {
+        id: "python.flask.security.open-redirect",
+        cwe: 601,
+        pattern: r"redirect\(\s*request\.",
+        message: "detected a redirect based on user input",
+        fix_note: Some("validate the target against an allowlist"),
+    },
+    SgRule {
+        id: "python.lang.security.audit.xml-etree",
+        cwe: 611,
+        pattern: r"ET\.(parse|fromstring)\(|xml\.etree\.ElementTree\.(parse|fromstring)\(",
+        message: "detected use of xml.etree, vulnerable to XML external entities",
+        fix_note: Some("use defusedxml"),
+    },
+];
+
+/// The Semgrep-like analyzer.
+#[derive(Debug, Default)]
+pub struct SemgrepLike {
+    compiled: Vec<(usize, Regex)>,
+}
+
+impl SemgrepLike {
+    /// Compiles the registry rules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a registry pattern is invalid (guarded by unit tests).
+    pub fn new() -> Self {
+        let compiled = RULES
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                (i, Regex::new(r.pattern).unwrap_or_else(|e| panic!("{}: {e}", r.id)))
+            })
+            .collect();
+        SemgrepLike { compiled }
+    }
+
+    /// Returns the source annotated with `# semgrep:` suggestion comments
+    /// after each finding line. This is the closest Semgrep's public
+    /// rulesets come to patching — the code itself is untouched, so the
+    /// Table III "applied patches" count for Semgrep is zero.
+    pub fn annotate(&self, source: &str) -> String {
+        let findings = self.scan(source);
+        if findings.is_empty() {
+            return source.to_string();
+        }
+        let mut out = String::with_capacity(source.len() + 64 * findings.len());
+        for (i, line) in source.lines().enumerate() {
+            out.push_str(line);
+            out.push('\n');
+            for f in &findings {
+                if f.line as usize == i + 1 {
+                    if let Some(s) = &f.suggestion {
+                        let indent: String =
+                            line.chars().take_while(|c| *c == ' ').collect();
+                        out.push_str(&format!("{indent}# semgrep: {} — {s}\n", f.check_id));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Fraction of findings that carry a fix suggestion (the paper
+    /// reports Semgrep suggesting fixes for 19% of detections).
+    pub fn suggestion_rate(&self, sources: &[&str]) -> f64 {
+        let mut total = 0usize;
+        let mut with_fix = 0usize;
+        for src in sources {
+            for f in self.scan(src) {
+                total += 1;
+                if f.suggestion.is_some() {
+                    with_fix += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            with_fix as f64 / total as f64
+        }
+    }
+}
+
+impl DetectionTool for SemgrepLike {
+    fn name(&self) -> &'static str {
+        "Semgrep"
+    }
+
+    fn scan(&self, source: &str) -> Vec<ToolFinding> {
+        let scan_text = patchit_core::blank_comments(source);
+        let mut out = Vec::new();
+        for (idx, re) in &self.compiled {
+            let rule = &RULES[*idx];
+            for m in re.find_iter(&scan_text) {
+                let line = scan_text[..m.start()].matches('\n').count() as u32 + 1;
+                out.push(ToolFinding {
+                    check_id: rule.id.to_string(),
+                    cwe: rule.cwe,
+                    line,
+                    message: rule.message.to_string(),
+                    suggestion: rule.fix_note.map(String::from),
+                });
+            }
+        }
+        out.sort_by_key(|f| f.line);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_registry_patterns_compile() {
+        let _ = SemgrepLike::new();
+    }
+
+    #[test]
+    fn detects_patterns_on_unparseable_code() {
+        // Unlike Bandit, Semgrep's regex mode survives syntax errors.
+        let src = "import pickle\ndef f(d):\n    x = pickle.loads(d)\n    if x\n";
+        assert!(SemgrepLike::new().flags(src));
+    }
+
+    #[test]
+    fn annotate_adds_comments_without_changing_code() {
+        let sg = SemgrepLike::new();
+        let src = "import os\nos.system(cmd)\n";
+        let annotated = sg.annotate(src);
+        assert!(annotated.contains("# semgrep:"));
+        // Every original line survives unchanged.
+        for line in src.lines() {
+            assert!(annotated.lines().any(|l| l == line));
+        }
+        // And no original line was edited (the vulnerable call remains).
+        assert!(annotated.contains("os.system(cmd)"));
+    }
+
+    #[test]
+    fn annotate_preserves_indentation_of_suggestions() {
+        let sg = SemgrepLike::new();
+        let src = "def f():\n    x = eval(s)\n";
+        let annotated = sg.annotate(src);
+        assert!(annotated.contains("\n    # semgrep:"));
+    }
+
+    #[test]
+    fn clean_code_is_untouched() {
+        let sg = SemgrepLike::new();
+        let src = "x = 1\n";
+        assert_eq!(sg.annotate(src), src);
+        assert!(!sg.flags(src));
+    }
+
+    #[test]
+    fn suggestion_rate_counts() {
+        let sg = SemgrepLike::new();
+        // exec has no suggestion, eval does.
+        let rate = sg.suggestion_rate(&["exec(a)\n", "eval(b)\n"]);
+        assert!((rate - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn narrower_than_patchitpy() {
+        // A weakness PatchitPy covers but the registry subset does not.
+        let sg = SemgrepLike::new();
+        let src = "resp.set_cookie('sid', sid)\n";
+        assert!(!sg.flags(src));
+        assert!(patchit_core::Detector::new().is_vulnerable(src));
+    }
+}

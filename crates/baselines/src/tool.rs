@@ -1,0 +1,59 @@
+//! Common interface implemented by every baseline tool.
+
+/// What a tool reports for one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ToolFinding {
+    /// Tool-specific rule/check id (e.g. `"B602"` for the Bandit-like
+    /// subprocess check).
+    pub check_id: String,
+    /// CWE the check maps to (0 when the tool does not label CWEs).
+    pub cwe: u16,
+    /// 1-based line number.
+    pub line: u32,
+    /// Message shown to the user.
+    pub message: String,
+    /// Remediation *suggestion* text, when the tool provides one. None of
+    /// the SAST baselines modifies code (paper §III-C: Bandit and Semgrep
+    /// only suggest fixes via comments; CodeQL has no patching).
+    pub suggestion: Option<String>,
+}
+
+/// A vulnerability-detection tool under comparison.
+pub trait DetectionTool {
+    /// Tool name as it appears in Table II.
+    fn name(&self) -> &'static str;
+
+    /// Scans one file.
+    fn scan(&self, source: &str) -> Vec<ToolFinding>;
+
+    /// Binary verdict used for the confusion matrix.
+    fn flags(&self, source: &str) -> bool {
+        !self.scan(source).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Always;
+    impl DetectionTool for Always {
+        fn name(&self) -> &'static str {
+            "always"
+        }
+        fn scan(&self, _source: &str) -> Vec<ToolFinding> {
+            vec![ToolFinding {
+                check_id: "X".into(),
+                cwe: 0,
+                line: 1,
+                message: "m".into(),
+                suggestion: None,
+            }]
+        }
+    }
+
+    #[test]
+    fn flags_follows_scan() {
+        assert!(Always.flags("anything"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! - **comment blanking** (detector precision guard) vs scanning raw text;
+//! - **rule-count scaling**: how detection cost grows with catalog size;
+//! - **first-char prefilter** impact is visible through rule-count scaling
+//!   (every rule that misses early exits in the prefilter loop);
+//! - **strict vs tolerant parsing** cost on clean and broken inputs.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use patchit_bench::FLASK_SAMPLE;
+use patchit_core::{all_rules, blank_comments, Detector};
+
+fn bench_comment_blanking(c: &mut Criterion) {
+    let commented = format!(
+        "{}\n# os.system(cmd)  # historical note\n# eval(expr) was removed\n",
+        FLASK_SAMPLE
+    );
+    c.bench_function("ablation/blank_comments", |b| {
+        b.iter(|| blank_comments(black_box(&commented)))
+    });
+    // Detection accuracy effect (reported once, not timed): raw-text
+    // scanning would flag the commented-out os.system.
+    let det = Detector::new();
+    let with_blanking = det.detect(&commented).len();
+    println!(
+        "\nABLATION comment blanking: findings with blanking = {with_blanking} \
+         (raw-text scanning would add 2 comment false positives)"
+    );
+}
+
+fn bench_rule_count_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/rule_count");
+    g.sample_size(10);
+    for n in [10usize, 25, 50, 85] {
+        let rules: Vec<_> = all_rules().into_iter().take(n).collect();
+        let det = Detector::with_rules(rules);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &det, |b, det| {
+            b.iter(|| det.detect(black_box(FLASK_SAMPLE)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_parse_modes(c: &mut Criterion) {
+    let broken = format!("{FLASK_SAMPLE}result = transform(\n");
+    let mut g = c.benchmark_group("ablation/parse_mode");
+    g.bench_function("strict_on_clean", |b| {
+        b.iter(|| pyast::parse_module_strict(black_box(FLASK_SAMPLE)))
+    });
+    g.bench_function("tolerant_on_clean", |b| {
+        b.iter(|| pyast::parse_module(black_box(FLASK_SAMPLE)))
+    });
+    g.bench_function("strict_on_broken_fails_fast", |b| {
+        b.iter(|| pyast::parse_module_strict(black_box(&broken)).is_err())
+    });
+    g.bench_function("tolerant_on_broken_recovers", |b| {
+        b.iter(|| pyast::parse_module(black_box(&broken)).error_count)
+    });
+    g.finish();
+}
+
+fn bench_suppression_cost(c: &mut Criterion) {
+    // Rules with suppress_if do a second regex pass per match; measure a
+    // worst-ish case where many matches are all suppressed.
+    let all_suppressed = "h = hashlib.md5(data, usedforsecurity=False)\n".repeat(20);
+    let det = Detector::new();
+    c.bench_function("ablation/suppression_pass", |b| {
+        b.iter(|| det.detect(black_box(&all_suppressed)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_comment_blanking,
+    bench_rule_count_scaling,
+    bench_parse_modes,
+    bench_suppression_cost
+);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Fig. 3 bench: regenerates the complexity study and measures the cost
+//! of the metric pipeline it rests on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use patchit_bench::{corpus, sample_codes, FLASK_SAMPLE};
+
+fn bench_fig3(c: &mut Criterion) {
+    let corpus = corpus();
+    let study = evalharness::run_complexity(&corpus);
+    println!("\n{}", evalharness::render_fig3(&study));
+
+    let codes = sample_codes(&corpus, 100);
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("complexity_single_file", |b| {
+        b.iter(|| pymetrics::complexity(black_box(FLASK_SAMPLE)).mean())
+    });
+    g.bench_function("complexity_100_samples", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for code in &codes {
+                acc += pymetrics::complexity(black_box(code)).mean();
+            }
+            acc
+        })
+    });
+    g.bench_function("wilcoxon_rank_sum_609x2", |b| {
+        let gen = &study.series[0].values;
+        let pip = &study.series[1].values;
+        b.iter(|| vstats::rank_sum(black_box(pip), black_box(gen)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

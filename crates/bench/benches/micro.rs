@@ -1,0 +1,96 @@
+//! Microbenchmarks for every substrate: lexing, parsing, regex matching,
+//! sequence diffing, and metric computation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use patchit_bench::{CLEAN_SAMPLE, FLASK_SAMPLE};
+
+fn bench_lexer(c: &mut Criterion) {
+    c.bench_function("pylex/tokenize_flask_sample", |b| {
+        b.iter(|| pylex::tokenize(black_box(FLASK_SAMPLE)))
+    });
+    c.bench_function("pylex/logical_lines", |b| {
+        b.iter(|| pylex::logical_lines(black_box(FLASK_SAMPLE)))
+    });
+}
+
+fn bench_parser(c: &mut Criterion) {
+    c.bench_function("pyast/parse_tolerant", |b| {
+        b.iter(|| pyast::parse_module(black_box(FLASK_SAMPLE)))
+    });
+    c.bench_function("pyast/parse_strict_clean", |b| {
+        b.iter(|| pyast::parse_module_strict(black_box(CLEAN_SAMPLE)))
+    });
+    c.bench_function("pyast/collect_calls", |b| {
+        let m = pyast::parse_module(FLASK_SAMPLE);
+        b.iter(|| pyast::collect_calls(black_box(&m)))
+    });
+}
+
+fn bench_regex(c: &mut Criterion) {
+    let re = rxlite::Regex::new(r"(subprocess\.(?:call|run|Popen)\([^)]*?)shell\s*=\s*True")
+        .expect("compiles");
+    c.bench_function("rxlite/find_miss", |b| {
+        b.iter(|| re.find(black_box(FLASK_SAMPLE)))
+    });
+    let hit = "x = subprocess.run(cmd, shell=True)\n".repeat(8);
+    c.bench_function("rxlite/find_iter_hits", |b| {
+        b.iter(|| re.find_iter(black_box(&hit)))
+    });
+    c.bench_function("rxlite/compile_rule_pattern", |b| {
+        b.iter(|| {
+            rxlite::Regex::new(black_box(
+                r"((?:secret|token|password)\w*\s*=\s*[^\n]*?)\brandom\.(randint|choice)\b",
+            ))
+        })
+    });
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let a: Vec<&str> = FLASK_SAMPLE.split_whitespace().collect();
+    let b2: Vec<&str> = CLEAN_SAMPLE.split_whitespace().collect();
+    c.bench_function("seqdiff/lcs_tokens", |b| {
+        b.iter(|| seqdiff::lcs(black_box(&a), black_box(&b2)))
+    });
+    c.bench_function("seqdiff/sequence_matcher_opcodes", |b| {
+        b.iter(|| {
+            let m = seqdiff::SequenceMatcher::new(black_box(&a), black_box(&b2));
+            m.opcodes()
+        })
+    });
+    c.bench_function("seqdiff/unified_diff", |b| {
+        b.iter(|| {
+            seqdiff::unified_diff_str(
+                black_box(FLASK_SAMPLE),
+                black_box(CLEAN_SAMPLE),
+                "a.py",
+                "b.py",
+            )
+        })
+    });
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    c.bench_function("pymetrics/complexity", |b| {
+        b.iter(|| pymetrics::complexity(black_box(FLASK_SAMPLE)))
+    });
+    c.bench_function("pymetrics/quality", |b| {
+        b.iter(|| pymetrics::quality(black_box(FLASK_SAMPLE)))
+    });
+}
+
+fn bench_standardize(c: &mut Criterion) {
+    c.bench_function("core/standardize", |b| {
+        b.iter(|| patchit_core::standardize(black_box(FLASK_SAMPLE)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lexer,
+    bench_parser,
+    bench_regex,
+    bench_diff,
+    bench_metrics,
+    bench_standardize
+);
+criterion_main!(benches);

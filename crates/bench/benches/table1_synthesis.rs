@@ -1,0 +1,76 @@
+//! Table I bench: the standardize → LCS → diff rule-synthesis pipeline
+//! on the paper's Flask sample pair.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const V1: &str = r#"from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/comments")
+def comments():
+    comment = request.args.get('comment', '')
+    return f"<p>{comment}</p>"
+
+if __name__ == "__main__":
+    app.run(debug=True)
+"#;
+
+const V2: &str = r#"from flask import Flask, request, make_response
+appl = Flask(__name__)
+
+@appl.route("/showName")
+def name():
+    username = request.args.get('username')
+    return make_response(f"Hello {username}")
+
+if __name__ == "__main__":
+    appl.run(debug=True)
+"#;
+
+const S1: &str = r#"from flask import Flask, request, escape
+app = Flask(__name__)
+
+@app.route("/comments")
+def comments():
+    comment = request.args.get('comment', '')
+    return f"<p>{escape(comment)}</p>"
+
+if __name__ == "__main__":
+    app.run(debug=False, use_reloader=False)
+"#;
+
+const S2: &str = r#"from flask import Flask, request, make_response, escape
+appl = Flask(__name__)
+
+@appl.route("/showName")
+def name():
+    username = request.args.get('username')
+    return make_response(f"Hello {escape(username)}")
+
+if __name__ == "__main__":
+    appl.run(debug=False, use_debugger=False, use_reloader=False)
+"#;
+
+fn bench_table1(c: &mut Criterion) {
+    // Regenerate the Table I artifacts once.
+    let syn = patchit_core::synthesize(V1, V2, S1, S2);
+    println!("\nTABLE I pattern sizes: LCS_v = {} tokens, LCS_s = {} tokens, {} addition runs",
+        syn.vulnerable_lcs.len(), syn.safe_lcs.len(), syn.safe_additions.len());
+
+    c.bench_function("table1/standardize_one_sample", |b| {
+        b.iter(|| patchit_core::standardize(black_box(V1)))
+    });
+    c.bench_function("table1/synthesize_full_pipeline", |b| {
+        b.iter(|| {
+            patchit_core::synthesize(
+                black_box(V1),
+                black_box(V2),
+                black_box(S1),
+                black_box(S2),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Table II bench: regenerates the detection study and measures detection
+//! throughput for PatchitPy and each baseline.
+//!
+//! The measured table itself is printed once at startup (the numbers to
+//! compare against the paper live in EXPERIMENTS.md); the timed portion
+//! benchmarks per-sample and full-corpus scan cost per tool.
+
+use baselines::{BanditLike, CodeqlLike, DetectionTool, SemgrepLike};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use patchit_bench::{corpus, sample_codes};
+use patchit_core::Detector;
+
+fn bench_table2(c: &mut Criterion) {
+    let corpus = corpus();
+
+    // Regenerate the table once so the bench run doubles as the artifact.
+    let rows = evalharness::run_detection(&corpus);
+    println!("\n{}", evalharness::render_table2(&rows));
+
+    let codes = sample_codes(&corpus, 60);
+    let detector = Detector::new();
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+
+    g.bench_function("patchitpy_60_samples", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for code in &codes {
+                hits += detector.is_vulnerable(black_box(code)) as usize;
+            }
+            hits
+        })
+    });
+
+    let bandit = BanditLike::new();
+    g.bench_function("bandit_like_60_samples", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for code in &codes {
+                hits += bandit.flags(black_box(code)) as usize;
+            }
+            hits
+        })
+    });
+
+    let semgrep = SemgrepLike::new();
+    g.bench_function("semgrep_like_60_samples", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for code in &codes {
+                hits += semgrep.flags(black_box(code)) as usize;
+            }
+            hits
+        })
+    });
+
+    let codeql = CodeqlLike::new();
+    g.bench_function("codeql_like_60_samples", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for code in &codes {
+                hits += codeql.flags(black_box(code)) as usize;
+            }
+            hits
+        })
+    });
+
+    g.bench_function("patchitpy_full_corpus_609", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for s in &corpus.samples {
+                hits += detector.is_vulnerable(black_box(&s.code)) as usize;
+            }
+            hits
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

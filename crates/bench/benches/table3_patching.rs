@@ -1,0 +1,45 @@
+//! Table III bench: regenerates the patching study and measures
+//! detect-and-patch throughput.
+
+use baselines::{LlmKind, LlmTool};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use patchit_bench::{corpus, FLASK_SAMPLE};
+use patchit_core::Patcher;
+
+fn bench_table3(c: &mut Criterion) {
+    let corpus = corpus();
+    let rows = evalharness::run_patching(&corpus);
+    println!("\n{}", evalharness::render_table3(&rows));
+
+    let patcher = Patcher::new();
+    let vulnerable: Vec<&str> = corpus
+        .samples
+        .iter()
+        .filter(|s| s.vulnerable && s.covered)
+        .take(40)
+        .map(|s| s.code.as_str())
+        .collect();
+
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("patchitpy_patch_single_file", |b| {
+        b.iter(|| patcher.patch(black_box(FLASK_SAMPLE)))
+    });
+    g.bench_function("patchitpy_patch_40_samples", |b| {
+        b.iter(|| {
+            let mut applied = 0usize;
+            for code in &vulnerable {
+                applied += patcher.patch(black_box(code)).applied.len();
+            }
+            applied
+        })
+    });
+    let llm = LlmTool::new(LlmKind::Claude37Sonnet, evalharness::LLM_SEED);
+    g.bench_function("llm_sim_patch_single_file", |b| {
+        b.iter(|| llm.patch(black_box(FLASK_SAMPLE)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Shared fixtures for the PatchitPy-rs benchmark suite.
+
+#![forbid(unsafe_code)]
+
+use corpusgen::Corpus;
+
+/// A realistic multi-weakness Flask sample used by the microbenches.
+pub const FLASK_SAMPLE: &str = r#"import os
+import pickle
+import hashlib
+from flask import Flask, request
+
+app = Flask(__name__)
+UPLOAD_DIR = "uploads"
+
+@app.route("/upload", methods=["POST"])
+def upload():
+    f = request.files["file"]
+    f.save(os.path.join(UPLOAD_DIR, f.filename))
+    checksum = hashlib.md5(f.read()).hexdigest()
+    return {"ok": True, "checksum": checksum}
+
+@app.route("/restore")
+def restore():
+    blob = request.cookies.get("state", "")
+    data = pickle.loads(bytes.fromhex(blob))
+    return str(data)
+
+@app.route("/run")
+def run_cmd():
+    target = request.args.get("host", "localhost")
+    os.system("ping -c 1 " + target)
+    return "done"
+
+if __name__ == "__main__":
+    app.run(host="0.0.0.0", debug=True)
+"#;
+
+/// A clean sample (no findings) for negative-path benchmarks.
+pub const CLEAN_SAMPLE: &str = r#"\
+"""A tidy module with no security findings."""
+import json
+
+
+def load_settings(path):
+    """Reads the JSON settings file."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def summarize(settings):
+    """Collects enabled feature names."""
+    enabled = []
+    for name, value in settings.items():
+        if value:
+            enabled.append(name)
+    return enabled
+"#;
+
+/// Builds the standard 609-sample corpus once for a benchmark.
+pub fn corpus() -> Corpus {
+    corpusgen::generate_corpus()
+}
+
+/// A small slice of corpus code strings for per-sample benchmarks.
+pub fn sample_codes(corpus: &Corpus, n: usize) -> Vec<String> {
+    corpus.samples.iter().take(n).map(|s| s.code.clone()).collect()
+}

@@ -1,0 +1,111 @@
+//! A01:2021 Broken Access Control — path traversal, unrestricted upload,
+//! open redirect, permissive filesystem permissions.
+
+use crate::owasp::Owasp;
+use crate::rule::{Fix, Rule};
+
+pub(crate) fn rules() -> Vec<Rule> {
+    let o = Owasp::A01BrokenAccessControl;
+    vec![
+        Rule {
+            id: "PIP-A01-001",
+            cwe: 22,
+            owasp: o,
+            description: "file opened from raw request parameter (path traversal)",
+            pattern: r"open\(\s*request\.(args|form|values)\.get\(([^)]*)\)",
+            suppress_if: Some(r"basename|secure_filename"),
+            fix: Some(Fix::Template {
+                replacement: "open(os.path.basename(request.$1.get($2))",
+            }),
+            imports: &["import os"],
+        },
+        Rule {
+            id: "PIP-A01-002",
+            cwe: 22,
+            owasp: o,
+            description: "os.path.join with user-controlled filename (path traversal)",
+            pattern: r"open\(\s*os\.path\.join\(([^,]+),\s*(filename|fname|file_name|user_path|path|name)\s*\)",
+            suppress_if: Some(r"basename|secure_filename"),
+            fix: Some(Fix::Template {
+                replacement: "open(os.path.join($1, os.path.basename($2))",
+            }),
+            imports: &["import os"],
+        },
+        Rule {
+            id: "PIP-A01-003",
+            cwe: 22,
+            owasp: o,
+            description: "archive extractall without member filtering (zip/tar slip)",
+            pattern: r"(\w+)\.extractall\(\s*\)",
+            suppress_if: None,
+            fix: Some(Fix::Template { replacement: "$1.extractall(filter='data')" }),
+            imports: &[],
+        },
+        Rule {
+            id: "PIP-A01-004",
+            cwe: 22,
+            owasp: o,
+            description: "send_file serves a raw request-controlled path",
+            pattern: r"send_file\(\s*request\.(args|form|values)\.get\(([^)]*)\)\s*\)",
+            suppress_if: Some(r"basename|secure_filename|safe_join"),
+            fix: Some(Fix::Template {
+                replacement: "send_file(os.path.basename(request.$1.get($2)))",
+            }),
+            imports: &["import os"],
+        },
+        Rule {
+            id: "PIP-A01-005",
+            cwe: 434,
+            owasp: o,
+            description: "uploaded file saved with its original client filename",
+            pattern: r"\.save\(\s*os\.path\.join\(([^,]+),\s*(\w+)\.filename\s*\)\s*\)",
+            suppress_if: Some(r"secure_filename"),
+            fix: Some(Fix::Template {
+                replacement: ".save(os.path.join($1, secure_filename($2.filename)))",
+            }),
+            imports: &["from werkzeug.utils import secure_filename"],
+        },
+        Rule {
+            id: "PIP-A01-006",
+            cwe: 434,
+            owasp: o,
+            description: "uploaded file saved directly under its client filename",
+            pattern: r"\.save\(\s*(\w+)\.filename\s*\)",
+            suppress_if: Some(r"secure_filename"),
+            fix: Some(Fix::Template {
+                replacement: ".save(secure_filename($1.filename))",
+            }),
+            imports: &["from werkzeug.utils import secure_filename"],
+        },
+        Rule {
+            id: "PIP-A01-007",
+            cwe: 601,
+            owasp: o,
+            description: "redirect target taken from request parameters (open redirect)",
+            pattern: r"redirect\(\s*request\.(args|form|values)",
+            suppress_if: Some(r"url_for|allowlist|ALLOWED"),
+            fix: None,
+            imports: &[],
+        },
+        Rule {
+            id: "PIP-A01-008",
+            cwe: 732,
+            owasp: o,
+            description: "world-writable permissions on a file",
+            pattern: r"os\.chmod\(([^,]+),\s*(?:0o777|0o666|511|438)\s*\)",
+            suppress_if: None,
+            fix: Some(Fix::Template { replacement: "os.chmod($1, 0o600)" }),
+            imports: &[],
+        },
+        Rule {
+            id: "PIP-A01-009",
+            cwe: 732,
+            owasp: o,
+            description: "umask cleared to 0 (newly created files world-writable)",
+            pattern: r"os\.umask\(\s*0o?0?\s*\)",
+            suppress_if: None,
+            fix: Some(Fix::Template { replacement: "os.umask(0o077)" }),
+            imports: &[],
+        },
+    ]
+}

@@ -1,0 +1,79 @@
+//! A04:2021 Insecure Design — debug modes, verbose error disclosure,
+//! assertion-based guards, missing resource limits.
+
+use crate::owasp::Owasp;
+use crate::rule::{BuiltinFix, Fix, Rule};
+
+pub(crate) fn rules() -> Vec<Rule> {
+    let o = Owasp::A04InsecureDesign;
+    vec![
+        Rule {
+            id: "PIP-A04-001",
+            cwe: 209,
+            owasp: o,
+            description: "Flask app run with debug mode enabled",
+            pattern: r"(app\w*\.run\([^)]*?)debug\s*=\s*True",
+            suppress_if: None,
+            fix: Some(Fix::Template {
+                replacement: "$1debug=False, use_debugger=False, use_reloader=False",
+            }),
+            imports: &[],
+        },
+        Rule {
+            id: "PIP-A04-002",
+            cwe: 489,
+            owasp: o,
+            description: "framework DEBUG setting left enabled",
+            pattern: r"(?:^|\n)DEBUG\s*=\s*True",
+            suppress_if: None,
+            fix: Some(Fix::Template { replacement: "DEBUG = False" }),
+            imports: &[],
+        },
+        Rule {
+            id: "PIP-A04-003",
+            cwe: 209,
+            owasp: o,
+            description: "exception text returned to the client",
+            pattern: r"return\s+str\(\s*(?:e|err|error|exc|exception)\s*\)(?:\s*,\s*\d+)?",
+            suppress_if: None,
+            fix: Some(Fix::Template {
+                replacement: "return \"An internal error has occurred\", 500",
+            }),
+            imports: &[],
+        },
+        Rule {
+            id: "PIP-A04-004",
+            cwe: 209,
+            owasp: o,
+            description: "stack trace returned to the client",
+            pattern: r"return\s+traceback\.format_exc\(\)",
+            suppress_if: None,
+            fix: Some(Fix::Template {
+                replacement: "return \"An internal error has occurred\", 500",
+            }),
+            imports: &[],
+        },
+        Rule {
+            id: "PIP-A04-005",
+            cwe: 703,
+            owasp: o,
+            description: "security decision enforced by assert (stripped under -O)",
+            pattern: r"assert\s+\w+\.(?:is_admin|is_authenticated|logged_in|has_permission)",
+            suppress_if: None,
+            fix: None,
+            imports: &[],
+        },
+        Rule {
+            id: "PIP-A04-006",
+            cwe: 400,
+            owasp: o,
+            description: "outbound HTTP request without a timeout",
+            // Restricted to calls without nested parentheses so the
+            // appended `timeout=` lands at the real end of the call.
+            pattern: r"requests\.(?:get|post|put|delete|head|patch)\(([^()]*)\)",
+            suppress_if: Some(r"timeout\s*="),
+            fix: Some(Fix::Builtin(BuiltinFix::AddRequestTimeout)),
+            imports: &[],
+        },
+    ]
+}

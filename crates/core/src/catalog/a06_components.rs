@@ -1,0 +1,46 @@
+//! A06:2021 Vulnerable and Outdated Components — deprecated/dangerous
+//! stdlib functions and untrusted package sources.
+
+use crate::owasp::Owasp;
+use crate::rule::{Fix, Rule};
+
+pub(crate) fn rules() -> Vec<Rule> {
+    let o = Owasp::A06VulnerableComponents;
+    vec![
+        Rule {
+            id: "PIP-A06-001",
+            cwe: 477,
+            owasp: o,
+            description: "deprecated ssl.wrap_socket without context",
+            pattern: r"ssl\.wrap_socket\(",
+            suppress_if: None,
+            fix: Some(Fix::Template {
+                replacement: "ssl.create_default_context().wrap_socket(",
+            }),
+            imports: &[],
+        },
+        Rule {
+            id: "PIP-A06-002",
+            cwe: 477,
+            owasp: o,
+            description: "obsolete os.tempnam/os.tmpnam temporary-file APIs",
+            pattern: r"os\.(?:tempnam|tmpnam)\(",
+            suppress_if: None,
+            fix: Some(Fix::Template { replacement: "tempfile.mkstemp(" }),
+            imports: &["import tempfile"],
+        },
+        Rule {
+            id: "PIP-A06-003",
+            cwe: 676,
+            owasp: o,
+            description: "legacy md5/sha modules imported",
+            pattern: r"(?:^|\n)import\s+(?:md5|sha)\b",
+            suppress_if: None,
+            // Detection-only: swapping the import alone would orphan the
+            // `md5.new(...)` call sites; migrating them is a refactor, not
+            // a substitution.
+            fix: None,
+            imports: &[],
+        },
+    ]
+}

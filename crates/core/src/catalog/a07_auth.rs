@@ -1,0 +1,104 @@
+//! A07:2021 Identification and Authentication Failures — hard-coded
+//! credentials, weak password policies, unsafe comparisons, JWT
+//! verification bypass.
+
+use crate::owasp::Owasp;
+use crate::rule::{BuiltinFix, Fix, Rule};
+
+pub(crate) fn rules() -> Vec<Rule> {
+    let o = Owasp::A07AuthFailures;
+    vec![
+        Rule {
+            id: "PIP-A07-001",
+            cwe: 798,
+            owasp: o,
+            description: "hard-coded credential assigned to a sensitive variable",
+            pattern: r#"\b(\w*(?:password|passwd|pwd|api_key|apikey|secret_key|auth_token|access_key))\s*=\s*["'][^"']+["']"#,
+            suppress_if: Some(r"environ|getenv|input\(|getpass|example|changeme-placeholder"),
+            fix: Some(Fix::Builtin(BuiltinFix::CredentialFromEnv)),
+            imports: &["import os"],
+        },
+        Rule {
+            id: "PIP-A07-002",
+            cwe: 798,
+            owasp: o,
+            description: "Flask SECRET_KEY hard-coded",
+            pattern: r#"app\.config\[["']SECRET_KEY["']\]\s*=\s*["'][^"']+["']"#,
+            suppress_if: Some(r"environ|getenv"),
+            fix: Some(Fix::Template {
+                replacement: "app.config[\"SECRET_KEY\"] = os.environ[\"SECRET_KEY\"]",
+            }),
+            imports: &["import os"],
+        },
+        Rule {
+            id: "PIP-A07-003",
+            cwe: 522,
+            owasp: o,
+            description: "password read with echoing input()",
+            pattern: r#"input\(\s*(["'][^"']*[Pp]assword[^"']*["'])\s*\)"#,
+            suppress_if: None,
+            fix: Some(Fix::Template { replacement: "getpass.getpass($1)" }),
+            imports: &["import getpass"],
+        },
+        Rule {
+            id: "PIP-A07-004",
+            cwe: 208,
+            owasp: o,
+            description: "secret compared with == (timing side channel)",
+            pattern: r#"\b(\w+)\s*==\s*(["'][0-9a-fA-F]{32,}["'])"#,
+            suppress_if: Some(r"compare_digest"),
+            fix: Some(Fix::Template { replacement: "hmac.compare_digest($1, $2)" }),
+            imports: &["import hmac"],
+        },
+        Rule {
+            id: "PIP-A07-005",
+            cwe: 521,
+            owasp: o,
+            description: "password length requirement too low (>= form)",
+            pattern: r"len\(\s*(password|passwd|pwd)\s*\)\s*>=?\s*[1-7]\b",
+            suppress_if: None,
+            fix: Some(Fix::Template { replacement: "len($1) >= 12" }),
+            imports: &[],
+        },
+        Rule {
+            id: "PIP-A07-006",
+            cwe: 521,
+            owasp: o,
+            description: "password length requirement too low (< form)",
+            pattern: r"len\(\s*(password|passwd|pwd)\s*\)\s*<\s*[1-8]\b",
+            suppress_if: None,
+            fix: Some(Fix::Template { replacement: "len($1) < 12" }),
+            imports: &[],
+        },
+        Rule {
+            id: "PIP-A07-007",
+            cwe: 287,
+            owasp: o,
+            description: "password compared against a stored plaintext field",
+            pattern: r"if\s+password\s*==\s*\w+\.password\b",
+            suppress_if: Some(r"check_password|verify"),
+            fix: None,
+            imports: &[],
+        },
+        Rule {
+            id: "PIP-A07-008",
+            cwe: 347,
+            owasp: o,
+            description: "JWT decoded with verification disabled (verify kwarg)",
+            pattern: r"(jwt\.decode\([^)]*?)verify\s*=\s*False",
+            suppress_if: None,
+            fix: Some(Fix::Template { replacement: "$1verify=True" }),
+            imports: &[],
+        },
+        Rule {
+            id: "PIP-A07-009",
+            cwe: 347,
+            owasp: o,
+            description: "JWT decoded with signature verification disabled (options)",
+            pattern: r#"verify_signature(["']?)\s*:\s*False"#,
+            suppress_if: None,
+            fix: Some(Fix::Template { replacement: "verify_signature$1: True" }),
+            imports: &[],
+        },
+    ]
+}

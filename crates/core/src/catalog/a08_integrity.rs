@@ -1,0 +1,101 @@
+//! A08:2021 Software and Data Integrity Failures — unsafe
+//! deserialization and unverified code/data downloads.
+
+use crate::owasp::Owasp;
+use crate::rule::{Fix, Rule};
+
+pub(crate) fn rules() -> Vec<Rule> {
+    let o = Owasp::A08IntegrityFailures;
+    vec![
+        Rule {
+            id: "PIP-A08-001",
+            cwe: 502,
+            owasp: o,
+            description: "pickle.loads on untrusted bytes",
+            pattern: r"pickle\.loads\(\s*([^)]+)\)",
+            suppress_if: None,
+            fix: Some(Fix::Template { replacement: "json.loads($1)" }),
+            imports: &["import json"],
+        },
+        Rule {
+            id: "PIP-A08-002",
+            cwe: 502,
+            owasp: o,
+            description: "pickle.load on an untrusted stream",
+            pattern: r"pickle\.load\(\s*([^)]+)\)",
+            suppress_if: None,
+            fix: Some(Fix::Template { replacement: "json.load($1)" }),
+            imports: &["import json"],
+        },
+        Rule {
+            id: "PIP-A08-003",
+            cwe: 502,
+            owasp: o,
+            description: "cPickle/_pickle deserialization",
+            pattern: r"\b(?:cPickle|_pickle)\.loads?\(",
+            suppress_if: None,
+            fix: None,
+            imports: &[],
+        },
+        Rule {
+            id: "PIP-A08-004",
+            cwe: 502,
+            owasp: o,
+            description: "yaml.load without a safe loader",
+            pattern: r"yaml\.load\(\s*([^,)]+)\s*\)",
+            suppress_if: Some(r"SafeLoader|safe_load"),
+            fix: Some(Fix::Template { replacement: "yaml.safe_load($1)" }),
+            imports: &[],
+        },
+        Rule {
+            id: "PIP-A08-005",
+            cwe: 502,
+            owasp: o,
+            description: "yaml.load with an unsafe loader argument",
+            pattern: r"yaml\.load\(\s*([^,)]+)\s*,\s*Loader\s*=\s*yaml\.(?:FullLoader|UnsafeLoader|Loader)\s*\)",
+            suppress_if: Some(r"SafeLoader"),
+            fix: Some(Fix::Template { replacement: "yaml.safe_load($1)" }),
+            imports: &[],
+        },
+        Rule {
+            id: "PIP-A08-006",
+            cwe: 502,
+            owasp: o,
+            description: "marshal deserialization of external data",
+            pattern: r"marshal\.loads?\(",
+            suppress_if: None,
+            fix: None,
+            imports: &[],
+        },
+        Rule {
+            id: "PIP-A08-007",
+            cwe: 502,
+            owasp: o,
+            description: "jsonpickle.decode executes arbitrary constructors",
+            pattern: r"jsonpickle\.decode\(",
+            suppress_if: None,
+            fix: None,
+            imports: &[],
+        },
+        Rule {
+            id: "PIP-A08-008",
+            cwe: 502,
+            owasp: o,
+            description: "torch.load without weights_only (arbitrary pickle)",
+            pattern: r"torch\.load\(([^)]*)\)",
+            suppress_if: Some(r"weights_only"),
+            fix: Some(Fix::Template { replacement: "torch.load($1, weights_only=True)" }),
+            imports: &[],
+        },
+        Rule {
+            id: "PIP-A08-009",
+            cwe: 494,
+            owasp: o,
+            description: "code/data downloaded over HTTP without integrity check",
+            pattern: r#"urlretrieve\(\s*f?["']http://"#,
+            suppress_if: None,
+            fix: None,
+            imports: &[],
+        },
+    ]
+}

@@ -1,0 +1,31 @@
+//! A09:2021 Security Logging and Monitoring Failures — secrets in logs
+//! and unneutralized log content.
+
+use crate::owasp::Owasp;
+use crate::rule::Rule;
+
+pub(crate) fn rules() -> Vec<Rule> {
+    let o = Owasp::A09LoggingFailures;
+    vec![
+        Rule {
+            id: "PIP-A09-001",
+            cwe: 532,
+            owasp: o,
+            description: "sensitive value written to the application log",
+            pattern: r"logging\.\w+\([^)]*(?:password|passwd|secret|api_key|token)",
+            suppress_if: Some(r"\*\*\*|redact"),
+            fix: None,
+            imports: &[],
+        },
+        Rule {
+            id: "PIP-A09-002",
+            cwe: 117,
+            owasp: o,
+            description: "request-controlled text concatenated into a log record",
+            pattern: r#"logging\.\w+\(\s*["'][^"']*["']\s*\+\s*request\."#,
+            suppress_if: None,
+            fix: None,
+            imports: &[],
+        },
+    ]
+}

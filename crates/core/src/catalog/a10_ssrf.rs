@@ -1,0 +1,31 @@
+//! A10:2021 Server-Side Request Forgery — outbound requests to
+//! attacker-controlled destinations.
+
+use crate::owasp::Owasp;
+use crate::rule::Rule;
+
+pub(crate) fn rules() -> Vec<Rule> {
+    let o = Owasp::A10Ssrf;
+    vec![
+        Rule {
+            id: "PIP-A10-001",
+            cwe: 918,
+            owasp: o,
+            description: "outbound request URL taken from request parameters",
+            pattern: r"requests\.\w+\(\s*request\.(?:args|form|values)",
+            suppress_if: Some(r"allowlist|ALLOWED|validate_url"),
+            fix: None,
+            imports: &[],
+        },
+        Rule {
+            id: "PIP-A10-002",
+            cwe: 918,
+            owasp: o,
+            description: "urlopen on a request-controlled URL",
+            pattern: r"urlopen\(\s*request\.",
+            suppress_if: Some(r"allowlist|ALLOWED|validate_url"),
+            fix: None,
+            imports: &[],
+        },
+    ]
+}

@@ -1,0 +1,424 @@
+//! The detection engine: runs the 85-rule catalog over Python source.
+//!
+//! Matching happens on a *comment-blanked* copy of the source (comment
+//! bytes replaced by spaces, offsets preserved), so patterns cannot fire
+//! on commented-out code — one of the easy false-positive classes of
+//! naïve pattern scanners. String literals are scanned as-is: a SQL query
+//! inside a string is exactly what several rules must see.
+
+use crate::catalog::all_rules;
+use crate::rule::{Finding, Rule};
+use rxlite::Regex;
+
+/// A compiled rule: the catalog entry plus its compiled patterns.
+#[derive(Debug)]
+pub struct CompiledRule {
+    /// The catalog rule.
+    pub rule: Rule,
+    pub(crate) pattern: Regex,
+    pub(crate) suppress: Option<Regex>,
+}
+
+/// Detector feature switches, used by the design-choice ablations.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorOptions {
+    /// Blank comments before matching (prevents findings on
+    /// commented-out code). Default `true`.
+    pub blank_comments: bool,
+    /// Honor each rule's `suppress_if` pattern (e.g. `usedforsecurity=
+    /// False` silences the MD5 rule). Default `true`.
+    pub apply_suppressions: bool,
+}
+
+impl Default for DetectorOptions {
+    fn default() -> Self {
+        DetectorOptions { blank_comments: true, apply_suppressions: true }
+    }
+}
+
+/// The PatchitPy vulnerability detector.
+///
+/// Compile once ([`Detector::new`]), scan many times ([`Detector::detect`]).
+///
+/// ```
+/// use patchit_core::Detector;
+/// let det = Detector::new();
+/// let findings = det.detect("import os\nos.system(user_cmd)\n");
+/// assert_eq!(findings[0].cwe, 78);
+/// ```
+#[derive(Debug)]
+pub struct Detector {
+    rules: Vec<CompiledRule>,
+    options: DetectorOptions,
+}
+
+impl Default for Detector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Detector {
+    /// Compiles the full 85-rule catalog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a catalog pattern fails to compile — a bug guarded by
+    /// catalog unit tests, not a runtime condition.
+    pub fn new() -> Self {
+        Self::with_rules(all_rules())
+    }
+
+    /// Compiles the full catalog with explicit feature switches.
+    pub fn with_options(options: DetectorOptions) -> Self {
+        let mut d = Self::with_rules(all_rules());
+        d.options = options;
+        d
+    }
+
+    /// Compiles a custom rule set (used by tests and ablations).
+    pub fn with_rules(rules: Vec<Rule>) -> Self {
+        let compiled = rules
+            .into_iter()
+            .map(|rule| CompiledRule {
+                pattern: Regex::new(rule.pattern)
+                    .unwrap_or_else(|e| panic!("rule {}: {e}", rule.id)),
+                suppress: rule
+                    .suppress_if
+                    .map(|s| Regex::new(s).unwrap_or_else(|e| panic!("rule {}: {e}", rule.id))),
+                rule,
+            })
+            .collect();
+        Detector { rules: compiled, options: DetectorOptions::default() }
+    }
+
+    /// The compiled rules, in catalog order.
+    pub fn rules(&self) -> impl Iterator<Item = &Rule> {
+        self.rules.iter().map(|c| &c.rule)
+    }
+
+    /// Number of rules loaded.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Scans `source` and returns all findings, sorted by position.
+    pub fn detect(&self, source: &str) -> Vec<Finding> {
+        let scan = if self.options.blank_comments {
+            blank_comments(source)
+        } else {
+            source.to_string()
+        };
+        let mut findings = Vec::new();
+        for c in &self.rules {
+            for m in c.pattern.find_iter(&scan) {
+                let line_no = line_of(source, m.start());
+                let line_text = line_text_at(source, m.start());
+                if self.options.apply_suppressions {
+                    if let Some(sup) = &c.suppress {
+                        if sup.is_match(m.as_str()) || sup.is_match(line_text) {
+                            continue;
+                        }
+                    }
+                }
+                findings.push(Finding {
+                    rule_id: c.rule.id.to_string(),
+                    cwe: c.rule.cwe,
+                    owasp: c.rule.owasp,
+                    start: m.start(),
+                    end: m.end(),
+                    line: line_no,
+                    matched: source[m.start()..m.end()].to_string(),
+                    description: c.rule.description.to_string(),
+                    fixable: c.rule.is_fixable(),
+                });
+            }
+        }
+        findings.sort_by_key(|f| (f.start, f.end));
+        findings
+    }
+
+    /// Scans only the byte range `[start, end)` of `source` — the VS Code
+    /// extension's "evaluate the selected code block" flow (paper §II-B).
+    /// Findings carry offsets relative to the *full* source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or not on char boundaries.
+    pub fn detect_in(&self, source: &str, start: usize, end: usize) -> Vec<Finding> {
+        assert!(start <= end && end <= source.len(), "range out of bounds");
+        let region = &source[start..end];
+        let mut findings = self.detect(region);
+        for f in &mut findings {
+            f.start += start;
+            f.end += start;
+            f.line += line_of(source, start) - 1;
+        }
+        findings
+    }
+
+    /// Convenience: whether any rule fires on `source`.
+    pub fn is_vulnerable(&self, source: &str) -> bool {
+        // detect() collects everything; short-circuit per rule instead.
+        let scan = if self.options.blank_comments {
+            blank_comments(source)
+        } else {
+            source.to_string()
+        };
+        for c in &self.rules {
+            for m in c.pattern.find_iter(&scan) {
+                let line_text = line_text_at(source, m.start());
+                let suppressed = self.options.apply_suppressions
+                    && c.suppress
+                        .as_ref()
+                        .is_some_and(|s| s.is_match(m.as_str()) || s.is_match(line_text));
+                if !suppressed {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Looks up a compiled rule by id (used by the patcher).
+    pub(crate) fn compiled(&self, rule_id: &str) -> Option<&CompiledRule> {
+        self.rules.iter().find(|c| c.rule.id == rule_id)
+    }
+}
+
+/// Replaces every comment byte with a space, preserving all offsets.
+pub fn blank_comments(source: &str) -> String {
+    let mut out = source.as_bytes().to_vec();
+    for tok in pylex::tokenize(source) {
+        if tok.kind == pylex::TokenKind::Comment {
+            for b in &mut out[tok.span.start..tok.span.end] {
+                if *b != b'\n' {
+                    *b = b' ';
+                }
+            }
+        }
+    }
+    String::from_utf8(out).expect("blanking preserves UTF-8: comments are replaced bytewise only when ASCII")
+}
+
+/// 1-based line number of byte offset `at`.
+pub(crate) fn line_of(source: &str, at: usize) -> u32 {
+    source[..at.min(source.len())]
+        .bytes()
+        .filter(|b| *b == b'\n')
+        .count() as u32
+        + 1
+}
+
+/// The full text of the line containing byte offset `at`.
+pub(crate) fn line_text_at(source: &str, at: usize) -> &str {
+    let at = at.min(source.len());
+    let start = source[..at].rfind('\n').map_or(0, |i| i + 1);
+    let end = source[at..].find('\n').map_or(source.len(), |i| at + i);
+    &source[start..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det() -> Detector {
+        Detector::new()
+    }
+
+    #[test]
+    fn detects_os_system() {
+        let f = det().detect("import os\nos.system(cmd)\n");
+        assert!(f.iter().any(|x| x.rule_id == "PIP-A03-001" && x.cwe == 78));
+    }
+
+    #[test]
+    fn detects_flask_debug_and_xss_together() {
+        // Paper Table I: one snippet can be vulnerable to multiple CWEs in
+        // different OWASP categories.
+        let src = "\
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route('/comments')
+def comments():
+    comment = request.args.get('comment', '')
+    return f'<p>{comment}</p>'
+
+if __name__ == '__main__':
+    app.run(debug=True)
+";
+        let f = det().detect(src);
+        let cwes: Vec<u16> = f.iter().map(|x| x.cwe).collect();
+        assert!(cwes.contains(&79), "XSS missing: {f:#?}");
+        assert!(cwes.contains(&209), "debug-mode missing: {f:#?}");
+    }
+
+    #[test]
+    fn comments_do_not_fire() {
+        let f = det().detect("# os.system(cmd) would be bad\nx = 1\n");
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn suppression_by_line() {
+        // usedforsecurity=False suppresses the MD5 rule.
+        let f = det().detect("h = hashlib.md5(data, usedforsecurity=False)\n");
+        assert!(!f.iter().any(|x| x.rule_id == "PIP-A02-001"), "{f:#?}");
+        let f2 = det().detect("h = hashlib.md5(password)\n");
+        assert!(f2.iter().any(|x| x.rule_id == "PIP-A02-001"));
+    }
+
+    #[test]
+    fn yaml_safe_load_not_flagged() {
+        let f = det().detect("data = yaml.safe_load(stream)\n");
+        assert!(!f.iter().any(|x| x.cwe == 502), "{f:#?}");
+        let f2 = det().detect("data = yaml.load(stream)\n");
+        assert!(f2.iter().any(|x| x.cwe == 502));
+    }
+
+    #[test]
+    fn findings_sorted_and_line_numbers_correct() {
+        let src = "a = 1\nb = eval(x)\nc = 2\nos.system(y)\n";
+        let f = det().detect(src);
+        assert!(f.len() >= 2);
+        assert!(f.windows(2).all(|w| w[0].start <= w[1].start));
+        let eval = f.iter().find(|x| x.cwe == 95).unwrap();
+        assert_eq!(eval.line, 2);
+        let sys = f.iter().find(|x| x.cwe == 78).unwrap();
+        assert_eq!(sys.line, 4);
+    }
+
+    #[test]
+    fn safe_code_has_no_findings() {
+        let src = "\
+\"\"\"A perfectly safe module.\"\"\"
+import json
+
+
+def load_config(path):
+    with open(path) as fh:
+        return json.load(fh)
+";
+        // Note: json.load is fine; only pickle.load is flagged.
+        let f = det().detect(src);
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn is_vulnerable_short_circuits_consistently() {
+        let d = det();
+        for src in [
+            "pickle.loads(blob)\n",
+            "x = 1\n",
+            "# eval(x)\n",
+            "requests.get(url, verify=False)\n",
+        ] {
+            assert_eq!(d.is_vulnerable(src), !d.detect(src).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn incomplete_snippet_still_scanned() {
+        // The snippet has a syntax error further down (missing colon), so
+        // AST-based tools reject the whole file; pattern matching still
+        // sees the pickle call.
+        let src = "import pickle\ndef f(data):\n    obj = pickle.loads(data)\n    if obj\n";
+        assert!(pyast::parse_module_strict(src).is_err());
+        let f = det().detect(src);
+        assert!(f.iter().any(|x| x.cwe == 502), "{f:#?}");
+    }
+
+    #[test]
+    fn blank_comments_preserves_layout() {
+        let src = "x = 1  # comment\ny = 2\n";
+        let blanked = blank_comments(src);
+        assert_eq!(blanked.len(), src.len());
+        assert!(blanked.contains("x = 1"));
+        assert!(!blanked.contains("comment"));
+        assert_eq!(line_of(&blanked, blanked.find("y").unwrap()), 2);
+    }
+
+    #[test]
+    fn line_text_helper() {
+        let src = "one\ntwo three\nfour\n";
+        assert_eq!(line_text_at(src, src.find("three").unwrap()), "two three");
+        assert_eq!(line_text_at(src, 0), "one");
+    }
+
+    #[test]
+    fn custom_rule_set() {
+        let rules: Vec<_> = all_rules()
+            .into_iter()
+            .filter(|r| r.owasp == crate::owasp::Owasp::A03Injection)
+            .collect();
+        let d = Detector::with_rules(rules);
+        assert!(d.rule_count() < 85);
+        assert!(d.is_vulnerable("eval(x)\n"));
+        assert!(!d.is_vulnerable("app.run(debug=True)\n"));
+    }
+
+    #[test]
+    fn timeout_rule_suppressed_when_present() {
+        let d = det();
+        assert!(d.detect("requests.get(url)\n").iter().any(|f| f.cwe == 400));
+        assert!(!d
+            .detect("requests.get(url, timeout=5)\n")
+            .iter()
+            .any(|f| f.cwe == 400));
+    }
+
+    #[test]
+    fn options_disable_comment_blanking() {
+        let src = "# os.system(old_cmd) kept for reference\nx = 1\n";
+        let default = Detector::new();
+        assert!(default.detect(src).is_empty());
+        let raw = Detector::with_options(DetectorOptions {
+            blank_comments: false,
+            apply_suppressions: true,
+        });
+        assert!(raw.is_vulnerable(src), "raw-text mode should flag the comment");
+    }
+
+    #[test]
+    fn options_disable_suppressions() {
+        let src = "h = hashlib.md5(data, usedforsecurity=False)\n";
+        let default = Detector::new();
+        assert!(!default.is_vulnerable(src));
+        let strict = Detector::with_options(DetectorOptions {
+            blank_comments: true,
+            apply_suppressions: false,
+        });
+        assert!(strict.is_vulnerable(src));
+    }
+
+    #[test]
+    fn region_scan_matches_selected_block_only() {
+        let src = "eval(a)\nx = 1\nos.system(b)\n";
+        let start = src.find("x = 1").unwrap();
+        let f = det().detect_in(src, start, src.len());
+        // Only the os.system finding falls in the selection.
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].cwe, 78);
+        // Offsets and line numbers are absolute.
+        assert_eq!(&src[f[0].start..f[0].end], f[0].matched);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn region_scan_whole_file_equals_detect() {
+        let src = "eval(a)\nos.system(b)\n";
+        let d = det();
+        assert_eq!(d.detect_in(src, 0, src.len()), d.detect(src));
+    }
+
+    #[test]
+    fn hardcoded_password_detected_but_env_ok() {
+        let d = det();
+        assert!(d.is_vulnerable("password = \"hunter2\"\n"));
+        assert!(!d
+            .detect("password = os.environ.get(\"PASSWORD\", \"\")\n")
+            .iter()
+            .any(|f| f.cwe == 798));
+    }
+}

@@ -1,0 +1,54 @@
+//! # patchit-core — pattern-based vulnerability detection and patching
+//!
+//! The Rust reproduction of **PatchitPy** (Altiero et al., DSN 2025): a
+//! lightweight pattern-matching tool that detects security weaknesses in
+//! Python code — including the incomplete snippets AI code generators
+//! produce — and patches them by replacing insecure constructs with
+//! recommended safe alternatives.
+//!
+//! ## Architecture (paper §II)
+//!
+//! - [`standardize`] — the *named entity tagger*: rewrites incidental
+//!   identifiers/literals to `var#` while preserving behavioral tokens
+//!   (API names, keyword arguments, configuration values);
+//! - [`synthesize`] — the offline rule-derivation pipeline: standardize
+//!   sample pairs, extract common patterns with LCS, diff vulnerable vs.
+//!   safe patterns with a difflib-equivalent matcher;
+//! - [`all_rules`] — the **85 detection rules** (per the paper) with
+//!   remediation templates, organized by OWASP Top 10:2021 category;
+//! - [`Detector`] — scans source with all rules (comment-blanked, so
+//!   commented-out code cannot fire);
+//! - [`Patcher`] — applies span-based edits and inserts required imports
+//!   at the top of the file, like the VS Code extension's TextEdit flow.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use patchit_core::scan;
+//!
+//! let report = scan("import os\nos.system(user_cmd)\napp.run(debug=True)\n");
+//! assert!(report.is_vulnerable());
+//! assert!(report.patch.source.contains("subprocess.run(shlex.split(user_cmd)"));
+//! assert!(report.patch.source.contains("debug=False"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod detector;
+mod owasp;
+mod patcher;
+mod report;
+mod rule;
+mod standardize;
+mod synthesis;
+
+pub use catalog::{all_rules, RULE_COUNT};
+pub use detector::{blank_comments, Detector, DetectorOptions};
+pub use owasp::{cwe_name, Owasp};
+pub use patcher::{AppliedFix, PatchOutcome, Patcher};
+pub use report::{scan, ScanReport};
+pub use rule::{BuiltinFix, Finding, Fix, Rule};
+pub use standardize::{standardize, Standardization};
+pub use synthesis::{escape_regex, pattern_to_regex, synthesize, SynthesizedPattern};

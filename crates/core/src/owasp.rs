@@ -1,0 +1,187 @@
+//! OWASP Top 10:2021 categories and CWE metadata.
+//!
+//! The paper's rule corpus is organized by OWASP Top 10:2021 category,
+//! mapped from CWE labels (§II). This module carries that taxonomy.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// OWASP Top 10:2021 categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Owasp {
+    /// A01:2021 — Broken Access Control.
+    A01BrokenAccessControl,
+    /// A02:2021 — Cryptographic Failures.
+    A02CryptographicFailures,
+    /// A03:2021 — Injection.
+    A03Injection,
+    /// A04:2021 — Insecure Design.
+    A04InsecureDesign,
+    /// A05:2021 — Security Misconfiguration.
+    A05SecurityMisconfiguration,
+    /// A06:2021 — Vulnerable and Outdated Components.
+    A06VulnerableComponents,
+    /// A07:2021 — Identification and Authentication Failures.
+    A07AuthFailures,
+    /// A08:2021 — Software and Data Integrity Failures.
+    A08IntegrityFailures,
+    /// A09:2021 — Security Logging and Monitoring Failures.
+    A09LoggingFailures,
+    /// A10:2021 — Server-Side Request Forgery.
+    A10Ssrf,
+}
+
+impl Owasp {
+    /// Short identifier (`"A03"`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            Owasp::A01BrokenAccessControl => "A01",
+            Owasp::A02CryptographicFailures => "A02",
+            Owasp::A03Injection => "A03",
+            Owasp::A04InsecureDesign => "A04",
+            Owasp::A05SecurityMisconfiguration => "A05",
+            Owasp::A06VulnerableComponents => "A06",
+            Owasp::A07AuthFailures => "A07",
+            Owasp::A08IntegrityFailures => "A08",
+            Owasp::A09LoggingFailures => "A09",
+            Owasp::A10Ssrf => "A10",
+        }
+    }
+
+    /// Full category title as in the OWASP Top 10:2021.
+    pub fn title(&self) -> &'static str {
+        match self {
+            Owasp::A01BrokenAccessControl => "Broken Access Control",
+            Owasp::A02CryptographicFailures => "Cryptographic Failures",
+            Owasp::A03Injection => "Injection",
+            Owasp::A04InsecureDesign => "Insecure Design",
+            Owasp::A05SecurityMisconfiguration => "Security Misconfiguration",
+            Owasp::A06VulnerableComponents => "Vulnerable and Outdated Components",
+            Owasp::A07AuthFailures => "Identification and Authentication Failures",
+            Owasp::A08IntegrityFailures => "Software and Data Integrity Failures",
+            Owasp::A09LoggingFailures => "Security Logging and Monitoring Failures",
+            Owasp::A10Ssrf => "Server-Side Request Forgery",
+        }
+    }
+
+    /// All categories in order.
+    pub fn all() -> [Owasp; 10] {
+        [
+            Owasp::A01BrokenAccessControl,
+            Owasp::A02CryptographicFailures,
+            Owasp::A03Injection,
+            Owasp::A04InsecureDesign,
+            Owasp::A05SecurityMisconfiguration,
+            Owasp::A06VulnerableComponents,
+            Owasp::A07AuthFailures,
+            Owasp::A08IntegrityFailures,
+            Owasp::A09LoggingFailures,
+            Owasp::A10Ssrf,
+        ]
+    }
+}
+
+impl fmt::Display for Owasp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:2021 {}", self.code(), self.title())
+    }
+}
+
+/// Human-readable name for the CWE ids used across the rule catalog and
+/// corpus. Unknown ids return `"(unlisted CWE)"`.
+pub fn cwe_name(cwe: u16) -> &'static str {
+    match cwe {
+        20 => "Improper Input Validation",
+        22 => "Path Traversal",
+        78 => "OS Command Injection",
+        79 => "Cross-site Scripting",
+        89 => "SQL Injection",
+        90 => "LDAP Injection",
+        94 => "Code Injection",
+        95 => "Eval Injection",
+        116 => "Improper Encoding or Escaping of Output",
+        117 => "Improper Output Neutralization for Logs",
+        184 => "Incomplete List of Disallowed Inputs",
+        200 => "Exposure of Sensitive Information",
+        208 => "Observable Timing Discrepancy",
+        209 => "Information Exposure Through an Error Message",
+        215 => "Insertion of Sensitive Information Into Debugging Code",
+        250 => "Execution with Unnecessary Privileges",
+        252 => "Unchecked Return Value",
+        256 => "Plaintext Storage of a Password",
+        259 => "Use of Hard-coded Password",
+        276 => "Incorrect Default Permissions",
+        284 => "Improper Access Control",
+        285 => "Improper Authorization",
+        287 => "Improper Authentication",
+        295 => "Improper Certificate Validation",
+        306 => "Missing Authentication for Critical Function",
+        312 => "Cleartext Storage of Sensitive Information",
+        319 => "Cleartext Transmission of Sensitive Information",
+        321 => "Use of Hard-coded Cryptographic Key",
+        326 => "Inadequate Encryption Strength",
+        327 => "Use of a Broken or Risky Cryptographic Algorithm",
+        328 => "Use of Weak Hash",
+        329 => "Generation of Predictable IV with CBC Mode",
+        330 => "Use of Insufficiently Random Values",
+        347 => "Improper Verification of Cryptographic Signature",
+        352 => "Cross-Site Request Forgery",
+        377 => "Insecure Temporary File",
+        379 => "Creation of Temporary File in Directory with Insecure Permissions",
+        400 => "Uncontrolled Resource Consumption",
+        434 => "Unrestricted Upload of File with Dangerous Type",
+        454 => "External Initialization of Trusted Variables",
+        477 => "Use of Obsolete Function",
+        489 => "Active Debug Code",
+        494 => "Download of Code Without Integrity Check",
+        502 => "Deserialization of Untrusted Data",
+        521 => "Weak Password Requirements",
+        522 => "Insufficiently Protected Credentials",
+        532 => "Insertion of Sensitive Information into Log File",
+        601 => "URL Redirection to Untrusted Site",
+        605 => "Multiple Binds to the Same Port",
+        611 => "Improper Restriction of XML External Entity Reference",
+        614 => "Sensitive Cookie Without 'Secure' Attribute",
+        617 => "Reachable Assertion",
+        643 => "XPath Injection",
+        676 => "Use of Potentially Dangerous Function",
+        703 => "Improper Check or Handling of Exceptional Conditions",
+        732 => "Incorrect Permission Assignment for Critical Resource",
+        759 => "Use of a One-Way Hash without a Salt",
+        760 => "Use of a One-Way Hash with a Predictable Salt",
+        776 => "XML Entity Expansion",
+        798 => "Use of Hard-coded Credentials",
+        829 => "Inclusion of Functionality from Untrusted Control Sphere",
+        918 => "Server-Side Request Forgery",
+        942 => "Permissive Cross-domain Policy",
+        1004 => "Sensitive Cookie Without 'HttpOnly' Flag",
+        1236 => "Improper Neutralization of Formula Elements in a CSV File",
+        1336 => "Improper Neutralization of Special Elements in a Template Engine",
+        _ => "(unlisted CWE)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_ordered() {
+        let all = Owasp::all();
+        for (i, c) in all.iter().enumerate() {
+            assert_eq!(c.code(), format!("A{:02}", i + 1));
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Owasp::A03Injection.to_string(), "A03:2021 Injection");
+    }
+
+    #[test]
+    fn cwe_names_known_and_unknown() {
+        assert_eq!(cwe_name(79), "Cross-site Scripting");
+        assert_eq!(cwe_name(502), "Deserialization of Untrusted Data");
+        assert_eq!(cwe_name(9999), "(unlisted CWE)");
+    }
+}

@@ -1,0 +1,738 @@
+//! The patching engine: turns findings into applied source edits.
+//!
+//! Patches are byte-span replacements computed from the rule's fix
+//! (capture-substitution template or built-in transformation), applied
+//! right-to-left so earlier offsets stay valid, followed by insertion of
+//! any imports the patch requires — mirroring the VS Code extension's
+//! `TextEdit.replace` + `Position`-based import insertion (paper §II-B).
+
+use crate::detector::{blank_comments, Detector};
+use crate::rule::{BuiltinFix, Finding, Fix};
+use serde::{Deserialize, Serialize};
+
+/// One applied patch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppliedFix {
+    /// Rule that produced the patch.
+    pub rule_id: String,
+    /// CWE addressed.
+    pub cwe: u16,
+    /// Original byte range replaced.
+    pub start: usize,
+    /// End of the replaced range.
+    pub end: usize,
+    /// Text the range was replaced with.
+    pub replacement: String,
+}
+
+/// Result of patching one file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatchOutcome {
+    /// The patched source.
+    pub source: String,
+    /// Patches applied, in source order.
+    pub applied: Vec<AppliedFix>,
+    /// Import lines inserted at the top of the file.
+    pub imports_added: Vec<String>,
+    /// Findings that could not be patched (detection-only rules, overlap
+    /// conflicts, or failed capture extraction).
+    pub skipped: Vec<Finding>,
+}
+
+impl PatchOutcome {
+    /// Whether any patch was applied.
+    pub fn changed(&self) -> bool {
+        !self.applied.is_empty() || !self.imports_added.is_empty()
+    }
+
+    /// Renders the patch as a unified diff against the original source —
+    /// what the IDE extension shows in its confirmation pop-up.
+    pub fn diff(&self, original: &str, label: &str) -> String {
+        seqdiff::unified_diff_str(
+            original,
+            &self.source,
+            label,
+            &format!("{label} (patched)"),
+        )
+    }
+}
+
+/// The PatchitPy patcher: detect + remediate in one call.
+///
+/// ```
+/// use patchit_core::Patcher;
+/// let p = Patcher::new();
+/// let out = p.patch("data = yaml.load(stream)\n");
+/// assert_eq!(out.source, "data = yaml.safe_load(stream)\n");
+/// ```
+#[derive(Debug, Default)]
+pub struct Patcher {
+    detector: Detector,
+}
+
+impl Patcher {
+    /// Creates a patcher over the full rule catalog.
+    pub fn new() -> Self {
+        Patcher { detector: Detector::new() }
+    }
+
+    /// Creates a patcher over an existing detector (shares compiled rules).
+    pub fn with_detector(detector: Detector) -> Self {
+        Patcher { detector }
+    }
+
+    /// Access to the underlying detector.
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+
+    /// Detects and patches every fixable finding in `source`.
+    pub fn patch(&self, source: &str) -> PatchOutcome {
+        let findings = self.detector.detect(source);
+        self.patch_findings(source, &findings)
+    }
+
+    /// Repeats detect-and-patch until a fixpoint (or `max_rounds`).
+    ///
+    /// A single pass skips findings that overlap an earlier patch in the
+    /// same file (e.g. `app.run(host="0.0.0.0", debug=True)` carries two
+    /// overlapping findings); iterating applies them on successive
+    /// rounds. The returned outcome aggregates all rounds.
+    pub fn patch_to_fixpoint(&self, source: &str, max_rounds: usize) -> PatchOutcome {
+        let mut current = source.to_string();
+        let mut applied = Vec::new();
+        let mut imports_added = Vec::new();
+        let mut skipped = Vec::new();
+        for round in 0..max_rounds.max(1) {
+            let out = self.patch(&current);
+            let changed = out.changed();
+            skipped = out.skipped;
+            applied.extend(out.applied);
+            for imp in out.imports_added {
+                if !imports_added.contains(&imp) {
+                    imports_added.push(imp);
+                }
+            }
+            current = out.source;
+            if !changed {
+                break;
+            }
+            // Safety valve: identical output means a non-converging fix
+            // (should not happen; patches that don't change text are
+            // rejected in patch_findings).
+            let _ = round;
+        }
+        PatchOutcome { source: current, applied, imports_added, skipped }
+    }
+
+    /// Patches a pre-computed finding list (as the IDE flow does after the
+    /// user confirms).
+    pub fn patch_findings(&self, source: &str, findings: &[Finding]) -> PatchOutcome {
+        let scan = blank_comments(source);
+        let mut skipped = Vec::new();
+        let mut plans: Vec<AppliedFix> = Vec::new();
+        let mut imports: Vec<&'static str> = Vec::new();
+
+        let mut last_end = 0usize;
+        for f in findings {
+            if !f.fixable {
+                skipped.push(f.clone());
+                continue;
+            }
+            // Overlap policy: first (leftmost) fix wins; a second rule
+            // matching inside an already-patched region is skipped.
+            if f.start < last_end {
+                skipped.push(f.clone());
+                continue;
+            }
+            let Some(compiled) = self.detector.compiled(&f.rule_id) else {
+                skipped.push(f.clone());
+                continue;
+            };
+            let Some(fix) = compiled.rule.fix else {
+                skipped.push(f.clone());
+                continue;
+            };
+            // Recover captures for this exact match.
+            let caps = compiled
+                .pattern
+                .captures_iter(&scan)
+                .into_iter()
+                .find(|c| c.span(0) == Some((f.start, f.end)));
+            let Some(caps) = caps else {
+                skipped.push(f.clone());
+                continue;
+            };
+            let matched = &source[f.start..f.end];
+            let replacement = match fix {
+                Fix::Template { replacement } => expand_template(replacement, &caps),
+                Fix::Builtin(kind) => match apply_builtin(kind, matched, &caps) {
+                    Some(r) => r,
+                    None => {
+                        skipped.push(f.clone());
+                        continue;
+                    }
+                },
+            };
+            if replacement == matched {
+                skipped.push(f.clone());
+                continue;
+            }
+            for imp in compiled.rule.imports {
+                if !imports.contains(imp) {
+                    imports.push(imp);
+                }
+            }
+            last_end = f.end;
+            plans.push(AppliedFix {
+                rule_id: f.rule_id.clone(),
+                cwe: f.cwe,
+                start: f.start,
+                end: f.end,
+                replacement,
+            });
+        }
+
+        // Apply right-to-left.
+        let mut out = source.to_string();
+        for p in plans.iter().rev() {
+            out.replace_range(p.start..p.end, &p.replacement);
+        }
+
+        // Insert missing imports at the top.
+        let needed: Vec<String> = imports
+            .into_iter()
+            .filter(|imp| !has_import(&out, imp))
+            .map(String::from)
+            .collect();
+        if !needed.is_empty() && !plans.is_empty() {
+            let at = import_insertion_offset(&out);
+            let mut block = needed.join("\n");
+            block.push('\n');
+            out.insert_str(at, &block);
+        }
+        let imports_added = if plans.is_empty() { Vec::new() } else { needed };
+
+        PatchOutcome { source: out, applied: plans, imports_added, skipped }
+    }
+}
+
+/// Expands `$1…$9` (and `$$`) in a fix template from captures.
+fn expand_template(template: &str, caps: &rxlite::Captures<'_>) -> String {
+    let mut out = String::with_capacity(template.len());
+    let mut chars = template.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '$' {
+            out.push(c);
+            continue;
+        }
+        match chars.peek() {
+            Some('$') => {
+                chars.next();
+                out.push('$');
+            }
+            Some(d) if d.is_ascii_digit() => {
+                let idx = d.to_digit(10).expect("digit") as usize;
+                chars.next();
+                if let Some(text) = caps.get(idx) {
+                    out.push_str(text);
+                }
+            }
+            _ => out.push('$'),
+        }
+    }
+    out
+}
+
+/// Dispatches a built-in transformation. Returns `None` when the matched
+/// text does not have the shape the transform needs (the finding is then
+/// reported but left unpatched).
+fn apply_builtin(
+    kind: BuiltinFix,
+    matched: &str,
+    caps: &rxlite::Captures<'_>,
+) -> Option<String> {
+    match kind {
+        BuiltinFix::EscapeFStringPlaceholders => escape_fstring(matched),
+        BuiltinFix::ParameterizeSql => parameterize_sql(matched),
+        BuiltinFix::HardenCookie => harden_cookie(matched, caps),
+        BuiltinFix::AddRequestTimeout => add_timeout(matched, caps),
+        BuiltinFix::CredentialFromEnv => credential_from_env(caps),
+    }
+}
+
+/// Wraps every `{expr}` placeholder of the f-string inside `matched` in
+/// `escape(...)`, honoring `{{` escapes and `:spec` / `!conv` suffixes.
+fn escape_fstring(matched: &str) -> Option<String> {
+    let mut out = String::with_capacity(matched.len() + 16);
+    let bytes = matched.as_bytes();
+    let mut i = 0;
+    let mut changed = false;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '{' {
+            if bytes.get(i + 1) == Some(&b'{') {
+                out.push_str("{{");
+                i += 2;
+                continue;
+            }
+            // Find the closing brace.
+            let close = matched[i + 1..].find('}')? + i + 1;
+            let inner = &matched[i + 1..close];
+            // Split off format spec / conversion.
+            let split = inner
+                .find([':', '!'])
+                .unwrap_or(inner.len());
+            let (expr, suffix) = inner.split_at(split);
+            if expr.trim_start().starts_with("escape(") {
+                out.push('{');
+                out.push_str(inner);
+                out.push('}');
+            } else {
+                out.push('{');
+                out.push_str("escape(");
+                out.push_str(expr.trim());
+                out.push(')');
+                out.push_str(suffix);
+                out.push('}');
+                changed = true;
+            }
+            i = close + 1;
+        } else {
+            out.push(c);
+            i += c.len_utf8();
+        }
+    }
+    changed.then_some(out)
+}
+
+/// Converts a `%`-formatted or f-string SQL `execute` into a
+/// parameterized query.
+fn parameterize_sql(matched: &str) -> Option<String> {
+    // Locate the opening of the call and the query literal.
+    let open = matched.find('(')?;
+    let rest = matched[open + 1..].trim_start();
+    let prefix = &matched[..open + 1];
+    if let Some(stripped) = rest.strip_prefix('f') {
+        // f-string form: .execute(f"... {a} ... {b} ...")
+        let quote = stripped.chars().next()?;
+        if quote != '"' && quote != '\'' {
+            return None;
+        }
+        let body_end = stripped[1..].find(quote)? + 1;
+        let body = &stripped[1..body_end];
+        let mut query = String::new();
+        let mut args = Vec::new();
+        let mut i = 0;
+        let b = body.as_bytes();
+        while i < b.len() {
+            if b[i] == b'{' {
+                if b.get(i + 1) == Some(&b'{') {
+                    query.push('{');
+                    i += 2;
+                    continue;
+                }
+                let close = body[i + 1..].find('}')? + i + 1;
+                args.push(body[i + 1..close].trim().to_string());
+                query.push('?');
+                i = close + 1;
+            } else {
+                query.push(b[i] as char);
+                i += 1;
+            }
+        }
+        if args.is_empty() {
+            return None;
+        }
+        Some(format!(
+            "{prefix}{quote}{query}{quote}, ({},))",
+            args.join(", ")
+        ))
+    } else {
+        // %-format form: .execute("... %s ..." % args)
+        let quote = rest.chars().next()?;
+        if quote != '"' && quote != '\'' {
+            return None;
+        }
+        let body_end = rest[1..].find(quote)? + 1;
+        let body = &rest[1..body_end];
+        let after = rest[body_end + 1..].trim_start();
+        let after = after.strip_prefix('%')?.trim();
+        // Strip the trailing ')' of the call and any tuple parens.
+        let args = after.strip_suffix(')')?.trim();
+        let args = args
+            .strip_prefix('(')
+            .and_then(|a| a.strip_suffix(')'))
+            .unwrap_or(args)
+            .trim_end_matches(',')
+            .trim();
+        let query = body.replace("%s", "?").replace("%d", "?");
+        Some(format!("{prefix}{quote}{query}{quote}, ({args},))"))
+    }
+}
+
+/// Appends missing `secure=` / `httponly=` / `samesite=` to set_cookie.
+fn harden_cookie(matched: &str, caps: &rxlite::Captures<'_>) -> Option<String> {
+    let args = caps.get(1)?;
+    let mut additions = Vec::new();
+    if !args.contains("secure") {
+        additions.push("secure=True");
+    }
+    if !args.contains("httponly") {
+        additions.push("httponly=True");
+    }
+    if !args.contains("samesite") {
+        additions.push("samesite='Strict'");
+    }
+    if additions.is_empty() {
+        return None;
+    }
+    let sep = if args.trim().is_empty() { "" } else { ", " };
+    let close = matched.rfind(')')?;
+    let mut out = matched[..close].to_string();
+    out.push_str(sep);
+    out.push_str(&additions.join(", "));
+    out.push(')');
+    Some(out)
+}
+
+/// Appends `timeout=10` to an HTTP request call.
+fn add_timeout(matched: &str, caps: &rxlite::Captures<'_>) -> Option<String> {
+    let args = caps.get(1).unwrap_or("");
+    if args.contains("timeout") {
+        return None;
+    }
+    let close = matched.rfind(')')?;
+    let sep = if args.trim().is_empty() { "" } else { ", " };
+    Some(format!("{}{}timeout=10)", &matched[..close], sep))
+}
+
+/// Replaces a hard-coded credential with an environment lookup.
+fn credential_from_env(caps: &rxlite::Captures<'_>) -> Option<String> {
+    let var = caps.get(1)?;
+    Some(format!(
+        "{var} = os.environ.get(\"{}\", \"\")",
+        var.to_uppercase()
+    ))
+}
+
+/// Whether `source` already contains an equivalent import line.
+pub(crate) fn has_import(source: &str, import_line: &str) -> bool {
+    if let Some(module) = import_line.strip_prefix("import ") {
+        source.lines().any(|l| {
+            let t = l.trim();
+            t == import_line
+                || t.starts_with(&format!("import {module},"))
+                || t.starts_with(&format!("import {module} as"))
+                || t.starts_with(&format!("import {module} "))
+        })
+    } else if let Some(rest) = import_line.strip_prefix("from ") {
+        let Some((module, names)) = rest.split_once(" import ") else {
+            return source.contains(import_line);
+        };
+        source.lines().any(|l| {
+            let t = l.trim();
+            if let Some(r2) = t.strip_prefix("from ") {
+                if let Some((m2, n2)) = r2.split_once(" import ") {
+                    return m2 == module
+                        && names.split(',').all(|n| {
+                            n2.split(',').any(|x| {
+                                x.trim().split(" as ").next() == Some(n.trim())
+                            })
+                        });
+                }
+            }
+            false
+        })
+    } else {
+        source.contains(import_line)
+    }
+}
+
+/// Byte offset at which new imports should be inserted: after any shebang,
+/// encoding comment, leading comments/blank lines, and the module
+/// docstring.
+pub(crate) fn import_insertion_offset(source: &str) -> usize {
+    let mut offset = 0usize;
+    let mut lines = source.split_inclusive('\n').peekable();
+    // Leading comments and blank lines.
+    while let Some(line) = lines.peek() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            offset += line.len();
+            lines.next();
+        } else {
+            break;
+        }
+    }
+    // Module docstring (single or multi-line triple-quoted).
+    if let Some(line) = lines.peek() {
+        let t = line.trim_start();
+        for q in ["\"\"\"", "'''"] {
+            if let Some(after) = t.strip_prefix(q) {
+                if after.contains(q) {
+                    // Single-line docstring.
+                    let l = lines.next().expect("peeked");
+                    offset += l.len();
+                } else {
+                    // Consume until the closing quotes.
+                    let l = lines.next().expect("peeked");
+                    offset += l.len();
+                    for l in lines.by_ref() {
+                        offset += l.len();
+                        if l.contains(q) {
+                            break;
+                        }
+                    }
+                }
+                return offset;
+            }
+        }
+    }
+    offset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patcher() -> Patcher {
+        Patcher::new()
+    }
+
+    #[test]
+    fn yaml_load_becomes_safe_load() {
+        let out = patcher().patch("config = yaml.load(fh)\n");
+        assert_eq!(out.source, "config = yaml.safe_load(fh)\n");
+        assert_eq!(out.applied.len(), 1);
+        assert!(out.imports_added.is_empty());
+    }
+
+    #[test]
+    fn os_system_becomes_subprocess_with_imports() {
+        let out = patcher().patch("import os\nos.system(user_cmd)\n");
+        assert!(out.source.contains("subprocess.run(shlex.split(user_cmd), check=True)"));
+        assert!(out.source.contains("import subprocess"));
+        assert!(out.source.contains("import shlex"));
+        // `import os` already present — not duplicated.
+        assert_eq!(out.source.matches("import os").count(), 1);
+    }
+
+    #[test]
+    fn imports_inserted_after_docstring() {
+        let src = "\"\"\"Module doc.\"\"\"\npickle.loads(b)\n";
+        let out = patcher().patch(src);
+        let lines: Vec<&str> = out.source.lines().collect();
+        assert_eq!(lines[0], "\"\"\"Module doc.\"\"\"");
+        assert_eq!(lines[1], "import json");
+        assert!(lines[2].contains("json.loads(b)"));
+    }
+
+    #[test]
+    fn flask_debug_patch_matches_paper() {
+        // Paper Table I safe pattern: debug=False, use_debugger=False,
+        // use_reloader=False.
+        let out = patcher().patch("app.run(debug=True)\n");
+        assert_eq!(
+            out.source,
+            "app.run(debug=False, use_debugger=False, use_reloader=False)\n"
+        );
+    }
+
+    #[test]
+    fn xss_fstring_escaped_like_paper() {
+        let src = "return f\"<p>{comment}</p>\"\n";
+        let out = patcher().patch(src);
+        assert!(
+            out.source.contains("{escape(comment)}"),
+            "got: {}",
+            out.source
+        );
+        assert!(out.source.contains("from markupsafe import escape"));
+    }
+
+    #[test]
+    fn fstring_with_format_spec() {
+        let out = patcher().patch("return f'<b>{price:.2f}</b>'\n");
+        assert!(out.source.contains("{escape(price):.2f}"), "got: {}", out.source);
+    }
+
+    #[test]
+    fn sql_percent_format_parameterized() {
+        let src = "cursor.execute(\"SELECT * FROM users WHERE name = '%s'\" % username)\n";
+        let out = patcher().patch(src);
+        assert!(
+            out.source.contains("cursor.execute(\"SELECT * FROM users WHERE name = '?'\", (username,))"),
+            "got: {}",
+            out.source
+        );
+    }
+
+    #[test]
+    fn sql_fstring_parameterized() {
+        let src = "cur.execute(f\"SELECT * FROM t WHERE id = {user_id}\")\n";
+        let out = patcher().patch(src);
+        assert!(
+            out.source.contains("cur.execute(\"SELECT * FROM t WHERE id = ?\", (user_id,))"),
+            "got: {}",
+            out.source
+        );
+    }
+
+    #[test]
+    fn cookie_hardened() {
+        let out = patcher().patch("resp.set_cookie('sid', sid)\n");
+        assert!(out.source.contains("secure=True"));
+        assert!(out.source.contains("httponly=True"));
+        assert!(out.source.contains("samesite='Strict'"));
+    }
+
+    #[test]
+    fn request_timeout_added() {
+        let out = patcher().patch("r = requests.get(url)\n");
+        assert_eq!(out.source, "r = requests.get(url, timeout=10)\n");
+    }
+
+    #[test]
+    fn hardcoded_password_moved_to_env() {
+        let out = patcher().patch("password = \"hunter2\"\n");
+        assert_eq!(
+            out.source,
+            "import os\npassword = os.environ.get(\"PASSWORD\", \"\")\n"
+        );
+    }
+
+    #[test]
+    fn detection_only_findings_are_skipped() {
+        let out = patcher().patch("exec(code)\n");
+        assert!(out.applied.is_empty());
+        assert_eq!(out.skipped.len(), 1);
+        assert_eq!(out.source, "exec(code)\n");
+    }
+
+    #[test]
+    fn patch_is_idempotent() {
+        let p = patcher();
+        let src = "\
+import os
+os.system(cmd)
+app.run(debug=True)
+data = yaml.load(f)
+";
+        let once = p.patch(src);
+        let twice = p.patch(&once.source);
+        assert_eq!(once.source, twice.source, "second pass changed output");
+        assert!(twice.applied.is_empty(), "{:#?}", twice.applied);
+    }
+
+    #[test]
+    fn patched_code_no_longer_detected() {
+        let p = patcher();
+        let src = "h = hashlib.md5(data)\nconfig = yaml.load(f)\n";
+        let out = p.patch(src);
+        let remaining = p.detector().detect(&out.source);
+        assert!(remaining.is_empty(), "{remaining:#?}");
+    }
+
+    #[test]
+    fn untouched_regions_preserved_bytewise() {
+        let src = "x = 'héllo'  # unicode kept\neval(expr)\nz = [1, 2, 3]\n";
+        let out = patcher().patch(src);
+        assert!(out.source.contains("x = 'héllo'  # unicode kept"));
+        assert!(out.source.contains("z = [1, 2, 3]"));
+        assert!(out.source.contains("ast.literal_eval(expr)"));
+    }
+
+    #[test]
+    fn has_import_variants() {
+        assert!(has_import("import os\n", "import os"));
+        assert!(has_import("import os, sys\n", "import os"));
+        assert!(has_import("import os as o\n", "import os"));
+        assert!(!has_import("import osmnx\n", "import os"));
+        assert!(has_import(
+            "from markupsafe import escape\n",
+            "from markupsafe import escape"
+        ));
+        assert!(has_import(
+            "from markupsafe import Markup, escape\n",
+            "from markupsafe import escape"
+        ));
+        assert!(!has_import("from flask import escape2\n", "from flask import escape"));
+    }
+
+    #[test]
+    fn insertion_offset_past_shebang_and_docstring() {
+        let src = "#!/usr/bin/env python\n# -*- coding: utf-8 -*-\n\"\"\"Doc.\n\nMore.\n\"\"\"\nx = 1\n";
+        let at = import_insertion_offset(src);
+        assert_eq!(&src[at..at + 5], "x = 1");
+    }
+
+    #[test]
+    fn overlapping_findings_first_wins() {
+        // `verify=False` inside a requests.get call also missing timeout —
+        // A02-010 (verify) and A04-006 (timeout) match overlapping spans.
+        let out = patcher().patch("requests.get(url, verify=False)\n");
+        assert!(out.source.contains("verify=True"), "got: {}", out.source);
+        // One of the two was applied; the other was skipped, not corrupted.
+        assert!(!out.source.contains("verify=False"));
+    }
+
+    #[test]
+    fn outcome_diff_renders_unified_patch() {
+        let src = "cfg = yaml.load(f)\n";
+        let out = patcher().patch(src);
+        let d = out.diff(src, "cfg.py");
+        assert!(d.contains("--- cfg.py"));
+        assert!(d.contains("-cfg = yaml.load(f)"));
+        assert!(d.contains("+cfg = yaml.safe_load(f)"));
+        // Identity patch renders an empty diff.
+        let clean = patcher().patch("x = 1\n");
+        assert!(clean.diff("x = 1\n", "c.py").is_empty());
+    }
+
+    #[test]
+    fn fixpoint_resolves_overlapping_findings() {
+        // One line, two findings with overlapping spans: the debug-mode
+        // match covers the host= match, so a single pass fixes only one.
+        let src = "app.run(host=\"0.0.0.0\", debug=True)\n";
+        let single = patcher().patch(src);
+        assert!(!single.skipped.is_empty(), "expected an overlap skip");
+        let fixed = patcher().patch_to_fixpoint(src, 5);
+        assert!(fixed.source.contains("host=\"127.0.0.1\""), "got: {}", fixed.source);
+        assert!(fixed.source.contains("debug=False"));
+        let residual = patcher().detector().detect(&fixed.source);
+        assert!(residual.is_empty(), "{residual:#?}");
+    }
+
+    #[test]
+    fn fixpoint_is_identity_on_clean_code() {
+        let out = patcher().patch_to_fixpoint("x = 1\n", 3);
+        assert_eq!(out.source, "x = 1\n");
+        assert!(out.applied.is_empty());
+    }
+
+    #[test]
+    fn fixpoint_aggregates_rounds() {
+        let src = "requests.get(url, verify=False)\n";
+        let out = patcher().patch_to_fixpoint(src, 5);
+        // Round 1 fixes verify=False; round 2 adds the timeout.
+        assert!(out.source.contains("verify=True"));
+        assert!(out.source.contains("timeout=10"), "got: {}", out.source);
+        assert!(out.applied.len() >= 2);
+    }
+
+    #[test]
+    fn multiple_fixes_in_one_file() {
+        let src = "\
+import hashlib
+h = hashlib.md5(pw)
+t = tempfile.mktemp()
+u = uuid.uuid1()
+";
+        let out = patcher().patch(src);
+        assert!(out.source.contains("hashlib.sha256(pw)"));
+        assert!(out.source.contains("tempfile.mkstemp()"));
+        assert!(out.source.contains("uuid.uuid4()"));
+        assert_eq!(out.applied.len(), 3);
+    }
+}

@@ -1,0 +1,143 @@
+//! Scan reports: the serializable summary a caller (CLI, IDE extension,
+//! evaluation harness) receives for one analyzed file.
+
+use crate::detector::Detector;
+use crate::owasp::{cwe_name, Owasp};
+use crate::patcher::{PatchOutcome, Patcher};
+use crate::rule::Finding;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Full detect-and-patch report for one file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanReport {
+    /// All findings, in source order.
+    pub findings: Vec<Finding>,
+    /// Patch outcome (identity transform when nothing was fixable).
+    pub patch: PatchOutcome,
+}
+
+impl ScanReport {
+    /// Whether any rule fired.
+    pub fn is_vulnerable(&self) -> bool {
+        !self.findings.is_empty()
+    }
+
+    /// Distinct CWE ids among the findings, ascending.
+    pub fn cwes(&self) -> Vec<u16> {
+        let mut v: Vec<u16> = self.findings.iter().map(|f| f.cwe).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Findings grouped by OWASP category.
+    pub fn by_category(&self) -> BTreeMap<Owasp, Vec<&Finding>> {
+        let mut map: BTreeMap<Owasp, Vec<&Finding>> = BTreeMap::new();
+        for f in &self.findings {
+            map.entry(f.owasp).or_default().push(f);
+        }
+        map
+    }
+
+    /// Fraction of findings that received a patch (`None` when there were
+    /// no findings).
+    pub fn repair_rate(&self) -> Option<f64> {
+        if self.findings.is_empty() {
+            return None;
+        }
+        Some(self.patch.applied.len() as f64 / self.findings.len() as f64)
+    }
+}
+
+impl fmt::Display for ScanReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.findings.is_empty() {
+            return writeln!(f, "no vulnerabilities detected");
+        }
+        for finding in &self.findings {
+            writeln!(
+                f,
+                "line {:>3}  {}  CWE-{:03} {}  [{}]{}",
+                finding.line,
+                finding.rule_id,
+                finding.cwe,
+                cwe_name(finding.cwe),
+                finding.owasp.code(),
+                if finding.fixable { "" } else { "  (detection-only)" },
+            )?;
+        }
+        writeln!(
+            f,
+            "{} finding(s), {} patched, {} import(s) added",
+            self.findings.len(),
+            self.patch.applied.len(),
+            self.patch.imports_added.len()
+        )
+    }
+}
+
+/// One-call convenience API: detect and patch `source` with the full
+/// catalog.
+///
+/// ```
+/// let report = patchit_core::scan("x = eval(data)\n");
+/// assert!(report.is_vulnerable());
+/// assert!(report.patch.source.contains("ast.literal_eval"));
+/// ```
+pub fn scan(source: &str) -> ScanReport {
+    let detector = Detector::new();
+    let findings = detector.detect(source);
+    let patcher = Patcher::with_detector(detector);
+    let patch = patcher.patch_findings(source, &findings);
+    ScanReport { findings, patch }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_end_to_end() {
+        let r = scan("import os\nos.system(c)\napp.run(debug=True)\n");
+        assert!(r.is_vulnerable());
+        assert_eq!(r.cwes(), vec![78, 209]);
+        assert_eq!(r.patch.applied.len(), 2);
+        assert_eq!(r.repair_rate(), Some(1.0));
+    }
+
+    #[test]
+    fn clean_file_report() {
+        let r = scan("x = 1\n");
+        assert!(!r.is_vulnerable());
+        assert!(r.cwes().is_empty());
+        assert_eq!(r.repair_rate(), None);
+        assert_eq!(r.to_string(), "no vulnerabilities detected\n");
+    }
+
+    #[test]
+    fn by_category_groups() {
+        let r = scan("os.system(c)\npickle.loads(b)\n");
+        let cats = r.by_category();
+        assert!(cats.contains_key(&Owasp::A03Injection));
+        assert!(cats.contains_key(&Owasp::A08IntegrityFailures));
+    }
+
+    #[test]
+    fn display_lists_findings() {
+        let r = scan("exec(code)\n");
+        let s = r.to_string();
+        assert!(s.contains("CWE-094"));
+        assert!(s.contains("detection-only"));
+    }
+
+    #[test]
+    fn report_serializes() {
+        let r = scan("eval(x)\n");
+        // serde round-trip through the derived impls (JSON-free check via
+        // Debug equality after a clone).
+        let r2 = r.clone();
+        assert_eq!(r, r2);
+    }
+}

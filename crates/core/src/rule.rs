@@ -1,0 +1,150 @@
+//! Rule model: a detection pattern paired with optional remediation.
+//!
+//! Each of PatchitPy's 85 rules couples a regular-expression detection
+//! pattern with a patch: either a capture-substitution template or one of
+//! a small set of built-in transformations for fixes that need more than
+//! substitution (escaping every f-string placeholder, parameterizing a
+//! SQL query, appending missing keyword arguments). Rules without a safe
+//! general alternative are detection-only — which is what bounds the
+//! repair rate below 100% in Table III.
+
+use crate::owasp::Owasp;
+use serde::{Deserialize, Serialize};
+
+/// How a rule remediates its finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fix {
+    /// Replace the matched text via `$1…$9` capture substitution.
+    Template {
+        /// Replacement with `$n` capture references.
+        replacement: &'static str,
+    },
+    /// One of the built-in transformations.
+    Builtin(BuiltinFix),
+}
+
+/// Built-in transformations for fixes beyond plain substitution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuiltinFix {
+    /// Wrap every `{expr}` placeholder of a matched f-string in
+    /// `escape(...)` (Flask/Jinja XSS mitigation, paper Table I).
+    EscapeFStringPlaceholders,
+    /// Convert `cursor.execute("... %s ..." % args)` or an f-string query
+    /// into a parameterized `cursor.execute("... ? ...", (args,))`.
+    ParameterizeSql,
+    /// Append `secure=True, httponly=True` (whichever is missing) to a
+    /// `set_cookie(...)` call.
+    HardenCookie,
+    /// Append `timeout=10` to an HTTP request call missing a timeout.
+    AddRequestTimeout,
+    /// Replace a hard-coded credential literal with an
+    /// `os.environ["<NAME>"]` lookup derived from the variable name.
+    CredentialFromEnv,
+}
+
+/// A single detection/patch rule.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Stable identifier, e.g. `"PIP-A03-001"`.
+    pub id: &'static str,
+    /// Associated CWE id.
+    pub cwe: u16,
+    /// OWASP Top 10:2021 category.
+    pub owasp: Owasp,
+    /// One-line description of the weakness the rule detects.
+    pub description: &'static str,
+    /// Detection pattern (rxlite syntax).
+    pub pattern: &'static str,
+    /// Suppression pattern: if it matches the *matched text*, the finding
+    /// is discarded (e.g. `yaml.load(..., Loader=SafeLoader)` is fine).
+    pub suppress_if: Option<&'static str>,
+    /// Remediation, or `None` for detection-only rules.
+    pub fix: Option<Fix>,
+    /// Import lines the patch requires (inserted at file top when absent),
+    /// e.g. `"import shlex"`.
+    pub imports: &'static [&'static str],
+}
+
+impl Rule {
+    /// Whether the rule can patch, not just detect.
+    pub fn is_fixable(&self) -> bool {
+        self.fix.is_some()
+    }
+}
+
+/// A vulnerability found by the detector.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Rule that fired.
+    pub rule_id: String,
+    /// CWE id of the rule.
+    pub cwe: u16,
+    /// OWASP category of the rule.
+    pub owasp: Owasp,
+    /// Byte range of the match in the scanned source.
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+    /// 1-based line of the match start.
+    pub line: u32,
+    /// The matched source text.
+    pub matched: String,
+    /// Rule description.
+    pub description: String,
+    /// Whether the rule carries a fix.
+    pub fixable: bool,
+}
+
+impl Finding {
+    /// Byte length of the matched region.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the matched region is empty (never true for real findings).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(fix: Option<Fix>) -> Rule {
+        Rule {
+            id: "PIP-TST-001",
+            cwe: 78,
+            owasp: Owasp::A03Injection,
+            description: "test rule",
+            pattern: "x",
+            suppress_if: None,
+            fix,
+            imports: &[],
+        }
+    }
+
+    #[test]
+    fn fixability() {
+        assert!(!dummy(None).is_fixable());
+        assert!(dummy(Some(Fix::Template { replacement: "y" })).is_fixable());
+        assert!(dummy(Some(Fix::Builtin(BuiltinFix::ParameterizeSql))).is_fixable());
+    }
+
+    #[test]
+    fn finding_len() {
+        let f = Finding {
+            rule_id: "r".into(),
+            cwe: 79,
+            owasp: Owasp::A03Injection,
+            start: 4,
+            end: 10,
+            line: 1,
+            matched: "abcdef".into(),
+            description: String::new(),
+            fixable: true,
+        };
+        assert_eq!(f.len(), 6);
+        assert!(!f.is_empty());
+    }
+}

@@ -1,0 +1,342 @@
+//! Code standardization — the paper's "named entity tagger" (§II-A).
+//!
+//! Standardization rewrites a snippet so that incidental identifiers and
+//! literals become `var0`, `var1`, … while everything that determines the
+//! *behavior* of the code is preserved: keywords, called functions and
+//! attribute paths, module names, keyword-argument names, configuration
+//! values (recognized by the `=` symbol and `True`/`False`/`None`
+//! keywords), dunder names, and decorator arguments. Two implementations
+//! of the same vulnerable pattern thus standardize to nearly identical
+//! token streams, which is what makes LCS extraction meaningful.
+
+use pylex::{logical_lines, Token, TokenKind};
+use std::collections::HashMap;
+
+/// Result of standardizing a snippet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Standardization {
+    /// Standardized code: one flat logical line per source statement,
+    /// tokens separated by single spaces, lines separated by `\n`.
+    pub text: String,
+    /// Maps each original token text to its assigned `var#`.
+    pub mapping: HashMap<String, String>,
+}
+
+impl Standardization {
+    /// The standardized token stream (whitespace-split).
+    pub fn tokens(&self) -> Vec<&str> {
+        self.text.split_whitespace().collect()
+    }
+
+    /// Inverse lookup: the original text standardized as `var_name`.
+    pub fn original_of(&self, var_name: &str) -> Option<&str> {
+        self.mapping
+            .iter()
+            .find(|(_, v)| v.as_str() == var_name)
+            .map(|(k, _)| k.as_str())
+    }
+}
+
+/// Standardizes `source`.
+///
+/// ```
+/// use patchit_core::standardize;
+/// let s = standardize("comment = request.args.get('comment', '')\n");
+/// assert_eq!(s.text, "var0 = request . args . get ( var1 , var2 )");
+/// ```
+pub fn standardize(source: &str) -> Standardization {
+    let mut mapping: HashMap<String, String> = HashMap::new();
+    let mut next_var = 0usize;
+    let mut out_lines = Vec::new();
+
+    for line in logical_lines(source) {
+        let toks = &line.tokens;
+        let is_decorator = toks.first().is_some_and(|t| t.is_op("@"));
+        let mut depth = 0i32;
+        let mut rendered: Vec<String> = Vec::with_capacity(toks.len());
+        for (i, t) in toks.iter().enumerate() {
+            let prev = if i > 0 { Some(&toks[i - 1]) } else { None };
+            let next = toks.get(i + 1);
+            match t.kind {
+                TokenKind::Op => {
+                    match t.text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        _ => {}
+                    }
+                    rendered.push(t.text.clone());
+                }
+                TokenKind::Keyword => rendered.push(t.text.clone()),
+                TokenKind::Name => {
+                    if keep_name(t, prev, next, toks, i) {
+                        rendered.push(t.text.clone());
+                    } else {
+                        rendered.push(var_for(&t.text, &mut mapping, &mut next_var));
+                    }
+                }
+                TokenKind::Number => {
+                    // Configuration values (kwarg position) are preserved.
+                    if is_kwarg_value(prev, depth) {
+                        rendered.push(t.text.clone());
+                    } else {
+                        rendered.push(var_for(&t.text, &mut mapping, &mut next_var));
+                    }
+                }
+                TokenKind::Str => {
+                    let text = &t.text;
+                    let is_fstring = text.starts_with('f')
+                        || text.starts_with('F')
+                        || text.starts_with("rf")
+                        || text.starts_with("fr");
+                    if is_fstring {
+                        rendered.push(standardize_fstring(text, &mut mapping, &mut next_var));
+                    } else if is_decorator
+                        || is_kwarg_value(prev, depth)
+                        || is_dunder_string(text)
+                    {
+                        rendered.push(text.clone());
+                    } else {
+                        rendered.push(var_for(text, &mut mapping, &mut next_var));
+                    }
+                }
+                _ => rendered.push(t.text.clone()),
+            }
+        }
+        out_lines.push(rendered.join(" "));
+    }
+    Standardization { text: out_lines.join("\n"), mapping }
+}
+
+/// Whether a Name token must be preserved.
+fn keep_name(
+    t: &Token,
+    prev: Option<&Token>,
+    next: Option<&Token>,
+    toks: &[Token],
+    i: usize,
+) -> bool {
+    let text = t.text.as_str();
+    // Dunders (__name__, __main__, ...).
+    if text.starts_with("__") && text.ends_with("__") {
+        return true;
+    }
+    // Attribute path members: preceded or followed by '.'.
+    if prev.is_some_and(|p| p.is_op(".")) || next.is_some_and(|n| n.is_op(".")) {
+        return true;
+    }
+    // Callee: directly followed by '('.
+    if next.is_some_and(|n| n.is_op("(")) {
+        return true;
+    }
+    // Keyword-argument name: followed by '=' inside parens (the '=' must
+    // not be '==').
+    if next.is_some_and(|n| n.is_op("=")) && paren_depth_at(toks, i) > 0 {
+        return true;
+    }
+    // Names bound by import/def/class statements and `as` aliases.
+    if let Some(p) = prev {
+        if p.is_kw("import") || p.is_kw("from") || p.is_kw("as") || p.is_kw("def")
+            || p.is_kw("class")
+        {
+            return true;
+        }
+    }
+    // Continuation of an import list: `import a, b`.
+    if toks.first().is_some_and(|f| f.is_kw("import") || f.is_kw("from"))
+        && prev.is_some_and(|p| p.is_op(","))
+    {
+        return true;
+    }
+    false
+}
+
+fn paren_depth_at(toks: &[Token], i: usize) -> i32 {
+    let mut depth = 0;
+    for t in &toks[..i] {
+        if t.kind == TokenKind::Op {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    depth
+}
+
+fn is_kwarg_value(prev: Option<&Token>, depth: i32) -> bool {
+    depth > 0 && prev.is_some_and(|p| p.is_op("="))
+}
+
+fn is_dunder_string(text: &str) -> bool {
+    let inner = text.trim_matches(|c| c == '"' || c == '\'');
+    inner.starts_with("__") && inner.ends_with("__")
+}
+
+fn var_for(
+    original: &str,
+    mapping: &mut HashMap<String, String>,
+    next_var: &mut usize,
+) -> String {
+    if let Some(v) = mapping.get(original) {
+        return v.clone();
+    }
+    let v = format!("var{next_var}");
+    *next_var += 1;
+    mapping.insert(original.to_string(), v.clone());
+    v
+}
+
+/// Standardizes the `{...}` placeholders of an f-string while keeping the
+/// literal structure (paper Table I keeps `f"<p>{var0}</p>"`).
+fn standardize_fstring(
+    text: &str,
+    mapping: &mut HashMap<String, String>,
+    next_var: &mut usize,
+) -> String {
+    let mut out = String::with_capacity(text.len());
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'{' {
+            if bytes.get(i + 1) == Some(&b'{') {
+                out.push_str("{{");
+                i += 2;
+                continue;
+            }
+            if let Some(rel) = text[i + 1..].find('}') {
+                let close = i + 1 + rel;
+                let inner = text[i + 1..close].trim();
+                // Simple identifiers standardize; complex expressions kept.
+                if inner.chars().all(|c| c.is_alphanumeric() || c == '_')
+                    && !inner.is_empty()
+                    && !inner.chars().next().is_some_and(|c| c.is_ascii_digit())
+                {
+                    out.push('{');
+                    out.push_str(&var_for(inner, mapping, next_var));
+                    out.push('}');
+                } else {
+                    out.push_str(&text[i..close + 1]);
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        let c = text[i..].chars().next().expect("in bounds");
+        out.push(c);
+        i += c.len_utf8();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table1_request_line() {
+        let s = standardize("comment = request.args.get('comment', '')\n");
+        assert_eq!(s.text, "var0 = request . args . get ( var1 , var2 )");
+        assert_eq!(s.mapping.get("comment").map(String::as_str), Some("var0"));
+    }
+
+    #[test]
+    fn config_params_preserved() {
+        let s = standardize("app.run(debug=True)\n");
+        assert_eq!(s.text, "app . run ( debug = True )");
+        assert!(s.mapping.is_empty());
+    }
+
+    #[test]
+    fn kwarg_numeric_value_preserved() {
+        let s = standardize("requests.get(url, timeout=10)\n");
+        assert!(s.text.contains("timeout = 10"));
+        // url is positional → standardized.
+        assert!(s.text.contains("var0"));
+    }
+
+    #[test]
+    fn dunder_names_preserved() {
+        let s = standardize("if __name__ == \"__main__\":\n    app.run()\n");
+        assert!(s.text.contains("__name__"));
+        assert!(s.text.contains("\"__main__\""));
+    }
+
+    #[test]
+    fn fstring_interior_standardized() {
+        let s = standardize("return f\"<p>{comment}</p>\"\n");
+        assert_eq!(s.text, "return f\"<p>{var0}</p>\"");
+    }
+
+    #[test]
+    fn same_token_same_var() {
+        let s = standardize("x = load(x)\ny = x\n");
+        let tokens = s.tokens();
+        // `x` appears three times, all as the same var.
+        let var_x = s.mapping.get("x").expect("x mapped");
+        assert_eq!(tokens.iter().filter(|t| *t == var_x).count(), 3);
+    }
+
+    #[test]
+    fn callee_and_module_names_preserved() {
+        let s = standardize("import os\nresult = os.system(command)\n");
+        assert!(s.text.contains("import os"));
+        // `result` standardizes to var0, `command` to var1.
+        assert!(s.text.contains("var0 = os . system ( var1 )"), "{}", s.text);
+    }
+
+    #[test]
+    fn decorator_strings_preserved() {
+        let s = standardize("@app.route(\"/comments\")\ndef comments():\n    pass\n");
+        assert!(s.text.contains("\"/comments\""));
+        assert!(s.text.contains("def comments"));
+    }
+
+    #[test]
+    fn two_variants_standardize_alike() {
+        // The whole point: different identifiers, same pattern.
+        let a = standardize("name = request.args.get('name')\nreturn f'Hello {name}'\n");
+        let b = standardize("user = request.args.get('user')\nreturn f'Hello {user}'\n");
+        assert_eq!(a.text, b.text);
+    }
+
+    #[test]
+    fn original_of_inverse_lookup() {
+        let s = standardize("secret_value = compute(input_data)\n");
+        let var = s.mapping.get("secret_value").expect("mapped").clone();
+        assert_eq!(s.original_of(&var), Some("secret_value"));
+        assert_eq!(s.original_of("var999"), None);
+    }
+
+    #[test]
+    fn alpha_renaming_invariance() {
+        // Consistently renaming local identifiers must not change the
+        // standardized form — the core property behind pattern sharing.
+        let original = "\
+data = request.args.get('q', '')
+result = transform(data)
+return f'<div>{result}</div>'
+";
+        let renamed = "\
+payload = request.args.get('search', '')
+outcome = transform(payload)
+return f'<div>{outcome}</div>'
+";
+        assert_eq!(standardize(original).text, standardize(renamed).text);
+    }
+
+    #[test]
+    fn standardization_is_deterministic() {
+        let src = "a = f(b)\nc = g(a, b)\n";
+        assert_eq!(standardize(src), standardize(src));
+    }
+
+    #[test]
+    fn assignment_lhs_standardized_but_kwarg_name_kept() {
+        let s = standardize("debug = True\napp.run(debug=True)\n");
+        // Statement-level `debug =` is a plain variable → var0; call-level
+        // kwarg `debug=` is configuration → preserved.
+        assert!(s.text.starts_with("var0 = True"));
+        assert!(s.text.contains("( debug = True )"));
+    }
+}

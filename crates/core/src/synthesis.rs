@@ -1,0 +1,245 @@
+//! Safe-pattern synthesis — the offline pipeline of paper §II-A / Fig. 2.
+//!
+//! Given a pair of vulnerable samples `(v1, v2)` and their manually
+//! written safe counterparts `(s1, s2)`:
+//!
+//! 1. **standardize** all four snippets ([`crate::standardize`]);
+//! 2. extract the common implementation patterns `LCS_v12` and `LCS_s12`
+//!    with token-level LCS ([`seqdiff::lcs`]);
+//! 3. diff the two patterns with a difflib-equivalent
+//!    [`seqdiff::SequenceMatcher`] to isolate the *additional* safe-side
+//!    code (the blue text of Table I);
+//! 4. render the vulnerable pattern as a detection regex whose `var#`
+//!    slots become capture groups.
+//!
+//! The online rule catalog was authored from exactly this process; the
+//! module keeps the process itself executable and tested.
+
+use crate::standardize::standardize;
+use seqdiff::{additions, lcs};
+
+/// Output of synthesizing one rule from a sample quadruple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthesizedPattern {
+    /// Common vulnerable implementation pattern (standardized tokens).
+    pub vulnerable_lcs: Vec<String>,
+    /// Common safe implementation pattern (standardized tokens).
+    pub safe_lcs: Vec<String>,
+    /// Token runs present in the safe pattern but missing from the
+    /// vulnerable one — the mitigation code.
+    pub safe_additions: Vec<Vec<String>>,
+    /// Detection regex derived from the vulnerable pattern.
+    pub detection_regex: String,
+}
+
+/// Runs the full synthesis pipeline on a pair of vulnerable samples and
+/// their safe counterparts.
+pub fn synthesize(v1: &str, v2: &str, s1: &str, s2: &str) -> SynthesizedPattern {
+    let v1s = standardize(v1);
+    let v2s = standardize(v2);
+    let s1s = standardize(s1);
+    let s2s = standardize(s2);
+
+    let v1t: Vec<String> = v1s.tokens().iter().map(|s| s.to_string()).collect();
+    let v2t: Vec<String> = v2s.tokens().iter().map(|s| s.to_string()).collect();
+    let s1t: Vec<String> = s1s.tokens().iter().map(|s| s.to_string()).collect();
+    let s2t: Vec<String> = s2s.tokens().iter().map(|s| s.to_string()).collect();
+
+    let vulnerable_lcs = lcs(&v1t, &v2t);
+    let safe_lcs = lcs(&s1t, &s2t);
+    let safe_additions: Vec<Vec<String>> = additions(&vulnerable_lcs, &safe_lcs)
+        .into_iter()
+        .map(|run| run.to_vec())
+        .collect();
+    let detection_regex = pattern_to_regex(&vulnerable_lcs);
+
+    SynthesizedPattern { vulnerable_lcs, safe_lcs, safe_additions, detection_regex }
+}
+
+/// Renders a standardized token pattern as an rxlite regex: literal tokens
+/// are escaped, `var#` slots become `([^,()\s]+)` capture groups, and
+/// tokens are joined with `\s*`.
+pub fn pattern_to_regex(tokens: &[String]) -> String {
+    let mut parts = Vec::with_capacity(tokens.len());
+    for t in tokens {
+        if t.starts_with("var") && t[3..].chars().all(|c| c.is_ascii_digit()) && t.len() > 3
+        {
+            parts.push(r"([^,()\s]+)".to_string());
+        } else if t.starts_with("f\"") || t.starts_with("f'") {
+            // f-string token: match structure, placeholders become groups.
+            parts.push(fstring_to_regex(t));
+        } else {
+            parts.push(escape_regex(t));
+        }
+    }
+    parts.join(r"\s*")
+}
+
+fn fstring_to_regex(token: &str) -> String {
+    let mut out = String::new();
+    let mut chars = token.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '{' {
+            // Placeholder: consume to '}' and emit a capture.
+            for inner in chars.by_ref() {
+                if inner == '}' {
+                    break;
+                }
+            }
+            out.push_str(r"\{([^}]+)\}");
+        } else {
+            out.push_str(&escape_char(c));
+        }
+    }
+    out
+}
+
+/// Escapes a literal string for rxlite.
+pub fn escape_regex(text: &str) -> String {
+    text.chars().map(|c| escape_char(c)).collect()
+}
+
+fn escape_char(c: char) -> String {
+    match c {
+        '.' | '*' | '+' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '^' | '$'
+        | '\\' => format!("\\{c}"),
+        _ => c.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact sample pair from the paper's Table I.
+    fn table1_samples() -> (&'static str, &'static str, &'static str, &'static str) {
+        let v1 = "\
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route(\"/comments\")
+def comments():
+    comment = request.args.get('comment', '')
+    return f\"<p>{comment}</p>\"
+
+if __name__ == \"__main__\":
+    app.run(debug=True)
+";
+        let v2 = "\
+from flask import Flask, request, make_response
+appl = Flask(__name__)
+
+@appl.route(\"/showName\")
+def name():
+    username = request.args.get('username')
+    return make_response(f\"Hello {username}\")
+
+if __name__ == \"__main__\":
+    appl.run(debug=True)
+";
+        let s1 = "\
+from flask import Flask, request, escape
+app = Flask(__name__)
+
+@app.route(\"/comments\")
+def comments():
+    comment = request.args.get('comment', '')
+    return f\"<p>{escape(comment)}</p>\"
+
+if __name__ == \"__main__\":
+    app.run(debug=False, use_reloader=False)
+";
+        let s2 = "\
+from flask import Flask, request, make_response, escape
+appl = Flask(__name__)
+
+@appl.route(\"/showName\")
+def name():
+    username = request.args.get('username')
+    return make_response(f\"Hello {escape(username)}\")
+
+if __name__ == \"__main__\":
+    appl.run(debug=False, use_debugger=False, use_reloader=False)
+";
+        (v1, v2, s1, s2)
+    }
+
+    #[test]
+    fn table1_vulnerable_lcs_contains_shared_pattern() {
+        let (v1, v2, s1, s2) = table1_samples();
+        let syn = synthesize(v1, v2, s1, s2);
+        let flat = syn.vulnerable_lcs.join(" ");
+        // The common vulnerable pattern includes the request.args.get call
+        // and the debug=True configuration.
+        assert!(flat.contains("request . args . get"), "{flat}");
+        assert!(flat.contains("debug = True"), "{flat}");
+        // Differing identifiers (app vs appl, route strings) are absent.
+        assert!(!flat.contains("/comments"));
+        assert!(!flat.contains("/showName"));
+    }
+
+    #[test]
+    fn table1_additions_contain_mitigations() {
+        let (v1, v2, s1, s2) = table1_samples();
+        let syn = synthesize(v1, v2, s1, s2);
+        let added: Vec<String> =
+            syn.safe_additions.iter().flat_map(|run| run.iter().cloned()).collect();
+        let flat = added.join(" ");
+        // The blue text of Table I: escape import/call and debug=False
+        // hardening.
+        assert!(flat.contains("escape"), "{flat}");
+        assert!(flat.contains("False"), "{flat}");
+        assert!(flat.contains("use_reloader"), "{flat}");
+    }
+
+    #[test]
+    fn derived_regex_matches_both_standardized_sources() {
+        let (v1, v2, s1, s2) = table1_samples();
+        let syn = synthesize(v1, v2, s1, s2);
+        // Build a regex from a focused sub-pattern (the full-file LCS is
+        // long; take the debug=True tail which must match both).
+        let idx = syn
+            .vulnerable_lcs
+            .iter()
+            .position(|t| t == "debug")
+            .expect("debug in pattern");
+        let tail = &syn.vulnerable_lcs[idx..idx + 3]; // debug = True
+        let re = rxlite::Regex::new(&pattern_to_regex(&tail.to_vec())).unwrap();
+        assert!(re.is_match(&crate::standardize(v1).text));
+        assert!(re.is_match(&crate::standardize(v2).text));
+        assert!(!re.is_match(&crate::standardize(s1).text));
+    }
+
+    #[test]
+    fn var_slots_become_capture_groups() {
+        let toks: Vec<String> = ["eval", "(", "var0", ")"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let rx = pattern_to_regex(&toks);
+        let re = rxlite::Regex::new(&rx).unwrap();
+        let caps = re.captures("eval ( user_input )").expect("matches");
+        assert_eq!(caps.get(1), Some("user_input"));
+    }
+
+    #[test]
+    fn escape_regex_neutralizes_metacharacters() {
+        let escaped = escape_regex("a.b(c)*");
+        let re = rxlite::Regex::new(&escaped).unwrap();
+        assert!(re.is_match("a.b(c)*"));
+        assert!(!re.is_match("aXb(c)"));
+    }
+
+    #[test]
+    fn identical_pairs_yield_full_pattern() {
+        let v = "x = pickle.loads(data)\n";
+        let s = "x = json.loads(data)\n";
+        let syn = synthesize(v, v, s, s);
+        assert_eq!(
+            syn.vulnerable_lcs.join(" "),
+            crate::standardize(v).text
+        );
+        let added = syn.safe_additions.iter().flatten().cloned().collect::<Vec<_>>();
+        assert!(added.iter().any(|t| t.contains("json")));
+    }
+}

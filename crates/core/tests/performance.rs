@@ -1,0 +1,69 @@
+//! Performance regression guards (coarse wall-clock bounds; the precise
+//! numbers live in the criterion suite).
+
+use patchit_core::{Detector, Patcher};
+use std::time::Instant;
+
+/// A large generated-looking file: 5k lines mixing clean code with
+/// scattered weaknesses.
+fn big_file() -> String {
+    let mut src = String::with_capacity(200_000);
+    src.push_str("import os\nimport hashlib\nimport yaml\n\n");
+    for i in 0..500 {
+        src.push_str(&format!(
+            "def handler_{i}(payload, options):\n    value = payload.get('k{i}', 0)\n    if value > {i}:\n        return value * 2\n    return transform_{i}(value, options)\n\n"
+        ));
+        if i % 50 == 0 {
+            src.push_str(&format!("digest_{i} = hashlib.md5(data_{i})\n"));
+        }
+        if i % 77 == 0 {
+            src.push_str(&format!("os.system('run job-{i}')\n"));
+        }
+    }
+    src
+}
+
+#[test]
+fn detection_scales_to_large_files() {
+    let src = big_file();
+    assert!(src.lines().count() > 3000);
+    let det = Detector::new();
+    let start = Instant::now();
+    let findings = det.detect(&src);
+    let elapsed = start.elapsed();
+    assert!(!findings.is_empty());
+    // Generous bound: even debug builds finish a 3k+-line file in
+    // seconds; a regression to quadratic blowup would blow far past it.
+    assert!(
+        elapsed.as_secs() < 30,
+        "detection took {elapsed:?} on a {}-line file",
+        src.lines().count()
+    );
+}
+
+#[test]
+fn patching_scales_to_large_files() {
+    let src = big_file();
+    let patcher = Patcher::new();
+    let start = Instant::now();
+    let out = patcher.patch(&src);
+    let elapsed = start.elapsed();
+    assert!(out.changed());
+    assert!(elapsed.as_secs() < 60, "patching took {elapsed:?}");
+    // All md5/os.system occurrences were rewritten.
+    assert!(!out.source.contains("hashlib.md5("));
+    assert!(!out.source.contains("os.system("));
+}
+
+#[test]
+fn detector_compilation_is_fast_enough_to_construct_per_request() {
+    let start = Instant::now();
+    for _ in 0..10 {
+        let _ = Detector::new();
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed.as_millis() < 5000,
+        "10 detector constructions took {elapsed:?}"
+    );
+}

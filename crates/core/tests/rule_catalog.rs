@@ -1,0 +1,661 @@
+//! Exhaustive rule-catalog tests: every one of the 85 rules has at least
+//! one firing snippet, one non-firing snippet, and — when fixable — a
+//! patch expectation. A completeness check guarantees no rule is left
+//! untested.
+
+use patchit_core::{all_rules, Detector, Patcher};
+use std::collections::HashSet;
+
+struct Vector {
+    rule: &'static str,
+    /// Snippets on which the rule must fire.
+    fires: &'static [&'static str],
+    /// Snippets on which the rule must NOT fire.
+    clean: &'static [&'static str],
+    /// Substrings expected in the patched version of `fires[0]`
+    /// (empty slice for detection-only rules).
+    patched: &'static [&'static str],
+}
+
+const VECTORS: &[Vector] = &[
+    // ---- A01 ----------------------------------------------------------
+    Vector {
+        rule: "PIP-A01-001",
+        fires: &["f = open(request.args.get('name'))\n"],
+        clean: &["f = open(os.path.basename(request.args.get('name')))\n"],
+        patched: &["os.path.basename(request.args.get('name'))"],
+    },
+    Vector {
+        rule: "PIP-A01-002",
+        fires: &["fh = open(os.path.join(base_dir, filename))\n"],
+        clean: &["fh = open(os.path.join(base_dir, os.path.basename(filename)))\n"],
+        patched: &["os.path.basename(filename)"],
+    },
+    Vector {
+        rule: "PIP-A01-003",
+        fires: &["tar.extractall()\n"],
+        clean: &["tar.extractall(filter='data')\n"],
+        patched: &["extractall(filter='data')"],
+    },
+    Vector {
+        rule: "PIP-A01-004",
+        fires: &["return send_file(request.args.get('f'))\n"],
+        clean: &["return send_file(os.path.basename(request.args.get('f')))\n"],
+        patched: &["os.path.basename"],
+    },
+    Vector {
+        rule: "PIP-A01-005",
+        fires: &["f.save(os.path.join(UPLOAD_DIR, f.filename))\n"],
+        clean: &["f.save(os.path.join(UPLOAD_DIR, secure_filename(f.filename)))\n"],
+        patched: &["secure_filename(f.filename)", "from werkzeug.utils import secure_filename"],
+    },
+    Vector {
+        rule: "PIP-A01-006",
+        fires: &["upload.save(upload.filename)\n"],
+        clean: &["upload.save(secure_filename(upload.filename))\n"],
+        patched: &["secure_filename(upload.filename)"],
+    },
+    Vector {
+        rule: "PIP-A01-007",
+        fires: &["return redirect(request.args.get('next'))\n"],
+        clean: &["return redirect(url_for('home'))\n"],
+        patched: &[],
+    },
+    Vector {
+        rule: "PIP-A01-008",
+        fires: &["os.chmod(path, 0o777)\n", "os.chmod(report, 0o666)\n"],
+        clean: &["os.chmod(path, 0o600)\n"],
+        patched: &["os.chmod(path, 0o600)"],
+    },
+    Vector {
+        rule: "PIP-A01-009",
+        fires: &["os.umask(0)\n", "os.umask(0o0)\n"],
+        clean: &["os.umask(0o077)\n"],
+        patched: &["os.umask(0o077)"],
+    },
+    // ---- A02 ----------------------------------------------------------
+    Vector {
+        rule: "PIP-A02-001",
+        fires: &["h = hashlib.md5(data)\n"],
+        clean: &[
+            "h = hashlib.sha256(data)\n",
+            "h = hashlib.md5(data, usedforsecurity=False)\n",
+        ],
+        patched: &["hashlib.sha256(data)"],
+    },
+    Vector {
+        rule: "PIP-A02-002",
+        fires: &["h = hashlib.sha1(data)\n"],
+        clean: &["h = hashlib.sha1(data, usedforsecurity=False)\n"],
+        patched: &["hashlib.sha256(data)"],
+    },
+    Vector {
+        rule: "PIP-A02-003",
+        fires: &["h = hashlib.new('md5')\n", "h = hashlib.new(\"sha1\")\n"],
+        clean: &["h = hashlib.new('sha256')\n"],
+        patched: &["hashlib.new(\"sha256\""],
+    },
+    Vector {
+        rule: "PIP-A02-004",
+        fires: &["from Crypto.Cipher import DES\n"],
+        clean: &["from Crypto.Cipher import AES\n"],
+        patched: &["from Crypto.Cipher import AES"],
+    },
+    Vector {
+        rule: "PIP-A02-005",
+        fires: &["c = DES.new(key, DES.MODE_CBC)\n"],
+        clean: &["c = AES.new(key, AES.MODE_GCM)\n"],
+        patched: &["AES.new(key"],
+    },
+    Vector {
+        rule: "PIP-A02-006",
+        fires: &["c = ARC4.new(key)\n", "from Crypto.Cipher import ARC4\n"],
+        clean: &["c = AES.new(key)\n"],
+        patched: &[],
+    },
+    Vector {
+        rule: "PIP-A02-007",
+        fires: &["ctx = ssl.SSLContext(ssl.PROTOCOL_SSLv3)\n", "p = ssl.PROTOCOL_TLSv1\n"],
+        clean: &["ctx = ssl.SSLContext(ssl.PROTOCOL_TLS_CLIENT)\n"],
+        patched: &["ssl.PROTOCOL_TLS_CLIENT"],
+    },
+    Vector {
+        rule: "PIP-A02-008",
+        fires: &["c = AES.new(key, AES.MODE_ECB)\n"],
+        clean: &["c = AES.new(key, AES.MODE_GCM)\n"],
+        patched: &[],
+    },
+    Vector {
+        rule: "PIP-A02-009",
+        fires: &["ctx = ssl._create_unverified_context()\n"],
+        clean: &["ctx = ssl.create_default_context()\n"],
+        patched: &["ssl.create_default_context()"],
+    },
+    Vector {
+        rule: "PIP-A02-010",
+        fires: &["r = requests.get(url, verify=False)\n"],
+        clean: &["r = requests.get(url, verify=True, timeout=10)\n"],
+        patched: &["verify=True"],
+    },
+    Vector {
+        rule: "PIP-A02-011",
+        fires: &["client.set_missing_host_key_policy(paramiko.AutoAddPolicy())\n"],
+        clean: &["client.set_missing_host_key_policy(paramiko.RejectPolicy())\n"],
+        patched: &["paramiko.RejectPolicy()"],
+    },
+    Vector {
+        rule: "PIP-A02-012",
+        fires: &["conn = ftplib.FTP('host')\n"],
+        clean: &["conn = ftplib.FTP_TLS('host')\n"],
+        patched: &["ftplib.FTP_TLS("],
+    },
+    Vector {
+        rule: "PIP-A02-013",
+        fires: &["r = requests.get('http://api.example.com', timeout=5)\n"],
+        clean: &[
+            "r = requests.get('https://api.example.com', timeout=5)\n",
+            "r = requests.get('http://localhost:8000', timeout=5)\n",
+        ],
+        patched: &["https://api.example.com"],
+    },
+    Vector {
+        rule: "PIP-A02-014",
+        fires: &["session_token = str(random.randint(0, 999999))\n"],
+        clean: &[
+            "session_token = secrets.token_hex(16)\n",
+            "delay = random.randint(1, 5)\n",
+        ],
+        patched: &["secrets.SystemRandom().randint", "import secrets"],
+    },
+    Vector {
+        rule: "PIP-A02-015",
+        fires: &["sid = uuid.uuid1()\n"],
+        clean: &["sid = uuid.uuid4()\n"],
+        patched: &["uuid.uuid4()"],
+    },
+    Vector {
+        rule: "PIP-A02-016",
+        fires: &["k = hashlib.pbkdf2_hmac('sha256', pw, salt, 1000)\n"],
+        clean: &["k = hashlib.pbkdf2_hmac('sha256', pw, salt, 600000)\n"],
+        patched: &["600000"],
+    },
+    Vector {
+        rule: "PIP-A02-017",
+        fires: &["digest = hashlib.sha256(password.encode()).hexdigest()\n"],
+        clean: &["digest = hashlib.sha256(document).hexdigest()\n"],
+        patched: &[],
+    },
+    Vector {
+        rule: "PIP-A02-018",
+        fires: &["iv = b'0000000000000000'\n"],
+        clean: &["iv = os.urandom(16)\n"],
+        patched: &["os.urandom(16)"],
+    },
+    // ---- A03 ----------------------------------------------------------
+    Vector {
+        rule: "PIP-A03-001",
+        fires: &["os.system('ping ' + host)\n"],
+        clean: &["subprocess.run(['ping', host], check=True)\n"],
+        patched: &["subprocess.run(shlex.split('ping ' + host), check=True)", "import shlex"],
+    },
+    Vector {
+        rule: "PIP-A03-002",
+        fires: &["out = os.popen('ls ' + d).read()\n"],
+        clean: &["out = subprocess.run(['ls', d], capture_output=True).stdout\n"],
+        patched: &["capture_output=True"],
+    },
+    Vector {
+        rule: "PIP-A03-003",
+        fires: &["subprocess.run(cmd, shell=True)\n", "subprocess.Popen(cmd, shell=True)\n"],
+        clean: &["subprocess.run(cmd, shell=False)\n"],
+        patched: &["shell=False"],
+    },
+    Vector {
+        rule: "PIP-A03-004",
+        fires: &["os.execvp(prog, args)\n", "os.execl(path, arg)\n"],
+        clean: &["subprocess.run([prog], check=True)\n"],
+        patched: &[],
+    },
+    Vector {
+        rule: "PIP-A03-005",
+        fires: &["v = eval(expr)\n"],
+        clean: &["v = ast.literal_eval(expr)\n"],
+        patched: &["ast.literal_eval(expr)", "import ast"],
+    },
+    Vector {
+        rule: "PIP-A03-006",
+        fires: &["exec(code)\n"],
+        clean: &["run_handler(code)\n"],
+        patched: &[],
+    },
+    Vector {
+        rule: "PIP-A03-007",
+        fires: &["cur.execute(\"SELECT * FROM t WHERE n='%s'\" % name)\n"],
+        clean: &["cur.execute(\"SELECT * FROM t WHERE n=?\", (name,))\n"],
+        patched: &["(name,)"],
+    },
+    Vector {
+        rule: "PIP-A03-008",
+        fires: &["cur.execute(f\"SELECT * FROM t WHERE id = {uid}\")\n"],
+        clean: &["cur.execute(\"SELECT * FROM t WHERE id = ?\", (uid,))\n"],
+        patched: &["?", "(uid,)"],
+    },
+    Vector {
+        rule: "PIP-A03-009",
+        fires: &[
+            "cur.execute(\"DELETE FROM t WHERE id=\" + oid)\n",
+            "cur.execute(\"SELECT {}\".format(col))\n",
+        ],
+        clean: &["cur.execute(\"DELETE FROM t WHERE id=?\", (oid,))\n"],
+        patched: &[],
+    },
+    Vector {
+        rule: "PIP-A03-010",
+        fires: &["return f\"<p>{comment}</p>\"\n"],
+        clean: &["return f\"<p>{escape(comment)}</p>\"\n"],
+        patched: &["{escape(comment)}", "from markupsafe import escape"],
+    },
+    Vector {
+        rule: "PIP-A03-011",
+        fires: &["return make_response(f\"Hi {name}\")\n"],
+        clean: &["return make_response(f\"Hi {escape(name)}\")\n"],
+        patched: &["{escape(name)}"],
+    },
+    Vector {
+        rule: "PIP-A03-012",
+        fires: &["return '<h1>' + title\n"],
+        clean: &["return '<h1>' + escape(title)\n"],
+        patched: &["escape(title)"],
+    },
+    Vector {
+        rule: "PIP-A03-013",
+        fires: &["return render_template_string(f\"Hello {name}\")\n"],
+        clean: &["return render_template('hello.html', name=name)\n"],
+        patched: &[],
+    },
+    Vector {
+        rule: "PIP-A03-014",
+        fires: &["nodes = tree.xpath(f\"//user[@name='{u}']\")\n"],
+        clean: &["nodes = tree.xpath(\"//user[@name=$n]\", n=u)\n"],
+        patched: &[],
+    },
+    Vector {
+        rule: "PIP-A03-015",
+        fires: &["res = conn.search_s(base, SCOPE, '(uid=%s)' % uid)\n"],
+        clean: &["res = conn.search_s(base, SCOPE, '(uid=%s)' % ldap.filter.escape_filter_chars(uid))\n"],
+        patched: &[],
+    },
+    Vector {
+        rule: "PIP-A03-016",
+        fires: &["logging.info(f\"login from {request.remote_addr}\")\n"],
+        clean: &["logging.info(\"login from %s\", addr)\n"],
+        patched: &[],
+    },
+    // ---- A04 ----------------------------------------------------------
+    Vector {
+        rule: "PIP-A04-001",
+        fires: &["app.run(debug=True)\n"],
+        clean: &["app.run(debug=False)\n"],
+        patched: &["debug=False, use_debugger=False, use_reloader=False"],
+    },
+    Vector {
+        rule: "PIP-A04-002",
+        fires: &["DEBUG = True\n"],
+        clean: &["DEBUG = False\n", "app.config['X_DEBUG'] = True\n"],
+        patched: &["DEBUG = False"],
+    },
+    Vector {
+        rule: "PIP-A04-003",
+        fires: &["    return str(e), 500\n", "    return str(err)\n"],
+        clean: &["    return \"An internal error has occurred\", 500\n"],
+        patched: &["An internal error has occurred"],
+    },
+    Vector {
+        rule: "PIP-A04-004",
+        fires: &["    return traceback.format_exc()\n"],
+        clean: &["    logging.exception('failed')\n"],
+        patched: &["An internal error has occurred"],
+    },
+    Vector {
+        rule: "PIP-A04-005",
+        fires: &["assert user.is_admin, 'admin only'\n"],
+        clean: &["if not user.is_admin:\n    raise PermissionError\n"],
+        patched: &[],
+    },
+    Vector {
+        rule: "PIP-A04-006",
+        fires: &["r = requests.get(url)\n"],
+        clean: &["r = requests.get(url, timeout=10)\n"],
+        patched: &["timeout=10"],
+    },
+    // ---- A05 ----------------------------------------------------------
+    Vector {
+        rule: "PIP-A05-001",
+        fires: &["root = xml.etree.ElementTree.parse(path)\n"],
+        clean: &["root = defusedxml.ElementTree.parse(path)\n"],
+        patched: &["defusedxml.ElementTree.parse(", "import defusedxml.ElementTree"],
+    },
+    Vector {
+        rule: "PIP-A05-002",
+        fires: &["root = ET.fromstring(payload)\n"],
+        clean: &["root = defusedxml.ElementTree.fromstring(payload)\n"],
+        patched: &["defusedxml.ElementTree.fromstring("],
+    },
+    Vector {
+        rule: "PIP-A05-003",
+        fires: &["doc = minidom.parseString(payload)\n"],
+        clean: &["doc = defusedxml.minidom.parseString(payload)\n"],
+        patched: &["defusedxml.minidom.parseString("],
+    },
+    Vector {
+        rule: "PIP-A05-004",
+        fires: &["p = etree.XMLParser(resolve_entities=True)\n"],
+        clean: &["p = etree.XMLParser(resolve_entities=False)\n"],
+        patched: &["resolve_entities=False"],
+    },
+    Vector {
+        rule: "PIP-A05-005",
+        fires: &["parser = xml.sax.make_parser()\n"],
+        clean: &["parser = defusedxml.sax.make_parser()\n"],
+        patched: &[],
+    },
+    Vector {
+        rule: "PIP-A05-006",
+        fires: &["resp.set_cookie('sid', sid)\n"],
+        clean: &["resp.set_cookie('sid', sid, secure=True, httponly=True, samesite='Strict')\n"],
+        patched: &["secure=True", "httponly=True", "samesite='Strict'"],
+    },
+    Vector {
+        rule: "PIP-A05-007",
+        fires: &["resp.set_cookie('sid', sid, secure=False, httponly=True)\n"],
+        clean: &["resp.set_cookie('sid', sid, secure=True, httponly=True)\n"],
+        patched: &["secure=True"],
+    },
+    Vector {
+        rule: "PIP-A05-008",
+        fires: &["app.run(host=\"0.0.0.0\")\n"],
+        clean: &["app.run(host=\"127.0.0.1\")\n"],
+        patched: &["host=\"127.0.0.1\""],
+    },
+    Vector {
+        rule: "PIP-A05-009",
+        fires: &["p = tempfile.mktemp()\n"],
+        clean: &["fd, p = tempfile.mkstemp()\n"],
+        patched: &["tempfile.mkstemp("],
+    },
+    Vector {
+        rule: "PIP-A05-010",
+        fires: &["path = '/tmp/output.txt'\n"],
+        clean: &["d = tempfile.mkdtemp()\n"],
+        patched: &[],
+    },
+    Vector {
+        rule: "PIP-A05-011",
+        fires: &["resp.headers['Access-Control-Allow-Origin'] = '*'\n"],
+        clean: &["resp.headers['Access-Control-Allow-Origin'] = 'https://app.example.com'\n"],
+        patched: &[],
+    },
+    // ---- A06 ----------------------------------------------------------
+    Vector {
+        rule: "PIP-A06-001",
+        fires: &["s = ssl.wrap_socket(sock)\n"],
+        clean: &["s = ssl.create_default_context().wrap_socket(sock)\n"],
+        patched: &["ssl.create_default_context().wrap_socket("],
+    },
+    Vector {
+        rule: "PIP-A06-002",
+        fires: &["p = os.tempnam()\n", "p = os.tmpnam()\n"],
+        clean: &["fd, p = tempfile.mkstemp()\n"],
+        patched: &["tempfile.mkstemp(", "import tempfile"],
+    },
+    Vector {
+        rule: "PIP-A06-003",
+        fires: &["import md5\n", "import sha\n"],
+        clean: &["import hashlib\n", "from hashlib import md5\n"],
+        patched: &[],
+    },
+    // ---- A07 ----------------------------------------------------------
+    Vector {
+        rule: "PIP-A07-001",
+        fires: &[
+            "password = 'hunter2'\n",
+            "api_key = \"sk-123456\"\n",
+            "db_password = 'prod-pass'\n",
+        ],
+        clean: &[
+            "password = os.environ.get('PASSWORD', '')\n",
+            "password = input('enter: ')\n",
+        ],
+        patched: &["os.environ.get(\"PASSWORD\", \"\")", "import os"],
+    },
+    Vector {
+        rule: "PIP-A07-002",
+        fires: &["app.config[\"SECRET_KEY\"] = \"dev\"\n"],
+        clean: &["app.config[\"SECRET_KEY\"] = os.environ[\"SECRET_KEY\"]\n"],
+        patched: &["os.environ[\"SECRET_KEY\"]"],
+    },
+    Vector {
+        rule: "PIP-A07-003",
+        fires: &["pw = input('Password: ')\n"],
+        clean: &["pw = getpass.getpass('Password: ')\n"],
+        patched: &["getpass.getpass('Password: ')", "import getpass"],
+    },
+    Vector {
+        rule: "PIP-A07-004",
+        fires: &["if token == \"9f86d081884c7d659a2feaa0c55ad015a3bf4f1b2b0b822c\":\n    ok()\n"],
+        clean: &["if hmac.compare_digest(token, stored):\n    ok()\n"],
+        patched: &["hmac.compare_digest(token", "import hmac"],
+    },
+    Vector {
+        rule: "PIP-A07-005",
+        fires: &["if len(password) >= 4:\n    accept()\n"],
+        clean: &["if len(password) >= 12:\n    accept()\n"],
+        patched: &["len(password) >= 12"],
+    },
+    Vector {
+        rule: "PIP-A07-006",
+        fires: &["if len(password) < 6:\n    reject()\n"],
+        clean: &["if len(password) < 12:\n    reject()\n"],
+        patched: &["len(password) < 12"],
+    },
+    Vector {
+        rule: "PIP-A07-007",
+        fires: &["if password == user.password:\n    login()\n"],
+        clean: &["if check_password_hash(user.password, password):\n    login()\n"],
+        patched: &[],
+    },
+    Vector {
+        rule: "PIP-A07-008",
+        fires: &["claims = jwt.decode(token, key, verify=False)\n"],
+        clean: &["claims = jwt.decode(token, key, verify=True)\n"],
+        patched: &["verify=True"],
+    },
+    Vector {
+        rule: "PIP-A07-009",
+        fires: &["claims = jwt.decode(t, options={\"verify_signature\": False})\n"],
+        clean: &["claims = jwt.decode(t, options={\"verify_signature\": True})\n"],
+        patched: &["verify_signature\": True"],
+    },
+    // ---- A08 ----------------------------------------------------------
+    Vector {
+        rule: "PIP-A08-001",
+        fires: &["obj = pickle.loads(blob)\n"],
+        clean: &["obj = json.loads(blob)\n"],
+        patched: &["json.loads(blob)", "import json"],
+    },
+    Vector {
+        rule: "PIP-A08-002",
+        fires: &["obj = pickle.load(fh)\n"],
+        clean: &["obj = json.load(fh)\n"],
+        patched: &["json.load(fh)"],
+    },
+    Vector {
+        rule: "PIP-A08-003",
+        fires: &["obj = cPickle.loads(b)\n", "obj = _pickle.load(fh)\n"],
+        clean: &["obj = json.loads(b)\n"],
+        patched: &[],
+    },
+    Vector {
+        rule: "PIP-A08-004",
+        fires: &["cfg = yaml.load(stream)\n"],
+        clean: &["cfg = yaml.safe_load(stream)\n"],
+        patched: &["yaml.safe_load(stream)"],
+    },
+    Vector {
+        rule: "PIP-A08-005",
+        fires: &["cfg = yaml.load(stream, Loader=yaml.FullLoader)\n"],
+        clean: &["cfg = yaml.load(stream, Loader=yaml.SafeLoader)\n"],
+        patched: &["yaml.safe_load(stream)"],
+    },
+    Vector {
+        rule: "PIP-A08-006",
+        fires: &["code = marshal.loads(raw)\n"],
+        clean: &["code = json.loads(raw)\n"],
+        patched: &[],
+    },
+    Vector {
+        rule: "PIP-A08-007",
+        fires: &["obj = jsonpickle.decode(raw)\n"],
+        clean: &["obj = json.loads(raw)\n"],
+        patched: &[],
+    },
+    Vector {
+        rule: "PIP-A08-008",
+        fires: &["model = torch.load(path)\n"],
+        clean: &["model = torch.load(path, weights_only=True)\n"],
+        patched: &["weights_only=True"],
+    },
+    Vector {
+        rule: "PIP-A08-009",
+        fires: &["urlretrieve('http://cdn.example/pkg.tar', dst)\n"],
+        clean: &["urlretrieve('https://cdn.example/pkg.tar', dst)\n"],
+        patched: &[],
+    },
+    // ---- A09 ----------------------------------------------------------
+    Vector {
+        rule: "PIP-A09-001",
+        fires: &["logging.info('auth %s %s', user, password)\n"],
+        clean: &["logging.info('auth user=%s password=***', user)\n"],
+        patched: &[],
+    },
+    Vector {
+        rule: "PIP-A09-002",
+        fires: &["logging.info('from ' + request.remote_addr)\n"],
+        clean: &["logging.info('from %s', sanitized)\n"],
+        patched: &[],
+    },
+    // ---- A10 ----------------------------------------------------------
+    Vector {
+        rule: "PIP-A10-001",
+        fires: &["r = requests.get(request.args['url'], timeout=5)\n"],
+        clean: &["r = requests.get(ALLOWED['api'], timeout=5)\n"],
+        patched: &[],
+    },
+    Vector {
+        rule: "PIP-A10-002",
+        fires: &["body = urlopen(request.args['u']).read()\n"],
+        clean: &["body = urlopen(FIXED_URL).read()\n"],
+        patched: &[],
+    },
+];
+
+fn rule_ids_in(findings: &[patchit_core::Finding]) -> HashSet<&str> {
+    findings.iter().map(|f| f.rule_id.as_str()).collect()
+}
+
+#[test]
+fn every_rule_has_a_vector() {
+    let covered: HashSet<&str> = VECTORS.iter().map(|v| v.rule).collect();
+    let mut missing = Vec::new();
+    for r in all_rules() {
+        if !covered.contains(r.id) {
+            missing.push(r.id);
+        }
+    }
+    assert!(missing.is_empty(), "rules without test vectors: {missing:?}");
+    // And no stale vectors for removed rules.
+    let catalog: HashSet<&str> = all_rules().iter().map(|r| r.id).collect();
+    let stale: Vec<&str> =
+        covered.iter().filter(|v| !catalog.contains(**v)).copied().collect();
+    assert!(stale.is_empty(), "vectors for unknown rules: {stale:?}");
+}
+
+#[test]
+fn positive_snippets_fire_their_rule() {
+    let det = Detector::new();
+    for v in VECTORS {
+        for snippet in v.fires {
+            let ids = det.detect(snippet);
+            assert!(
+                rule_ids_in(&ids).contains(v.rule),
+                "{} did not fire on:\n{snippet}\n(got {:?})",
+                v.rule,
+                rule_ids_in(&ids)
+            );
+        }
+    }
+}
+
+#[test]
+fn negative_snippets_do_not_fire_their_rule() {
+    let det = Detector::new();
+    for v in VECTORS {
+        for snippet in v.clean {
+            let ids = det.detect(snippet);
+            assert!(
+                !rule_ids_in(&ids).contains(v.rule),
+                "{} fired on clean snippet:\n{snippet}",
+                v.rule
+            );
+        }
+    }
+}
+
+#[test]
+fn fixable_rules_patch_their_first_snippet() {
+    let patcher = Patcher::new();
+    let fixable: HashSet<&str> =
+        all_rules().iter().filter(|r| r.is_fixable()).map(|r| r.id).collect();
+    for v in VECTORS {
+        if v.patched.is_empty() {
+            assert!(
+                !fixable.contains(v.rule),
+                "{} is fixable but its vector has no patch expectations",
+                v.rule
+            );
+            continue;
+        }
+        assert!(
+            fixable.contains(v.rule),
+            "{} has patch expectations but is detection-only",
+            v.rule
+        );
+        let out = patcher.patch_to_fixpoint(v.fires[0], 4);
+        for want in v.patched {
+            assert!(
+                out.source.contains(want),
+                "{}: patched source missing {want:?}:\n{}",
+                v.rule,
+                out.source
+            );
+        }
+        // The specific rule no longer fires on the patched source.
+        let residual = rule_ids_in(&patcher.detector().detect(&out.source)).contains(v.rule);
+        assert!(!residual, "{} still fires after patching:\n{}", v.rule, out.source);
+    }
+}
+
+#[test]
+fn patches_never_produce_lex_errors() {
+    let patcher = Patcher::new();
+    for v in VECTORS {
+        for snippet in v.fires {
+            let out = patcher.patch_to_fixpoint(snippet, 4);
+            let errs = pylex::tokenize(&out.source)
+                .iter()
+                .filter(|t| t.kind == pylex::TokenKind::Error)
+                .count();
+            assert_eq!(errs, 0, "{}: lex errors after patch:\n{}", v.rule, out.source);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! §II-A at corpus scale: the rule-synthesis pipeline, when fed pairs of
+//! vulnerable/safe implementations straight from the corpus template
+//! bank, derives patterns that (a) retain the security-relevant tokens,
+//! (b) drop incidental identifiers, and (c) compile into working rxlite
+//! detection regexes.
+
+use corpusgen::{bank, PROMPT_SPEC};
+use patchit_core::{pattern_to_regex, standardize, synthesize};
+
+/// CWEs whose banks carry at least two vulnerable and one safe variant —
+/// enough material for a pair-based synthesis run.
+fn synthesizable_cwes() -> Vec<u16> {
+    PROMPT_SPEC
+        .iter()
+        .map(|(c, _)| *c)
+        .filter(|c| {
+            let b = bank(*c);
+            b.vulnerable.len() >= 2 && !b.safe.is_empty()
+        })
+        .collect()
+}
+
+fn concretize(template: &str) -> String {
+    template
+        .replace("__F0__", "handler")
+        .replace("__V0__", "alpha")
+        .replace("__V1__", "beta")
+        .replace("__V2__", "gamma")
+        .replace("__ROUTE__", "/endpoint")
+}
+
+fn concretize_alt(template: &str) -> String {
+    template
+        .replace("__F0__", "process")
+        .replace("__V0__", "left")
+        .replace("__V1__", "right")
+        .replace("__V2__", "middle")
+        .replace("__ROUTE__", "/api")
+}
+
+#[test]
+fn there_is_material_for_synthesis() {
+    let cwes = synthesizable_cwes();
+    assert!(cwes.len() >= 4, "bank too thin for synthesis tests: {cwes:?}");
+}
+
+#[test]
+fn synthesis_extracts_nonempty_patterns_for_every_pair() {
+    for cwe in synthesizable_cwes() {
+        let b = bank(cwe);
+        let v1 = concretize(b.vulnerable[0]);
+        let v2 = concretize_alt(b.vulnerable[1]);
+        let s1 = concretize(b.safe[0]);
+        let s2 = concretize_alt(b.safe[0]);
+        let syn = synthesize(&v1, &v2, &s1, &s2);
+        assert!(
+            !syn.vulnerable_lcs.is_empty(),
+            "CWE-{cwe}: empty vulnerable pattern"
+        );
+        assert!(!syn.safe_lcs.is_empty(), "CWE-{cwe}: empty safe pattern");
+        assert!(
+            !syn.detection_regex.is_empty(),
+            "CWE-{cwe}: no detection regex derived"
+        );
+    }
+}
+
+#[test]
+fn derived_patterns_drop_incidental_identifiers() {
+    for cwe in synthesizable_cwes() {
+        let b = bank(cwe);
+        let v1 = concretize(b.vulnerable[0]);
+        let v2 = concretize_alt(b.vulnerable[1]);
+        let s1 = concretize(b.safe[0]);
+        let syn = synthesize(&v1, &v2, &s1, &s1);
+        let flat = syn.vulnerable_lcs.join(" ");
+        // The concrete variable names were standardized away; none may
+        // survive into the shared pattern.
+        for name in ["alpha", "beta", "gamma", "left", "right", "middle"] {
+            assert!(
+                !flat.contains(name),
+                "CWE-{cwe}: incidental identifier {name:?} leaked into pattern: {flat}"
+            );
+        }
+    }
+}
+
+#[test]
+fn identical_pair_pattern_compiles_and_matches_its_source() {
+    // With an identical pair the LCS is the full standardized token
+    // stream — contiguous by construction — so the derived regex must
+    // compile and match the standardized source end-to-end (`\s*` joins
+    // tokens across line breaks).
+    for cwe in synthesizable_cwes() {
+        let b = bank(cwe);
+        let v1 = concretize(b.vulnerable[0]);
+        let s1 = concretize(b.safe[0]);
+        let syn = synthesize(&v1, &v1, &s1, &s1);
+        let re = match rxlite::Regex::new(&syn.detection_regex) {
+            Ok(r) => r,
+            Err(e) => panic!(
+                "CWE-{cwe}: derived regex failed to compile: {}: {e}",
+                syn.detection_regex
+            ),
+        };
+        let std1 = standardize(&v1).text;
+        assert!(
+            re.is_match(&std1),
+            "CWE-{cwe}: derived pattern does not match its own source\nregex: {}\nstd: {std1}",
+            syn.detection_regex
+        );
+        // And it must not match the standardized *safe* implementation.
+        let std_safe = standardize(&s1).text;
+        assert!(
+            !re.is_match(&std_safe),
+            "CWE-{cwe}: vulnerable pattern matches the safe implementation"
+        );
+    }
+}
+
+#[test]
+fn cross_pair_patterns_are_subsequences_of_both_sources() {
+    // The LCS of two different variants is a (possibly non-contiguous)
+    // common subsequence of both standardized token streams.
+    for cwe in synthesizable_cwes() {
+        let b = bank(cwe);
+        let v1 = concretize(b.vulnerable[0]);
+        let v2 = concretize_alt(b.vulnerable[1]);
+        let s1 = concretize(b.safe[0]);
+        let syn = synthesize(&v1, &v2, &s1, &s1);
+        let t1: Vec<String> =
+            standardize(&v1).text.split_whitespace().map(String::from).collect();
+        let t2: Vec<String> =
+            standardize(&v2).text.split_whitespace().map(String::from).collect();
+        assert!(
+            is_subsequence(&syn.vulnerable_lcs, &t1),
+            "CWE-{cwe}: pattern not a subsequence of v1"
+        );
+        assert!(
+            is_subsequence(&syn.vulnerable_lcs, &t2),
+            "CWE-{cwe}: pattern not a subsequence of v2"
+        );
+        // pattern_to_regex on the LCS still compiles (even if only
+        // statement-scoped sub-windows get deployed as rules).
+        rxlite::Regex::new(&pattern_to_regex(&syn.vulnerable_lcs))
+            .unwrap_or_else(|e| panic!("CWE-{cwe}: LCS regex invalid: {e}"));
+    }
+}
+
+fn is_subsequence(sub: &[String], sup: &[String]) -> bool {
+    let mut it = sup.iter();
+    sub.iter().all(|x| it.any(|y| y == x))
+}
+
+#[test]
+fn safe_additions_mention_the_mitigation_api() {
+    // Spot-check specific CWEs where the mitigation API is known.
+    let cases: &[(u16, &str)] = &[(502, "json"), (78, "subprocess"), (79, "escape")];
+    for (cwe, api) in cases {
+        let b = bank(*cwe);
+        let v1 = concretize(b.vulnerable[0]);
+        let s1 = concretize(b.safe[0]);
+        let syn = synthesize(&v1, &v1, &s1, &s1);
+        let added: Vec<String> =
+            syn.safe_additions.iter().flat_map(|r| r.iter().cloned()).collect();
+        let flat = added.join(" ");
+        assert!(
+            flat.contains(api),
+            "CWE-{cwe}: additions missing {api:?}: {flat}"
+        );
+    }
+}

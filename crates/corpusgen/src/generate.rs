@@ -1,0 +1,471 @@
+//! Deterministic corpus generation: 203 prompts × 3 model profiles →
+//! 609 labeled samples.
+//!
+//! Ground-truth labels play the role of the paper's three-expert manual
+//! evaluation (§III-B), which reached 100% consensus: each sample knows
+//! whether it is vulnerable, to which CWEs, whether its vulnerable form
+//! is covered by the pattern catalog (false-negative control), and
+//! whether a safe sample is "bait" (false-positive control).
+
+use crate::model::Model;
+use crate::prompts::{build_prompts, Prompt};
+use crate::templates::{bank, GENERIC_BAIT};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Default corpus seed (any fixed value reproduces the paper-shaped
+/// corpus; this one is used by every harness and bench in the repo).
+pub const DEFAULT_SEED: u64 = 0xDE5E_2025;
+
+/// Weakness classes whose remediation is a design change rather than an
+/// API substitution (detection-only in the PatchitPy catalog). Claude's
+/// vulnerable-group ordering places these last; see
+/// [`generate_corpus_with_seed`].
+const DESIGN_LEVEL_CWES: &[u16] = &[
+    90, 94, 117, 200, 287, 532, 601, 759, 918, 942, 1336, 379,
+];
+
+/// Fraction of a model's covered vulnerable samples that additionally
+/// carry a *detection-only* secondary weakness (a dynamic `exec` plugin
+/// hook). These samples are detected but cannot be fully remediated by
+/// pattern substitution, which is what pins the per-model `Patched
+/// [Det.]` rates of Table III (Copilot lowest at 0.68).
+fn hard_to_patch_rate(model: Model) -> f64 {
+    match model {
+        Model::Copilot => 0.13,
+        Model::Claude => 0.0,
+        Model::DeepSeek => 0.01,
+    }
+}
+
+/// One generated code sample with its oracle labels.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Prompt that produced the sample (1..=203).
+    pub prompt_id: usize,
+    /// Generating model profile.
+    pub model: Model,
+    /// The Python code.
+    pub code: String,
+    /// Oracle label: is the sample vulnerable?
+    pub vulnerable: bool,
+    /// Ground-truth CWEs (primary first); empty when safe.
+    pub cwes: Vec<u16>,
+    /// For vulnerable samples: whether the pattern catalog covers this
+    /// rendering (false ⇒ an expected false negative).
+    pub covered: bool,
+    /// For safe samples: whether this is rule-triggering bait
+    /// (true ⇒ an expected false positive).
+    pub bait: bool,
+    /// Whether the sample was emitted incomplete (dangling final
+    /// statement), defeating strict AST parsers.
+    pub truncated: bool,
+}
+
+/// The full corpus: prompts plus all 609 samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Corpus {
+    /// The 203 prompts.
+    pub prompts: Vec<Prompt>,
+    /// The 609 samples (203 per model, grouped by model).
+    pub samples: Vec<Sample>,
+}
+
+impl Corpus {
+    /// Samples produced by one model.
+    pub fn by_model(&self, model: Model) -> Vec<&Sample> {
+        self.samples.iter().filter(|s| s.model == model).collect()
+    }
+
+    /// The prompt for a sample.
+    pub fn prompt(&self, sample: &Sample) -> &Prompt {
+        &self.prompts[sample.prompt_id - 1]
+    }
+}
+
+/// Generates the corpus with the default seed.
+pub fn generate_corpus() -> Corpus {
+    generate_corpus_with_seed(DEFAULT_SEED)
+}
+
+/// Generates the corpus with an explicit seed. The same seed always
+/// yields byte-identical samples.
+pub fn generate_corpus_with_seed(seed: u64) -> Corpus {
+    let prompts = build_prompts();
+    let mut samples = Vec::with_capacity(prompts.len() * 3);
+    for (model_idx, model) in Model::all().into_iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(seed ^ (model_idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // Which prompts yield vulnerable code for this model. Copilot and
+        // DeepSeek fail near-uniformly across scenarios; Claude's failures
+        // cluster by scenario *kind* (whole CWE groups it handles well or
+        // badly), which is what gives it the markedly lower distinct-CWE
+        // footprint the paper reports (41 vs 51/47 in §III-C).
+        let mut order: Vec<usize> = (0..prompts.len()).collect();
+        if model == Model::Claude {
+            // Claude's residual failures concentrate in the classic,
+            // well-documented weakness classes (injection, weak crypto,
+            // deserialization) — exactly the ones pattern-based patching
+            // remediates — while it handles design-level scenarios (open
+            // redirect, SSRF, auth checks) correctly. Ordering its
+            // vulnerable groups fixable-first reproduces the paper's
+            // Table III, where Claude-generated code has the *highest*
+            // repair rate (0.89) despite the fewest vulnerabilities.
+            let mut fixable: Vec<u16> = Vec::new();
+            let mut design: Vec<u16> = Vec::new();
+            for p in &prompts {
+                let bucket = if DESIGN_LEVEL_CWES.contains(&p.cwe) {
+                    &mut design
+                } else {
+                    &mut fixable
+                };
+                if !bucket.contains(&p.cwe) {
+                    bucket.push(p.cwe);
+                }
+            }
+            fixable.shuffle(&mut rng);
+            design.shuffle(&mut rng);
+            fixable.extend(design);
+            order = fixable
+                .iter()
+                .flat_map(|c| {
+                    prompts
+                        .iter()
+                        .enumerate()
+                        .filter(move |(_, p)| p.cwe == *c)
+                        .map(|(i, _)| i)
+                })
+                .collect();
+        } else {
+            order.shuffle(&mut rng);
+        }
+        let n_vuln = model.vulnerable_count();
+        let vulnerable_set: Vec<bool> = {
+            let mut v = vec![false; prompts.len()];
+            for &i in order.iter().take(n_vuln) {
+                v[i] = true;
+            }
+            v
+        };
+        // FN control: the last `uncovered_rate` share of the vulnerable
+        // prompts (in shuffled order) render in uncovered form.
+        let n_uncovered = (n_vuln as f64 * model.uncovered_rate()).round() as usize;
+        let uncovered_set: Vec<bool> = {
+            let mut v = vec![false; prompts.len()];
+            for &i in order[..n_vuln].iter().rev().take(n_uncovered) {
+                v[i] = true;
+            }
+            v
+        };
+        // FP control: the first `bait_rate` share of safe prompts.
+        let n_safe = prompts.len() - n_vuln;
+        let n_bait = (n_safe as f64 * model.bait_rate()).round() as usize;
+        let bait_set: Vec<bool> = {
+            let mut v = vec![false; prompts.len()];
+            for &i in order[n_vuln..].iter().take(n_bait) {
+                v[i] = true;
+            }
+            v
+        };
+        for (idx, prompt) in prompts.iter().enumerate() {
+            samples.push(render_sample(
+                prompt,
+                model,
+                vulnerable_set[idx],
+                uncovered_set[idx],
+                bait_set[idx],
+            ));
+        }
+    }
+    Corpus { prompts, samples }
+}
+
+/// Renders the *secure* implementation for a prompt in a model's style —
+/// the ground-truth safe sample used by the §III-C quality comparison
+/// (LLMSecEval ships secure references; the paper's experts wrote the
+/// SecurityEval ones; our template bank plays both roles).
+pub fn safe_variant(prompt: &Prompt, model: Model) -> String {
+    let b = bank(prompt.cwe);
+    let template = b.safe[(prompt.id + model as usize) % b.safe.len()];
+    render_template(template, prompt, model)
+}
+
+fn render_sample(
+    prompt: &Prompt,
+    model: Model,
+    vulnerable: bool,
+    uncovered: bool,
+    bait: bool,
+) -> Sample {
+    let b = bank(prompt.cwe);
+    let pick = |list: &[&'static str]| -> &'static str {
+        list[(prompt.id + model as usize) % list.len()]
+    };
+    let template = if vulnerable {
+        if uncovered {
+            pick(b.uncovered)
+        } else {
+            pick(b.vulnerable)
+        }
+    } else if bait {
+        if b.bait.is_empty() {
+            pick(GENERIC_BAIT)
+        } else {
+            pick(b.bait)
+        }
+    } else {
+        pick(b.safe)
+    };
+    let mut code = render_template(template, prompt, model);
+    // Hard-to-patch twist: a dynamic plugin hook (exec of file contents)
+    // that the catalog detects (CWE-94) but cannot remediate by
+    // substitution. Applied on a fixed per-model schedule to covered
+    // vulnerable samples only.
+    let mut extra_cwes: Vec<u16> = Vec::new();
+    if vulnerable && !uncovered {
+        let hard = (prompt.id * 13 + model as usize * 3) % 100
+            < (hard_to_patch_rate(model) * 100.0).round() as usize;
+        if hard {
+            code.push_str("\nexec(open(\"hooks.py\").read())\n");
+            extra_cwes.push(94);
+        }
+    }
+    // Token-limit truncation: append a dangling statement on a fixed
+    // per-model schedule. Patterns in the completed lines stay intact,
+    // but strict AST parsing now fails.
+    let truncated = (prompt.id * 7 + model as usize) % 100
+        < (model.truncation_rate() * 100.0).round() as usize;
+    if truncated {
+        code.push_str(&format!(
+            "{} = transform(\n",
+            model.style().var(prompt.id + 3)
+        ));
+    }
+    let cwes = if vulnerable {
+        let mut c = ground_truth_cwes(prompt.cwe, &code);
+        for e in extra_cwes {
+            if !c.contains(&e) {
+                c.push(e);
+            }
+        }
+        c
+    } else {
+        Vec::new()
+    };
+    Sample {
+        prompt_id: prompt.id,
+        model,
+        code,
+        vulnerable,
+        cwes,
+        covered: vulnerable && !uncovered,
+        bait: !vulnerable && bait,
+        truncated,
+    }
+}
+
+/// Secondary CWEs carried by composite templates (multi-CWE samples, as
+/// in paper Table I).
+fn ground_truth_cwes(primary: u16, code: &str) -> Vec<u16> {
+    let mut cwes = vec![primary];
+    if code.contains("debug=True") && primary != 209 {
+        cwes.push(209);
+    }
+    if code.contains("SECRET_KEY\"] = \"") && primary != 798 {
+        cwes.push(798);
+    }
+    cwes
+}
+
+/// Substitutes placeholders and applies the model's style decorations.
+fn render_template(template: &str, prompt: &Prompt, model: Model) -> String {
+    let style = model.style();
+    let func = style.func(prompt.id);
+    let mut code = template.trim_start_matches('\n').to_string();
+    code = code.replace("__F0__", func);
+    code = code.replace("__V0__", style.var(prompt.id));
+    code = code.replace("__V1__", style.var(prompt.id + 1));
+    code = code.replace("__V2__", style.var(prompt.id + 2));
+    code = code.replace("__ROUTE__", &format!("/{func}"));
+
+    let mut out = String::with_capacity(code.len() + 128);
+    if style.docstrings {
+        let mut summary = prompt.text.clone();
+        if summary.len() > 70 {
+            summary.truncate(70);
+            summary.push('…');
+        }
+        out.push_str(&format!("\"\"\"{summary}\"\"\"\n"));
+    } else if style.comments {
+        out.push_str("# auto-generated solution\n");
+    }
+    for line in code.lines() {
+        out.push_str(line);
+        out.push('\n');
+        if style.docstrings && line.starts_with("def ") && line.ends_with(':') {
+            out.push_str("    \"\"\"Auto-generated handler.\"\"\"\n");
+        }
+    }
+    // Driver blocks: real assistants complete snippets with a usage
+    // entrypoint or batch helper, which is what lifts the generated
+    // corpus's mean cyclomatic complexity to the ~2.4 of Fig. 3.
+    let is_flask = out.contains("Flask(");
+    if style.main_guard && !out.contains("__main__") {
+        out.push_str(&format!(
+            "\nif __name__ == \"__main__\":\n    import sys\n    if len(sys.argv) > 1 and sys.argv[1]:\n        print({func}(*sys.argv[1:]))\n    else:\n        print(\"usage: {func} <value>\")\n"
+        ));
+    } else if !style.main_guard && !is_flask {
+        out.push_str(&format!(
+            "\ndef run_batch(items):\n    results = []\n    for item in items:\n        if item is None:\n            continue\n        results.append({func}(item))\n    return results\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_609_samples() {
+        let c = generate_corpus();
+        assert_eq!(c.samples.len(), 609);
+        for m in Model::all() {
+            assert_eq!(c.by_model(m).len(), 203);
+        }
+    }
+
+    #[test]
+    fn vulnerable_counts_match_paper_exactly() {
+        let c = generate_corpus();
+        for m in Model::all() {
+            let v = c.by_model(m).iter().filter(|s| s.vulnerable).count();
+            assert_eq!(v, m.vulnerable_count(), "{m}");
+        }
+        let total = c.samples.iter().filter(|s| s.vulnerable).count();
+        assert_eq!(total, 461);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate_corpus_with_seed(7);
+        let b = generate_corpus_with_seed(7);
+        assert_eq!(a, b);
+        let c = generate_corpus_with_seed(8);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn labels_are_consistent() {
+        let c = generate_corpus();
+        for s in &c.samples {
+            if s.vulnerable {
+                assert!(!s.cwes.is_empty(), "vulnerable sample without CWEs");
+                assert!(!s.bait);
+                assert_eq!(s.cwes[0], c.prompt(s).cwe, "primary CWE mismatch");
+            } else {
+                assert!(s.cwes.is_empty());
+                assert!(!s.covered);
+            }
+        }
+    }
+
+    #[test]
+    fn uncovered_fraction_tracks_model_rate() {
+        let c = generate_corpus();
+        for m in Model::all() {
+            let vuln: Vec<_> =
+                c.by_model(m).into_iter().filter(|s| s.vulnerable).collect();
+            let uncovered = vuln.iter().filter(|s| !s.covered).count();
+            let expected = (vuln.len() as f64 * m.uncovered_rate()).round() as usize;
+            assert_eq!(uncovered, expected, "{m}");
+        }
+    }
+
+    #[test]
+    fn bait_fraction_tracks_model_rate() {
+        let c = generate_corpus();
+        for m in Model::all() {
+            let safe: Vec<_> =
+                c.by_model(m).into_iter().filter(|s| !s.vulnerable).collect();
+            let bait = safe.iter().filter(|s| s.bait).count();
+            let expected = (safe.len() as f64 * m.bait_rate()).round() as usize;
+            assert_eq!(bait, expected, "{m}");
+        }
+    }
+
+    #[test]
+    fn styles_differ_across_models() {
+        let c = generate_corpus();
+        let p1_codes: Vec<&str> = Model::all()
+            .iter()
+            .map(|m| {
+                c.by_model(*m)
+                    .into_iter()
+                    .find(|s| s.prompt_id == 1)
+                    .expect("prompt 1")
+                    .code
+                    .as_str()
+            })
+            .collect();
+        assert_ne!(p1_codes[0], p1_codes[1]);
+        assert_ne!(p1_codes[1], p1_codes[2]);
+    }
+
+    #[test]
+    fn no_placeholders_survive_rendering() {
+        let c = generate_corpus();
+        for s in &c.samples {
+            assert!(!s.code.contains("__V"), "placeholder left in: {}", s.code);
+            assert!(!s.code.contains("__F0__"));
+            assert!(!s.code.contains("__ROUTE__"));
+        }
+    }
+
+    #[test]
+    fn generated_code_lexes_cleanly() {
+        let c = generate_corpus();
+        for s in &c.samples {
+            let toks = pylex::tokenize(&s.code);
+            let errors = toks
+                .iter()
+                .filter(|t| t.kind == pylex::TokenKind::Error)
+                .count();
+            assert_eq!(errors, 0, "lex errors in sample {}/{:?}:\n{}", s.prompt_id, s.model, s.code);
+        }
+    }
+
+    #[test]
+    fn truncation_rates_approximate_model_profile() {
+        let c = generate_corpus();
+        for m in Model::all() {
+            let t = c.by_model(m).iter().filter(|s| s.truncated).count();
+            let expected = m.truncation_rate() * 203.0;
+            assert!(
+                (t as f64 - expected).abs() <= 6.0,
+                "{m}: {t} truncated vs expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_samples_break_strict_parsing_only() {
+        let c = generate_corpus();
+        let t = c
+            .samples
+            .iter()
+            .find(|s| s.truncated)
+            .expect("some samples truncated");
+        // The tolerant parser recovers; a strict parse fails.
+        assert!(pyast::parse_module(&t.code).error_count >= 1);
+        assert!(pyast::parse_module_strict(&t.code).is_err());
+    }
+
+    #[test]
+    fn multi_cwe_samples_exist() {
+        let c = generate_corpus();
+        let multi = c.samples.iter().filter(|s| s.cwes.len() > 1).count();
+        assert!(multi > 0, "expected composite samples with secondary CWEs");
+    }
+}

@@ -1,0 +1,43 @@
+//! # corpusgen — the evaluation corpus for PatchitPy-rs
+//!
+//! The paper evaluates PatchitPy on 609 Python samples produced by three
+//! AI code generators (GitHub Copilot, Claude-3.7-Sonnet, DeepSeek-V3)
+//! from 203 natural-language prompts drawn from SecurityEval and
+//! LLMSecEval (§III-A). Live model APIs are neither reproducible nor
+//! available offline, so this crate *simulates the generators*:
+//!
+//! - [`build_prompts`] synthesizes the 203-prompt set with the paper's
+//!   source split (121 + 82), CWE distribution (63 distinct CWEs, top-5 =
+//!   502/522/434/089/200), and token-length statistics;
+//! - [`Model`] carries each generator's profile: code style and
+//!   calibrated vulnerable-output rates (169/126/166 of 203, §III-B);
+//! - [`generate_corpus`] renders each (prompt, model) pair from a per-CWE
+//!   template bank into labeled Python code, including *uncovered*
+//!   vulnerable variants (expected false negatives) and *bait* safe
+//!   variants (expected false positives).
+//!
+//! Everything is deterministic given a seed; the oracle labels stand in
+//! for the paper's 100%-consensus manual evaluation.
+//!
+//! ```
+//! use corpusgen::{generate_corpus, Model};
+//!
+//! let corpus = generate_corpus();
+//! assert_eq!(corpus.samples.len(), 609);
+//! assert_eq!(corpus.by_model(Model::Claude).len(), 203);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generate;
+mod model;
+mod prompts;
+mod templates;
+
+pub use generate::{
+    generate_corpus, generate_corpus_with_seed, safe_variant, Corpus, Sample, DEFAULT_SEED,
+};
+pub use model::{Model, Style};
+pub use prompts::{build_prompts, Prompt, PromptSource, PROMPT_SPEC};
+pub use templates::{bank, CweBank, GENERIC_BAIT, GENERIC_UNCOVERED};

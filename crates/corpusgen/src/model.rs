@@ -1,0 +1,196 @@
+//! Simulated AI code generators and their code styles.
+//!
+//! The paper generates its corpus with GitHub Copilot, Claude-3.7-Sonnet,
+//! and DeepSeek-V3. We cannot call those services from a reproducible
+//! offline benchmark, so each model is simulated by a *generation
+//! profile*: a code style (naming, docstrings, structure) plus calibrated
+//! rates of vulnerable output matching §III-B of the paper (Copilot
+//! 169/203 vulnerable, Claude 126/203, DeepSeek 166/203). See DESIGN.md
+//! §2 for the substitution argument.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three simulated code generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Model {
+    /// GitHub Copilot profile: terse, script-like, few comments.
+    Copilot,
+    /// Claude-3.7-Sonnet profile: documented functions, type hints.
+    Claude,
+    /// DeepSeek-V3 profile: functional style, occasional comments.
+    DeepSeek,
+}
+
+impl Model {
+    /// All models in paper order.
+    pub fn all() -> [Model; 3] {
+        [Model::Copilot, Model::Claude, Model::DeepSeek]
+    }
+
+    /// Display name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Model::Copilot => "Copilot",
+            Model::Claude => "Claude",
+            Model::DeepSeek => "DeepSeek",
+        }
+    }
+
+    /// Number of vulnerable samples out of 203 prompts (§III-B).
+    pub fn vulnerable_count(&self) -> usize {
+        match self {
+            Model::Copilot => 169,
+            Model::Claude => 126,
+            Model::DeepSeek => 166,
+        }
+    }
+
+    /// Fraction of this model's *vulnerable* samples rendered in a form
+    /// the PatchitPy catalog does not cover (controls false negatives;
+    /// calibrated to the per-model Recall of Table II).
+    pub fn uncovered_rate(&self) -> f64 {
+        match self {
+            Model::Copilot => 0.16,
+            Model::Claude => 0.07,
+            Model::DeepSeek => 0.11,
+        }
+    }
+
+    /// Fraction of this model's *safe* samples rendered as "bait" —
+    /// code a pattern matcher flags but a human evaluator judges safe
+    /// (controls false positives; calibrated to the per-model Precision
+    /// of Table II).
+    pub fn bait_rate(&self) -> f64 {
+        match self {
+            Model::Copilot => 0.13,
+            Model::Claude => 0.065,
+            Model::DeepSeek => 0.08,
+        }
+    }
+
+    /// Fraction of samples emitted *incomplete* (truncated mid-statement,
+    /// as AI assistants often do at token limits). Incomplete snippets
+    /// are what separate pattern matching from AST-based tools in the
+    /// paper: PatchitPy still scans them, strict parsers give up.
+    pub fn truncation_rate(&self) -> f64 {
+        match self {
+            Model::Copilot => 0.10,
+            Model::Claude => 0.04,
+            Model::DeepSeek => 0.08,
+        }
+    }
+
+    /// The code style this model's output is rendered in.
+    pub fn style(&self) -> Style {
+        match self {
+            Model::Copilot => Style {
+                docstrings: false,
+                type_hints: false,
+                comments: false,
+                main_guard: true,
+                helper_wrap: false,
+                var_names: &["data", "result", "value", "tmp", "out", "res"],
+                fn_names: &["main", "run", "process", "handle", "do_task"],
+            },
+            Model::Claude => Style {
+                docstrings: true,
+                type_hints: true,
+                comments: true,
+                main_guard: true,
+                helper_wrap: true,
+                var_names: &[
+                    "user_input", "response_data", "file_contents", "query_result",
+                    "parsed_value", "output_buffer",
+                ],
+                fn_names: &[
+                    "process_request", "handle_input", "load_resource",
+                    "execute_task", "build_response",
+                ],
+            },
+            Model::DeepSeek => Style {
+                docstrings: false,
+                type_hints: true,
+                comments: true,
+                main_guard: false,
+                helper_wrap: true,
+                var_names: &["payload", "buf", "item", "entry", "content", "record"],
+                fn_names: &["fetch", "compute", "transform", "dispatch", "resolve"],
+            },
+        }
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Rendering style knobs for a model profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Style {
+    /// Emit docstrings on functions.
+    pub docstrings: bool,
+    /// Emit type hints on parameters.
+    pub type_hints: bool,
+    /// Emit explanatory comments.
+    pub comments: bool,
+    /// Wrap entry code in `if __name__ == "__main__":`.
+    pub main_guard: bool,
+    /// Wrap the body in a named helper function.
+    pub helper_wrap: bool,
+    /// Variable-name pool.
+    pub var_names: &'static [&'static str],
+    /// Function-name pool.
+    pub fn_names: &'static [&'static str],
+}
+
+impl Style {
+    /// Picks the `i`-th variable name (wrapping).
+    pub fn var(&self, i: usize) -> &'static str {
+        self.var_names[i % self.var_names.len()]
+    }
+
+    /// Picks the `i`-th function name (wrapping).
+    pub fn func(&self, i: usize) -> &'static str {
+        self.fn_names[i % self.fn_names.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vulnerable_counts_match_paper() {
+        assert_eq!(Model::Copilot.vulnerable_count(), 169);
+        assert_eq!(Model::Claude.vulnerable_count(), 126);
+        assert_eq!(Model::DeepSeek.vulnerable_count(), 166);
+        let total: usize = Model::all().iter().map(|m| m.vulnerable_count()).sum();
+        // 461 / 609 ≈ 76% of samples vulnerable, as §III-B reports.
+        assert_eq!(total, 461);
+        assert_eq!((total as f64 / 609.0 * 100.0).round() as u32, 76);
+    }
+
+    #[test]
+    fn claude_is_the_most_careful_model() {
+        // The paper observes Claude producing markedly fewer vulnerable
+        // samples; its simulated FN/FP knobs follow the same ordering.
+        assert!(Model::Claude.vulnerable_count() < Model::DeepSeek.vulnerable_count());
+        assert!(Model::Claude.uncovered_rate() < Model::Copilot.uncovered_rate());
+    }
+
+    #[test]
+    fn style_pools_cycle() {
+        let s = Model::Copilot.style();
+        assert_eq!(s.var(0), s.var(s.var_names.len()));
+        assert!(!s.func(3).is_empty());
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(Model::Copilot.to_string(), "Copilot");
+        assert_eq!(Model::all().len(), 3);
+    }
+}

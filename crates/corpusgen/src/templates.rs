@@ -1,0 +1,2417 @@
+//! The per-CWE code template bank.
+//!
+//! For every CWE in the prompt corpus this module provides Python code
+//! templates in four flavors:
+//!
+//! - **vulnerable** — realistic insecure implementations that the
+//!   PatchitPy catalog *does* cover (these become true positives);
+//! - **uncovered** — insecure implementations written in a form the
+//!   pattern catalog misses (aliased imports, split statements,
+//!   semantically-equivalent APIs) — these become false negatives, the
+//!   honest failure mode of pattern matching;
+//! - **safe** — the secure counterpart a careful engineer would write;
+//! - **bait** — safe-by-human-judgment code that pattern rules still flag
+//!   (constant `eval`, placeholder credentials, documented `/tmp` paths) —
+//!   these become false positives.
+//!
+//! Templates use `__V0__`/`__V1__`/`__V2__` (variables), `__F0__`
+//! (function name), and `__ROUTE__` (URL path) placeholders, substituted
+//! per model style so the three simulated generators emit visibly
+//! different code for the same scenario.
+
+/// Template bundle for one CWE.
+#[derive(Debug, Clone, Copy)]
+pub struct CweBank {
+    /// Target CWE.
+    pub cwe: u16,
+    /// Catalog-covered vulnerable variants.
+    pub vulnerable: &'static [&'static str],
+    /// Vulnerable variants the catalog misses (false-negative pool).
+    pub uncovered: &'static [&'static str],
+    /// Secure implementations.
+    pub safe: &'static [&'static str],
+    /// Safe-but-flagged variants (false-positive pool).
+    pub bait: &'static [&'static str],
+}
+
+/// Generic uncovered fallback: a semantically risky implementation with
+/// no catalog-matching surface (used for CWEs without a bespoke one).
+pub const GENERIC_UNCOVERED: &str = r#"
+def __F0__(config):
+    handler = config.get("handler")
+    __V0__ = config.get("payload")
+    target = getattr(handler, "apply")
+    return target(__V0__)
+"#;
+
+/// Generic bait pool: safe code that trips pattern rules.
+pub const GENERIC_BAIT: &[&str] = &[
+    // Constant-expression eval: rule PIP-A03-005 fires, human says safe.
+    r#"
+def __F0__():
+    table_size = eval("2 ** 10")
+    return [0] * table_size
+"#,
+    // Constant shell command: PIP-A03-001 fires, human says safe.
+    r#"
+import os
+
+def __F0__():
+    os.system("stty sane")
+    return True
+"#,
+    // Documentation string mentioning /tmp: PIP-A05-010 fires.
+    r#"
+def __F0__(path):
+    usage = "example: copy the output to '/tmp/report.txt' for review"
+    with open(path) as __V0__:
+        return __V0__.read(), usage
+"#,
+    // Placeholder credential in a sample config: PIP-A07-001 fires.
+    r#"
+def __F0__():
+    config = {}
+    password = "EXAMPLE-ONLY"
+    config["docs"] = "replace the sample value above in production"
+    return config
+"#,
+    // Health-check request without timeout: PIP-A04-006 fires; reviewers
+    // accepted the blocking call in this internal script.
+    r#"
+import requests
+
+def __F0__():
+    status = requests.get("https://status.internal.example/ping")
+    return status.status_code == 200
+"#,
+];
+
+/// Looks up the template bank for `cwe`.
+pub fn bank(cwe: u16) -> CweBank {
+    for b in BANKS {
+        if b.cwe == cwe {
+            return *b;
+        }
+    }
+    // Tail CWEs share the composite fallback: the scenario code plus a
+    // covered secondary weakness, as real multi-CWE samples do (paper
+    // Table I shows one snippet carrying CWE-079 and CWE-209 at once).
+    CweBank {
+        cwe,
+        vulnerable: &[COMPOSITE_VULNERABLE],
+        uncovered: &[GENERIC_UNCOVERED],
+        safe: &[COMPOSITE_SAFE],
+        bait: &[],
+    }
+}
+
+/// Fallback vulnerable template: scenario handler plus a covered
+/// secondary weakness (Flask debug mode, PIP-A04-001).
+const COMPOSITE_VULNERABLE: &str = r#"
+from flask import Flask, request, jsonify
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    __V0__ = request.args.get("value", "")
+    __V1__ = {"value": __V0__, "status": "processed"}
+    return jsonify(__V1__)
+
+if __name__ == "__main__":
+    app.run(debug=True)
+"#;
+
+/// Fallback safe template: same scenario, hardened.
+const COMPOSITE_SAFE: &str = r#"
+from flask import Flask, request, jsonify, abort
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    __V0__ = request.args.get("value", "")
+    if not __V0__.isalnum():
+        abort(400)
+    return jsonify({"value": __V0__, "status": "processed"})
+
+if __name__ == "__main__":
+    app.run(debug=False, use_reloader=False)
+"#;
+
+static BANKS: &[CweBank] = &[
+    CweBank {
+        cwe: 502,
+        vulnerable: &[
+            r#"
+import pickle
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    __V0__ = request.cookies.get("session", "")
+    __V1__ = pickle.loads(bytes.fromhex(__V0__))
+    return str(__V1__)
+"#,
+            r#"
+import pickle
+
+def __F0__(path):
+    with open(path, "rb") as __V0__:
+        __V1__ = pickle.load(__V0__)
+    return __V1__
+"#,
+            r#"
+import yaml
+
+def __F0__(path):
+    with open(path) as __V0__:
+        __V1__ = yaml.load(__V0__)
+    return __V1__
+"#,
+        ],
+        uncovered: &[
+            r#"
+import pickle as pkl
+
+def __F0__(blob):
+    __V0__ = pkl.loads(blob)
+    return __V0__
+"#,
+            r#"
+import shelve
+
+def __F0__(path, key):
+    with shelve.open(path) as __V0__:
+        return __V0__.get(key)
+"#,
+        ],
+        safe: &[
+            r#"
+import json
+
+def __F0__(path):
+    # migrated from pickle.load(fh) to a safe serializer
+    with open(path) as __V0__:
+        __V1__ = json.load(__V0__)
+    return __V1__
+"#,
+            r#"
+import yaml
+
+def __F0__(path):
+    with open(path) as __V0__:
+        return yaml.safe_load(__V0__)
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 522,
+        vulnerable: &[
+            r#"
+import sqlite3
+
+def __F0__():
+    password = "s3cr3t-db-pass"
+    __V0__ = sqlite3.connect("app.db")
+    __V0__.execute("PRAGMA key = '" + password + "'")
+    return __V0__
+"#,
+            r#"
+def __F0__(user):
+    password = "admin123"
+    if user.login(password):
+        return True
+    return False
+"#,
+        ],
+        uncovered: &[
+            r#"
+def __F0__():
+    creds = {"user": "svc", "pass": "wired-in-value"}
+    return creds["user"], creds["pass"]
+"#,
+        ],
+        safe: &[
+            r#"
+import os
+
+def __F0__():
+    password = os.environ.get("DB_PASSWORD", "")
+    if not password:
+        raise RuntimeError("DB_PASSWORD is not set")
+    return password
+"#,
+        ],
+        bait: &[
+            r#"
+def __F0__():
+    password = "EXAMPLE-ONLY"
+    note = "sample shown in the README; real value comes from the vault"
+    return password, note
+"#,
+        ],
+    },
+    CweBank {
+        cwe: 434,
+        vulnerable: &[
+            r#"
+import os
+from flask import Flask, request
+
+app = Flask(__name__)
+UPLOAD_DIR = "uploads"
+
+@app.route("__ROUTE__", methods=["POST"])
+def __F0__():
+    __V0__ = request.files["file"]
+    __V0__.save(os.path.join(UPLOAD_DIR, __V0__.filename))
+    return "stored"
+"#,
+            r#"
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__", methods=["POST"])
+def __F0__():
+    __V0__ = request.files.get("image")
+    __V0__.save(__V0__.filename)
+    return "ok"
+"#,
+        ],
+        uncovered: &[
+            r#"
+import os
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__", methods=["POST"])
+def __F0__():
+    __V0__ = request.files["file"]
+    __V1__ = "uploads" + "/" + __V0__.filename
+    __V0__.save(__V1__)
+    return "stored"
+"#,
+        ],
+        safe: &[
+            r#"
+import os
+from flask import Flask, request, abort
+from werkzeug.utils import secure_filename
+
+app = Flask(__name__)
+UPLOAD_DIR = "uploads"
+ALLOWED = {"png", "jpg", "jpeg", "gif"}
+
+@app.route("__ROUTE__", methods=["POST"])
+def __F0__():
+    __V0__ = request.files["file"]
+    __V1__ = secure_filename(__V0__.filename)
+    if "." not in __V1__ or __V1__.rsplit(".", 1)[1].lower() not in ALLOWED:
+        abort(400)
+    __V0__.save(os.path.join(UPLOAD_DIR, __V1__))
+    return "stored"
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 89,
+        vulnerable: &[
+            r#"
+import sqlite3
+
+def __F0__(username):
+    __V0__ = sqlite3.connect("users.db")
+    __V1__ = __V0__.cursor()
+    __V1__.execute("SELECT * FROM users WHERE name = '%s'" % username)
+    return __V1__.fetchall()
+"#,
+            r#"
+import sqlite3
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    __V0__ = request.args.get("id", "")
+    __V1__ = sqlite3.connect("app.db").cursor()
+    __V1__.execute(f"SELECT email FROM accounts WHERE id = {__V0__}")
+    __V2__ = __V1__.fetchone()
+    return str(__V2__)
+"#,
+            r#"
+import sqlite3
+
+def __F0__(order_id):
+    __V0__ = sqlite3.connect("shop.db").cursor()
+    __V0__.execute("DELETE FROM orders WHERE id = " + order_id)
+    return __V0__.rowcount
+"#,
+        ],
+        uncovered: &[
+            r#"
+import sqlite3
+
+def __F0__(username):
+    __V0__ = "SELECT * FROM users WHERE name = '" + username + "'"
+    __V1__ = sqlite3.connect("users.db").cursor()
+    __V1__.execute(__V0__)
+    return __V1__.fetchall()
+"#,
+        ],
+        safe: &[
+            r#"
+import sqlite3
+
+def __F0__(username):
+    __V0__ = sqlite3.connect("users.db")
+    __V1__ = __V0__.cursor()
+    __V1__.execute("SELECT * FROM users WHERE name = ?", (username,))
+    return __V1__.fetchall()
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 200,
+        vulnerable: &[
+            // Profile endpoint leaking sensitive fields; the debug-mode
+            // secondary weakness is what the catalog detects (multi-CWE
+            // sample, as in paper Table I).
+            r#"
+from flask import Flask, jsonify
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__(user_id=1):
+    __V0__ = {"id": user_id, "email": "u@example.com", "password_hash": "ab12", "ssn": "000-00-0000"}
+    return jsonify(__V0__)
+
+if __name__ == "__main__":
+    app.run(debug=True)
+"#,
+        ],
+        uncovered: &[
+            r#"
+from flask import Flask, jsonify
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__(user_id=1):
+    __V0__ = load_user(user_id)
+    return jsonify(__V0__.__dict__)
+"#,
+        ],
+        safe: &[
+            r#"
+from flask import Flask, jsonify
+
+app = Flask(__name__)
+PUBLIC_FIELDS = ("id", "display_name")
+
+@app.route("__ROUTE__")
+def __F0__(user_id=1):
+    __V0__ = load_user(user_id)
+    __V1__ = {k: getattr(__V0__, k) for k in PUBLIC_FIELDS}
+    return jsonify(__V1__)
+
+if __name__ == "__main__":
+    app.run(debug=False, use_reloader=False)
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 78,
+        vulnerable: &[
+            r#"
+import os
+
+def __F0__(hostname):
+    __V0__ = os.system("ping -c 1 " + hostname)
+    return __V0__ == 0
+"#,
+            r#"
+import subprocess
+
+def __F0__(filename):
+    __V0__ = subprocess.run("wc -l " + filename, shell=True, capture_output=True)
+    return __V0__.stdout
+"#,
+            r#"
+import os
+
+def __F0__(directory):
+    __V0__ = os.popen("ls -la " + directory).read()
+    return __V0__
+"#,
+        ],
+        uncovered: &[
+            r#"
+from os import system as run_shell
+
+def __F0__(hostname):
+    __V0__ = run_shell("ping -c 1 " + hostname)
+    return __V0__ == 0
+"#,
+        ],
+        safe: &[
+            r#"
+import subprocess
+
+def __F0__(hostname):
+    # previously: os.system("ping -c 1 " + hostname) — replaced in review
+    if not hostname.replace(".", "").replace("-", "").isalnum():
+        raise ValueError("invalid hostname")
+    __V0__ = subprocess.run(["ping", "-c", "1", hostname], check=False)
+    return __V0__.returncode == 0
+"#,
+        ],
+        bait: &[
+            r#"
+import os
+
+def __F0__():
+    os.system("stty sane")
+    return "terminal reset"
+"#,
+        ],
+    },
+    CweBank {
+        cwe: 79,
+        vulnerable: &[
+            r#"
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    __V0__ = request.args.get("comment", "")
+    return f"<p>{__V0__}</p>"
+"#,
+            r#"
+from flask import Flask, request, make_response
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    __V0__ = request.args.get("name", "guest")
+    return make_response(f"<h1>Hello {__V0__}</h1>")
+"#,
+        ],
+        uncovered: &[
+            r#"
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    __V0__ = request.args.get("comment", "")
+    __V1__ = "<p>" + __V0__ + "</p>"
+    return __V1__
+"#,
+        ],
+        safe: &[
+            r#"
+from flask import Flask, request
+from markupsafe import escape
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    __V0__ = request.args.get("comment", "")
+    return f"<p>{escape(__V0__)}</p>"
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 22,
+        vulnerable: &[
+            r#"
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    with open(request.args.get("name", "")) as __V0__:
+        return __V0__.read()
+"#,
+            r#"
+import os
+
+def __F0__(filename):
+    with open(os.path.join("data", filename)) as __V0__:
+        return __V0__.read()
+"#,
+        ],
+        uncovered: &[
+            r#"
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    __V0__ = request.args.get("name", "")
+    with open(__V0__) as __V1__:
+        return __V1__.read()
+"#,
+        ],
+        safe: &[
+            r#"
+import os
+from flask import Flask, request, abort
+
+app = Flask(__name__)
+BASE = os.path.abspath("data")
+
+@app.route("__ROUTE__")
+def __F0__():
+    __V0__ = os.path.basename(request.args.get("name", ""))
+    __V1__ = os.path.abspath(os.path.join(BASE, __V0__))
+    if not __V1__.startswith(BASE):
+        abort(403)
+    with open(__V1__) as __V2__:
+        return __V2__.read()
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 798,
+        vulnerable: &[
+            r#"
+import requests
+
+def __F0__(payload):
+    api_key = "sk-live-4242424242424242"
+    __V0__ = requests.post("https://api.example.com/v1/send", json=payload, headers={"Authorization": api_key}, timeout=10)
+    return __V0__.json()
+"#,
+        ],
+        uncovered: &[
+            r#"
+import requests
+
+def __F0__(payload):
+    API_KEY = "sk-live-4242424242424242"
+    __V0__ = requests.post("https://api.example.com/v1/send", json=payload, headers={"Authorization": API_KEY}, timeout=10)
+    return __V0__.json()
+"#,
+        ],
+        safe: &[
+            r#"
+import os
+import requests
+
+def __F0__(payload):
+    api_key = os.environ["API_KEY"]
+    __V0__ = requests.post("https://api.example.com/v1/send", json=payload, headers={"Authorization": api_key}, timeout=10)
+    return __V0__.json()
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 327,
+        vulnerable: &[
+            r#"
+from Crypto.Cipher import DES
+
+def __F0__(key, payload):
+    __V0__ = DES.new(key, DES.MODE_ECB)
+    return __V0__.encrypt(payload)
+"#,
+            r#"
+import ssl
+import socket
+
+def __F0__(host):
+    __V0__ = ssl.SSLContext(ssl.PROTOCOL_SSLv3)
+    __V1__ = socket.create_connection((host, 443))
+    return __V0__.wrap_socket(__V1__)
+"#,
+        ],
+        uncovered: &[
+            r#"
+from Crypto.Cipher import Blowfish
+
+def __F0__(key, payload):
+    __V0__ = Blowfish.new(key, Blowfish.MODE_ECB)
+    return __V0__.encrypt(payload)
+"#,
+        ],
+        safe: &[
+            r#"
+from Crypto.Cipher import AES
+from Crypto.Random import get_random_bytes
+
+def __F0__(key, payload):
+    __V0__ = get_random_bytes(12)
+    __V1__ = AES.new(key, AES.MODE_GCM, nonce=__V0__)
+    __V2__, tag = __V1__.encrypt_and_digest(payload)
+    return __V0__ + tag + __V2__
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 328,
+        vulnerable: &[
+            r#"
+import hashlib
+
+def __F0__(path):
+    with open(path, "rb") as __V0__:
+        return hashlib.md5(__V0__.read()).hexdigest()
+"#,
+            r#"
+import hashlib
+
+def __F0__(data):
+    __V0__ = hashlib.sha1(data.encode()).hexdigest()
+    return __V0__
+"#,
+        ],
+        uncovered: &[
+            r#"
+import hashlib
+
+def __F0__(path, algo="md5"):
+    with open(path, "rb") as __V0__:
+        __V1__ = hashlib.new(algo)
+        __V1__.update(__V0__.read())
+    return __V1__.hexdigest()
+"#,
+        ],
+        safe: &[
+            r#"
+import hashlib
+
+def __F0__(path):
+    with open(path, "rb") as __V0__:
+        return hashlib.sha256(__V0__.read()).hexdigest()
+"#,
+        ],
+        bait: &[
+            r#"
+import hashlib
+
+def __F0__(path):
+    with open(path, "rb") as __V0__:
+        return hashlib.md5(__V0__.read(), usedforsecurity=False).hexdigest()
+"#,
+        ],
+    },
+    CweBank {
+        cwe: 330,
+        vulnerable: &[
+            r#"
+import random
+import string
+
+def __F0__():
+    reset_token = "".join(random.choice(string.ascii_letters) for _ in range(16))
+    return reset_token
+"#,
+            r#"
+import random
+
+def __F0__(user_id):
+    session_id = str(user_id) + "-" + str(random.randint(100000, 999999))
+    return session_id
+"#,
+        ],
+        uncovered: &[
+            r#"
+import random
+import string
+
+def __F0__():
+    __V0__ = []
+    for _ in range(16):
+        __V0__.append(random.choice(string.ascii_letters))
+    return "".join(__V0__)
+"#,
+        ],
+        safe: &[
+            r#"
+import secrets
+
+def __F0__():
+    return secrets.token_urlsafe(32)
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 611,
+        vulnerable: &[
+            r#"
+import xml.etree.ElementTree as ET
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__", methods=["POST"])
+def __F0__():
+    __V0__ = ET.fromstring(request.data)
+    return __V0__.tag
+"#,
+            r#"
+from xml.dom import minidom
+
+def __F0__(payload):
+    __V0__ = minidom.parseString(payload)
+    return __V0__.documentElement.tagName
+"#,
+        ],
+        uncovered: &[
+            r#"
+from xml.dom.pulldom import parseString
+
+def __F0__(payload):
+    __V0__ = parseString(payload)
+    for event, node in __V0__:
+        return event
+"#,
+        ],
+        safe: &[
+            r#"
+import defusedxml.ElementTree
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__", methods=["POST"])
+def __F0__():
+    __V0__ = defusedxml.ElementTree.fromstring(request.data)
+    return __V0__.tag
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 94,
+        vulnerable: &[
+            r#"
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__", methods=["POST"])
+def __F0__():
+    __V0__ = request.form.get("code", "")
+    exec(__V0__)
+    return "executed"
+"#,
+        ],
+        uncovered: &[
+            r#"
+import builtins
+
+def __F0__(snippet):
+    __V0__ = compile(snippet, "<job>", "exec")
+    getattr(builtins, "ex" + "ec")(__V0__)
+    return True
+"#,
+        ],
+        safe: &[
+            r#"
+ALLOWED_ACTIONS = {"reload": lambda: "reloaded", "status": lambda: "ok"}
+
+def __F0__(action):
+    handler = ALLOWED_ACTIONS.get(action)
+    if handler is None:
+        raise ValueError("unknown action")
+    return handler()
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 95,
+        vulnerable: &[
+            r#"
+def __F0__(expression):
+    __V0__ = eval(expression)
+    return __V0__
+"#,
+            r#"
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    __V0__ = request.args.get("expr", "0")
+    return str(eval(__V0__))
+"#,
+        ],
+        uncovered: &[
+            r#"
+def __F0__(expression):
+    evaluate = getattr(__builtins__, "eval", None)
+    if evaluate is None:
+        raise RuntimeError
+    return evaluate(expression)
+"#,
+        ],
+        safe: &[
+            r#"
+import ast
+
+def __F0__(expression):
+    # was eval(expression) before the security audit
+    __V0__ = ast.literal_eval(expression)
+    return __V0__
+"#,
+        ],
+        bait: &[
+            r#"
+def __F0__():
+    lookup_size = eval("4 * 256")
+    return bytearray(lookup_size)
+"#,
+        ],
+    },
+    CweBank {
+        cwe: 209,
+        vulnerable: &[
+            r#"
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    try:
+        __V0__ = int(request.args.get("n", "0"))
+        return str(100 // __V0__)
+    except Exception as e:
+        return str(e), 500
+"#,
+            r#"
+import traceback
+from flask import Flask
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    try:
+        return run_job()
+    except Exception:
+        return traceback.format_exc()
+"#,
+        ],
+        uncovered: &[
+            r#"
+from flask import Flask, jsonify
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    try:
+        return run_job()
+    except Exception as exc:
+        __V0__ = {"error": repr(exc), "context": "job"}
+        return jsonify(__V0__), 500
+"#,
+        ],
+        safe: &[
+            r#"
+import logging
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    try:
+        __V0__ = int(request.args.get("n", "0"))
+        return str(100 // __V0__)
+    except Exception:
+        logging.exception("request failed")
+        return "An internal error has occurred", 500
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 295,
+        vulnerable: &[
+            r#"
+import requests
+
+def __F0__(report_id):
+    __V0__ = requests.get("https://reports.internal/api/" + str(report_id), verify=False, timeout=10)
+    return __V0__.content
+"#,
+            r#"
+import ssl
+import urllib.request
+
+def __F0__(url):
+    __V0__ = ssl._create_unverified_context()
+    with urllib.request.urlopen(url, context=__V0__) as __V1__:
+        return __V1__.read()
+"#,
+        ],
+        uncovered: &[
+            r#"
+import ssl
+import urllib.request
+
+def __F0__(url):
+    __V0__ = ssl.create_default_context()
+    __V0__.check_hostname = False
+    __V0__.verify_mode = ssl.CERT_NONE
+    with urllib.request.urlopen(url, context=__V0__) as __V1__:
+        return __V1__.read()
+"#,
+        ],
+        safe: &[
+            r#"
+import requests
+
+def __F0__(report_id):
+    __V0__ = requests.get("https://reports.internal/api/" + str(report_id), timeout=10)
+    __V0__.raise_for_status()
+    return __V0__.content
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 319,
+        vulnerable: &[
+            r#"
+import requests
+
+def __F0__(archive_path):
+    with open(archive_path, "rb") as __V0__:
+        __V1__ = requests.post("http://backup.example.com/upload", data=__V0__, timeout=30)
+    return __V1__.status_code
+"#,
+            r#"
+import ftplib
+
+def __F0__(path):
+    __V0__ = ftplib.FTP("files.example.com")
+    __V0__.login("backup", "backup")
+    with open(path, "rb") as __V1__:
+        __V0__.storbinary("STOR latest.tar", __V1__)
+    return True
+"#,
+        ],
+        uncovered: &[
+            r#"
+import requests
+
+def __F0__(archive_path, host):
+    __V0__ = "http" + "://" + host + "/upload"
+    with open(archive_path, "rb") as __V1__:
+        __V2__ = requests.post(__V0__, data=__V1__, timeout=30)
+    return __V2__.status_code
+"#,
+        ],
+        safe: &[
+            r#"
+import requests
+
+def __F0__(archive_path):
+    with open(archive_path, "rb") as __V0__:
+        __V1__ = requests.post("https://backup.example.com/upload", data=__V0__, timeout=30)
+    __V1__.raise_for_status()
+    return __V1__.status_code
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 377,
+        vulnerable: &[
+            r#"
+import tempfile
+
+def __F0__(rows):
+    __V0__ = tempfile.mktemp()
+    with open(__V0__, "w") as __V1__:
+        for row in rows:
+            __V1__.write(str(row) + "\n")
+    return __V0__
+"#,
+        ],
+        uncovered: &[
+            r#"
+import os
+
+def __F0__(rows):
+    __V0__ = "scratch-" + str(os.getpid()) + ".txt"
+    with open(__V0__, "w") as __V1__:
+        for row in rows:
+            __V1__.write(str(row) + "\n")
+    return __V0__
+"#,
+        ],
+        safe: &[
+            r#"
+import os
+import tempfile
+
+def __F0__(rows):
+    __V0__, __V1__ = tempfile.mkstemp()
+    with os.fdopen(__V0__, "w") as __V2__:
+        for row in rows:
+            __V2__.write(str(row) + "\n")
+    return __V1__
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 400,
+        vulnerable: &[
+            r#"
+import requests
+
+def __F0__(feed_url):
+    __V0__ = requests.get(feed_url)
+    __V1__ = __V0__.json()
+    return __V1__.get("entries", [])
+"#,
+        ],
+        uncovered: &[
+            r#"
+import urllib.request
+import json
+
+def __F0__(feed_url):
+    with urllib.request.urlopen(feed_url) as __V0__:
+        __V1__ = json.loads(__V0__.read())
+    return __V1__.get("entries", [])
+"#,
+        ],
+        safe: &[
+            r#"
+import requests
+
+def __F0__(feed_url):
+    __V0__ = requests.get(feed_url, timeout=10)
+    __V0__.raise_for_status()
+    return __V0__.json().get("entries", [])
+"#,
+        ],
+        bait: &[
+            r#"
+import requests
+
+def __F0__():
+    health = requests.get("https://status.internal.example/healthz")
+    return health.ok
+"#,
+        ],
+    },
+    CweBank {
+        cwe: 601,
+        vulnerable: &[
+            r#"
+from flask import Flask, request, redirect
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    return redirect(request.args.get("next", "/"))
+"#,
+        ],
+        uncovered: &[
+            r#"
+from flask import Flask, request, redirect
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    __V0__ = request.args.get("next", "/")
+    return redirect(__V0__)
+"#,
+        ],
+        safe: &[
+            r#"
+from flask import Flask, request, redirect, url_for
+
+app = Flask(__name__)
+ALLOWED = {"home", "profile", "settings"}
+
+@app.route("__ROUTE__")
+def __F0__():
+    __V0__ = request.args.get("next", "home")
+    if __V0__ not in ALLOWED:
+        __V0__ = "home"
+    return redirect(url_for(__V0__))
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 918,
+        vulnerable: &[
+            r#"
+import requests
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    __V0__ = requests.get(request.args["url"], timeout=10)
+    return __V0__.text
+"#,
+        ],
+        uncovered: &[
+            r#"
+import requests
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    __V0__ = request.args.get("url", "")
+    __V1__ = requests.get(__V0__, timeout=10)
+    return __V1__.text
+"#,
+        ],
+        safe: &[
+            r#"
+import requests
+from urllib.parse import urlparse
+from flask import Flask, request, abort
+
+app = Flask(__name__)
+ALLOWED_HOSTS = {"api.example.com", "cdn.example.com"}
+
+@app.route("__ROUTE__")
+def __F0__():
+    __V0__ = request.args.get("url", "")
+    if urlparse(__V0__).hostname not in ALLOWED_HOSTS:
+        abort(400)
+    __V1__ = requests.get(__V0__, timeout=10)
+    return __V1__.text
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 287,
+        vulnerable: &[
+            r#"
+def __F0__(user, password):
+    if password == user.password:
+        return create_session(user)
+    return None
+"#,
+        ],
+        uncovered: &[
+            r#"
+def __F0__(account, supplied):
+    if account.pw == supplied:
+        return create_session(account)
+    return None
+"#,
+        ],
+        safe: &[
+            r#"
+from werkzeug.security import check_password_hash
+
+def __F0__(user, password):
+    if check_password_hash(user.password_hash, password):
+        return create_session(user)
+    return None
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 117,
+        vulnerable: &[
+            r#"
+import logging
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__", methods=["POST"])
+def __F0__():
+    logging.info(f"login attempt for {request.form.get('username')}")
+    return "logged"
+"#,
+        ],
+        uncovered: &[
+            r#"
+import logging
+from flask import Flask, request
+
+app = Flask(__name__)
+logger = logging.getLogger("auth")
+
+@app.route("__ROUTE__", methods=["POST"])
+def __F0__():
+    logger.info(f"login attempt for {request.form.get('username')}")
+    return "logged"
+"#,
+        ],
+        safe: &[
+            r#"
+import logging
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__", methods=["POST"])
+def __F0__():
+    __V0__ = request.form.get("username", "")
+    __V1__ = "".join(ch for ch in __V0__ if ch.isprintable() and ch not in "\r\n")
+    logging.info("login attempt for %s", __V1__)
+    return "logged"
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 208,
+        vulnerable: &[
+            r#"
+def __F0__(provided):
+    if provided == "9f86d081884c7d659a2feaa0c55ad015a3bf4f1b2b0b822cd15d6c15b0f00a08":
+        return True
+    return False
+"#,
+        ],
+        uncovered: &[
+            r#"
+def __F0__(provided, stored):
+    if stored == provided:
+        return True
+    return False
+"#,
+        ],
+        safe: &[
+            r#"
+import hmac
+
+def __F0__(provided, stored):
+    return hmac.compare_digest(provided, stored)
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 306,
+        vulnerable: &[
+            r#"
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__", methods=["POST"])
+def __F0__():
+    __V0__ = request.form["user_id"]
+    __V1__ = request.form["email"]
+    update_email(__V0__, __V1__)
+    return "updated"
+
+if __name__ == "__main__":
+    app.run(debug=True)
+"#,
+        ],
+        uncovered: &[
+            r#"
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__", methods=["POST"])
+def __F0__():
+    update_email(request.form["user_id"], request.form["email"])
+    return "updated"
+"#,
+        ],
+        safe: &[
+            r#"
+from flask import Flask, request, abort, session
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__", methods=["POST"])
+def __F0__():
+    if "user_id" not in session:
+        abort(401)
+    update_email(session["user_id"], request.form["email"])
+    return "updated"
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 352,
+        vulnerable: &[
+            r#"
+from flask import Flask, request
+
+app = Flask(__name__)
+app.config["SECRET_KEY"] = "dev-key-1234"
+
+@app.route("__ROUTE__", methods=["POST"])
+def __F0__():
+    change_email(request.form["user"], request.form["email"])
+    return "changed"
+"#,
+        ],
+        uncovered: &[
+            r#"
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__", methods=["GET", "POST"])
+def __F0__():
+    change_email(request.values["user"], request.values["email"])
+    return "changed"
+"#,
+        ],
+        safe: &[
+            r#"
+import os
+from flask import Flask, request
+from flask_wtf.csrf import CSRFProtect
+
+app = Flask(__name__)
+app.config["SECRET_KEY"] = os.environ["SECRET_KEY"]
+csrf = CSRFProtect(app)
+
+@app.route("__ROUTE__", methods=["POST"])
+def __F0__():
+    change_email(request.form["user"], request.form["email"])
+    return "changed"
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 521,
+        vulnerable: &[
+            r#"
+def __F0__(username, password):
+    if len(password) < 4:
+        raise ValueError("password too short")
+    return register(username, password)
+"#,
+        ],
+        uncovered: &[
+            r#"
+import re
+
+def __F0__(username, password):
+    if not re.match(r".{4,}", password):
+        raise ValueError("password too short")
+    return register(username, password)
+"#,
+        ],
+        safe: &[
+            r#"
+def __F0__(username, password):
+    if len(password) < 12:
+        raise ValueError("password must be at least 12 characters")
+    if password.lower() == password or not any(c.isdigit() for c in password):
+        raise ValueError("password must mix cases and digits")
+    return register(username, password)
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 532,
+        vulnerable: &[
+            r#"
+import logging
+
+def __F0__(username, password):
+    logging.info("auth attempt user=%s password=%s", username, password)
+    return authenticate(username, password)
+"#,
+        ],
+        uncovered: &[
+            r#"
+import logging
+
+logger = logging.getLogger("audit")
+
+def __F0__(username, credential):
+    logger.info("auth attempt user=%s cred=%s", username, credential)
+    return authenticate(username, credential)
+"#,
+        ],
+        safe: &[
+            r#"
+import logging
+
+def __F0__(username, password):
+    logging.info("auth attempt user=%s password=***", username)
+    return authenticate(username, password)
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 605,
+        vulnerable: &[
+            r#"
+from flask import Flask
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    return "dev build"
+
+if __name__ == "__main__":
+    app.run(host="0.0.0.0", port=5000)
+"#,
+        ],
+        uncovered: &[
+            r#"
+from flask import Flask
+
+app = Flask(__name__)
+BIND_ADDR = "0.0." + "0.0"
+
+@app.route("__ROUTE__")
+def __F0__():
+    return "dev build"
+
+if __name__ == "__main__":
+    app.run(host=BIND_ADDR, port=5000)
+"#,
+        ],
+        safe: &[
+            r#"
+from flask import Flask
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    return "dev build"
+
+if __name__ == "__main__":
+    app.run(host="127.0.0.1", port=5000)
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 614,
+        vulnerable: &[
+            r#"
+from flask import Flask, make_response
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__", methods=["POST"])
+def __F0__():
+    __V0__ = make_response("welcome")
+    __V0__.set_cookie("session", new_session_id(), secure=False)
+    return __V0__
+"#,
+        ],
+        uncovered: &[
+            r#"
+from flask import Flask, make_response
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__", methods=["POST"])
+def __F0__():
+    __V0__ = make_response("welcome")
+    __V0__.headers.add("Set-Cookie", "session=" + new_session_id())
+    return __V0__
+"#,
+        ],
+        safe: &[
+            r#"
+from flask import Flask, make_response
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__", methods=["POST"])
+def __F0__():
+    __V0__ = make_response("welcome")
+    __V0__.set_cookie("session", new_session_id(), secure=True, httponly=True, samesite="Strict")
+    return __V0__
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 643,
+        vulnerable: &[
+            r#"
+from lxml import etree
+
+def __F0__(tree, username):
+    __V0__ = tree.xpath(f"//user[@name='{username}']")
+    return __V0__
+"#,
+        ],
+        uncovered: &[
+            r#"
+from lxml import etree
+
+def __F0__(tree, username):
+    __V0__ = "//user[@name='" + username + "']"
+    return tree.xpath(__V0__)
+"#,
+        ],
+        safe: &[
+            r#"
+from lxml import etree
+
+def __F0__(tree, username):
+    return tree.xpath("//user[@name=$name]", name=username)
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 676,
+        vulnerable: &[
+            r#"
+import md5
+
+def __F0__(path):
+    with open(path, "rb") as __V0__:
+        return md5.new(__V0__.read()).hexdigest()
+"#,
+        ],
+        uncovered: &[
+            r#"
+from hashlib import md5
+
+def __F0__(path):
+    with open(path, "rb") as __V0__:
+        return md5(__V0__.read()).hexdigest()
+"#,
+        ],
+        safe: &[
+            r#"
+import hashlib
+
+def __F0__(path):
+    with open(path, "rb") as __V0__:
+        return hashlib.sha256(__V0__.read()).hexdigest()
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 703,
+        vulnerable: &[
+            r#"
+def __F0__(user, action):
+    assert user.is_admin, "admin required"
+    return perform(action)
+"#,
+        ],
+        uncovered: &[
+            r#"
+def __F0__(user, action):
+    assert has_role(user), "admin required"
+    return perform(action)
+"#,
+        ],
+        safe: &[
+            r#"
+def __F0__(user, action):
+    if not user.is_admin:
+        raise PermissionError("admin required")
+    return perform(action)
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 732,
+        vulnerable: &[
+            r#"
+import os
+
+def __F0__(path, rows):
+    with open(path, "w") as __V0__:
+        for row in rows:
+            __V0__.write(row + "\n")
+    os.chmod(path, 0o777)
+    return path
+"#,
+        ],
+        uncovered: &[
+            r#"
+import os
+import stat
+
+def __F0__(path, rows):
+    with open(path, "w") as __V0__:
+        for row in rows:
+            __V0__.write(row + "\n")
+    os.chmod(path, stat.S_IRWXU | stat.S_IRWXG | stat.S_IRWXO)
+    return path
+"#,
+        ],
+        safe: &[
+            r#"
+import os
+
+def __F0__(path, rows):
+    with open(path, "w") as __V0__:
+        for row in rows:
+            __V0__.write(row + "\n")
+    os.chmod(path, 0o600)
+    return path
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 759,
+        vulnerable: &[
+            r#"
+import hashlib
+
+def __F0__(password):
+    __V0__ = hashlib.sha256(password.encode()).hexdigest()
+    return __V0__
+"#,
+        ],
+        uncovered: &[
+            r#"
+from hashlib import sha256
+
+def __F0__(secret_text):
+    __V0__ = sha256(secret_text.encode()).hexdigest()
+    return __V0__
+"#,
+        ],
+        safe: &[
+            r#"
+import hashlib
+import os
+
+def __F0__(password):
+    __V0__ = os.urandom(16)
+    __V1__ = hashlib.pbkdf2_hmac("sha256", password.encode(), __V0__, 600000)
+    return __V0__ + __V1__
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 760,
+        vulnerable: &[
+            r#"
+import hashlib
+
+def __F0__(passphrase):
+    __V0__ = hashlib.pbkdf2_hmac("sha256", passphrase.encode(), b"salt", 1000)
+    return __V0__
+"#,
+        ],
+        uncovered: &[
+            r#"
+import hashlib
+
+def __F0__(passphrase):
+    __V0__ = hashlib.pbkdf2_hmac("sha256", passphrase.encode(), b"app-static-salt", 600000)
+    return __V0__
+"#,
+        ],
+        safe: &[
+            r#"
+import hashlib
+import os
+
+def __F0__(passphrase):
+    __V0__ = os.urandom(16)
+    __V1__ = hashlib.pbkdf2_hmac("sha256", passphrase.encode(), __V0__, 600000)
+    return __V0__, __V1__
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 776,
+        vulnerable: &[
+            r#"
+import xml.sax
+
+def __F0__(path):
+    __V0__ = xml.sax.make_parser()
+    __V0__.parse(path)
+    return True
+"#,
+        ],
+        uncovered: &[
+            r#"
+from xml.parsers import expat
+
+def __F0__(payload):
+    __V0__ = expat.ParserCreate()
+    __V0__.Parse(payload, True)
+    return True
+"#,
+        ],
+        safe: &[
+            r#"
+import defusedxml.sax
+
+def __F0__(path):
+    __V0__ = defusedxml.sax.make_parser()
+    __V0__.parse(path)
+    return True
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 329,
+        vulnerable: &[
+            r#"
+import os
+from Crypto.Cipher import AES
+
+def __F0__(key, payload):
+    iv = b"0123456789abcdef"
+    __V0__ = AES.new(key, AES.MODE_CBC, iv)
+    return iv + __V0__.encrypt(payload)
+"#,
+        ],
+        uncovered: &[
+            r#"
+from Crypto.Cipher import AES
+
+def __F0__(key, payload):
+    __V0__ = bytes(16)
+    __V1__ = AES.new(key, AES.MODE_CBC, __V0__)
+    return __V0__ + __V1__.encrypt(payload)
+"#,
+        ],
+        safe: &[
+            r#"
+import os
+from Crypto.Cipher import AES
+
+def __F0__(key, payload):
+    __V0__ = os.urandom(16)
+    __V1__ = AES.new(key, AES.MODE_CBC, __V0__)
+    return __V0__ + __V1__.encrypt(payload)
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 347,
+        vulnerable: &[
+            r#"
+import jwt
+
+def __F0__(token, key):
+    __V0__ = jwt.decode(token, key, verify=False)
+    return __V0__.get("sub")
+"#,
+            r#"
+import jwt
+
+def __F0__(token):
+    __V0__ = jwt.decode(token, options={"verify_signature": False})
+    return __V0__.get("sub")
+"#,
+        ],
+        uncovered: &[
+            r#"
+import jwt
+
+def __F0__(token):
+    __V0__ = {"verify_signature": bool(0)}
+    __V1__ = jwt.decode(token, options=__V0__)
+    return __V1__.get("sub")
+"#,
+        ],
+        safe: &[
+            r#"
+import jwt
+
+def __F0__(token, key):
+    __V0__ = jwt.decode(token, key, algorithms=["HS256"])
+    return __V0__.get("sub")
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 379,
+        vulnerable: &[
+            r#"
+import os
+
+def __F0__(name, image):
+    __V0__ = "/tmp/thumbs-" + name
+    with open(__V0__, "wb") as __V1__:
+        __V1__.write(image)
+    return __V0__
+"#,
+        ],
+        uncovered: &[
+            r#"
+import os
+
+def __F0__(name, image):
+    __V0__ = os.path.join("scratch", "thumbs-" + name)
+    with open(__V0__, "wb") as __V1__:
+        __V1__.write(image)
+    return __V0__
+"#,
+        ],
+        safe: &[
+            r#"
+import os
+import tempfile
+
+def __F0__(name, image):
+    __V0__ = tempfile.mkdtemp(prefix="thumbs-")
+    __V1__ = os.path.join(__V0__, name)
+    with open(__V1__, "wb") as __V2__:
+        __V2__.write(image)
+    return __V1__
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 477,
+        vulnerable: &[
+            r#"
+import socket
+import ssl
+
+def __F0__(host):
+    __V0__ = socket.create_connection((host, 443))
+    __V1__ = ssl.wrap_socket(__V0__)
+    return __V1__
+"#,
+        ],
+        uncovered: &[
+            r#"
+import socket
+from ssl import wrap_socket
+
+def __F0__(host):
+    __V0__ = socket.create_connection((host, 443))
+    return wrap_socket(__V0__)
+"#,
+        ],
+        safe: &[
+            r#"
+import socket
+import ssl
+
+def __F0__(host):
+    __V0__ = ssl.create_default_context()
+    __V1__ = socket.create_connection((host, 443))
+    return __V0__.wrap_socket(__V1__, server_hostname=host)
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 489,
+        vulnerable: &[
+            r#"
+DEBUG = True
+ALLOWED_HOSTS = ["*"]
+
+def __F0__(settings):
+    settings.update({"debug": DEBUG})
+    return settings
+"#,
+        ],
+        uncovered: &[
+            r#"
+def __F0__(app):
+    app.config["DEBUG"] = True
+    return app
+"#,
+        ],
+        safe: &[
+            r#"
+DEBUG = False
+ALLOWED_HOSTS = ["app.example.com"]
+
+def __F0__(settings):
+    settings.update({"debug": DEBUG})
+    return settings
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 494,
+        vulnerable: &[
+            r#"
+from urllib.request import urlretrieve
+
+def __F0__(version):
+    __V0__ = "plugin-" + version + ".tar.gz"
+    urlretrieve("http://plugins.example.com/" + __V0__, __V0__)
+    return __V0__
+"#,
+        ],
+        uncovered: &[
+            r#"
+import urllib.request
+
+def __F0__(version):
+    __V0__ = "plugin-" + version + ".tar.gz"
+    with urllib.request.urlopen("https://plugins.example.com/" + __V0__) as __V1__:
+        __V2__ = __V1__.read()
+    with open(__V0__, "wb") as out:
+        out.write(__V2__)
+    return __V0__
+"#,
+        ],
+        safe: &[
+            r#"
+import hashlib
+from urllib.request import urlretrieve
+
+def __F0__(version, expected_sha256):
+    __V0__ = "plugin-" + version + ".tar.gz"
+    urlretrieve("https://plugins.example.com/" + __V0__, __V0__)
+    with open(__V0__, "rb") as __V1__:
+        digest = hashlib.sha256(__V1__.read()).hexdigest()
+    if digest != expected_sha256:
+        raise ValueError("checksum mismatch")
+    return __V0__
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 942,
+        vulnerable: &[
+            r#"
+from flask import Flask, jsonify
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    __V0__ = jsonify({"ok": True})
+    __V0__.headers["Access-Control-Allow-Origin"] = "*"
+    return __V0__
+"#,
+        ],
+        uncovered: &[
+            r#"
+from flask import Flask, jsonify
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    __V0__ = jsonify({"ok": True})
+    __V0__.headers.update({"Access-Control-Allow-Origin": "*"})
+    return __V0__
+"#,
+        ],
+        safe: &[
+            r#"
+from flask import Flask, jsonify
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    __V0__ = jsonify({"ok": True})
+    __V0__.headers["Access-Control-Allow-Origin"] = "https://app.example.com"
+    return __V0__
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 1004,
+        vulnerable: &[
+            r#"
+from flask import Flask, make_response
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__", methods=["POST"])
+def __F0__():
+    __V0__ = make_response("signed in")
+    __V0__.set_cookie("remember_me", new_token())
+    return __V0__
+"#,
+        ],
+        uncovered: &[
+            r#"
+from flask import Flask, make_response
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__", methods=["POST"])
+def __F0__():
+    __V0__ = make_response("signed in")
+    __V0__.headers["Set-Cookie"] = "remember_me=" + new_token()
+    return __V0__
+"#,
+        ],
+        safe: &[
+            r#"
+from flask import Flask, make_response
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__", methods=["POST"])
+def __F0__():
+    __V0__ = make_response("signed in")
+    __V0__.set_cookie("remember_me", new_token(), secure=True, httponly=True, samesite="Lax")
+    return __V0__
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 1336,
+        vulnerable: &[
+            r#"
+from flask import Flask, request, render_template_string
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    __V0__ = request.args.get("name", "guest")
+    return render_template_string(f"<h1>Welcome {__V0__}</h1>")
+"#,
+        ],
+        uncovered: &[
+            r#"
+from flask import Flask, request
+from jinja2 import Template
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    __V0__ = request.args.get("name", "guest")
+    __V1__ = Template("<h1>Welcome " + __V0__ + "</h1>")
+    return __V1__.render()
+"#,
+        ],
+        safe: &[
+            r#"
+from flask import Flask, request, render_template
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    __V0__ = request.args.get("name", "guest")
+    return render_template("welcome.html", name=__V0__)
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 256,
+        vulnerable: &[
+            // Plaintext credential file left world-writable: the chmod is
+            // the catalog-visible weakness in this multi-CWE sample.
+            r#"
+import os
+
+def __F0__(username, secret_text, path="accounts.txt"):
+    with open(path, "a") as __V0__:
+        __V0__.write(username + ":" + secret_text + "\n")
+    os.chmod(path, 0o777)
+    return path
+"#,
+        ],
+        uncovered: &[
+            r#"
+def __F0__(username, secret_text, path="accounts.txt"):
+    with open(path, "a") as __V0__:
+        __V0__.write(username + ":" + secret_text + "\n")
+    return path
+"#,
+        ],
+        safe: &[
+            r#"
+import hashlib
+import os
+
+def __F0__(username, secret_text, path="accounts.txt"):
+    __V0__ = os.urandom(16)
+    __V1__ = hashlib.pbkdf2_hmac("sha256", secret_text.encode(), __V0__, 600000)
+    with open(path, "a") as __V2__:
+        __V2__.write(username + ":" + __V0__.hex() + ":" + __V1__.hex() + "\n")
+    os.chmod(path, 0o600)
+    return path
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 259,
+        vulnerable: &[
+            r#"
+import sqlite3
+
+def __F0__():
+    password = "backend-master-2024"
+    __V0__ = sqlite3.connect("admin.db")
+    __V0__.execute("PRAGMA key = ?", (password,))
+    return __V0__
+"#,
+        ],
+        uncovered: &[
+            r#"
+import sqlite3
+
+ADMIN_PASSWORD = "backend-master-2024"
+
+def __F0__():
+    __V0__ = sqlite3.connect("admin.db")
+    __V0__.execute("PRAGMA key = ?", (ADMIN_PASSWORD,))
+    return __V0__
+"#,
+        ],
+        safe: &[
+            r#"
+import os
+import sqlite3
+
+def __F0__():
+    password = os.environ["ADMIN_DB_PASSWORD"]
+    __V0__ = sqlite3.connect("admin.db")
+    __V0__.execute("PRAGMA key = ?", (password,))
+    return __V0__
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 312,
+        vulnerable: &[
+            r#"
+def __F0__(client):
+    auth_token = "ya29.a0AfH6SMBxxxxxxxx"
+    client.authorize(auth_token)
+    return client
+"#,
+        ],
+        uncovered: &[
+            r#"
+import json
+
+def __F0__(token, path="token-cache.json"):
+    with open(path, "w") as __V0__:
+        json.dump({"oauth": token}, __V0__)
+    return path
+"#,
+        ],
+        safe: &[
+            r#"
+import os
+
+def __F0__(client):
+    auth_token = os.environ["OAUTH_TOKEN"]
+    client.authorize(auth_token)
+    return client
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 326,
+        vulnerable: &[
+            // 1024-bit key plus a SHA-1 fingerprint: the weak hash is the
+            // catalog-visible weakness in this multi-CWE sample.
+            r#"
+import hashlib
+from Crypto.PublicKey import RSA
+
+def __F0__():
+    __V0__ = RSA.generate(1024)
+    __V1__ = hashlib.sha1(__V0__.publickey().export_key()).hexdigest()
+    return __V0__, __V1__
+"#,
+        ],
+        uncovered: &[
+            r#"
+from Crypto.PublicKey import RSA
+
+def __F0__():
+    __V0__ = RSA.generate(1024)
+    return __V0__
+"#,
+        ],
+        safe: &[
+            r#"
+import hashlib
+from Crypto.PublicKey import RSA
+
+def __F0__():
+    __V0__ = RSA.generate(3072)
+    __V1__ = hashlib.sha256(__V0__.publickey().export_key()).hexdigest()
+    return __V0__, __V1__
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 20,
+        vulnerable: &[
+            r#"
+import sqlite3
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    __V0__ = request.args.get("page", "1")
+    __V1__ = sqlite3.connect("app.db").cursor()
+    __V1__.execute(f"SELECT * FROM posts LIMIT 10 OFFSET {__V0__}")
+    return str(__V1__.fetchall())
+"#,
+        ],
+        uncovered: &[
+            r#"
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    __V0__ = int(request.args.get("page", "1"))
+    return str(load_page(__V0__))
+"#,
+        ],
+        safe: &[
+            r#"
+from flask import Flask, request, abort
+
+app = Flask(__name__)
+
+@app.route("__ROUTE__")
+def __F0__():
+    __V0__ = request.args.get("page", "1")
+    if not __V0__.isdigit() or not 1 <= int(__V0__) <= 10000:
+        abort(400)
+    return str(load_page(int(__V0__)))
+"#,
+        ],
+        bait: &[],
+    },
+    CweBank {
+        cwe: 90,
+        vulnerable: &[
+            r#"
+import ldap
+
+def __F0__(conn, account):
+    __V0__ = conn.search_s("ou=people,dc=example,dc=com", ldap.SCOPE_SUBTREE, "(uid=%s)" % account)
+    return __V0__
+"#,
+        ],
+        uncovered: &[
+            r#"
+import ldap
+
+def __F0__(conn, account):
+    __V0__ = "(uid={})".format(account)
+    return conn.search_s("ou=people,dc=example,dc=com", ldap.SCOPE_SUBTREE, __V0__)
+"#,
+        ],
+        safe: &[
+            r#"
+import ldap
+import ldap.filter
+
+def __F0__(conn, account):
+    return conn.search_s("ou=people,dc=example,dc=com", ldap.SCOPE_SUBTREE, "(uid=%s)" % ldap.filter.escape_filter_chars(account))
+"#,
+        ],
+        bait: &[],
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prompts::PROMPT_SPEC;
+
+    #[test]
+    fn every_prompt_cwe_has_a_bank() {
+        for &(cwe, _) in PROMPT_SPEC {
+            let b = bank(cwe);
+            assert!(!b.vulnerable.is_empty(), "CWE-{cwe} has no vulnerable templates");
+            assert!(!b.safe.is_empty(), "CWE-{cwe} has no safe templates");
+            assert!(!b.uncovered.is_empty(), "CWE-{cwe} has no uncovered templates");
+        }
+    }
+
+    #[test]
+    fn bespoke_banks_match_their_cwe() {
+        for b in BANKS {
+            assert_eq!(bank(b.cwe).cwe, b.cwe);
+        }
+    }
+
+    #[test]
+    fn templates_carry_placeholders_consistently() {
+        for b in BANKS {
+            for t in b.vulnerable.iter().chain(b.safe).chain(b.uncovered).chain(b.bait) {
+                // No stray single-underscore placeholder typos.
+                assert!(!t.contains("_V0_ "), "CWE-{} template typo", b.cwe);
+                assert!(!t.contains("__F1__"), "CWE-{} uses undefined __F1__", b.cwe);
+            }
+        }
+    }
+
+    #[test]
+    fn fallback_bank_used_for_tail_cwes() {
+        let b = bank(1236);
+        assert_eq!(b.vulnerable, &[COMPOSITE_VULNERABLE]);
+        assert_eq!(b.safe, &[COMPOSITE_SAFE]);
+    }
+}

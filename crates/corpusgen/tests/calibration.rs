@@ -1,0 +1,136 @@
+//! Calibration tests: the corpus labels must agree with the real
+//! PatchitPy detector, because Table II's confusion matrix is *measured*
+//! by running the detector over these samples — not asserted.
+//!
+//! - covered-vulnerable samples must be detected (else they would leak
+//!   into the FN column and wreck Recall);
+//! - uncovered-vulnerable samples must NOT be detected (they are the FN
+//!   budget);
+//! - plain safe samples must NOT be detected (else FP);
+//! - bait safe samples must be detected (they are the FP budget).
+
+use corpusgen::{generate_corpus, Model};
+use patchit_core::Detector;
+
+#[test]
+fn covered_vulnerable_samples_are_detected() {
+    let det = Detector::new();
+    let corpus = generate_corpus();
+    let mut misses = Vec::new();
+    for s in corpus.samples.iter().filter(|s| s.vulnerable && s.covered) {
+        if !det.is_vulnerable(&s.code) {
+            misses.push((s.prompt_id, s.model, corpus.prompt(s).cwe));
+        }
+    }
+    assert!(
+        misses.is_empty(),
+        "{} covered samples undetected: {misses:?}",
+        misses.len()
+    );
+}
+
+#[test]
+fn uncovered_vulnerable_samples_are_missed() {
+    let det = Detector::new();
+    let corpus = generate_corpus();
+    let mut hits = Vec::new();
+    for s in corpus.samples.iter().filter(|s| s.vulnerable && !s.covered) {
+        if det.is_vulnerable(&s.code) {
+            hits.push((s.prompt_id, s.model, corpus.prompt(s).cwe));
+        }
+    }
+    assert!(
+        hits.is_empty(),
+        "{} uncovered samples unexpectedly detected: {hits:?}",
+        hits.len()
+    );
+}
+
+#[test]
+fn plain_safe_samples_are_clean() {
+    let det = Detector::new();
+    let corpus = generate_corpus();
+    let mut hits = Vec::new();
+    for s in corpus.samples.iter().filter(|s| !s.vulnerable && !s.bait) {
+        let findings = det.detect(&s.code);
+        if !findings.is_empty() {
+            hits.push((
+                s.prompt_id,
+                s.model,
+                corpus.prompt(s).cwe,
+                findings[0].rule_id.clone(),
+            ));
+        }
+    }
+    assert!(
+        hits.is_empty(),
+        "{} safe samples flagged: {hits:?}",
+        hits.len()
+    );
+}
+
+#[test]
+fn bait_samples_trip_the_detector() {
+    let det = Detector::new();
+    let corpus = generate_corpus();
+    let mut misses = Vec::new();
+    for s in corpus.samples.iter().filter(|s| s.bait) {
+        if !det.is_vulnerable(&s.code) {
+            misses.push((s.prompt_id, s.model, corpus.prompt(s).cwe));
+        }
+    }
+    assert!(
+        misses.is_empty(),
+        "{} bait samples not flagged: {misses:?}",
+        misses.len()
+    );
+}
+
+#[test]
+fn generated_code_parses_with_tolerant_parser() {
+    let corpus = generate_corpus();
+    for s in &corpus.samples {
+        let m = pyast::parse_module(&s.code);
+        assert!(
+            m.error_count <= 1,
+            "sample {}/{:?} has {} parse errors:\n{}",
+            s.prompt_id,
+            s.model,
+            m.error_count,
+            s.code
+        );
+    }
+}
+
+#[test]
+fn detection_metrics_land_in_paper_band() {
+    // End-to-end sanity: running the real detector over the corpus must
+    // produce Table-II-shaped numbers (±0.04 of the paper values).
+    let det = Detector::new();
+    let corpus = generate_corpus();
+    let mut all = vstats::Confusion::new();
+    for s in &corpus.samples {
+        all.record(det.is_vulnerable(&s.code), s.vulnerable);
+    }
+    assert!((all.precision() - 0.97).abs() < 0.04, "precision {}", all.precision());
+    assert!((all.recall() - 0.88).abs() < 0.04, "recall {}", all.recall());
+    assert!((all.f1() - 0.93).abs() < 0.04, "f1 {}", all.f1());
+    assert!((all.accuracy() - 0.89).abs() < 0.04, "accuracy {}", all.accuracy());
+}
+
+#[test]
+fn per_model_recall_ordering_matches_table2() {
+    let det = Detector::new();
+    let corpus = generate_corpus();
+    let mut recalls = std::collections::HashMap::new();
+    for m in Model::all() {
+        let mut c = vstats::Confusion::new();
+        for s in corpus.by_model(m) {
+            c.record(det.is_vulnerable(&s.code), s.vulnerable);
+        }
+        recalls.insert(m, c.recall());
+    }
+    // Table II: Claude (0.93) > DeepSeek (0.89) > Copilot (0.84).
+    assert!(recalls[&Model::Claude] > recalls[&Model::DeepSeek]);
+    assert!(recalls[&Model::DeepSeek] > recalls[&Model::Copilot]);
+}

@@ -1,0 +1,126 @@
+//! Rule-catalog ablation: detection metrics with parts of the catalog
+//! removed, quantifying each OWASP category's contribution.
+
+use corpusgen::Corpus;
+use patchit_core::{all_rules, Detector, DetectorOptions, Owasp};
+use vstats::Confusion;
+
+/// One ablation configuration's result.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Human-readable configuration label.
+    pub label: String,
+    /// Number of rules active.
+    pub rule_count: usize,
+    /// Detection confusion matrix over the corpus.
+    pub metrics: Confusion,
+}
+
+fn measure(detector: &Detector, corpus: &Corpus) -> Confusion {
+    let mut c = Confusion::new();
+    for s in &corpus.samples {
+        c.record(detector.is_vulnerable(&s.code), s.vulnerable);
+    }
+    c
+}
+
+/// Runs the full catalog plus one leave-one-category-out configuration
+/// per OWASP category. The first row is always the full catalog.
+pub fn run_rule_ablation(corpus: &Corpus) -> Vec<AblationRow> {
+    let full = Detector::new();
+    let mut rows = vec![AblationRow {
+        label: "full catalog".into(),
+        rule_count: full.rule_count(),
+        metrics: measure(&full, corpus),
+    }];
+    for cat in Owasp::all() {
+        let rules: Vec<_> = all_rules().into_iter().filter(|r| r.owasp != cat).collect();
+        let n = rules.len();
+        let det = Detector::with_rules(rules);
+        rows.push(AblationRow {
+            label: format!("without {} ({})", cat.code(), cat.title()),
+            rule_count: n,
+            metrics: measure(&det, corpus),
+        });
+    }
+    rows
+}
+
+/// Design-choice ablation: the detector's comment blanking and rule
+/// suppressions toggled off individually.
+pub fn run_feature_ablation(corpus: &Corpus) -> Vec<AblationRow> {
+    let configs: [(&str, DetectorOptions); 3] = [
+        ("full (blanking + suppressions)", DetectorOptions::default()),
+        (
+            "without comment blanking",
+            DetectorOptions { blank_comments: false, apply_suppressions: true },
+        ),
+        (
+            "without suppressions",
+            DetectorOptions { blank_comments: true, apply_suppressions: false },
+        ),
+    ];
+    configs
+        .into_iter()
+        .map(|(label, options)| {
+            let det = Detector::with_options(options);
+            AblationRow {
+                label: label.to_string(),
+                rule_count: det.rule_count(),
+                metrics: measure(&det, corpus),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corpusgen::generate_corpus;
+
+    #[test]
+    fn removing_rules_never_increases_recall() {
+        let corpus = generate_corpus();
+        let rows = run_rule_ablation(&corpus);
+        let full_recall = rows[0].metrics.recall();
+        for r in &rows[1..] {
+            assert!(
+                r.metrics.recall() <= full_recall + 1e-12,
+                "{}: recall {:.3} exceeds full {:.3}",
+                r.label,
+                r.metrics.recall(),
+                full_recall
+            );
+            assert!(r.rule_count < rows[0].rule_count);
+        }
+    }
+
+    #[test]
+    fn feature_ablation_shows_design_value() {
+        let corpus = generate_corpus();
+        let rows = run_feature_ablation(&corpus);
+        let full = rows[0].metrics;
+        // Disabling suppressions must not lose any true positive and can
+        // only add false positives → precision ≤ full, recall ≥ full.
+        let no_sup = rows
+            .iter()
+            .find(|r| r.label.contains("suppressions"))
+            .expect("config present");
+        assert!(no_sup.metrics.precision() <= full.precision() + 1e-12);
+        assert!(no_sup.metrics.recall() >= full.recall() - 1e-12);
+    }
+
+    #[test]
+    fn every_category_contributes_somewhere() {
+        // At least half of the categories must cost recall when removed
+        // (the rest may be fully shadowed by multi-CWE overlap).
+        let corpus = generate_corpus();
+        let rows = run_rule_ablation(&corpus);
+        let full_recall = rows[0].metrics.recall();
+        let contributing = rows[1..]
+            .iter()
+            .filter(|r| r.metrics.recall() < full_recall - 1e-9)
+            .count();
+        assert!(contributing >= 5, "only {contributing} categories contribute");
+    }
+}

@@ -1,0 +1,53 @@
+//! Rule-catalog ablation: detection metrics with each OWASP category's
+//! rules removed, quantifying every category's contribution to Table II.
+
+use corpusgen::generate_corpus;
+use evalharness::ablation::run_feature_ablation;
+use evalharness::run_rule_ablation;
+
+fn main() {
+    let corpus = generate_corpus();
+    let rows = run_rule_ablation(&corpus);
+    let baseline = rows[0].metrics;
+    println!("RULE-CATALOG ABLATION (609 samples)");
+    println!(
+        "{:<58}{:>6}{:>8}{:>8}{:>8}{:>9}",
+        "Configuration", "rules", "P", "R", "F1", "ΔF1"
+    );
+    println!("{}", "-".repeat(97));
+    for (i, row) in rows.iter().enumerate() {
+        let delta = if i == 0 {
+            "       —".to_string()
+        } else {
+            format!("{:>+9.3}", row.metrics.f1() - baseline.f1())
+        };
+        println!(
+            "{:<58}{:>6}{:>8.3}{:>8.3}{:>8.3}{}",
+            row.label,
+            row.rule_count,
+            row.metrics.precision(),
+            row.metrics.recall(),
+            row.metrics.f1(),
+            delta,
+        );
+    }
+    println!("{}", "-".repeat(97));
+    println!(
+        "Reading: the most negative ΔF1 marks the category contributing the most\n\
+         detection value on this corpus; near-zero rows are covered by overlap\n\
+         with other categories (multi-CWE samples).\n"
+    );
+
+    println!("DETECTOR FEATURE ABLATION");
+    println!("{:<38}{:>8}{:>8}{:>8}", "Configuration", "P", "R", "F1");
+    println!("{}", "-".repeat(62));
+    for row in run_feature_ablation(&corpus) {
+        println!(
+            "{:<38}{:>8.3}{:>8.3}{:>8.3}",
+            row.label,
+            row.metrics.precision(),
+            row.metrics.recall(),
+            row.metrics.f1(),
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//! Prints the §III-A/§III-B corpus characterization.
+
+use corpusgen::generate_corpus;
+use evalharness::{corpus_stats, render_corpus_stats};
+
+fn main() {
+    let corpus = generate_corpus();
+    print!("{}", render_corpus_stats(&corpus_stats(&corpus)));
+}

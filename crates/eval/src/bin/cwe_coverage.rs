@@ -1,0 +1,51 @@
+//! Per-CWE detection coverage: for every ground-truth CWE in the corpus,
+//! how many of its vulnerable samples PatchitPy detects — the drill-down
+//! behind §III-C's "correctly identified code vulnerable to N distinct
+//! CWEs".
+
+use corpusgen::generate_corpus;
+use patchit_core::{cwe_name, Detector};
+use std::collections::BTreeMap;
+
+fn main() {
+    let corpus = generate_corpus();
+    let detector = Detector::new();
+    // cwe -> (vulnerable sample count, detected count)
+    let mut per_cwe: BTreeMap<u16, (usize, usize)> = BTreeMap::new();
+    for s in corpus.samples.iter().filter(|s| s.vulnerable) {
+        let detected = detector.is_vulnerable(&s.code);
+        let primary = corpus.prompt(s).cwe;
+        let e = per_cwe.entry(primary).or_default();
+        e.0 += 1;
+        e.1 += detected as usize;
+    }
+    println!("PER-CWE DETECTION COVERAGE (primary CWE of each vulnerable sample)");
+    println!("{:<10}{:>6}{:>6}{:>7}  NAME", "CWE", "vuln", "det", "rate");
+    println!("{}", "-".repeat(78));
+    let mut full = 0usize;
+    let mut partial = 0usize;
+    let mut zero = 0usize;
+    for (cwe, (vuln, det)) in &per_cwe {
+        let rate = *det as f64 / *vuln as f64;
+        if *det == *vuln {
+            full += 1;
+        } else if *det > 0 {
+            partial += 1;
+        } else {
+            zero += 1;
+        }
+        println!(
+            "CWE-{:03}   {:>6}{:>6}{:>6.0}%  {}",
+            cwe,
+            vuln,
+            det,
+            rate * 100.0,
+            cwe_name(*cwe)
+        );
+    }
+    println!("{}", "-".repeat(78));
+    println!(
+        "{} CWEs fully detected, {} partially (uncovered variants), {} undetected",
+        full, partial, zero
+    );
+}

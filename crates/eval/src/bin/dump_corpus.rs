@@ -1,0 +1,59 @@
+//! Exports the 609-sample corpus to disk for inspection: one `.py` file
+//! per sample plus a `manifest.tsv` with the oracle labels.
+//!
+//! Usage: `dump_corpus [OUT_DIR]` (default `corpus-out/`).
+
+use corpusgen::{generate_corpus, Model};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn main() -> std::io::Result<()> {
+    let out: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "corpus-out".to_string())
+        .into();
+    let corpus = generate_corpus();
+    let mut manifest = String::from(
+        "file\tprompt_id\tmodel\tcwe\tsource\tvulnerable\tcwes\tcovered\tbait\ttruncated\n",
+    );
+    for model in Model::all() {
+        let dir = out.join(model.name().to_lowercase());
+        std::fs::create_dir_all(&dir)?;
+        for s in corpus.by_model(model) {
+            let prompt = corpus.prompt(s);
+            let fname = format!("prompt_{:03}_cwe{:03}.py", s.prompt_id, prompt.cwe);
+            let path = dir.join(&fname);
+            let mut body = format!("# Prompt {}: {}\n", s.prompt_id, prompt.text);
+            body.push_str(&s.code);
+            std::fs::write(&path, body)?;
+            let cwes = s
+                .cwes
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            let _ = writeln!(
+                manifest,
+                "{}/{}\t{}\t{}\t{}\t{:?}\t{}\t{}\t{}\t{}\t{}",
+                model.name().to_lowercase(),
+                fname,
+                s.prompt_id,
+                model.name(),
+                prompt.cwe,
+                prompt.source,
+                s.vulnerable,
+                cwes,
+                s.covered,
+                s.bait,
+                s.truncated,
+            );
+        }
+    }
+    std::fs::write(out.join("manifest.tsv"), manifest)?;
+    eprintln!(
+        "wrote {} samples under {} (+ manifest.tsv)",
+        corpus.samples.len(),
+        out.display()
+    );
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Regenerates Table I: the standardization + LCS + diff example on the
+//! paper's Flask XSS / debug-mode sample pair.
+
+use patchit_core::{standardize, synthesize};
+
+const V1: &str = r#"from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/comments")
+def comments():
+    comment = request.args.get('comment', '')
+    return f"<p>{comment}</p>"
+
+if __name__ == "__main__":
+    app.run(debug=True)
+"#;
+
+const V2: &str = r#"from flask import Flask, request, make_response
+appl = Flask(__name__)
+
+@appl.route("/showName")
+def name():
+    username = request.args.get('username')
+    return make_response(f"Hello {username}")
+
+if __name__ == "__main__":
+    appl.run(debug=True)
+"#;
+
+const S1: &str = r#"from flask import Flask, request, escape
+app = Flask(__name__)
+
+@app.route("/comments")
+def comments():
+    comment = request.args.get('comment', '')
+    return f"<p>{escape(comment)}</p>"
+
+if __name__ == "__main__":
+    app.run(debug=False, use_reloader=False)
+"#;
+
+const S2: &str = r#"from flask import Flask, request, make_response, escape
+appl = Flask(__name__)
+
+@appl.route("/showName")
+def name():
+    username = request.args.get('username')
+    return make_response(f"Hello {escape(username)}")
+
+if __name__ == "__main__":
+    appl.run(debug=False, use_debugger=False, use_reloader=False)
+"#;
+
+fn main() {
+    println!("TABLE I — STANDARDIZED SAMPLES AND EXTRACTED PATTERNS\n");
+    println!("Vulnerable standardized (v1):\n{}\n", standardize(V1).text);
+    println!("Vulnerable standardized (v2):\n{}\n", standardize(V2).text);
+    println!("Secure standardized (s1):\n{}\n", standardize(S1).text);
+
+    let syn = synthesize(V1, V2, S1, S2);
+    println!("LCS_v12 (common vulnerable pattern, bold in the paper):");
+    println!("  {}\n", syn.vulnerable_lcs.join(" "));
+    println!("LCS_s12 (common safe pattern):");
+    println!("  {}\n", syn.safe_lcs.join(" "));
+    println!("Safe-side additions (blue in the paper — the mitigation code):");
+    for run in &syn.safe_additions {
+        println!("  + {}", run.join(" "));
+    }
+    println!("\nDerived detection regex (var# slots as capture groups):");
+    println!("  {}", syn.detection_regex);
+}

@@ -1,0 +1,27 @@
+//! Regenerates Table II: detection metrics for all seven tools.
+
+use corpusgen::generate_corpus;
+use evalharness::{distinct_cwes_detected, render_table2, run_detection};
+
+fn main() {
+    let corpus = generate_corpus();
+    let rows = run_detection(&corpus);
+    print!("{}", render_table2(&rows));
+    println!();
+    println!("Distinct CWEs correctly detected by PatchitPy (paper: 51 / 41 / 47):");
+    for (model, n) in distinct_cwes_detected(&corpus) {
+        println!("  {model}: {n}");
+    }
+    // 95% bootstrap confidence intervals on the PatchitPy row.
+    let pip = &rows[0].all;
+    println!("\n95% bootstrap CIs (PatchitPy, all models):");
+    let precision_ci = vstats::proportion_ci(pip.tp as usize, (pip.tp + pip.fp) as usize, 2);
+    let recall_ci = vstats::proportion_ci(pip.tp as usize, (pip.tp + pip.fn_) as usize, 1);
+    let acc_ci = vstats::proportion_ci((pip.tp + pip.tn) as usize, pip.total() as usize, 3);
+    println!(
+        "  precision {:.3} [{:.3}, {:.3}]",
+        precision_ci.point, precision_ci.lo, precision_ci.hi
+    );
+    println!("  recall    {:.3} [{:.3}, {:.3}]", recall_ci.point, recall_ci.lo, recall_ci.hi);
+    println!("  accuracy  {:.3} [{:.3}, {:.3}]", acc_ci.point, acc_ci.lo, acc_ci.hi);
+}

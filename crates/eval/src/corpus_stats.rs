@@ -1,0 +1,140 @@
+//! §III-A/§III-B corpus statistics: prompt token distribution, per-model
+//! vulnerable rates, and the CWE frequency ranking.
+
+use corpusgen::{Corpus, Model, PromptSource};
+use pymetrics::nl_token_count;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use vstats::describe;
+
+/// Computed corpus statistics.
+#[derive(Debug, Clone)]
+pub struct CorpusStats {
+    /// Prompt count per source dataset.
+    pub per_source: Vec<(PromptSource, usize)>,
+    /// Token-length summary of the prompts.
+    pub token_summary: vstats::Summary,
+    /// Fraction of prompts with fewer than 35 tokens.
+    pub under_35_fraction: f64,
+    /// `(model, vulnerable, total)` per generator.
+    pub vulnerable_rates: Vec<(Model, usize, usize)>,
+    /// Distinct ground-truth CWEs across all vulnerable samples.
+    pub distinct_cwes: usize,
+    /// CWE ids ranked by prompt frequency (descending).
+    pub top_cwes: Vec<(u16, usize)>,
+}
+
+/// Computes the §III-A/§III-B statistics.
+pub fn corpus_stats(corpus: &Corpus) -> CorpusStats {
+    let lens: Vec<f64> = corpus
+        .prompts
+        .iter()
+        .map(|p| nl_token_count(&p.text) as f64)
+        .collect();
+    let under_35 = lens.iter().filter(|l| **l < 35.0).count() as f64 / lens.len() as f64;
+
+    let mut per_source: HashMap<PromptSource, usize> = HashMap::new();
+    for p in &corpus.prompts {
+        *per_source.entry(p.source).or_default() += 1;
+    }
+
+    let vulnerable_rates = Model::all()
+        .into_iter()
+        .map(|m| {
+            let samples = corpus.by_model(m);
+            let v = samples.iter().filter(|s| s.vulnerable).count();
+            (m, v, samples.len())
+        })
+        .collect();
+
+    let mut cwe_set: std::collections::BTreeSet<u16> = std::collections::BTreeSet::new();
+    for s in &corpus.samples {
+        cwe_set.extend(&s.cwes);
+    }
+
+    let mut freq: HashMap<u16, usize> = HashMap::new();
+    for p in &corpus.prompts {
+        *freq.entry(p.cwe).or_default() += 1;
+    }
+    let mut top: Vec<(u16, usize)> = freq.into_iter().collect();
+    top.sort_by_key(|(c, n)| (std::cmp::Reverse(*n), *c));
+
+    CorpusStats {
+        per_source: per_source.into_iter().collect(),
+        token_summary: describe(&lens),
+        under_35_fraction: under_35,
+        vulnerable_rates,
+        distinct_cwes: cwe_set.len(),
+        top_cwes: top,
+    }
+}
+
+/// Renders the statistics report.
+pub fn render_corpus_stats(stats: &CorpusStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "CORPUS STATISTICS (paper §III-A / §III-B)");
+    for (src, n) in &stats.per_source {
+        let _ = writeln!(out, "  prompts from {src:?}: {n}");
+    }
+    let s = &stats.token_summary;
+    let _ = writeln!(
+        out,
+        "  prompt tokens: mean {:.1} median {:.0} min {:.0} max {:.0} (paper: 21 / 15 / 3 / 63)",
+        s.mean, s.median, s.min, s.max
+    );
+    let _ = writeln!(
+        out,
+        "  prompts under 35 tokens: {:.0}% (paper: 75% < 35)",
+        stats.under_35_fraction * 100.0
+    );
+    for (m, v, total) in &stats.vulnerable_rates {
+        let _ = writeln!(
+            out,
+            "  {m}: {v}/{total} vulnerable ({:.0}%)",
+            *v as f64 / *total as f64 * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  distinct ground-truth CWEs: {} (paper: 63)",
+        stats.distinct_cwes
+    );
+    let top5: Vec<String> = stats
+        .top_cwes
+        .iter()
+        .take(5)
+        .map(|(c, n)| format!("CWE-{c:03} ({n})"))
+        .collect();
+    let _ = writeln!(
+        out,
+        "  most frequent CWEs: {} (paper: 502, 522, 434, 089, 200)",
+        top5.join(", ")
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corpusgen::generate_corpus;
+
+    #[test]
+    fn stats_match_paper_shape() {
+        let corpus = generate_corpus();
+        let stats = corpus_stats(&corpus);
+        assert_eq!(stats.distinct_cwes, 63);
+        assert!(stats.under_35_fraction >= 0.75);
+        let rates: Vec<usize> =
+            stats.vulnerable_rates.iter().map(|(_, v, _)| *v).collect();
+        assert_eq!(rates, vec![169, 126, 166]);
+        assert_eq!(stats.top_cwes[0].0, 502);
+    }
+
+    #[test]
+    fn render_includes_reference_values() {
+        let corpus = generate_corpus();
+        let text = render_corpus_stats(&corpus_stats(&corpus));
+        assert!(text.contains("paper: 63"));
+        assert!(text.contains("169/203"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # evalharness — regenerates every table and figure of the paper
+//!
+//! One module per experiment (see DESIGN.md §3 for the index):
+//!
+//! - [`detection`] → **Table II** (Precision/Recall/F1/Accuracy for
+//!   PatchitPy, CodeQL, Semgrep, Bandit, and three simulated LLMs) plus
+//!   the §III-C distinct-CWE detection counts;
+//! - [`patching`] → **Table III** (`Patched [Det.]` / `Patched [Tot.]`
+//!   for PatchitPy and the LLM baselines; Bandit/Semgrep suggestion-only
+//!   rates reported separately);
+//! - [`complexity_study`] → **Fig. 3** (cyclomatic-complexity
+//!   distributions with Wilcoxon tests) and the §III-C Pylint-score
+//!   quality comparison;
+//! - [`corpus_stats`](mod@corpus_stats) → the §III-A/§III-B corpus
+//!   characterization.
+//!
+//! Each experiment also ships as a binary (`table2`, `table3`, `fig3`,
+//! `table1`, `corpus_stats`, `report`) that prints the measured numbers
+//! next to the paper's reported values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod complexity_study;
+pub mod corpus_stats;
+pub mod detection;
+pub mod patching;
+pub mod tables;
+
+pub use ablation::{run_rule_ablation, AblationRow};
+
+pub use complexity_study::{run_complexity, run_quality, ComplexityStudy, QualityStudy, Series};
+pub use corpus_stats::{corpus_stats, render_corpus_stats, CorpusStats};
+pub use detection::{distinct_cwes_detected, run_detection, ToolDetection, LLM_SEED};
+pub use patching::{run_patching, suggestion_rates, PatchCounts, ToolPatching};
+pub use tables::{render_fig3, render_table2, render_table3};

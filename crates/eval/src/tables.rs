@@ -1,0 +1,180 @@
+//! Plain-text renderers that print each table/figure in the paper's
+//! layout, with paper-reported reference values alongside measured ones.
+
+use crate::complexity_study::ComplexityStudy;
+use crate::detection::ToolDetection;
+use crate::patching::ToolPatching;
+use corpusgen::Model;
+use std::fmt::Write as _;
+
+/// Renders Table II (detection metrics, 7 tools × 4 columns).
+pub fn render_table2(rows: &[ToolDetection]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "TABLE II — DETECTION RESULTS (609 samples; 203 per generator)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<11}{:<19}{:>9}{:>9}{:>10}{:>12}",
+        "Metric", "Tool", "Copilot", "Claude", "DeepSeek", "All models"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(70));
+    type Getter = fn(&vstats::Confusion) -> f64;
+    let metrics: [(&str, Getter); 4] = [
+        ("Precision", |c| c.precision()),
+        ("Recall", |c| c.recall()),
+        ("F1 Score", |c| c.f1()),
+        ("Accuracy", |c| c.accuracy()),
+    ];
+    for (name, get) in metrics {
+        for (i, r) in rows.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{:<11}{:<19}{:>9.2}{:>9.2}{:>10.2}{:>12.2}",
+                if i == 0 { name } else { "" },
+                r.tool,
+                get(&r.model(Model::Copilot)),
+                get(&r.model(Model::Claude)),
+                get(&r.model(Model::DeepSeek)),
+                get(&r.all),
+            );
+        }
+        let _ = writeln!(out, "{}", "-".repeat(70));
+    }
+    out.push_str(
+        "Paper (PatchitPy row): P .97/.96/.98/.97  R .84/.93/.89/.88  \
+         F1 .90/.94/.93/.93  Acc .85/.93/.89/.89\n",
+    );
+    out
+}
+
+/// Renders Table III (patching rates).
+pub fn render_table3(rows: &[ToolPatching]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "TABLE III — PATCHING RESULTS");
+    let _ = writeln!(
+        out,
+        "{:<16}{:<19}{:>9}{:>9}{:>10}{:>12}",
+        "Measure", "Tool", "Copilot", "Claude", "DeepSeek", "All models"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(75));
+    for (label, det) in [("Patched [Det.]", true), ("Patched [Tot.]", false)] {
+        for (i, r) in rows.iter().enumerate() {
+            let v = |m: Model| {
+                let c = r.model(m);
+                if det {
+                    c.patched_det()
+                } else {
+                    c.patched_tot()
+                }
+            };
+            let a = {
+                let c = r.all();
+                if det {
+                    c.patched_det()
+                } else {
+                    c.patched_tot()
+                }
+            };
+            let _ = writeln!(
+                out,
+                "{:<16}{:<19}{:>9.2}{:>9.2}{:>10.2}{:>12.2}",
+                if i == 0 { label } else { "" },
+                r.tool,
+                v(Model::Copilot),
+                v(Model::Claude),
+                v(Model::DeepSeek),
+                a,
+            );
+        }
+        let _ = writeln!(out, "{}", "-".repeat(75));
+    }
+    out.push_str(
+        "Paper (PatchitPy row): Det. .68/.89/.84/.80   Tot. .57/.83/.74/.70\n",
+    );
+    out
+}
+
+/// Renders Fig. 3 as an ASCII box-stat table plus significance column.
+pub fn render_fig3(study: &ComplexityStudy) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "FIG. 3 — CYCLOMATIC COMPLEXITY DISTRIBUTIONS (per-sample mean CC)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<19}{:>7}{:>8}{:>7}{:>7}{:>7}{:>8}  {}",
+        "Series", "mean", "median", "q1", "q3", "IQR", "p-value", "vs generated"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(84));
+    for s in &study.series {
+        let (p, verdict) = match &s.vs_generated {
+            None => ("     —".to_string(), String::new()),
+            Some(t) => (
+                format!("{:>8.4}", t.p_value),
+                if t.significant(0.05) {
+                    "significant increase".to_string()
+                } else {
+                    "no significant change".to_string()
+                },
+            ),
+        };
+        let _ = writeln!(
+            out,
+            "{:<19}{:>7.2}{:>8.2}{:>7.2}{:>7.2}{:>7.2}{}  {}",
+            s.label,
+            s.summary.mean,
+            s.summary.median,
+            s.summary.q1,
+            s.summary.q3,
+            s.summary.iqr(),
+            p,
+            verdict,
+        );
+    }
+    out.push_str(
+        "Paper: Generated 2.40 (IQR 1.11) · PatchitPy 2.29 (IQR 1.21) · \
+         ChatGPT-4o 2.84 (1.33) · Claude-3.7 3.26 (1.67) · Gemini-2.0 2.99 (1.43)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detection::run_detection;
+    use corpusgen::generate_corpus;
+
+    #[test]
+    fn table2_renders_all_tools() {
+        let corpus = generate_corpus();
+        let rows = run_detection(&corpus);
+        let t = render_table2(&rows);
+        for tool in ["PatchitPy", "CodeQL", "Semgrep", "Bandit", "ChatGPT-4o"] {
+            assert!(t.contains(tool), "missing {tool} in:\n{t}");
+        }
+        assert!(t.contains("Precision"));
+        assert!(t.contains("Accuracy"));
+        // Paper reference values accompany the measured ones.
+        assert!(t.contains("Paper (PatchitPy row)"));
+    }
+
+    #[test]
+    fn table3_and_fig3_render() {
+        let corpus = generate_corpus();
+        let pat = crate::patching::run_patching(&corpus);
+        let t3 = render_table3(&pat);
+        assert!(t3.contains("Patched [Det.]"));
+        assert!(t3.contains("Patched [Tot.]"));
+        assert!(t3.contains("PatchitPy"));
+        assert!(t3.contains("Gemini-2.0-Flash"));
+
+        let study = crate::complexity_study::run_complexity(&corpus);
+        let f3 = crate::tables::render_fig3(&study);
+        assert!(f3.contains("Generated"));
+        assert!(f3.contains("no significant change"));
+        assert!(f3.contains("significant increase"));
+    }
+}

@@ -1,0 +1,496 @@
+//! AST node definitions.
+//!
+//! A lightweight Python AST: rich enough for cyclomatic-complexity
+//! counting, Bandit-style call analysis, CodeQL-style fact extraction, and
+//! import manipulation, without attempting full CPython fidelity.
+
+use pylex::Span;
+
+/// A parsed module: top-level statements plus any recovered parse errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+    /// Number of logical lines that failed to parse and were recovered as
+    /// [`StmtKind::Error`] nodes (0 for well-formed files).
+    pub error_count: usize,
+}
+
+impl Module {
+    /// Whether the module parsed without any recovered errors.
+    pub fn is_clean(&self) -> bool {
+        self.error_count == 0
+    }
+}
+
+/// A statement with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// The statement kind and payload.
+    pub kind: StmtKind,
+    /// Covering source span.
+    pub span: Span,
+}
+
+/// An `import x as y` / `from m import x as y` binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alias {
+    /// Dotted module or name being imported.
+    pub name: String,
+    /// Optional `as` rebinding.
+    pub asname: Option<String>,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name (`*args` and `**kwargs` keep their stars in `name`? —
+    /// no: stars are recorded in [`Param::star`]).
+    pub name: String,
+    /// `0` = plain, `1` = `*args`, `2` = `**kwargs`.
+    pub star: u8,
+    /// Optional annotation.
+    pub annotation: Option<Expr>,
+    /// Optional default value.
+    pub default: Option<Expr>,
+}
+
+/// An `except` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExceptHandler {
+    /// Exception type expression (`None` for bare `except:`).
+    pub typ: Option<Expr>,
+    /// Bound name (`except E as name`).
+    pub name: Option<String>,
+    /// Handler body.
+    pub body: Vec<Stmt>,
+    /// Covering span of the clause header.
+    pub span: Span,
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `def`/`async def`.
+    FunctionDef {
+        /// Function name.
+        name: String,
+        /// Parameters in order.
+        params: Vec<Param>,
+        /// Body statements.
+        body: Vec<Stmt>,
+        /// Decorator expressions (without the `@`).
+        decorators: Vec<Expr>,
+        /// Return annotation.
+        returns: Option<Expr>,
+        /// Whether declared `async`.
+        is_async: bool,
+    },
+    /// `class`.
+    ClassDef {
+        /// Class name.
+        name: String,
+        /// Base-class / keyword arguments as written.
+        bases: Vec<Expr>,
+        /// Body statements.
+        body: Vec<Stmt>,
+        /// Decorator expressions.
+        decorators: Vec<Expr>,
+    },
+    /// `if`/`elif`/`else` (elif chains nest in `orelse`).
+    If {
+        /// Condition.
+        test: Expr,
+        /// Then-branch.
+        body: Vec<Stmt>,
+        /// Else-branch (possibly a nested `If` for `elif`).
+        orelse: Vec<Stmt>,
+    },
+    /// `while`.
+    While {
+        /// Condition.
+        test: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// `else` clause.
+        orelse: Vec<Stmt>,
+    },
+    /// `for`/`async for`.
+    For {
+        /// Loop target.
+        target: Expr,
+        /// Iterated expression.
+        iter: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// `else` clause.
+        orelse: Vec<Stmt>,
+        /// Whether declared `async`.
+        is_async: bool,
+    },
+    /// `with`/`async with`.
+    With {
+        /// `(context_expr, optional_target)` pairs.
+        items: Vec<(Expr, Option<Expr>)>,
+        /// Body statements.
+        body: Vec<Stmt>,
+        /// Whether declared `async`.
+        is_async: bool,
+    },
+    /// `try`/`except`/`else`/`finally`.
+    Try {
+        /// `try` body.
+        body: Vec<Stmt>,
+        /// `except` clauses.
+        handlers: Vec<ExceptHandler>,
+        /// `else` clause.
+        orelse: Vec<Stmt>,
+        /// `finally` clause.
+        finalbody: Vec<Stmt>,
+    },
+    /// `return`.
+    Return(Option<Expr>),
+    /// `raise [exc [from cause]]`.
+    Raise {
+        /// Raised expression.
+        exc: Option<Expr>,
+        /// `from` cause.
+        cause: Option<Expr>,
+    },
+    /// `assert test[, msg]`.
+    Assert {
+        /// Asserted condition.
+        test: Expr,
+        /// Optional message.
+        msg: Option<Expr>,
+    },
+    /// `import a, b as c`.
+    Import(Vec<Alias>),
+    /// `from module import names` (`level` counts leading dots).
+    ImportFrom {
+        /// Module path (empty for pure-relative `from . import x`).
+        module: String,
+        /// Imported names (a single `*` alias for star-imports).
+        names: Vec<Alias>,
+        /// Relative-import level.
+        level: u32,
+    },
+    /// Assignment `a = b = value` (targets in order).
+    Assign {
+        /// Assignment targets.
+        targets: Vec<Expr>,
+        /// Assigned value.
+        value: Expr,
+    },
+    /// Augmented assignment `a += value`.
+    AugAssign {
+        /// Target.
+        target: Expr,
+        /// Operator text (`+=`, `**=`, ...).
+        op: String,
+        /// Value.
+        value: Expr,
+    },
+    /// Annotated assignment `a: T [= value]`.
+    AnnAssign {
+        /// Target.
+        target: Expr,
+        /// Annotation.
+        annotation: Expr,
+        /// Optional value.
+        value: Option<Expr>,
+    },
+    /// A bare expression statement.
+    ExprStmt(Expr),
+    /// `pass`.
+    Pass,
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+    /// `del targets`.
+    Delete(Vec<Expr>),
+    /// `global names`.
+    Global(Vec<String>),
+    /// `nonlocal names`.
+    Nonlocal(Vec<String>),
+    /// A logical line that failed to parse; `text` is its flat token form.
+    /// Produced only in error-tolerant mode.
+    Error {
+        /// Flattened token text of the unparseable line.
+        text: String,
+    },
+}
+
+/// An expression with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression kind and payload.
+    pub kind: ExprKind,
+    /// Covering source span.
+    pub span: Span,
+}
+
+/// A keyword argument in a call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Keyword {
+    /// Argument name (`None` for `**expr`).
+    pub name: Option<String>,
+    /// Argument value.
+    pub value: Expr,
+}
+
+/// One `for target in iter [if cond]*` clause of a comprehension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comprehension {
+    /// Loop target.
+    pub target: Expr,
+    /// Iterated expression.
+    pub iter: Expr,
+    /// Filter conditions.
+    pub ifs: Vec<Expr>,
+    /// Whether declared `async for`.
+    pub is_async: bool,
+}
+
+/// Comprehension flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompKind {
+    /// `[x for …]`
+    List,
+    /// `{x for …}`
+    Set,
+    /// `{k: v for …}`
+    Dict,
+    /// `(x for …)`
+    Generator,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Identifier.
+    Name(String),
+    /// Numeric literal (verbatim text).
+    Number(String),
+    /// String literal (verbatim, including prefix/quotes). Adjacent string
+    /// concatenation is folded into one node.
+    Str(String),
+    /// `True` / `False` / `None` / `...`.
+    Constant(String),
+    /// Tuple display (also bare `a, b` targets).
+    Tuple(Vec<Expr>),
+    /// List display.
+    List(Vec<Expr>),
+    /// Set display.
+    Set(Vec<Expr>),
+    /// Dict display; `None` key means `**expr` expansion.
+    Dict(Vec<(Option<Expr>, Expr)>),
+    /// Call: positional args + keyword args.
+    Call {
+        /// Callee.
+        func: Box<Expr>,
+        /// Positional arguments (starred args appear as `Starred`).
+        args: Vec<Expr>,
+        /// Keyword arguments.
+        keywords: Vec<Keyword>,
+    },
+    /// Attribute access `value.attr`.
+    Attribute {
+        /// Object expression.
+        value: Box<Expr>,
+        /// Attribute name.
+        attr: String,
+    },
+    /// Subscript `value[index]`.
+    Subscript {
+        /// Object expression.
+        value: Box<Expr>,
+        /// Index expression (a `Slice` for `a[1:2]`).
+        index: Box<Expr>,
+    },
+    /// Slice `lower:upper:step` inside a subscript.
+    Slice {
+        /// Lower bound.
+        lower: Option<Box<Expr>>,
+        /// Upper bound.
+        upper: Option<Box<Expr>>,
+        /// Step.
+        step: Option<Box<Expr>>,
+    },
+    /// Binary operation.
+    BinOp {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator text (`+`, `**`, `<<`, ...).
+        op: String,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary operation (`-x`, `not x`, `~x`, `+x`).
+    UnaryOp {
+        /// Operator text.
+        op: String,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// `and` / `or` chains (operands flattened).
+    BoolOp {
+        /// `"and"` or `"or"`.
+        op: String,
+        /// Operands (≥ 2).
+        values: Vec<Expr>,
+    },
+    /// Comparison chains `a < b <= c`.
+    Compare {
+        /// First operand.
+        left: Box<Expr>,
+        /// Operators (`<`, `in`, `not in`, `is`, `is not`, ...).
+        ops: Vec<String>,
+        /// Remaining operands.
+        comparators: Vec<Expr>,
+    },
+    /// Conditional expression `a if t else b`.
+    IfExp {
+        /// Condition.
+        test: Box<Expr>,
+        /// Value when true.
+        body: Box<Expr>,
+        /// Value when false.
+        orelse: Box<Expr>,
+    },
+    /// `lambda params: body`.
+    Lambda {
+        /// Parameters.
+        params: Vec<Param>,
+        /// Body expression.
+        body: Box<Expr>,
+    },
+    /// List/set/dict/generator comprehension.
+    Comp {
+        /// Flavor.
+        kind: CompKind,
+        /// Element expression (`key` for dict).
+        elt: Box<Expr>,
+        /// Value expression (dict comprehensions only).
+        value: Option<Box<Expr>>,
+        /// `for` clauses.
+        generators: Vec<Comprehension>,
+    },
+    /// `await expr`.
+    Await(Box<Expr>),
+    /// `yield [expr]`.
+    Yield(Option<Box<Expr>>),
+    /// `yield from expr`.
+    YieldFrom(Box<Expr>),
+    /// `*expr` in calls/assignments.
+    Starred(Box<Expr>),
+    /// Walrus `name := expr`.
+    NamedExpr {
+        /// Bound target.
+        target: Box<Expr>,
+        /// Value.
+        value: Box<Expr>,
+    },
+    /// An unparseable sub-expression recovered in tolerant mode.
+    Error,
+}
+
+impl Expr {
+    /// If this expression is a (possibly dotted) name like `os.path.join`,
+    /// returns the dotted string.
+    pub fn dotted_name(&self) -> Option<String> {
+        match &self.kind {
+            ExprKind::Name(n) => Some(n.clone()),
+            ExprKind::Attribute { value, attr } => {
+                Some(format!("{}.{}", value.dotted_name()?, attr))
+            }
+            _ => None,
+        }
+    }
+
+    /// If this is a call, returns the dotted callee name (e.g.
+    /// `"os.system"` for `os.system(x)`), if the callee is a simple
+    /// dotted path.
+    pub fn call_name(&self) -> Option<String> {
+        match &self.kind {
+            ExprKind::Call { func, .. } => func.dotted_name(),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a string literal.
+    pub fn is_str(&self) -> bool {
+        matches!(self.kind, ExprKind::Str(_))
+    }
+
+    /// For string literals, the raw literal text (with quotes/prefix).
+    pub fn str_literal(&self) -> Option<&str> {
+        match &self.kind {
+            ExprKind::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(n: &str) -> Expr {
+        Expr { kind: ExprKind::Name(n.into()), span: Span::default() }
+    }
+
+    #[test]
+    fn dotted_name_simple() {
+        assert_eq!(name("os").dotted_name(), Some("os".into()));
+    }
+
+    #[test]
+    fn dotted_name_nested() {
+        let e = Expr {
+            kind: ExprKind::Attribute {
+                value: Box::new(Expr {
+                    kind: ExprKind::Attribute {
+                        value: Box::new(name("os")),
+                        attr: "path".into(),
+                    },
+                    span: Span::default(),
+                }),
+                attr: "join".into(),
+            },
+            span: Span::default(),
+        };
+        assert_eq!(e.dotted_name(), Some("os.path.join".into()));
+    }
+
+    #[test]
+    fn dotted_name_rejects_calls() {
+        let call = Expr {
+            kind: ExprKind::Call {
+                func: Box::new(name("f")),
+                args: vec![],
+                keywords: vec![],
+            },
+            span: Span::default(),
+        };
+        assert_eq!(call.dotted_name(), None);
+        assert_eq!(call.call_name(), Some("f".into()));
+    }
+
+    #[test]
+    fn str_helpers() {
+        let s = Expr { kind: ExprKind::Str("'x'".into()), span: Span::default() };
+        assert!(s.is_str());
+        assert_eq!(s.str_literal(), Some("'x'"));
+        assert!(!name("x").is_str());
+    }
+
+    #[test]
+    fn module_cleanliness() {
+        let m = Module { body: vec![], error_count: 0 };
+        assert!(m.is_clean());
+        let m2 = Module { body: vec![], error_count: 2 };
+        assert!(!m2.is_clean());
+    }
+}

@@ -1,0 +1,43 @@
+//! # pyast — a lightweight, error-tolerant Python parser
+//!
+//! The AST substrate for PatchitPy-rs. The paper's baselines (Bandit,
+//! CodeQL, radon's complexity metrics) are all AST-driven; this crate
+//! provides the tree they operate on, parsed from [`pylex`] tokens.
+//!
+//! Two parsing modes matter for reproducing the paper's findings:
+//!
+//! - [`parse_module_strict`] fails on the first syntax error — this is how
+//!   real AST-based tools behave, and why they lose recall on incomplete
+//!   AI-generated snippets (§II, §III-C);
+//! - [`parse_module`] recovers each unparseable logical line as a
+//!   [`StmtKind::Error`] node, so metrics and fact extraction can still
+//!   run on the rest of the file.
+//!
+//! ```
+//! use pyast::{parse_module, collect_calls};
+//!
+//! let m = parse_module("import os\nos.system(cmd)\n");
+//! assert!(m.is_clean());
+//! let calls = collect_calls(&m);
+//! assert_eq!(calls[0].name, "os.system");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod parser;
+mod visit;
+
+pub use ast::{
+    Alias, CompKind, Comprehension, ExceptHandler, Expr, ExprKind, Keyword, Module,
+    Param, Stmt, StmtKind,
+};
+pub use parser::{parse_module, parse_module_strict, ParseError};
+pub use visit::{
+    collect_calls, collect_functions, collect_imports, collect_strings, walk_expr,
+    walk_module, walk_stmt, CallSite, FunctionInfo, ImportBinding, Visitor,
+};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,1541 @@
+//! Recursive-descent parser from `pylex` tokens to the [`crate::ast`] tree.
+//!
+//! Two modes:
+//!
+//! - **strict** ([`parse_module_strict`]): any syntax error aborts with
+//!   [`ParseError`] — this is how the Bandit/CodeQL-like baselines behave,
+//!   and why they lose recall on incomplete AI-generated snippets;
+//! - **tolerant** ([`parse_module`]): an unparseable logical line becomes a
+//!   [`StmtKind::Error`] node and parsing continues.
+
+use crate::ast::*;
+use pylex::{tokenize, Span, Token, TokenKind};
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Syntax error in strict mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What was wrong.
+    pub msg: String,
+    /// Where.
+    pub span: Span,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error at {}: {}", self.span, self.msg)
+    }
+}
+
+impl StdError for ParseError {}
+
+/// Parses `source` tolerantly; never fails.
+pub fn parse_module(source: &str) -> Module {
+    Parser::new(source, true).parse().expect("tolerant mode cannot fail")
+}
+
+/// Parses `source` strictly.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+pub fn parse_module_strict(source: &str) -> Result<Module, ParseError> {
+    Parser::new(source, false).parse()
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    tolerant: bool,
+    errors: usize,
+    /// Combined statement + expression nesting depth, bounded so hostile
+    /// inputs (thousands of nested blocks or parentheses) produce a parse
+    /// error instead of exhausting the stack.
+    depth: usize,
+}
+
+/// Upper bound on combined nesting depth. Real code nests a handful of
+/// levels; each level costs ~20 recursive-descent frames, so the bound is
+/// set where even debug builds on 2 MiB test-thread stacks have ample
+/// headroom.
+const MAX_DEPTH: usize = 40;
+
+type PResult<T> = Result<T, ParseError>;
+
+impl Parser {
+    fn new(source: &str, tolerant: bool) -> Self {
+        let toks: Vec<Token> = tokenize(source)
+            .into_iter()
+            .filter(|t| {
+                !matches!(t.kind, TokenKind::Comment | TokenKind::Nl)
+            })
+            .collect();
+        Parser { toks, pos: 0, tolerant, errors: 0, depth: 0 }
+    }
+
+    // ---- token helpers -------------------------------------------------
+
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.toks.get(self.pos + 1)
+    }
+
+    fn at_kind(&self, k: TokenKind) -> bool {
+        self.peek().kind == k
+    }
+
+    fn at_op(&self, op: &str) -> bool {
+        self.peek().is_op(op)
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        self.peek().is_kw(kw)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if self.at_op(op) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_op(&mut self, op: &str) -> PResult<Token> {
+        if self.at_op(op) {
+            Ok(self.bump())
+        } else {
+            Err(self.err(format!("expected '{}', found {}", op, self.peek())))
+        }
+    }
+
+    fn expect_newline(&mut self) -> PResult<()> {
+        if self.at_kind(TokenKind::Newline) {
+            self.bump();
+            Ok(())
+        } else if self.at_kind(TokenKind::EndMarker) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected end of line, found {}", self.peek())))
+        }
+    }
+
+    fn expect_name(&mut self) -> PResult<String> {
+        if self.at_kind(TokenKind::Name) {
+            Ok(self.bump().text)
+        } else {
+            Err(self.err(format!("expected a name, found {}", self.peek())))
+        }
+    }
+
+    fn err(&self, msg: String) -> ParseError {
+        ParseError { msg, span: self.peek().span }
+    }
+
+    // ---- module / statements -------------------------------------------
+
+    fn parse(mut self) -> PResult<Module> {
+        let mut body = Vec::new();
+        loop {
+            while self.at_kind(TokenKind::Newline) {
+                self.bump();
+            }
+            if self.at_kind(TokenKind::EndMarker) {
+                break;
+            }
+            // Stray dedents/indents at top level (recovered inputs).
+            if self.at_kind(TokenKind::Indent) || self.at_kind(TokenKind::Dedent) {
+                self.bump();
+                continue;
+            }
+            match self.parse_statement() {
+                Ok(mut stmts) => body.append(&mut stmts),
+                Err(e) => {
+                    if !self.tolerant {
+                        return Err(e);
+                    }
+                    body.push(self.recover_line());
+                }
+            }
+        }
+        Ok(Module { body, error_count: self.errors })
+    }
+
+    /// Skips to the end of the current logical line, producing an Error
+    /// statement holding the flat text of what was skipped.
+    fn recover_line(&mut self) -> Stmt {
+        self.errors += 1;
+        let start_span = self.peek().span;
+        let mut text = String::new();
+        let mut last_span = start_span;
+        while !self.at_kind(TokenKind::Newline) && !self.at_kind(TokenKind::EndMarker) {
+            let t = self.bump();
+            if matches!(t.kind, TokenKind::Indent | TokenKind::Dedent) {
+                continue;
+            }
+            if !text.is_empty() {
+                text.push(' ');
+            }
+            text.push_str(&t.text);
+            last_span = t.span;
+        }
+        if self.at_kind(TokenKind::Newline) {
+            self.bump();
+        }
+        Stmt {
+            kind: StmtKind::Error { text },
+            span: start_span.join(last_span),
+        }
+    }
+
+    /// Parses one statement; simple-statement lines may contain several
+    /// `;`-separated statements, hence the Vec.
+    fn parse_statement(&mut self) -> PResult<Vec<Stmt>> {
+        self.depth += 1;
+        let result = if self.depth > MAX_DEPTH {
+            Err(self.err("nesting too deep".into()))
+        } else {
+            self.parse_statement_inner()
+        };
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_statement_inner(&mut self) -> PResult<Vec<Stmt>> {
+        if self.at_op("@") {
+            return Ok(vec![self.parse_decorated()?]);
+        }
+        let kw = if self.peek().kind == TokenKind::Keyword {
+            self.peek().text.clone()
+        } else {
+            String::new()
+        };
+        match kw.as_str() {
+            "if" => Ok(vec![self.parse_if()?]),
+            "while" => Ok(vec![self.parse_while()?]),
+            "for" => Ok(vec![self.parse_for(false)?]),
+            "try" => Ok(vec![self.parse_try()?]),
+            "with" => Ok(vec![self.parse_with(false)?]),
+            "def" => Ok(vec![self.parse_funcdef(Vec::new(), false)?]),
+            "class" => Ok(vec![self.parse_classdef(Vec::new())?]),
+            "async" => {
+                let start = self.bump().span;
+                if self.at_kw("def") {
+                    let mut s = self.parse_funcdef(Vec::new(), true)?;
+                    s.span = start.join(s.span);
+                    Ok(vec![s])
+                } else if self.at_kw("for") {
+                    let mut s = self.parse_for(true)?;
+                    s.span = start.join(s.span);
+                    Ok(vec![s])
+                } else if self.at_kw("with") {
+                    let mut s = self.parse_with(true)?;
+                    s.span = start.join(s.span);
+                    Ok(vec![s])
+                } else {
+                    Err(self.err("expected def/for/with after async".into()))
+                }
+            }
+            _ => self.parse_simple_line(),
+        }
+    }
+
+    fn parse_decorated(&mut self) -> PResult<Stmt> {
+        let mut decorators = Vec::new();
+        let start = self.peek().span;
+        while self.at_op("@") {
+            self.bump();
+            decorators.push(self.parse_expr()?);
+            self.expect_newline()?;
+            while self.at_kind(TokenKind::Newline) {
+                self.bump();
+            }
+        }
+        let mut stmt = if self.at_kw("class") {
+            self.parse_classdef(decorators)?
+        } else if self.at_kw("def") {
+            self.parse_funcdef(decorators, false)?
+        } else if self.at_kw("async") {
+            self.bump();
+            if !self.at_kw("def") {
+                return Err(self.err("expected def after async".into()));
+            }
+            self.parse_funcdef(decorators, true)?
+        } else {
+            return Err(self.err("expected def or class after decorator".into()));
+        };
+        stmt.span = start.join(stmt.span);
+        Ok(stmt)
+    }
+
+    fn parse_block(&mut self) -> PResult<Vec<Stmt>> {
+        self.expect_op(":")?;
+        if self.at_kind(TokenKind::Newline) {
+            self.bump();
+            while self.at_kind(TokenKind::Newline) {
+                self.bump();
+            }
+            if !self.at_kind(TokenKind::Indent) {
+                return Err(self.err("expected an indented block".into()));
+            }
+            self.bump();
+            let mut body = Vec::new();
+            loop {
+                while self.at_kind(TokenKind::Newline) {
+                    self.bump();
+                }
+                if self.at_kind(TokenKind::Dedent) {
+                    self.bump();
+                    break;
+                }
+                if self.at_kind(TokenKind::EndMarker) {
+                    break;
+                }
+                match self.parse_statement() {
+                    Ok(mut s) => body.append(&mut s),
+                    Err(e) => {
+                        if !self.tolerant {
+                            return Err(e);
+                        }
+                        body.push(self.recover_line());
+                    }
+                }
+            }
+            if body.is_empty() {
+                return Err(self.err("empty block".into()));
+            }
+            Ok(body)
+        } else {
+            // Inline suite: `if x: do(); done()`.
+            self.parse_simple_line()
+        }
+    }
+
+    fn parse_if(&mut self) -> PResult<Stmt> {
+        let start = self.bump().span; // 'if' / 'elif'
+        let test = self.parse_namedexpr()?;
+        let body = self.parse_block()?;
+        let mut orelse = Vec::new();
+        if self.at_kw("elif") {
+            let nested = self.parse_if()?;
+            orelse.push(nested);
+        } else if self.at_kw("else") {
+            self.bump();
+            orelse = self.parse_block()?;
+        }
+        let span = start.join(last_span(&body, &orelse));
+        Ok(Stmt { kind: StmtKind::If { test, body, orelse }, span })
+    }
+
+    fn parse_while(&mut self) -> PResult<Stmt> {
+        let start = self.bump().span;
+        let test = self.parse_namedexpr()?;
+        let body = self.parse_block()?;
+        let mut orelse = Vec::new();
+        if self.at_kw("else") {
+            self.bump();
+            orelse = self.parse_block()?;
+        }
+        let span = start.join(last_span(&body, &orelse));
+        Ok(Stmt { kind: StmtKind::While { test, body, orelse }, span })
+    }
+
+    fn parse_for(&mut self, is_async: bool) -> PResult<Stmt> {
+        let start = self.bump().span; // 'for'
+        let target = self.parse_target_list()?;
+        if !self.eat_kw("in") {
+            return Err(self.err("expected 'in' in for statement".into()));
+        }
+        let iter = self.parse_exprlist()?;
+        let body = self.parse_block()?;
+        let mut orelse = Vec::new();
+        if self.at_kw("else") {
+            self.bump();
+            orelse = self.parse_block()?;
+        }
+        let span = start.join(last_span(&body, &orelse));
+        Ok(Stmt { kind: StmtKind::For { target, iter, body, orelse, is_async }, span })
+    }
+
+    fn parse_with(&mut self, is_async: bool) -> PResult<Stmt> {
+        let start = self.bump().span; // 'with'
+        let mut items = Vec::new();
+        loop {
+            let ctx = self.parse_expr()?;
+            let target = if self.eat_kw("as") {
+                Some(self.parse_target()?)
+            } else {
+                None
+            };
+            items.push((ctx, target));
+            if !self.eat_op(",") {
+                break;
+            }
+        }
+        let body = self.parse_block()?;
+        let span = start.join(last_span(&body, &[]));
+        Ok(Stmt { kind: StmtKind::With { items, body, is_async }, span })
+    }
+
+    fn parse_try(&mut self) -> PResult<Stmt> {
+        let start = self.bump().span;
+        let body = self.parse_block()?;
+        let mut handlers = Vec::new();
+        while self.at_kw("except") {
+            let hstart = self.bump().span;
+            let (typ, name) = if self.at_op(":") {
+                (None, None)
+            } else {
+                let t = self.parse_expr()?;
+                let n = if self.eat_kw("as") {
+                    Some(self.expect_name()?)
+                } else {
+                    None
+                };
+                (Some(t), n)
+            };
+            let hbody = self.parse_block()?;
+            let hspan = hstart.join(last_span(&hbody, &[]));
+            handlers.push(ExceptHandler { typ, name, body: hbody, span: hspan });
+        }
+        let mut orelse = Vec::new();
+        if self.at_kw("else") {
+            self.bump();
+            orelse = self.parse_block()?;
+        }
+        let mut finalbody = Vec::new();
+        if self.at_kw("finally") {
+            self.bump();
+            finalbody = self.parse_block()?;
+        }
+        if handlers.is_empty() && finalbody.is_empty() {
+            return Err(self.err("try needs except or finally".into()));
+        }
+        let end = finalbody
+            .last()
+            .or_else(|| orelse.last())
+            .map(|s| s.span)
+            .or_else(|| handlers.last().map(|h| h.span))
+            .unwrap_or(start);
+        Ok(Stmt {
+            kind: StmtKind::Try { body, handlers, orelse, finalbody },
+            span: start.join(end),
+        })
+    }
+
+    fn parse_funcdef(&mut self, decorators: Vec<Expr>, is_async: bool) -> PResult<Stmt> {
+        let start = self.bump().span; // 'def'
+        let name = self.expect_name()?;
+        self.expect_op("(")?;
+        let params = self.parse_params()?;
+        self.expect_op(")")?;
+        let returns = if self.eat_op("->") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let body = self.parse_block()?;
+        let span = start.join(last_span(&body, &[]));
+        Ok(Stmt {
+            kind: StmtKind::FunctionDef { name, params, body, decorators, returns, is_async },
+            span,
+        })
+    }
+
+    fn parse_params(&mut self) -> PResult<Vec<Param>> {
+        let mut params = Vec::new();
+        while !self.at_op(")") {
+            let star = if self.eat_op("**") {
+                2
+            } else if self.eat_op("*") {
+                if self.at_op(",") || self.at_op(")") {
+                    // Bare `*` separator.
+                    if !self.eat_op(",") {
+                        break;
+                    }
+                    continue;
+                }
+                1
+            } else if self.eat_op("/") {
+                // Positional-only marker.
+                if !self.eat_op(",") {
+                    break;
+                }
+                continue;
+            } else {
+                0
+            };
+            let name = self.expect_name()?;
+            let annotation = if self.eat_op(":") {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            let default = if self.eat_op("=") {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            params.push(Param { name, star, annotation, default });
+            if !self.eat_op(",") {
+                break;
+            }
+        }
+        Ok(params)
+    }
+
+    fn parse_classdef(&mut self, decorators: Vec<Expr>) -> PResult<Stmt> {
+        let start = self.bump().span; // 'class'
+        let name = self.expect_name()?;
+        let mut bases = Vec::new();
+        if self.eat_op("(") {
+            while !self.at_op(")") {
+                // Keyword bases (metaclass=...) parsed as plain exprs.
+                bases.push(self.parse_call_arg_expr()?);
+                if !self.eat_op(",") {
+                    break;
+                }
+            }
+            self.expect_op(")")?;
+        }
+        let body = self.parse_block()?;
+        let span = start.join(last_span(&body, &[]));
+        Ok(Stmt { kind: StmtKind::ClassDef { name, bases, body, decorators }, span })
+    }
+
+    /// In class bases we may see `metaclass=X`; collapse to the value.
+    fn parse_call_arg_expr(&mut self) -> PResult<Expr> {
+        if self.at_kind(TokenKind::Name) && self.peek2().is_some_and(|t| t.is_op("=")) {
+            self.bump();
+            self.bump();
+        }
+        self.parse_expr()
+    }
+
+    // ---- simple statements ----------------------------------------------
+
+    fn parse_simple_line(&mut self) -> PResult<Vec<Stmt>> {
+        let mut stmts = vec![self.parse_small_stmt()?];
+        while self.eat_op(";") {
+            if self.at_kind(TokenKind::Newline) || self.at_kind(TokenKind::EndMarker) {
+                break;
+            }
+            stmts.push(self.parse_small_stmt()?);
+        }
+        self.expect_newline()?;
+        Ok(stmts)
+    }
+
+    fn parse_small_stmt(&mut self) -> PResult<Stmt> {
+        let start = self.peek().span;
+        let kw = if self.peek().kind == TokenKind::Keyword {
+            self.peek().text.clone()
+        } else {
+            String::new()
+        };
+        let kind = match kw.as_str() {
+            "pass" => {
+                self.bump();
+                StmtKind::Pass
+            }
+            "break" => {
+                self.bump();
+                StmtKind::Break
+            }
+            "continue" => {
+                self.bump();
+                StmtKind::Continue
+            }
+            "return" => {
+                self.bump();
+                let value = if self.at_kind(TokenKind::Newline)
+                    || self.at_kind(TokenKind::EndMarker)
+                    || self.at_op(";")
+                {
+                    None
+                } else {
+                    Some(self.parse_exprlist()?)
+                };
+                StmtKind::Return(value)
+            }
+            "raise" => {
+                self.bump();
+                if self.at_kind(TokenKind::Newline)
+                    || self.at_kind(TokenKind::EndMarker)
+                    || self.at_op(";")
+                {
+                    StmtKind::Raise { exc: None, cause: None }
+                } else {
+                    let exc = self.parse_expr()?;
+                    let cause = if self.eat_kw("from") {
+                        Some(self.parse_expr()?)
+                    } else {
+                        None
+                    };
+                    StmtKind::Raise { exc: Some(exc), cause }
+                }
+            }
+            "assert" => {
+                self.bump();
+                let test = self.parse_expr()?;
+                let msg = if self.eat_op(",") {
+                    Some(self.parse_expr()?)
+                } else {
+                    None
+                };
+                StmtKind::Assert { test, msg }
+            }
+            "import" => {
+                self.bump();
+                let mut aliases = Vec::new();
+                loop {
+                    aliases.push(self.parse_dotted_alias()?);
+                    if !self.eat_op(",") {
+                        break;
+                    }
+                }
+                StmtKind::Import(aliases)
+            }
+            "from" => {
+                self.bump();
+                let mut level = 0u32;
+                loop {
+                    if self.eat_op(".") {
+                        level += 1;
+                    } else if self.eat_op("...") {
+                        level += 3;
+                    } else {
+                        break;
+                    }
+                }
+                let module = if self.at_kw("import") {
+                    String::new()
+                } else {
+                    self.parse_dotted_name()?
+                };
+                if !self.eat_kw("import") {
+                    return Err(self.err("expected 'import' in from-import".into()));
+                }
+                let names = if self.eat_op("*") {
+                    vec![Alias { name: "*".into(), asname: None }]
+                } else {
+                    let parened = self.eat_op("(");
+                    let mut names = Vec::new();
+                    loop {
+                        let n = self.expect_name()?;
+                        let asname = if self.eat_kw("as") {
+                            Some(self.expect_name()?)
+                        } else {
+                            None
+                        };
+                        names.push(Alias { name: n, asname });
+                        if !self.eat_op(",") {
+                            break;
+                        }
+                        if parened && self.at_op(")") {
+                            break;
+                        }
+                    }
+                    if parened {
+                        self.expect_op(")")?;
+                    }
+                    names
+                };
+                StmtKind::ImportFrom { module, names, level }
+            }
+            "del" => {
+                self.bump();
+                let mut targets = vec![self.parse_target()?];
+                while self.eat_op(",") {
+                    targets.push(self.parse_target()?);
+                }
+                StmtKind::Delete(targets)
+            }
+            "global" | "nonlocal" => {
+                let is_global = kw == "global";
+                self.bump();
+                let mut names = vec![self.expect_name()?];
+                while self.eat_op(",") {
+                    names.push(self.expect_name()?);
+                }
+                if is_global {
+                    StmtKind::Global(names)
+                } else {
+                    StmtKind::Nonlocal(names)
+                }
+            }
+            _ => return self.parse_expr_or_assign(),
+        };
+        let span = start.join(self.prev_span());
+        Ok(Stmt { kind, span })
+    }
+
+    fn prev_span(&self) -> Span {
+        if self.pos == 0 {
+            self.peek().span
+        } else {
+            self.toks[self.pos - 1].span
+        }
+    }
+
+    fn parse_dotted_name(&mut self) -> PResult<String> {
+        let mut s = self.expect_name()?;
+        while self.at_op(".") && self.peek2().is_some_and(|t| t.kind == TokenKind::Name) {
+            self.bump();
+            s.push('.');
+            s.push_str(&self.expect_name()?);
+        }
+        Ok(s)
+    }
+
+    fn parse_dotted_alias(&mut self) -> PResult<Alias> {
+        let name = self.parse_dotted_name()?;
+        let asname = if self.eat_kw("as") {
+            Some(self.expect_name()?)
+        } else {
+            None
+        };
+        Ok(Alias { name, asname })
+    }
+
+    fn parse_expr_or_assign(&mut self) -> PResult<Stmt> {
+        let start = self.peek().span;
+        let first = self.parse_exprlist_with_yield()?;
+        // Annotated assignment.
+        if self.at_op(":") && !matches!(first.kind, ExprKind::Tuple(_)) {
+            self.bump();
+            let annotation = self.parse_expr()?;
+            let value = if self.eat_op("=") {
+                Some(self.parse_exprlist_with_yield()?)
+            } else {
+                None
+            };
+            let span = start.join(self.prev_span());
+            return Ok(Stmt {
+                kind: StmtKind::AnnAssign { target: first, annotation, value },
+                span,
+            });
+        }
+        // Augmented assignment.
+        for aug in [
+            "+=", "-=", "*=", "/=", "//=", "%=", "**=", ">>=", "<<=", "&=", "|=", "^=", "@=",
+        ] {
+            if self.at_op(aug) {
+                self.bump();
+                let value = self.parse_exprlist_with_yield()?;
+                let span = start.join(self.prev_span());
+                return Ok(Stmt {
+                    kind: StmtKind::AugAssign { target: first, op: aug.into(), value },
+                    span,
+                });
+            }
+        }
+        // Chained plain assignment.
+        if self.at_op("=") {
+            let mut targets = vec![first];
+            let mut value = None;
+            while self.eat_op("=") {
+                let e = self.parse_exprlist_with_yield()?;
+                if self.at_op("=") {
+                    targets.push(e);
+                } else {
+                    value = Some(e);
+                }
+            }
+            let span = start.join(self.prev_span());
+            return Ok(Stmt {
+                kind: StmtKind::Assign {
+                    targets,
+                    value: value.expect("assignment has a value"),
+                },
+                span,
+            });
+        }
+        let span = first.span;
+        Ok(Stmt { kind: StmtKind::ExprStmt(first), span })
+    }
+
+    // ---- targets ---------------------------------------------------------
+
+    fn parse_target(&mut self) -> PResult<Expr> {
+        // A target is a (possibly starred) postfix expression.
+        if self.at_op("*") {
+            let start = self.bump().span;
+            let inner = self.parse_postfix()?;
+            let span = start.join(inner.span);
+            return Ok(Expr { kind: ExprKind::Starred(Box::new(inner)), span });
+        }
+        if self.at_op("(") || self.at_op("[") {
+            // Parenthesized/bracketed target list.
+            return self.parse_atom_then_postfix();
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_target_list(&mut self) -> PResult<Expr> {
+        let start = self.peek().span;
+        let first = self.parse_target()?;
+        if !self.at_op(",") {
+            return Ok(first);
+        }
+        let mut items = vec![first];
+        while self.eat_op(",") {
+            if self.at_kw("in") || self.at_op("=") {
+                break;
+            }
+            items.push(self.parse_target()?);
+        }
+        let span = start.join(self.prev_span());
+        Ok(Expr { kind: ExprKind::Tuple(items), span })
+    }
+
+    // ---- expressions -------------------------------------------------------
+
+    /// `test [":=" test]` — walrus at condition level.
+    fn parse_namedexpr(&mut self) -> PResult<Expr> {
+        let e = self.parse_expr()?;
+        if self.at_op(":=") {
+            self.bump();
+            let v = self.parse_expr()?;
+            let span = e.span.join(v.span);
+            return Ok(Expr {
+                kind: ExprKind::NamedExpr { target: Box::new(e), value: Box::new(v) },
+                span,
+            });
+        }
+        Ok(e)
+    }
+
+    /// Comma-joined expression list → Tuple if more than one.
+    fn parse_exprlist(&mut self) -> PResult<Expr> {
+        let start = self.peek().span;
+        let first = self.parse_starred_or_expr()?;
+        if !self.at_op(",") {
+            return Ok(first);
+        }
+        let mut items = vec![first];
+        while self.eat_op(",") {
+            if self.is_expr_end() {
+                break;
+            }
+            items.push(self.parse_starred_or_expr()?);
+        }
+        let span = start.join(self.prev_span());
+        Ok(Expr { kind: ExprKind::Tuple(items), span })
+    }
+
+    fn parse_exprlist_with_yield(&mut self) -> PResult<Expr> {
+        if self.at_kw("yield") {
+            return self.parse_yield();
+        }
+        self.parse_exprlist()
+    }
+
+    fn parse_yield(&mut self) -> PResult<Expr> {
+        let start = self.bump().span; // 'yield'
+        if self.eat_kw("from") {
+            let e = self.parse_expr()?;
+            let span = start.join(e.span);
+            return Ok(Expr { kind: ExprKind::YieldFrom(Box::new(e)), span });
+        }
+        if self.is_expr_end() || self.at_op(")") {
+            return Ok(Expr { kind: ExprKind::Yield(None), span: start });
+        }
+        let e = self.parse_exprlist()?;
+        let span = start.join(e.span);
+        Ok(Expr { kind: ExprKind::Yield(Some(Box::new(e))), span })
+    }
+
+    fn is_expr_end(&self) -> bool {
+        matches!(self.peek().kind, TokenKind::Newline | TokenKind::EndMarker)
+            || self.at_op(";")
+            || self.at_op("=")
+            || self.at_op(":")
+            || self.at_op(")")
+            || self.at_op("]")
+            || self.at_op("}")
+    }
+
+    fn parse_starred_or_expr(&mut self) -> PResult<Expr> {
+        if self.at_op("*") {
+            let start = self.bump().span;
+            let e = self.parse_expr()?;
+            let span = start.join(e.span);
+            return Ok(Expr { kind: ExprKind::Starred(Box::new(e)), span });
+        }
+        self.parse_expr()
+    }
+
+    /// Full conditional expression (`test`).
+    fn parse_expr(&mut self) -> PResult<Expr> {
+        self.depth += 1;
+        let result = if self.depth > MAX_DEPTH {
+            Err(self.err("expression nesting too deep".into()))
+        } else {
+            self.parse_expr_inner()
+        };
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_expr_inner(&mut self) -> PResult<Expr> {
+        if self.at_kw("lambda") {
+            return self.parse_lambda();
+        }
+        let body = self.parse_or()?;
+        if self.at_kw("if") {
+            self.bump();
+            let test = self.parse_or()?;
+            if !self.eat_kw("else") {
+                return Err(self.err("expected 'else' in conditional expression".into()));
+            }
+            let orelse = self.parse_expr()?;
+            let span = body.span.join(orelse.span);
+            return Ok(Expr {
+                kind: ExprKind::IfExp {
+                    test: Box::new(test),
+                    body: Box::new(body),
+                    orelse: Box::new(orelse),
+                },
+                span,
+            });
+        }
+        Ok(body)
+    }
+
+    fn parse_lambda(&mut self) -> PResult<Expr> {
+        let start = self.bump().span; // 'lambda'
+        let mut params = Vec::new();
+        while !self.at_op(":") {
+            let star = if self.eat_op("**") {
+                2
+            } else if self.eat_op("*") {
+                1
+            } else {
+                0
+            };
+            let name = self.expect_name()?;
+            let default = if self.eat_op("=") {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            params.push(Param { name, star, annotation: None, default });
+            if !self.eat_op(",") {
+                break;
+            }
+        }
+        self.expect_op(":")?;
+        let body = self.parse_expr()?;
+        let span = start.join(body.span);
+        Ok(Expr { kind: ExprKind::Lambda { params, body: Box::new(body) }, span })
+    }
+
+    fn parse_or(&mut self) -> PResult<Expr> {
+        let first = self.parse_and()?;
+        if !self.at_kw("or") {
+            return Ok(first);
+        }
+        let mut values = vec![first];
+        while self.eat_kw("or") {
+            values.push(self.parse_and()?);
+        }
+        let span = values[0].span.join(values.last().expect("nonempty").span);
+        Ok(Expr { kind: ExprKind::BoolOp { op: "or".into(), values }, span })
+    }
+
+    fn parse_and(&mut self) -> PResult<Expr> {
+        let first = self.parse_not()?;
+        if !self.at_kw("and") {
+            return Ok(first);
+        }
+        let mut values = vec![first];
+        while self.eat_kw("and") {
+            values.push(self.parse_not()?);
+        }
+        let span = values[0].span.join(values.last().expect("nonempty").span);
+        Ok(Expr { kind: ExprKind::BoolOp { op: "and".into(), values }, span })
+    }
+
+    fn parse_not(&mut self) -> PResult<Expr> {
+        if self.at_kw("not") {
+            let start = self.bump().span;
+            let operand = self.parse_not()?;
+            let span = start.join(operand.span);
+            return Ok(Expr {
+                kind: ExprKind::UnaryOp { op: "not".into(), operand: Box::new(operand) },
+                span,
+            });
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> PResult<Expr> {
+        let left = self.parse_bitor()?;
+        let mut ops = Vec::new();
+        let mut comparators = Vec::new();
+        loop {
+            let op = if self.at_op("<") {
+                "<"
+            } else if self.at_op(">") {
+                ">"
+            } else if self.at_op("==") {
+                "=="
+            } else if self.at_op("!=") {
+                "!="
+            } else if self.at_op("<=") {
+                "<="
+            } else if self.at_op(">=") {
+                ">="
+            } else if self.at_kw("in") {
+                "in"
+            } else if self.at_kw("is") {
+                "is"
+            } else if self.at_kw("not") && self.peek2().is_some_and(|t| t.is_kw("in")) {
+                "not in"
+            } else {
+                break;
+            };
+            match op {
+                "not in" => {
+                    self.bump();
+                    self.bump();
+                    ops.push("not in".to_string());
+                }
+                "is" => {
+                    self.bump();
+                    if self.eat_kw("not") {
+                        ops.push("is not".to_string());
+                    } else {
+                        ops.push("is".to_string());
+                    }
+                }
+                other => {
+                    self.bump();
+                    ops.push(other.to_string());
+                }
+            }
+            comparators.push(self.parse_bitor()?);
+        }
+        if ops.is_empty() {
+            return Ok(left);
+        }
+        let span = left.span.join(comparators.last().expect("nonempty").span);
+        Ok(Expr {
+            kind: ExprKind::Compare { left: Box::new(left), ops, comparators },
+            span,
+        })
+    }
+
+    fn parse_binop_level(
+        &mut self,
+        ops: &[&str],
+        next: fn(&mut Self) -> PResult<Expr>,
+    ) -> PResult<Expr> {
+        let mut left = next(self)?;
+        loop {
+            let mut matched = None;
+            for op in ops {
+                if self.at_op(op) {
+                    matched = Some(op.to_string());
+                    break;
+                }
+            }
+            let Some(op) = matched else { break };
+            self.bump();
+            let right = next(self)?;
+            let span = left.span.join(right.span);
+            left = Expr {
+                kind: ExprKind::BinOp { left: Box::new(left), op, right: Box::new(right) },
+                span,
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_bitor(&mut self) -> PResult<Expr> {
+        self.parse_binop_level(&["|"], Self::parse_bitxor)
+    }
+
+    fn parse_bitxor(&mut self) -> PResult<Expr> {
+        self.parse_binop_level(&["^"], Self::parse_bitand)
+    }
+
+    fn parse_bitand(&mut self) -> PResult<Expr> {
+        self.parse_binop_level(&["&"], Self::parse_shift)
+    }
+
+    fn parse_shift(&mut self) -> PResult<Expr> {
+        self.parse_binop_level(&["<<", ">>"], Self::parse_arith)
+    }
+
+    fn parse_arith(&mut self) -> PResult<Expr> {
+        self.parse_binop_level(&["+", "-"], Self::parse_term)
+    }
+
+    fn parse_term(&mut self) -> PResult<Expr> {
+        self.parse_binop_level(&["*", "/", "//", "%", "@"], Self::parse_unary)
+    }
+
+    fn parse_unary(&mut self) -> PResult<Expr> {
+        for op in ["-", "+", "~"] {
+            if self.at_op(op) {
+                let start = self.bump().span;
+                let operand = self.parse_unary()?;
+                let span = start.join(operand.span);
+                return Ok(Expr {
+                    kind: ExprKind::UnaryOp { op: op.into(), operand: Box::new(operand) },
+                    span,
+                });
+            }
+        }
+        self.parse_power()
+    }
+
+    fn parse_power(&mut self) -> PResult<Expr> {
+        let base = self.parse_await()?;
+        if self.at_op("**") {
+            self.bump();
+            let exp = self.parse_unary()?; // right-associative
+            let span = base.span.join(exp.span);
+            return Ok(Expr {
+                kind: ExprKind::BinOp {
+                    left: Box::new(base),
+                    op: "**".into(),
+                    right: Box::new(exp),
+                },
+                span,
+            });
+        }
+        Ok(base)
+    }
+
+    fn parse_await(&mut self) -> PResult<Expr> {
+        if self.at_kw("await") {
+            let start = self.bump().span;
+            let e = self.parse_await()?;
+            let span = start.join(e.span);
+            return Ok(Expr { kind: ExprKind::Await(Box::new(e)), span });
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> PResult<Expr> {
+        self.parse_atom_then_postfix()
+    }
+
+    fn parse_atom_then_postfix(&mut self) -> PResult<Expr> {
+        let mut e = self.parse_atom()?;
+        loop {
+            if self.at_op("(") {
+                self.bump();
+                let (args, keywords) = self.parse_call_args()?;
+                let close = self.expect_op(")")?;
+                let span = e.span.join(close.span);
+                e = Expr {
+                    kind: ExprKind::Call { func: Box::new(e), args, keywords },
+                    span,
+                };
+            } else if self.at_op("[") {
+                self.bump();
+                let index = self.parse_subscript()?;
+                let close = self.expect_op("]")?;
+                let span = e.span.join(close.span);
+                e = Expr {
+                    kind: ExprKind::Subscript { value: Box::new(e), index: Box::new(index) },
+                    span,
+                };
+            } else if self.at_op(".") {
+                self.bump();
+                let name_tok = if self.at_kind(TokenKind::Name) {
+                    self.bump()
+                } else {
+                    return Err(self.err("expected attribute name after '.'".into()));
+                };
+                let span = e.span.join(name_tok.span);
+                e = Expr {
+                    kind: ExprKind::Attribute { value: Box::new(e), attr: name_tok.text },
+                    span,
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_call_args(&mut self) -> PResult<(Vec<Expr>, Vec<Keyword>)> {
+        let mut args = Vec::new();
+        let mut keywords = Vec::new();
+        while !self.at_op(")") {
+            if self.at_op("**") {
+                let start = self.bump().span;
+                let v = self.parse_expr()?;
+                let _ = start;
+                keywords.push(Keyword { name: None, value: v });
+            } else if self.at_op("*") {
+                let start = self.bump().span;
+                let v = self.parse_expr()?;
+                let span = start.join(v.span);
+                args.push(Expr { kind: ExprKind::Starred(Box::new(v)), span });
+            } else if self.at_kind(TokenKind::Name)
+                && self.peek2().is_some_and(|t| t.is_op("="))
+            {
+                let name = self.bump().text;
+                self.bump(); // '='
+                let v = self.parse_expr()?;
+                keywords.push(Keyword { name: Some(name), value: v });
+            } else {
+                let v = self.parse_namedexpr()?;
+                // Generator argument: f(x for x in xs)
+                if self.at_kw("for") {
+                    let generators = self.parse_comp_clauses()?;
+                    let span = v.span;
+                    args.push(Expr {
+                        kind: ExprKind::Comp {
+                            kind: CompKind::Generator,
+                            elt: Box::new(v),
+                            value: None,
+                            generators,
+                        },
+                        span,
+                    });
+                } else {
+                    args.push(v);
+                }
+            }
+            if !self.eat_op(",") {
+                break;
+            }
+        }
+        Ok((args, keywords))
+    }
+
+    fn parse_subscript(&mut self) -> PResult<Expr> {
+        let start = self.peek().span;
+        let parse_bound = |p: &mut Self| -> PResult<Option<Box<Expr>>> {
+            if p.at_op(":") || p.at_op("]") {
+                Ok(None)
+            } else {
+                Ok(Some(Box::new(p.parse_expr()?)))
+            }
+        };
+        let lower = parse_bound(self)?;
+        if !self.at_op(":") {
+            let first = *lower.ok_or_else(|| self.err("empty subscript".into()))?;
+            // Tuple subscript a[1, 2].
+            if self.at_op(",") {
+                let mut items = vec![first];
+                while self.eat_op(",") {
+                    if self.at_op("]") {
+                        break;
+                    }
+                    items.push(self.parse_expr()?);
+                }
+                let span = start.join(self.prev_span());
+                return Ok(Expr { kind: ExprKind::Tuple(items), span });
+            }
+            return Ok(first);
+        }
+        self.bump(); // ':'
+        let upper = parse_bound(self)?;
+        let step = if self.eat_op(":") { parse_bound(self)? } else { None };
+        let span = start.join(self.prev_span());
+        Ok(Expr { kind: ExprKind::Slice { lower, upper, step }, span })
+    }
+
+    fn parse_atom(&mut self) -> PResult<Expr> {
+        let tok = self.peek().clone();
+        match tok.kind {
+            TokenKind::Number => {
+                self.bump();
+                Ok(Expr { kind: ExprKind::Number(tok.text), span: tok.span })
+            }
+            TokenKind::Str => {
+                // Fold adjacent string literals.
+                let mut text = String::new();
+                let mut span = tok.span;
+                while self.at_kind(TokenKind::Str) {
+                    let t = self.bump();
+                    text.push_str(&t.text);
+                    span = span.join(t.span);
+                }
+                Ok(Expr { kind: ExprKind::Str(text), span })
+            }
+            TokenKind::Keyword => match tok.text.as_str() {
+                "True" | "False" | "None" => {
+                    self.bump();
+                    Ok(Expr { kind: ExprKind::Constant(tok.text), span: tok.span })
+                }
+                "lambda" => self.parse_lambda(),
+                "yield" => self.parse_yield(),
+                "await" => self.parse_await(),
+                "not" => self.parse_not(),
+                _ => Err(self.err(format!("unexpected keyword '{}'", tok.text))),
+            },
+            TokenKind::Name => {
+                self.bump();
+                Ok(Expr { kind: ExprKind::Name(tok.text), span: tok.span })
+            }
+            TokenKind::Op => match tok.text.as_str() {
+                "(" => self.parse_paren(),
+                "[" => self.parse_list(),
+                "{" => self.parse_dict_or_set(),
+                "..." => {
+                    self.bump();
+                    Ok(Expr { kind: ExprKind::Constant("...".into()), span: tok.span })
+                }
+                _ => Err(self.err(format!("unexpected operator '{}'", tok.text))),
+            },
+            _ => Err(self.err(format!("unexpected {}", tok))),
+        }
+    }
+
+    fn parse_comp_clauses(&mut self) -> PResult<Vec<Comprehension>> {
+        let mut out = Vec::new();
+        loop {
+            let is_async = if self.at_kw("async") {
+                self.bump();
+                true
+            } else {
+                false
+            };
+            if !self.eat_kw("for") {
+                break;
+            }
+            let target = self.parse_target_list()?;
+            if !self.eat_kw("in") {
+                return Err(self.err("expected 'in' in comprehension".into()));
+            }
+            let iter = self.parse_or()?;
+            let mut ifs = Vec::new();
+            while self.at_kw("if") {
+                self.bump();
+                ifs.push(self.parse_or()?);
+            }
+            out.push(Comprehension { target, iter, ifs, is_async });
+            if !self.at_kw("for") && !self.at_kw("async") {
+                break;
+            }
+        }
+        if out.is_empty() {
+            return Err(self.err("expected comprehension clause".into()));
+        }
+        Ok(out)
+    }
+
+    fn parse_paren(&mut self) -> PResult<Expr> {
+        let open = self.bump(); // '('
+        if self.at_op(")") {
+            let close = self.bump();
+            return Ok(Expr {
+                kind: ExprKind::Tuple(vec![]),
+                span: open.span.join(close.span),
+            });
+        }
+        if self.at_kw("yield") {
+            let y = self.parse_yield()?;
+            let close = self.expect_op(")")?;
+            return Ok(Expr { kind: y.kind, span: open.span.join(close.span) });
+        }
+        let first = self.parse_namedexpr_or_starred()?;
+        if self.at_kw("for") || self.at_kw("async") {
+            let generators = self.parse_comp_clauses()?;
+            let close = self.expect_op(")")?;
+            return Ok(Expr {
+                kind: ExprKind::Comp {
+                    kind: CompKind::Generator,
+                    elt: Box::new(first),
+                    value: None,
+                    generators,
+                },
+                span: open.span.join(close.span),
+            });
+        }
+        if self.at_op(",") {
+            let mut items = vec![first];
+            while self.eat_op(",") {
+                if self.at_op(")") {
+                    break;
+                }
+                items.push(self.parse_namedexpr_or_starred()?);
+            }
+            let close = self.expect_op(")")?;
+            return Ok(Expr {
+                kind: ExprKind::Tuple(items),
+                span: open.span.join(close.span),
+            });
+        }
+        let close = self.expect_op(")")?;
+        Ok(Expr { kind: first.kind, span: open.span.join(close.span) })
+    }
+
+    fn parse_namedexpr_or_starred(&mut self) -> PResult<Expr> {
+        if self.at_op("*") {
+            let start = self.bump().span;
+            let e = self.parse_expr()?;
+            let span = start.join(e.span);
+            return Ok(Expr { kind: ExprKind::Starred(Box::new(e)), span });
+        }
+        self.parse_namedexpr()
+    }
+
+    fn parse_list(&mut self) -> PResult<Expr> {
+        let open = self.bump(); // '['
+        if self.at_op("]") {
+            let close = self.bump();
+            return Ok(Expr {
+                kind: ExprKind::List(vec![]),
+                span: open.span.join(close.span),
+            });
+        }
+        let first = self.parse_namedexpr_or_starred()?;
+        if self.at_kw("for") || self.at_kw("async") {
+            let generators = self.parse_comp_clauses()?;
+            let close = self.expect_op("]")?;
+            return Ok(Expr {
+                kind: ExprKind::Comp {
+                    kind: CompKind::List,
+                    elt: Box::new(first),
+                    value: None,
+                    generators,
+                },
+                span: open.span.join(close.span),
+            });
+        }
+        let mut items = vec![first];
+        while self.eat_op(",") {
+            if self.at_op("]") {
+                break;
+            }
+            items.push(self.parse_namedexpr_or_starred()?);
+        }
+        let close = self.expect_op("]")?;
+        Ok(Expr { kind: ExprKind::List(items), span: open.span.join(close.span) })
+    }
+
+    fn parse_dict_or_set(&mut self) -> PResult<Expr> {
+        let open = self.bump(); // '{'
+        if self.at_op("}") {
+            let close = self.bump();
+            return Ok(Expr {
+                kind: ExprKind::Dict(vec![]),
+                span: open.span.join(close.span),
+            });
+        }
+        if self.at_op("**") {
+            // Dict with expansion.
+            let mut items = Vec::new();
+            loop {
+                if self.eat_op("**") {
+                    let v = self.parse_or()?;
+                    items.push((None, v));
+                } else {
+                    let k = self.parse_expr()?;
+                    self.expect_op(":")?;
+                    let v = self.parse_expr()?;
+                    items.push((Some(k), v));
+                }
+                if !self.eat_op(",") || self.at_op("}") {
+                    break;
+                }
+            }
+            let close = self.expect_op("}")?;
+            return Ok(Expr {
+                kind: ExprKind::Dict(items),
+                span: open.span.join(close.span),
+            });
+        }
+        let first = self.parse_namedexpr_or_starred()?;
+        if self.at_op(":") {
+            // Dict (possibly comprehension).
+            self.bump();
+            let value = self.parse_expr()?;
+            if self.at_kw("for") || self.at_kw("async") {
+                let generators = self.parse_comp_clauses()?;
+                let close = self.expect_op("}")?;
+                return Ok(Expr {
+                    kind: ExprKind::Comp {
+                        kind: CompKind::Dict,
+                        elt: Box::new(first),
+                        value: Some(Box::new(value)),
+                        generators,
+                    },
+                    span: open.span.join(close.span),
+                });
+            }
+            let mut items = vec![(Some(first), value)];
+            while self.eat_op(",") {
+                if self.at_op("}") {
+                    break;
+                }
+                if self.eat_op("**") {
+                    let v = self.parse_or()?;
+                    items.push((None, v));
+                    continue;
+                }
+                let k = self.parse_expr()?;
+                self.expect_op(":")?;
+                let v = self.parse_expr()?;
+                items.push((Some(k), v));
+            }
+            let close = self.expect_op("}")?;
+            return Ok(Expr {
+                kind: ExprKind::Dict(items),
+                span: open.span.join(close.span),
+            });
+        }
+        // Set (possibly comprehension).
+        if self.at_kw("for") || self.at_kw("async") {
+            let generators = self.parse_comp_clauses()?;
+            let close = self.expect_op("}")?;
+            return Ok(Expr {
+                kind: ExprKind::Comp {
+                    kind: CompKind::Set,
+                    elt: Box::new(first),
+                    value: None,
+                    generators,
+                },
+                span: open.span.join(close.span),
+            });
+        }
+        let mut items = vec![first];
+        while self.eat_op(",") {
+            if self.at_op("}") {
+                break;
+            }
+            items.push(self.parse_namedexpr_or_starred()?);
+        }
+        let close = self.expect_op("}")?;
+        Ok(Expr { kind: ExprKind::Set(items), span: open.span.join(close.span) })
+    }
+}
+
+fn last_span(body: &[Stmt], orelse: &[Stmt]) -> Span {
+    orelse
+        .last()
+        .or_else(|| body.last())
+        .map(|s| s.span)
+        .unwrap_or_default()
+}

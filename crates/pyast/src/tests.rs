@@ -1,0 +1,689 @@
+//! Parser and visitor tests over realistic Python snippets.
+
+use crate::*;
+
+fn parse_ok(src: &str) -> Module {
+    let m = parse_module(src);
+    assert!(m.is_clean(), "unexpected recovered errors in:\n{src}\n{m:#?}");
+    m
+}
+
+fn first(m: &Module) -> &StmtKind {
+    &m.body.first().expect("non-empty module").kind
+}
+
+#[test]
+fn simple_assignment() {
+    let m = parse_ok("x = 1\n");
+    match first(&m) {
+        StmtKind::Assign { targets, value } => {
+            assert_eq!(targets.len(), 1);
+            assert!(matches!(targets[0].kind, ExprKind::Name(ref n) if n == "x"));
+            assert!(matches!(value.kind, ExprKind::Number(ref n) if n == "1"));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn chained_assignment() {
+    let m = parse_ok("a = b = 1\n");
+    match first(&m) {
+        StmtKind::Assign { targets, .. } => assert_eq!(targets.len(), 2),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn tuple_unpacking_assignment() {
+    let m = parse_ok("a, b = 1, 2\n");
+    match first(&m) {
+        StmtKind::Assign { targets, value } => {
+            assert!(matches!(targets[0].kind, ExprKind::Tuple(ref t) if t.len() == 2));
+            assert!(matches!(value.kind, ExprKind::Tuple(ref t) if t.len() == 2));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn augmented_and_annotated() {
+    let m = parse_ok("x += 1\ny: int = 0\nz: str\n");
+    assert!(matches!(m.body[0].kind, StmtKind::AugAssign { ref op, .. } if op == "+="));
+    assert!(matches!(m.body[1].kind, StmtKind::AnnAssign { value: Some(_), .. }));
+    assert!(matches!(m.body[2].kind, StmtKind::AnnAssign { value: None, .. }));
+}
+
+#[test]
+fn function_def_full() {
+    let src = "\
+@app.route('/x', methods=['GET'])
+def handler(req, *args, timeout=30, **kwargs) -> str:
+    return str(req)
+";
+    let m = parse_ok(src);
+    match first(&m) {
+        StmtKind::FunctionDef { name, params, decorators, returns, body, is_async } => {
+            assert_eq!(name, "handler");
+            assert_eq!(params.len(), 4);
+            assert_eq!(params[1].star, 1);
+            assert_eq!(params[3].star, 2);
+            assert!(params[2].default.is_some());
+            assert_eq!(decorators.len(), 1);
+            assert!(returns.is_some());
+            assert_eq!(body.len(), 1);
+            assert!(!is_async);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn async_constructs() {
+    let src = "\
+async def f():
+    async with open(p) as fh:
+        async for line in fh:
+            await g(line)
+";
+    let m = parse_ok(src);
+    match first(&m) {
+        StmtKind::FunctionDef { is_async, body, .. } => {
+            assert!(is_async);
+            assert!(matches!(body[0].kind, StmtKind::With { is_async: true, .. }));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn class_def_with_bases() {
+    let src = "\
+class Handler(BaseHTTPRequestHandler, metaclass=Meta):
+    def do_GET(self):
+        pass
+";
+    let m = parse_ok(src);
+    match first(&m) {
+        StmtKind::ClassDef { name, bases, body, .. } => {
+            assert_eq!(name, "Handler");
+            assert_eq!(bases.len(), 2);
+            assert_eq!(body.len(), 1);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn if_elif_else_nesting() {
+    let src = "\
+if a:
+    x = 1
+elif b:
+    x = 2
+else:
+    x = 3
+";
+    let m = parse_ok(src);
+    match first(&m) {
+        StmtKind::If { orelse, .. } => {
+            assert_eq!(orelse.len(), 1);
+            match &orelse[0].kind {
+                StmtKind::If { orelse: inner_else, .. } => {
+                    assert_eq!(inner_else.len(), 1)
+                }
+                other => panic!("elif should nest: {other:?}"),
+            }
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn while_and_for_with_else() {
+    let src = "\
+while cond():
+    work()
+else:
+    done()
+for i in range(10):
+    use(i)
+else:
+    finish()
+";
+    let m = parse_ok(src);
+    assert!(matches!(m.body[0].kind, StmtKind::While { ref orelse, .. } if orelse.len() == 1));
+    assert!(matches!(m.body[1].kind, StmtKind::For { ref orelse, .. } if orelse.len() == 1));
+}
+
+#[test]
+fn try_except_finally() {
+    let src = "\
+try:
+    risky()
+except ValueError as e:
+    handle(e)
+except (KeyError, TypeError):
+    other()
+except:
+    bare()
+else:
+    ok()
+finally:
+    cleanup()
+";
+    let m = parse_ok(src);
+    match first(&m) {
+        StmtKind::Try { handlers, orelse, finalbody, .. } => {
+            assert_eq!(handlers.len(), 3);
+            assert_eq!(handlers[0].name.as_deref(), Some("e"));
+            assert!(handlers[1].typ.is_some());
+            assert!(handlers[2].typ.is_none());
+            assert_eq!(orelse.len(), 1);
+            assert_eq!(finalbody.len(), 1);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn imports() {
+    let src = "\
+import os, sys as system
+from flask import Flask, request, escape
+from . import sibling
+from ..pkg import thing as t
+from os.path import *
+";
+    let m = parse_ok(src);
+    let imports = collect_imports(&m);
+    assert!(imports.iter().any(|i| i.module == "os" && i.bound_as == "os"));
+    assert!(imports.iter().any(|i| i.module == "sys" && i.bound_as == "system"));
+    assert!(imports
+        .iter()
+        .any(|i| i.module == "flask" && i.name.as_deref() == Some("escape")));
+    match &m.body[3].kind {
+        StmtKind::ImportFrom { level, module, names } => {
+            assert_eq!(*level, 2);
+            assert_eq!(module, "pkg");
+            assert_eq!(names[0].asname.as_deref(), Some("t"));
+        }
+        other => panic!("{other:?}"),
+    }
+    match &m.body[4].kind {
+        StmtKind::ImportFrom { names, .. } => assert_eq!(names[0].name, "*"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn call_with_keywords() {
+    let m = parse_ok("app.run(host='0.0.0.0', debug=True)\n");
+    match first(&m) {
+        StmtKind::ExprStmt(e) => match &e.kind {
+            ExprKind::Call { func, args, keywords } => {
+                assert_eq!(func.dotted_name().as_deref(), Some("app.run"));
+                assert!(args.is_empty());
+                assert_eq!(keywords.len(), 2);
+                assert_eq!(keywords[1].name.as_deref(), Some("debug"));
+                assert!(matches!(
+                    keywords[1].value.kind,
+                    ExprKind::Constant(ref c) if c == "True"
+                ));
+            }
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn star_args_in_call() {
+    let m = parse_ok("f(*args, **kwargs)\n");
+    match first(&m) {
+        StmtKind::ExprStmt(e) => match &e.kind {
+            ExprKind::Call { args, keywords, .. } => {
+                assert!(matches!(args[0].kind, ExprKind::Starred(_)));
+                assert!(keywords[0].name.is_none());
+            }
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn operator_precedence() {
+    let m = parse_ok("x = 1 + 2 * 3\n");
+    match first(&m) {
+        StmtKind::Assign { value, .. } => match &value.kind {
+            ExprKind::BinOp { op, right, .. } => {
+                assert_eq!(op, "+");
+                assert!(matches!(
+                    right.kind,
+                    ExprKind::BinOp { ref op, .. } if op == "*"
+                ));
+            }
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn power_is_right_associative() {
+    let m = parse_ok("x = 2 ** 3 ** 2\n");
+    match first(&m) {
+        StmtKind::Assign { value, .. } => match &value.kind {
+            ExprKind::BinOp { op, right, .. } => {
+                assert_eq!(op, "**");
+                assert!(matches!(
+                    right.kind,
+                    ExprKind::BinOp { ref op, .. } if op == "**"
+                ));
+            }
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn comparison_chains() {
+    let m = parse_ok("ok = 0 <= x < 10\n");
+    match first(&m) {
+        StmtKind::Assign { value, .. } => match &value.kind {
+            ExprKind::Compare { ops, comparators, .. } => {
+                assert_eq!(ops, &["<=", "<"]);
+                assert_eq!(comparators.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn membership_and_identity() {
+    let m = parse_ok("a = x not in xs\nb = y is not None\n");
+    match &m.body[0].kind {
+        StmtKind::Assign { value, .. } => match &value.kind {
+            ExprKind::Compare { ops, .. } => assert_eq!(ops, &["not in"]),
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+    match &m.body[1].kind {
+        StmtKind::Assign { value, .. } => match &value.kind {
+            ExprKind::Compare { ops, .. } => assert_eq!(ops, &["is not"]),
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn bool_op_flattening() {
+    let m = parse_ok("v = a and b and c or d\n");
+    match first(&m) {
+        StmtKind::Assign { value, .. } => match &value.kind {
+            ExprKind::BoolOp { op, values } => {
+                assert_eq!(op, "or");
+                assert_eq!(values.len(), 2);
+                assert!(matches!(
+                    values[0].kind,
+                    ExprKind::BoolOp { ref op, ref values } if op == "and" && values.len() == 3
+                ));
+            }
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn ternary_and_lambda() {
+    let m = parse_ok("f = lambda x, y=2: x if x > y else y\n");
+    match first(&m) {
+        StmtKind::Assign { value, .. } => match &value.kind {
+            ExprKind::Lambda { params, body } => {
+                assert_eq!(params.len(), 2);
+                assert!(matches!(body.kind, ExprKind::IfExp { .. }));
+            }
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn comprehensions() {
+    let m = parse_ok(
+        "a = [x*2 for x in xs if x > 0]\nb = {k: v for k, v in d.items()}\nc = {x for x in xs}\ng = (x for x in xs)\n",
+    );
+    let kinds: Vec<CompKind> = m
+        .body
+        .iter()
+        .filter_map(|s| match &s.kind {
+            StmtKind::Assign { value, .. } => match &value.kind {
+                ExprKind::Comp { kind, .. } => Some(*kind),
+                _ => None,
+            },
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        kinds,
+        [CompKind::List, CompKind::Dict, CompKind::Set, CompKind::Generator]
+    );
+}
+
+#[test]
+fn nested_comprehension_clauses() {
+    let m = parse_ok("pairs = [(x, y) for x in xs for y in ys if x != y]\n");
+    match first(&m) {
+        StmtKind::Assign { value, .. } => match &value.kind {
+            ExprKind::Comp { generators, .. } => {
+                assert_eq!(generators.len(), 2);
+                assert_eq!(generators[1].ifs.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn subscripts_and_slices() {
+    let m = parse_ok("a = xs[0]\nb = xs[1:3]\nc = xs[::2]\nd = m[k1, k2]\n");
+    match &m.body[1].kind {
+        StmtKind::Assign { value, .. } => match &value.kind {
+            ExprKind::Subscript { index, .. } => {
+                assert!(matches!(index.kind, ExprKind::Slice { .. }))
+            }
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+    match &m.body[3].kind {
+        StmtKind::Assign { value, .. } => match &value.kind {
+            ExprKind::Subscript { index, .. } => {
+                assert!(matches!(index.kind, ExprKind::Tuple(ref t) if t.len() == 2))
+            }
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn adjacent_string_folding() {
+    let m = parse_ok("s = 'a' 'b' 'c'\n");
+    match first(&m) {
+        StmtKind::Assign { value, .. } => {
+            assert_eq!(value.str_literal(), Some("'a''b''c'"));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn walrus_in_condition() {
+    let m = parse_ok("if (n := len(xs)) > 10:\n    print(n)\n");
+    match first(&m) {
+        StmtKind::If { test, .. } => match &test.kind {
+            ExprKind::Compare { left, .. } => {
+                assert!(matches!(left.kind, ExprKind::NamedExpr { .. }));
+            }
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn semicolons_split_statements() {
+    let m = parse_ok("a = 1; b = 2; c = 3\n");
+    assert_eq!(m.body.len(), 3);
+}
+
+#[test]
+fn inline_suite() {
+    let m = parse_ok("if x: do(); done()\n");
+    match first(&m) {
+        StmtKind::If { body, .. } => assert_eq!(body.len(), 2),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn global_nonlocal_del() {
+    let m = parse_ok("def f():\n    global a, b\n    del c\n");
+    match first(&m) {
+        StmtKind::FunctionDef { body, .. } => {
+            assert!(matches!(body[0].kind, StmtKind::Global(ref v) if v.len() == 2));
+            assert!(matches!(body[1].kind, StmtKind::Delete(ref v) if v.len() == 1));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn raise_forms() {
+    let m = parse_ok("raise\nraise ValueError('x')\nraise E() from cause\n");
+    assert!(matches!(m.body[0].kind, StmtKind::Raise { exc: None, .. }));
+    assert!(matches!(m.body[2].kind, StmtKind::Raise { cause: Some(_), .. }));
+}
+
+#[test]
+fn yield_forms() {
+    let m = parse_ok("def g():\n    yield\n    yield 1\n    yield from xs\n    x = yield v\n");
+    match first(&m) {
+        StmtKind::FunctionDef { body, .. } => {
+            assert!(matches!(
+                body[0].kind,
+                StmtKind::ExprStmt(Expr { kind: ExprKind::Yield(None), .. })
+            ));
+            assert!(matches!(
+                body[2].kind,
+                StmtKind::ExprStmt(Expr { kind: ExprKind::YieldFrom(_), .. })
+            ));
+            assert!(matches!(body[3].kind, StmtKind::Assign { .. }));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn realistic_flask_app() {
+    let src = "\
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route('/comments')
+def comments():
+    comment = request.args.get('comment', '')
+    return f'<p>{comment}</p>'
+
+if __name__ == '__main__':
+    app.run(debug=True)
+";
+    let m = parse_ok(src);
+    assert_eq!(m.body.len(), 4);
+    let calls = collect_calls(&m);
+    let names: Vec<&str> = calls.iter().map(|c| c.name.as_str()).collect();
+    assert!(names.contains(&"Flask"));
+    assert!(names.contains(&"request.args.get"));
+    assert!(names.contains(&"app.run"));
+}
+
+#[test]
+fn realistic_sql_snippet() {
+    let src = "\
+import sqlite3
+
+def get_user(username):
+    conn = sqlite3.connect('users.db')
+    cursor = conn.cursor()
+    cursor.execute(\"SELECT * FROM users WHERE name = '%s'\" % username)
+    return cursor.fetchall()
+";
+    let m = parse_ok(src);
+    let calls = collect_calls(&m);
+    assert!(calls.iter().any(|c| c.name == "cursor.execute"));
+    let strings = collect_strings(&m);
+    assert!(strings.iter().any(|s| s.contains("SELECT")));
+}
+
+#[test]
+fn tolerant_mode_recovers() {
+    // Second line is nonsense; third is fine.
+    let src = "x = 1\ny = = = nope\nz = 3\n";
+    let m = parse_module(src);
+    assert_eq!(m.error_count, 1);
+    assert_eq!(m.body.len(), 3);
+    assert!(matches!(m.body[1].kind, StmtKind::Error { .. }));
+    assert!(matches!(m.body[2].kind, StmtKind::Assign { .. }));
+}
+
+#[test]
+fn strict_mode_fails() {
+    assert!(parse_module_strict("y = = = nope\n").is_err());
+    assert!(parse_module_strict("def f(:\n    pass\n").is_err());
+    assert!(parse_module_strict("x = 1\n").is_ok());
+}
+
+#[test]
+fn incomplete_snippet_recovers() {
+    // AI generators often emit truncated code.
+    let src = "def process(data):\n    result = transform(\n";
+    let m = parse_module(src);
+    assert!(m.error_count >= 1);
+}
+
+#[test]
+fn collect_functions_nested() {
+    let src = "\
+def outer():
+    def inner():
+        pass
+    return inner
+
+class C:
+    def method(self, a, b):
+        pass
+";
+    let m = parse_ok(src);
+    let fns = collect_functions(&m);
+    let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+    assert!(names.contains(&"outer"));
+    assert!(names.contains(&"inner"));
+    assert!(names.contains(&"method"));
+    let method = fns.iter().find(|f| f.name == "method").unwrap();
+    assert_eq!(method.param_count, 3);
+}
+
+#[test]
+fn spans_point_into_source() {
+    let src = "import os\nos.system(cmd)\n";
+    let m = parse_ok(src);
+    let call_stmt = &m.body[1];
+    assert_eq!(call_stmt.span.slice(src), "os.system(cmd)");
+}
+
+#[test]
+fn unary_ops() {
+    let m = parse_ok("a = -x\nb = not y\nc = ~z\nd = +w\n");
+    for s in &m.body {
+        match &s.kind {
+            StmtKind::Assign { value, .. } => {
+                assert!(matches!(value.kind, ExprKind::UnaryOp { .. }))
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}
+
+#[test]
+fn dict_with_expansion() {
+    let m = parse_ok("d = {'a': 1, **extra}\n");
+    match first(&m) {
+        StmtKind::Assign { value, .. } => match &value.kind {
+            ExprKind::Dict(items) => {
+                assert_eq!(items.len(), 2);
+                assert!(items[1].0.is_none());
+            }
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn with_multiple_items() {
+    let m = parse_ok("with open(a) as f, open(b) as g:\n    copy(f, g)\n");
+    match first(&m) {
+        StmtKind::With { items, .. } => {
+            assert_eq!(items.len(), 2);
+            assert!(items[0].1.is_some());
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn generator_call_argument() {
+    let m = parse_ok("total = sum(x*x for x in xs)\n");
+    match first(&m) {
+        StmtKind::Assign { value, .. } => match &value.kind {
+            ExprKind::Call { args, .. } => {
+                assert!(matches!(
+                    args[0].kind,
+                    ExprKind::Comp { kind: CompKind::Generator, .. }
+                ));
+            }
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn starred_assignment_target() {
+    let m = parse_ok("first, *rest = items\n");
+    match first(&m) {
+        StmtKind::Assign { targets, .. } => match &targets[0].kind {
+            ExprKind::Tuple(items) => {
+                assert!(matches!(items[1].kind, ExprKind::Starred(_)));
+            }
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn deeply_nested_structure() {
+    let src = "\
+def a():
+    if x:
+        for i in range(3):
+            while cond:
+                try:
+                    with ctx() as c:
+                        return c
+                except E:
+                    pass
+";
+    let m = parse_ok(src);
+    assert_eq!(m.body.len(), 1);
+}
+
+#[test]
+fn empty_module() {
+    let m = parse_module("");
+    assert!(m.body.is_empty());
+    assert!(m.is_clean());
+    let m2 = parse_module("\n\n# only comments\n\n");
+    assert!(m2.body.is_empty());
+}

@@ -1,0 +1,386 @@
+//! AST traversal utilities.
+//!
+//! A classic visitor with default walking, plus convenience collectors
+//! used across PatchitPy-rs: all call sites with dotted callee names, all
+//! imports, all string literals, and all function definitions.
+
+use crate::ast::*;
+
+/// Depth-first AST visitor. Override the hooks you care about; call the
+/// `walk_*` free functions to continue into children.
+pub trait Visitor {
+    /// Called for every statement before descending.
+    fn visit_stmt(&mut self, stmt: &Stmt) {
+        walk_stmt(self, stmt);
+    }
+
+    /// Called for every expression before descending.
+    fn visit_expr(&mut self, expr: &Expr) {
+        walk_expr(self, expr);
+    }
+}
+
+/// Walks all statements of a module.
+pub fn walk_module<V: Visitor + ?Sized>(v: &mut V, module: &Module) {
+    for s in &module.body {
+        v.visit_stmt(s);
+    }
+}
+
+/// Default recursion into a statement's children.
+pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, stmt: &Stmt) {
+    match &stmt.kind {
+        StmtKind::FunctionDef { params, body, decorators, returns, .. } => {
+            for d in decorators {
+                v.visit_expr(d);
+            }
+            for p in params {
+                if let Some(a) = &p.annotation {
+                    v.visit_expr(a);
+                }
+                if let Some(d) = &p.default {
+                    v.visit_expr(d);
+                }
+            }
+            if let Some(r) = returns {
+                v.visit_expr(r);
+            }
+            for s in body {
+                v.visit_stmt(s);
+            }
+        }
+        StmtKind::ClassDef { bases, body, decorators, .. } => {
+            for d in decorators {
+                v.visit_expr(d);
+            }
+            for b in bases {
+                v.visit_expr(b);
+            }
+            for s in body {
+                v.visit_stmt(s);
+            }
+        }
+        StmtKind::If { test, body, orelse } => {
+            v.visit_expr(test);
+            for s in body.iter().chain(orelse) {
+                v.visit_stmt(s);
+            }
+        }
+        StmtKind::While { test, body, orelse } => {
+            v.visit_expr(test);
+            for s in body.iter().chain(orelse) {
+                v.visit_stmt(s);
+            }
+        }
+        StmtKind::For { target, iter, body, orelse, .. } => {
+            v.visit_expr(target);
+            v.visit_expr(iter);
+            for s in body.iter().chain(orelse) {
+                v.visit_stmt(s);
+            }
+        }
+        StmtKind::With { items, body, .. } => {
+            for (ctx, tgt) in items {
+                v.visit_expr(ctx);
+                if let Some(t) = tgt {
+                    v.visit_expr(t);
+                }
+            }
+            for s in body {
+                v.visit_stmt(s);
+            }
+        }
+        StmtKind::Try { body, handlers, orelse, finalbody } => {
+            for s in body {
+                v.visit_stmt(s);
+            }
+            for h in handlers {
+                if let Some(t) = &h.typ {
+                    v.visit_expr(t);
+                }
+                for s in &h.body {
+                    v.visit_stmt(s);
+                }
+            }
+            for s in orelse.iter().chain(finalbody) {
+                v.visit_stmt(s);
+            }
+        }
+        StmtKind::Return(Some(e)) => v.visit_expr(e),
+        StmtKind::Raise { exc, cause } => {
+            if let Some(e) = exc {
+                v.visit_expr(e);
+            }
+            if let Some(c) = cause {
+                v.visit_expr(c);
+            }
+        }
+        StmtKind::Assert { test, msg } => {
+            v.visit_expr(test);
+            if let Some(m) = msg {
+                v.visit_expr(m);
+            }
+        }
+        StmtKind::Assign { targets, value } => {
+            for t in targets {
+                v.visit_expr(t);
+            }
+            v.visit_expr(value);
+        }
+        StmtKind::AugAssign { target, value, .. } => {
+            v.visit_expr(target);
+            v.visit_expr(value);
+        }
+        StmtKind::AnnAssign { target, annotation, value } => {
+            v.visit_expr(target);
+            v.visit_expr(annotation);
+            if let Some(val) = value {
+                v.visit_expr(val);
+            }
+        }
+        StmtKind::ExprStmt(e) => v.visit_expr(e),
+        StmtKind::Delete(targets) => {
+            for t in targets {
+                v.visit_expr(t);
+            }
+        }
+        StmtKind::Return(None)
+        | StmtKind::Pass
+        | StmtKind::Break
+        | StmtKind::Continue
+        | StmtKind::Import(_)
+        | StmtKind::ImportFrom { .. }
+        | StmtKind::Global(_)
+        | StmtKind::Nonlocal(_)
+        | StmtKind::Error { .. } => {}
+    }
+}
+
+/// Default recursion into an expression's children.
+pub fn walk_expr<V: Visitor + ?Sized>(v: &mut V, expr: &Expr) {
+    match &expr.kind {
+        ExprKind::Tuple(items) | ExprKind::List(items) | ExprKind::Set(items) => {
+            for e in items {
+                v.visit_expr(e);
+            }
+        }
+        ExprKind::Dict(items) => {
+            for (k, val) in items {
+                if let Some(k) = k {
+                    v.visit_expr(k);
+                }
+                v.visit_expr(val);
+            }
+        }
+        ExprKind::Call { func, args, keywords } => {
+            v.visit_expr(func);
+            for a in args {
+                v.visit_expr(a);
+            }
+            for k in keywords {
+                v.visit_expr(&k.value);
+            }
+        }
+        ExprKind::Attribute { value, .. } => v.visit_expr(value),
+        ExprKind::Subscript { value, index } => {
+            v.visit_expr(value);
+            v.visit_expr(index);
+        }
+        ExprKind::Slice { lower, upper, step } => {
+            for b in [lower, upper, step].into_iter().flatten() {
+                v.visit_expr(b);
+            }
+        }
+        ExprKind::BinOp { left, right, .. } => {
+            v.visit_expr(left);
+            v.visit_expr(right);
+        }
+        ExprKind::UnaryOp { operand, .. } => v.visit_expr(operand),
+        ExprKind::BoolOp { values, .. } => {
+            for e in values {
+                v.visit_expr(e);
+            }
+        }
+        ExprKind::Compare { left, comparators, .. } => {
+            v.visit_expr(left);
+            for c in comparators {
+                v.visit_expr(c);
+            }
+        }
+        ExprKind::IfExp { test, body, orelse } => {
+            v.visit_expr(test);
+            v.visit_expr(body);
+            v.visit_expr(orelse);
+        }
+        ExprKind::Lambda { params, body } => {
+            for p in params {
+                if let Some(d) = &p.default {
+                    v.visit_expr(d);
+                }
+            }
+            v.visit_expr(body);
+        }
+        ExprKind::Comp { elt, value, generators, .. } => {
+            v.visit_expr(elt);
+            if let Some(val) = value {
+                v.visit_expr(val);
+            }
+            for g in generators {
+                v.visit_expr(&g.target);
+                v.visit_expr(&g.iter);
+                for i in &g.ifs {
+                    v.visit_expr(i);
+                }
+            }
+        }
+        ExprKind::Await(e) | ExprKind::YieldFrom(e) | ExprKind::Starred(e) => {
+            v.visit_expr(e)
+        }
+        ExprKind::Yield(Some(e)) => v.visit_expr(e),
+        ExprKind::NamedExpr { target, value } => {
+            v.visit_expr(target);
+            v.visit_expr(value);
+        }
+        ExprKind::Name(_)
+        | ExprKind::Number(_)
+        | ExprKind::Str(_)
+        | ExprKind::Constant(_)
+        | ExprKind::Yield(None)
+        | ExprKind::Error => {}
+    }
+}
+
+/// A call site found by [`collect_calls`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallSite {
+    /// Dotted callee name (`"os.system"`), when the callee is a simple
+    /// dotted path.
+    pub name: String,
+    /// The full call expression.
+    pub expr: Expr,
+}
+
+/// Collects every call whose callee is a dotted name.
+pub fn collect_calls(module: &Module) -> Vec<CallSite> {
+    struct C {
+        out: Vec<CallSite>,
+    }
+    impl Visitor for C {
+        fn visit_expr(&mut self, expr: &Expr) {
+            if let ExprKind::Call { func, .. } = &expr.kind {
+                if let Some(name) = func.dotted_name() {
+                    self.out.push(CallSite { name, expr: expr.clone() });
+                }
+            }
+            walk_expr(self, expr);
+        }
+    }
+    let mut c = C { out: Vec::new() };
+    walk_module(&mut c, module);
+    c.out
+}
+
+/// An import binding found by [`collect_imports`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImportBinding {
+    /// Module path (`"os"`, `"flask"`, `"xml.etree"`).
+    pub module: String,
+    /// Imported name within the module (`None` for plain `import m`).
+    pub name: Option<String>,
+    /// The local binding name after `as`-rebinding.
+    pub bound_as: String,
+}
+
+/// Collects every import in the module (at any nesting depth).
+pub fn collect_imports(module: &Module) -> Vec<ImportBinding> {
+    struct C {
+        out: Vec<ImportBinding>,
+    }
+    impl Visitor for C {
+        fn visit_stmt(&mut self, stmt: &Stmt) {
+            match &stmt.kind {
+                StmtKind::Import(aliases) => {
+                    for a in aliases {
+                        let bound = a.asname.clone().unwrap_or_else(|| {
+                            a.name.split('.').next().unwrap_or(&a.name).to_string()
+                        });
+                        self.out.push(ImportBinding {
+                            module: a.name.clone(),
+                            name: None,
+                            bound_as: bound,
+                        });
+                    }
+                }
+                StmtKind::ImportFrom { module, names, .. } => {
+                    for a in names {
+                        let bound = a.asname.clone().unwrap_or_else(|| a.name.clone());
+                        self.out.push(ImportBinding {
+                            module: module.clone(),
+                            name: Some(a.name.clone()),
+                            bound_as: bound,
+                        });
+                    }
+                }
+                _ => {}
+            }
+            walk_stmt(self, stmt);
+        }
+    }
+    let mut c = C { out: Vec::new() };
+    walk_module(&mut c, module);
+    c.out
+}
+
+/// Collects every string literal (verbatim text) in the module.
+pub fn collect_strings(module: &Module) -> Vec<String> {
+    struct C {
+        out: Vec<String>,
+    }
+    impl Visitor for C {
+        fn visit_expr(&mut self, expr: &Expr) {
+            if let ExprKind::Str(s) = &expr.kind {
+                self.out.push(s.clone());
+            }
+            walk_expr(self, expr);
+        }
+    }
+    let mut c = C { out: Vec::new() };
+    walk_module(&mut c, module);
+    c.out
+}
+
+/// Reference to a function definition found by [`collect_functions`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionInfo {
+    /// Function name.
+    pub name: String,
+    /// Number of parameters.
+    pub param_count: usize,
+    /// The body statements (cloned).
+    pub body: Vec<Stmt>,
+    /// Source span.
+    pub span: pylex::Span,
+}
+
+/// Collects every function definition (at any nesting depth).
+pub fn collect_functions(module: &Module) -> Vec<FunctionInfo> {
+    struct C {
+        out: Vec<FunctionInfo>,
+    }
+    impl Visitor for C {
+        fn visit_stmt(&mut self, stmt: &Stmt) {
+            if let StmtKind::FunctionDef { name, params, body, .. } = &stmt.kind {
+                self.out.push(FunctionInfo {
+                    name: name.clone(),
+                    param_count: params.len(),
+                    body: body.clone(),
+                    span: stmt.span,
+                });
+            }
+            walk_stmt(self, stmt);
+        }
+    }
+    let mut c = C { out: Vec::new() };
+    walk_module(&mut c, module);
+    c.out
+}

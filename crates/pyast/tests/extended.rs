@@ -1,0 +1,220 @@
+//! Additional parser coverage: recovery inside blocks, stacked
+//! decorators, subscript targets, and miscellaneous statement forms.
+
+use pyast::*;
+
+fn parse_ok(src: &str) -> Module {
+    let m = parse_module(src);
+    assert!(m.is_clean(), "unexpected errors:\n{src}\n{m:#?}");
+    m
+}
+
+#[test]
+fn recovery_inside_function_body() {
+    // Note: a line like "this is not python" would parse fine (it is a
+    // comparison chain!), so the broken line must be truly malformed.
+    let src = "\
+def f():
+    good = 1
+    broken = = = 2
+    also_good = 2
+";
+    let m = parse_module(src);
+    assert_eq!(m.error_count, 1);
+    match &m.body[0].kind {
+        StmtKind::FunctionDef { body, .. } => {
+            assert_eq!(body.len(), 3);
+            assert!(matches!(body[1].kind, StmtKind::Error { .. }));
+            assert!(matches!(body[2].kind, StmtKind::Assign { .. }));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn stacked_decorators() {
+    let src = "\
+@cached
+@retry(times=3)
+@app.route('/x', methods=['POST'])
+def handler():
+    pass
+";
+    let m = parse_ok(src);
+    match &m.body[0].kind {
+        StmtKind::FunctionDef { decorators, .. } => {
+            assert_eq!(decorators.len(), 3);
+            assert!(matches!(decorators[0].kind, ExprKind::Name(ref n) if n == "cached"));
+            assert!(matches!(decorators[1].kind, ExprKind::Call { .. }));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn decorated_class() {
+    let m = parse_ok("@register\nclass Widget:\n    pass\n");
+    match &m.body[0].kind {
+        StmtKind::ClassDef { decorators, .. } => assert_eq!(decorators.len(), 1),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn subscript_and_attribute_assignment_targets() {
+    let m = parse_ok("d['k'] = 1\nobj.attr = 2\nd['a']['b'] = 3\n");
+    for s in &m.body {
+        assert!(matches!(s.kind, StmtKind::Assign { .. }), "{s:?}");
+    }
+}
+
+#[test]
+fn augmented_on_subscript() {
+    let m = parse_ok("counts[key] += 1\n");
+    assert!(matches!(m.body[0].kind, StmtKind::AugAssign { .. }));
+}
+
+#[test]
+fn del_subscript() {
+    let m = parse_ok("del cache[key]\n");
+    match &m.body[0].kind {
+        StmtKind::Delete(targets) => {
+            assert!(matches!(targets[0].kind, ExprKind::Subscript { .. }))
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn return_tuple_and_starred() {
+    let m = parse_ok("def f(xs):\n    return xs[0], *xs[1:]\n");
+    match &m.body[0].kind {
+        StmtKind::FunctionDef { body, .. } => match &body[0].kind {
+            StmtKind::Return(Some(e)) => {
+                assert!(matches!(e.kind, ExprKind::Tuple(ref t) if t.len() == 2));
+            }
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn conditional_in_comprehension_element() {
+    let m = parse_ok("labels = ['odd' if x % 2 else 'even' for x in xs]\n");
+    match &m.body[0].kind {
+        StmtKind::Assign { value, .. } => match &value.kind {
+            ExprKind::Comp { elt, .. } => {
+                assert!(matches!(elt.kind, ExprKind::IfExp { .. }))
+            }
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn lambda_in_call_argument() {
+    let m = parse_ok("xs.sort(key=lambda p: p.name)\n");
+    match &m.body[0].kind {
+        StmtKind::ExprStmt(e) => match &e.kind {
+            ExprKind::Call { keywords, .. } => {
+                assert!(matches!(keywords[0].value.kind, ExprKind::Lambda { .. }))
+            }
+            other => panic!("{other:?}"),
+        },
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn chained_calls_and_subscripts() {
+    let m = parse_ok("x = conn.cursor().execute(q).fetchall()[0]['name']\n");
+    match &m.body[0].kind {
+        StmtKind::Assign { value, .. } => {
+            assert!(matches!(value.kind, ExprKind::Subscript { .. }));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn keyword_only_params_after_star() {
+    let m = parse_ok("def f(a, *, b, c=1):\n    pass\n");
+    match &m.body[0].kind {
+        StmtKind::FunctionDef { params, .. } => {
+            assert_eq!(params.len(), 3);
+            assert!(params.iter().all(|p| p.star != 1));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn positional_only_marker() {
+    let m = parse_ok("def f(a, b, /, c):\n    pass\n");
+    match &m.body[0].kind {
+        StmtKind::FunctionDef { params, .. } => assert_eq!(params.len(), 3),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn try_without_handlers_is_error() {
+    assert!(parse_module_strict("try:\n    x = 1\n").is_err());
+}
+
+#[test]
+fn while_with_walrus_condition() {
+    let m = parse_ok("while chunk := fh.read(1024):\n    process(chunk)\n");
+    match &m.body[0].kind {
+        StmtKind::While { test, .. } => {
+            assert!(matches!(test.kind, ExprKind::NamedExpr { .. }))
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn nested_dict_and_list_literals() {
+    let m = parse_ok("config = {'servers': [{'host': 'a', 'ports': [80, 443]}], 'debug': False}\n");
+    match &m.body[0].kind {
+        StmtKind::Assign { value, .. } => {
+            assert!(matches!(value.kind, ExprKind::Dict(ref items) if items.len() == 2))
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn collect_strings_sees_fstrings_and_plain() {
+    let m = parse_ok("a = 'plain'\nb = f'formatted {x}'\n");
+    let strings = collect_strings(&m);
+    assert_eq!(strings.len(), 2);
+}
+
+#[test]
+fn import_binding_shapes() {
+    let m = parse_ok("import xml.etree.ElementTree as ET\n");
+    let imports = collect_imports(&m);
+    assert_eq!(imports[0].module, "xml.etree.ElementTree");
+    assert_eq!(imports[0].bound_as, "ET");
+}
+
+#[test]
+fn error_line_flat_text_preserved() {
+    // `x` parses as an expression statement; the junk after it becomes
+    // the recovered Error node carrying the skipped tokens.
+    let m = parse_module("x ~~~ y\n");
+    assert_eq!(m.error_count, 1);
+    let err = m
+        .body
+        .iter()
+        .find_map(|s| match &s.kind {
+            StmtKind::Error { text } => Some(text.clone()),
+            _ => None,
+        })
+        .expect("an error node");
+    assert!(err.contains('~'));
+    assert!(err.contains('y'));
+}

@@ -1,0 +1,115 @@
+//! Parser robustness: the tolerant parser is total, and the strict
+//! parser accepts a strict subset of what the tolerant one parses
+//! cleanly.
+
+use proptest::prelude::*;
+use pyast::{parse_module, parse_module_strict};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The tolerant parser never panics and never loses statements into
+    /// thin air: every module is produced, possibly with Error nodes.
+    #[test]
+    fn tolerant_parser_is_total(src in "[ -~\n\t]{0,400}") {
+        let m = parse_module(&src);
+        // error_count consistent with Error nodes present in the tree.
+        let mut errors = 0usize;
+        fn count_errors(stmts: &[pyast::Stmt], acc: &mut usize) {
+            for s in stmts {
+                if matches!(s.kind, pyast::StmtKind::Error { .. }) {
+                    *acc += 1;
+                }
+                match &s.kind {
+                    pyast::StmtKind::FunctionDef { body, .. }
+                    | pyast::StmtKind::ClassDef { body, .. }
+                    | pyast::StmtKind::With { body, .. } => count_errors(body, acc),
+                    pyast::StmtKind::If { body, orelse, .. }
+                    | pyast::StmtKind::While { body, orelse, .. }
+                    | pyast::StmtKind::For { body, orelse, .. } => {
+                        count_errors(body, acc);
+                        count_errors(orelse, acc);
+                    }
+                    pyast::StmtKind::Try { body, handlers, orelse, finalbody } => {
+                        count_errors(body, acc);
+                        for h in handlers {
+                            count_errors(&h.body, acc);
+                        }
+                        count_errors(orelse, acc);
+                        count_errors(finalbody, acc);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        count_errors(&m.body, &mut errors);
+        prop_assert_eq!(errors, m.error_count);
+    }
+
+    /// Strict success implies tolerant cleanliness with the same
+    /// statement count.
+    #[test]
+    fn strict_is_subset_of_tolerant(src in "[a-z0-9_ ().:=,+\n]{0,300}") {
+        if let Ok(strict) = parse_module_strict(&src) {
+            let tolerant = parse_module(&src);
+            prop_assert!(tolerant.is_clean());
+            prop_assert_eq!(strict.body.len(), tolerant.body.len());
+        }
+    }
+
+    /// Parsing generated-looking code (identifiers/calls/strings) is
+    /// always clean through the tolerant path when strict succeeds, and
+    /// statement spans never overlap at the same nesting level.
+    #[test]
+    fn top_level_spans_are_ordered(src in "[a-z]{1,6} = [a-z]{1,6}\\([a-z0-9, ]{0,20}\\)\n{1,3}") {
+        let m = parse_module(&src);
+        for w in m.body.windows(2) {
+            prop_assert!(w[0].span.end <= w[1].span.start + 1);
+        }
+    }
+}
+
+#[test]
+fn pathological_nesting_does_not_overflow() {
+    // 200 levels of nested ifs: recursion depth check.
+    let mut src = String::new();
+    for i in 0..200 {
+        src.push_str(&"    ".repeat(i));
+        src.push_str("if x:\n");
+    }
+    src.push_str(&"    ".repeat(200));
+    src.push_str("pass\n");
+    let m = parse_module(&src);
+    assert!(m.body.len() == 1 || m.error_count > 0);
+}
+
+#[test]
+fn deeply_nested_expressions_parse() {
+    // Within the depth bound: parses cleanly.
+    let src = format!("x = {}1{}\n", "(".repeat(30), ")".repeat(30));
+    let m = parse_module(&src);
+    assert!(m.is_clean(), "nested parens should parse: {m:?}");
+}
+
+#[test]
+fn nesting_beyond_bound_is_an_error_not_a_crash() {
+    // Past the bound: a recovered error node in tolerant mode, a
+    // ParseError in strict mode — never a stack overflow.
+    let src = format!("x = {}1{}\n", "(".repeat(5000), ")".repeat(5000));
+    let m = parse_module(&src);
+    assert!(m.error_count >= 1);
+    assert!(parse_module_strict(&src).is_err());
+}
+
+#[test]
+fn giant_flat_module_parses_quickly() {
+    let mut src = String::new();
+    for i in 0..2000 {
+        src.push_str(&format!("value_{i} = compute_{i}(a, b) + {i}\n"));
+    }
+    let start = std::time::Instant::now();
+    let m = parse_module(&src);
+    assert!(m.is_clean());
+    assert_eq!(m.body.len(), 2000);
+    assert!(start.elapsed().as_secs() < 5, "parser too slow: {:?}", start.elapsed());
+}

@@ -1,0 +1,40 @@
+//! # pylex — a Python lexer for PatchitPy-rs
+//!
+//! This crate tokenizes Python source into a stream modeled on CPython's
+//! `tokenize` module: code tokens plus `NEWLINE`/`NL` and zero-width
+//! `INDENT`/`DEDENT` markers. It is the foundation every other layer of the
+//! PatchitPy reproduction builds on: the `pyast` parser consumes the token
+//! stream, the PatchitPy standardizer rewrites [`Token`]s into `var#` form,
+//! and the metrics crate counts tokens for prompt statistics.
+//!
+//! The lexer is **error-tolerant**: AI-generated snippets are often
+//! incomplete, so malformed constructs become [`TokenKind::Error`] tokens
+//! and lexing continues — mirroring the paper's observation that PatchitPy
+//! works on code fragments where AST-based tools fail outright.
+//!
+//! ## Example
+//!
+//! ```
+//! use pylex::{tokenize, TokenKind};
+//!
+//! let tokens = tokenize("import os\nos.system(cmd)\n");
+//! let names: Vec<_> = tokens
+//!     .iter()
+//!     .filter(|t| t.kind == TokenKind::Name)
+//!     .map(|t| t.text.as_str())
+//!     .collect();
+//! assert_eq!(names, ["os", "os", "system", "cmd"]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod lexer;
+mod lines;
+mod span;
+mod token;
+
+pub use lexer::{code_tokens, tokenize, LexOptions, Lexer};
+pub use lines::{logical_lines, LogicalLine};
+pub use span::Span;
+pub use token::{is_keyword, Token, TokenKind, KEYWORDS};

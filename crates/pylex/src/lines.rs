@@ -1,0 +1,136 @@
+//! Logical-line utilities built on the token stream.
+//!
+//! The PatchitPy standardizer and several baseline tools reason about
+//! *logical lines* (a statement possibly spanning multiple physical lines).
+
+use crate::lexer::tokenize;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// One logical line of Python: the code tokens between two logical
+/// newlines, with the covering source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogicalLine {
+    /// Code tokens of this line (no comments, markers, or newlines).
+    pub tokens: Vec<Token>,
+    /// Span from the first to the last token of the line.
+    pub span: Span,
+    /// Indentation depth in stack levels (0 = module level).
+    pub depth: u32,
+}
+
+impl LogicalLine {
+    /// The token texts joined with single spaces — the canonical flat form
+    /// used for pattern matching.
+    pub fn flat(&self) -> String {
+        let mut s = String::new();
+        for (i, t) in self.tokens.iter().enumerate() {
+            if i > 0 {
+                s.push(' ');
+            }
+            s.push_str(&t.text);
+        }
+        s
+    }
+
+    /// Whether the line starts with the given keyword.
+    pub fn starts_with_kw(&self, kw: &str) -> bool {
+        self.tokens.first().is_some_and(|t| t.is_kw(kw))
+    }
+}
+
+/// Splits `source` into logical lines.
+///
+/// Lines containing only comments are skipped; indentation depth is
+/// tracked from INDENT/DEDENT markers.
+///
+/// ```
+/// use pylex::logical_lines;
+/// let lines = logical_lines("import os\nx = (1 +\n     2)\n");
+/// assert_eq!(lines.len(), 2);
+/// assert_eq!(lines[1].flat(), "x = ( 1 + 2 )");
+/// ```
+pub fn logical_lines(source: &str) -> Vec<LogicalLine> {
+    let mut out = Vec::new();
+    let mut current: Vec<Token> = Vec::new();
+    let mut depth: u32 = 0;
+    for tok in tokenize(source) {
+        match tok.kind {
+            TokenKind::Indent => depth += 1,
+            TokenKind::Dedent => depth = depth.saturating_sub(1),
+            TokenKind::Newline => {
+                if !current.is_empty() {
+                    let span = current
+                        .iter()
+                        .map(|t| t.span)
+                        .reduce(|a, b| a.join(b))
+                        .expect("non-empty");
+                    out.push(LogicalLine { tokens: std::mem::take(&mut current), span, depth });
+                }
+            }
+            TokenKind::Nl | TokenKind::Comment | TokenKind::EndMarker => {}
+            _ => current.push(tok),
+        }
+    }
+    if !current.is_empty() {
+        let span = current
+            .iter()
+            .map(|t| t.span)
+            .reduce(|a, b| a.join(b))
+            .expect("non-empty");
+        out.push(LogicalLine { tokens: current, span, depth });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_statement_per_logical_line() {
+        let lines = logical_lines("a = 1\nb = 2\n");
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].flat(), "a = 1");
+        assert_eq!(lines[1].flat(), "b = 2");
+    }
+
+    #[test]
+    fn bracket_continuation_is_one_line() {
+        let lines = logical_lines("x = f(1,\n      2,\n      3)\n");
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].flat(), "x = f ( 1 , 2 , 3 )");
+    }
+
+    #[test]
+    fn depth_tracks_indentation() {
+        let lines = logical_lines("def f():\n    if x:\n        return 1\n");
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].depth, 0);
+        assert_eq!(lines[1].depth, 1);
+        assert_eq!(lines[2].depth, 2);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let lines = logical_lines("# header\n\na = 1  # trailing\n");
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].flat(), "a = 1");
+    }
+
+    #[test]
+    fn starts_with_kw() {
+        let lines = logical_lines("from os import path\n");
+        assert!(lines[0].starts_with_kw("from"));
+        assert!(!lines[0].starts_with_kw("import"));
+    }
+
+    #[test]
+    fn span_covers_whole_statement() {
+        let src = "result = compute(a,\n                 b)\n";
+        let lines = logical_lines(src);
+        let sp = lines[0].span;
+        assert!(sp.slice(src).starts_with("result"));
+        assert!(sp.slice(src).ends_with(")"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Source spans and positions.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the original source text,
+/// together with the 1-based line and 0-based column of its start.
+///
+/// Spans are produced by the lexer and flow through the parser, the
+/// detector, and the patcher: patches are applied as span-based edits so
+/// untouched regions of the file are preserved byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 0-based column (in bytes) of `start` within its line.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a new span.
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
+        debug_assert!(start <= end, "span start must not exceed end");
+        Span { start, end, line, col }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the span covers zero bytes (e.g. INDENT/DEDENT markers).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn join(&self, other: Span) -> Span {
+        let (line, col) = if self.start <= other.start {
+            (self.line, self.col)
+        } else {
+            (other.line, other.col)
+        };
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line,
+            col,
+        }
+    }
+
+    /// Extracts the spanned text from `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is out of bounds for `source` or does not fall on
+    /// UTF-8 character boundaries.
+    pub fn slice<'a>(&self, source: &'a str) -> &'a str {
+        &source[self.start..self.end]
+    }
+
+    /// Whether this span fully contains `other`.
+    pub fn contains(&self, other: Span) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Whether this span overlaps `other` (shares at least one byte).
+    pub fn overlaps(&self, other: Span) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_covers_both() {
+        let a = Span::new(2, 5, 1, 2);
+        let b = Span::new(7, 9, 2, 0);
+        let j = a.join(b);
+        assert_eq!(j.start, 2);
+        assert_eq!(j.end, 9);
+        assert_eq!(j.line, 1);
+    }
+
+    #[test]
+    fn join_is_commutative_on_range() {
+        let a = Span::new(4, 6, 1, 4);
+        let b = Span::new(0, 2, 1, 0);
+        assert_eq!(a.join(b).start, b.join(a).start);
+        assert_eq!(a.join(b).end, b.join(a).end);
+        // Position comes from the earlier span either way.
+        assert_eq!(a.join(b).col, 0);
+    }
+
+    #[test]
+    fn slice_extracts_text() {
+        let src = "hello world";
+        let s = Span::new(6, 11, 1, 6);
+        assert_eq!(s.slice(src), "world");
+    }
+
+    #[test]
+    fn contains_and_overlaps() {
+        let outer = Span::new(0, 10, 1, 0);
+        let inner = Span::new(3, 5, 1, 3);
+        let disjoint = Span::new(10, 12, 1, 10);
+        assert!(outer.contains(inner));
+        assert!(!inner.contains(outer));
+        assert!(outer.overlaps(inner));
+        assert!(!outer.overlaps(disjoint));
+    }
+
+    #[test]
+    fn display_is_line_col() {
+        assert_eq!(Span::new(0, 1, 3, 7).to_string(), "3:7");
+    }
+}

@@ -1,0 +1,183 @@
+//! Token kinds produced by the lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// All Python keywords (3.x), used to classify identifiers.
+pub const KEYWORDS: &[&str] = &[
+    "False", "None", "True", "and", "as", "assert", "async", "await", "break",
+    "class", "continue", "def", "del", "elif", "else", "except", "finally",
+    "for", "from", "global", "if", "import", "in", "is", "lambda", "nonlocal",
+    "not", "or", "pass", "raise", "return", "try", "while", "with", "yield",
+];
+
+/// Returns `true` if `word` is a Python keyword.
+pub fn is_keyword(word: &str) -> bool {
+    KEYWORDS.binary_search(&word).is_ok()
+}
+
+/// The lexical category of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// An identifier that is not a keyword.
+    Name,
+    /// A reserved word (`def`, `if`, `import`, ...).
+    Keyword,
+    /// An integer, float, or imaginary literal in any base.
+    Number,
+    /// A string literal, including its prefix and quotes. F-strings are
+    /// lexed as a single token; their interior is not re-tokenized.
+    Str,
+    /// An operator or delimiter (`+`, `**=`, `->`, `(`, ...).
+    Op,
+    /// A `#`-comment, including the leading `#`.
+    Comment,
+    /// End of a logical line.
+    Newline,
+    /// A blank or comment-only physical line break (non-logical newline),
+    /// mirroring tokenize's `NL`.
+    Nl,
+    /// Increase of indentation depth (zero-width).
+    Indent,
+    /// Decrease of indentation depth (zero-width).
+    Dedent,
+    /// End of input (zero-width).
+    EndMarker,
+    /// A byte sequence that could not be tokenized; the lexer recovers and
+    /// continues after it.
+    Error,
+}
+
+impl TokenKind {
+    /// Whether the token kind carries no source text (structural markers).
+    pub fn is_marker(self) -> bool {
+        matches!(
+            self,
+            TokenKind::Indent | TokenKind::Dedent | TokenKind::EndMarker
+        )
+    }
+
+    /// Whether the token is lexically significant for pattern matching
+    /// (excludes comments, newlines, and markers).
+    pub fn is_code(self) -> bool {
+        matches!(
+            self,
+            TokenKind::Name
+                | TokenKind::Keyword
+                | TokenKind::Number
+                | TokenKind::Str
+                | TokenKind::Op
+        )
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            TokenKind::Name => "NAME",
+            TokenKind::Keyword => "KEYWORD",
+            TokenKind::Number => "NUMBER",
+            TokenKind::Str => "STRING",
+            TokenKind::Op => "OP",
+            TokenKind::Comment => "COMMENT",
+            TokenKind::Newline => "NEWLINE",
+            TokenKind::Nl => "NL",
+            TokenKind::Indent => "INDENT",
+            TokenKind::Dedent => "DEDENT",
+            TokenKind::EndMarker => "ENDMARKER",
+            TokenKind::Error => "ERROR",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A lexed token: a kind, its text, and where it came from.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Token {
+    /// Lexical category.
+    pub kind: TokenKind,
+    /// The exact source text of the token (empty for markers).
+    pub text: String,
+    /// Location in the original source.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, text: impl Into<String>, span: Span) -> Self {
+        Token { kind, text: text.into(), span }
+    }
+
+    /// Whether the token is the given operator/delimiter text.
+    pub fn is_op(&self, op: &str) -> bool {
+        self.kind == TokenKind::Op && self.text == op
+    }
+
+    /// Whether the token is the given keyword.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        self.kind == TokenKind::Keyword && self.text == kw
+    }
+
+    /// Whether the token is a name equal to `name`.
+    pub fn is_name(&self, name: &str) -> bool {
+        self.kind == TokenKind::Name && self.text == name
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.text.is_empty() {
+            write!(f, "{}", self.kind)
+        } else {
+            write!(f, "{}({:?})", self.kind, self.text)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_sorted_for_binary_search() {
+        let mut sorted = KEYWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, KEYWORDS, "KEYWORDS must be sorted");
+    }
+
+    #[test]
+    fn keyword_classification() {
+        assert!(is_keyword("def"));
+        assert!(is_keyword("yield"));
+        assert!(is_keyword("False"));
+        assert!(!is_keyword("print")); // builtin, not a keyword in py3
+        assert!(!is_keyword("match")); // soft keyword, lexed as Name
+    }
+
+    #[test]
+    fn marker_and_code_kinds() {
+        assert!(TokenKind::Indent.is_marker());
+        assert!(!TokenKind::Name.is_marker());
+        assert!(TokenKind::Str.is_code());
+        assert!(!TokenKind::Comment.is_code());
+    }
+
+    #[test]
+    fn token_predicates() {
+        let t = Token::new(TokenKind::Op, "(", Span::default());
+        assert!(t.is_op("("));
+        assert!(!t.is_op(")"));
+        let k = Token::new(TokenKind::Keyword, "import", Span::default());
+        assert!(k.is_kw("import"));
+        let n = Token::new(TokenKind::Name, "os", Span::default());
+        assert!(n.is_name("os"));
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = Token::new(TokenKind::Name, "x", Span::default());
+        assert_eq!(t.to_string(), "NAME(\"x\")");
+        let m = Token::new(TokenKind::Dedent, "", Span::default());
+        assert_eq!(m.to_string(), "DEDENT");
+    }
+}

@@ -1,0 +1,127 @@
+//! Lexer edge cases beyond the unit suite: exotic literals, odd line
+//! endings, pathological inputs, and real-world AI-output quirks.
+
+use pylex::{code_tokens, logical_lines, tokenize, TokenKind};
+
+#[test]
+fn fstring_with_nested_braces_and_format_spec() {
+    let toks = tokenize("s = f\"{value:{width}.2f}\"\n");
+    let s = toks.iter().find(|t| t.kind == TokenKind::Str).unwrap();
+    assert!(s.text.starts_with("f\""));
+    assert!(s.text.ends_with('"'));
+}
+
+#[test]
+fn bytes_with_hex_escapes() {
+    let toks = tokenize("b = b'\\x00\\xff\\n'\n");
+    let s = toks.iter().find(|t| t.kind == TokenKind::Str).unwrap();
+    assert_eq!(s.text, "b'\\x00\\xff\\n'");
+}
+
+#[test]
+fn concatenated_prefixed_strings() {
+    let texts: Vec<String> = code_tokens("x = r'\\d+' b'raw' f'{y}'\n")
+        .into_iter()
+        .filter(|t| t.kind == TokenKind::Str)
+        .map(|t| t.text)
+        .collect();
+    assert_eq!(texts, ["r'\\d+'", "b'raw'", "f'{y}'"]);
+}
+
+#[test]
+fn carriage_return_only_is_tolerated() {
+    // Classic Mac line endings: '\r' alone.
+    let toks = tokenize("x = 1\ry = 2\r");
+    assert!(toks.iter().any(|t| t.is_name("x")));
+    assert!(toks.iter().any(|t| t.is_name("y")));
+}
+
+#[test]
+fn very_long_single_line() {
+    let src = format!("total = {}\n", (0..500).map(|i| i.to_string()).collect::<Vec<_>>().join(" + "));
+    let toks = code_tokens(&src);
+    // 1 name + 1 '=' + 500 numbers + 499 '+'.
+    assert_eq!(toks.len(), 1 + 1 + 500 + 499);
+}
+
+#[test]
+fn deeply_nested_brackets_single_logical_line() {
+    let src = format!("x = {}0{}\n", "[".repeat(60), "]".repeat(60));
+    let lines = logical_lines(&src);
+    assert_eq!(lines.len(), 1);
+}
+
+#[test]
+fn mixed_tabs_and_spaces() {
+    let src = "if a:\n\tx = 1\nif b:\n        y = 2\n";
+    let toks = tokenize(src);
+    let i = toks.iter().filter(|t| t.kind == TokenKind::Indent).count();
+    let d = toks.iter().filter(|t| t.kind == TokenKind::Dedent).count();
+    assert_eq!(i, d);
+}
+
+#[test]
+fn walrus_vs_colon_disambiguation() {
+    let toks = code_tokens("while (n := read()) != end: pass\n");
+    assert!(toks.iter().any(|t| t.is_op(":=")));
+    assert!(toks.iter().any(|t| t.is_op(":")));
+}
+
+#[test]
+fn ellipsis_token() {
+    let toks = code_tokens("def stub() -> None: ...\n");
+    assert!(toks.iter().any(|t| t.is_op("...")));
+}
+
+#[test]
+fn comment_at_eof_without_newline() {
+    let toks = tokenize("x = 1\n# trailing");
+    let c = toks.iter().find(|t| t.kind == TokenKind::Comment).unwrap();
+    assert_eq!(c.text, "# trailing");
+    assert_eq!(toks.last().unwrap().kind, TokenKind::EndMarker);
+}
+
+#[test]
+fn empty_and_whitespace_only_inputs() {
+    for src in ["", "\n", "   \n\n\t\n", "\r\n\r\n"] {
+        let toks = tokenize(src);
+        assert_eq!(toks.last().unwrap().kind, TokenKind::EndMarker, "{src:?}");
+        assert!(!toks.iter().any(|t| t.kind == TokenKind::Error), "{src:?}");
+    }
+}
+
+#[test]
+fn markdown_fence_artifacts_degrade_gracefully() {
+    // AI output sometimes leaks markdown fences into "Python" files.
+    let src = "```python\nx = 1\n```\n";
+    let toks = tokenize(src);
+    // Backticks are error tokens, but the real code still lexes.
+    assert!(toks.iter().any(|t| t.kind == TokenKind::Error));
+    assert!(toks.iter().any(|t| t.is_name("x")));
+}
+
+#[test]
+fn numeric_edge_forms() {
+    for n in ["0_1", "1_000_000", "0x_FF", "1.5e3j", "0o7_7"] {
+        let toks = code_tokens(n);
+        assert_eq!(toks.len(), 1, "{n} should be one token, got {toks:?}");
+        assert_eq!(toks[0].kind, TokenKind::Number, "{n}");
+    }
+}
+
+#[test]
+fn string_containing_comment_marker() {
+    let toks = tokenize("s = 'not # a comment'\n");
+    assert!(!toks.iter().any(|t| t.kind == TokenKind::Comment));
+    let s = toks.iter().find(|t| t.kind == TokenKind::Str).unwrap();
+    assert!(s.text.contains('#'));
+}
+
+#[test]
+fn logical_line_depth_with_inline_suite() {
+    let lines = logical_lines("if x: y = 1\nz = 2\n");
+    // Inline suite stays one logical line at depth 0; z follows at depth 0.
+    assert_eq!(lines.len(), 2);
+    assert_eq!(lines[0].depth, 0);
+    assert_eq!(lines[1].depth, 0);
+}

@@ -1,0 +1,324 @@
+//! Cyclomatic complexity, following radon's counting rules.
+//!
+//! The paper's Fig. 3 compares cyclomatic-complexity distributions (via
+//! radon) across generated code and each tool's patched output. Counting
+//! rules implemented here (one point each, starting from 1 per block):
+//!
+//! | construct            | effect                       |
+//! |----------------------|------------------------------|
+//! | `if` / `elif`        | +1 each                      |
+//! | `for` / `while`      | +1 (+1 for a loop `else`)    |
+//! | `except` clause      | +1 each                      |
+//! | ternary `a if c else b` | +1                        |
+//! | `assert`             | +1                           |
+//! | comprehension        | +1 per `for`, +1 per `if`    |
+//! | boolean operators    | +(operands − 1) per chain    |
+//!
+//! `with`, `finally`, `else` of `if`, and plain statements add nothing.
+
+use pyast::{
+    parse_module, walk_expr, walk_stmt, Expr, ExprKind, Module, Stmt, StmtKind, Visitor,
+};
+
+/// Complexity of one function (or of the module's top level).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockComplexity {
+    /// Function name, or `"<module>"` for top-level code.
+    pub name: String,
+    /// Cyclomatic complexity (≥ 1).
+    pub complexity: u32,
+}
+
+/// Per-file complexity report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplexityReport {
+    /// One entry per function plus one for the module top level.
+    pub blocks: Vec<BlockComplexity>,
+}
+
+impl ComplexityReport {
+    /// Mean complexity across blocks (radon's "average complexity").
+    ///
+    /// Returns 1.0 for a file with no blocks.
+    pub fn mean(&self) -> f64 {
+        if self.blocks.is_empty() {
+            return 1.0;
+        }
+        let sum: u32 = self.blocks.iter().map(|b| b.complexity).sum();
+        sum as f64 / self.blocks.len() as f64
+    }
+
+    /// Highest single-block complexity.
+    pub fn max(&self) -> u32 {
+        self.blocks.iter().map(|b| b.complexity).max().unwrap_or(1)
+    }
+
+    /// Total complexity summed over blocks.
+    pub fn total(&self) -> u32 {
+        self.blocks.iter().map(|b| b.complexity).sum()
+    }
+}
+
+/// Computes the complexity report for a source file (tolerant parse).
+pub fn complexity(source: &str) -> ComplexityReport {
+    complexity_of(&parse_module(source))
+}
+
+/// Computes the complexity report from an already-parsed module.
+pub fn complexity_of(module: &Module) -> ComplexityReport {
+    let mut blocks = Vec::new();
+    let mut top = Counter { score: 1, blocks: &mut blocks, skip_nested_defs: true };
+    for s in &module.body {
+        top.visit_stmt(s);
+    }
+    let top_score = top.score;
+    blocks.push(BlockComplexity { name: "<module>".into(), complexity: top_score });
+    // Put functions first, module last, in source order.
+    blocks.rotate_right(1);
+    blocks.rotate_left(1);
+    ComplexityReport { blocks }
+}
+
+struct Counter<'a> {
+    score: u32,
+    blocks: &'a mut Vec<BlockComplexity>,
+    /// When true, nested `def`s start their own block instead of adding to
+    /// the current score (module level and function level both do this).
+    skip_nested_defs: bool,
+}
+
+impl Visitor for Counter<'_> {
+    fn visit_stmt(&mut self, stmt: &Stmt) {
+        match &stmt.kind {
+            StmtKind::FunctionDef { name, body, .. } if self.skip_nested_defs => {
+                let mut inner =
+                    Counter { score: 1, blocks: self.blocks, skip_nested_defs: true };
+                for s in body {
+                    inner.visit_stmt(s);
+                }
+                let score = inner.score;
+                self.blocks
+                    .push(BlockComplexity { name: name.clone(), complexity: score });
+                // Do not descend again.
+            }
+            StmtKind::If { test, body, orelse } => {
+                self.score += 1;
+                self.visit_expr(test);
+                for s in body {
+                    self.visit_stmt(s);
+                }
+                for s in orelse {
+                    self.visit_stmt(s);
+                }
+            }
+            StmtKind::For { orelse, .. } | StmtKind::While { orelse, .. } => {
+                self.score += 1;
+                if !orelse.is_empty() {
+                    self.score += 1;
+                }
+                walk_stmt(self, stmt);
+            }
+            StmtKind::Try { handlers, .. } => {
+                self.score += handlers.len() as u32;
+                walk_stmt(self, stmt);
+            }
+            StmtKind::Assert { .. } => {
+                self.score += 1;
+                walk_stmt(self, stmt);
+            }
+            _ => walk_stmt(self, stmt),
+        }
+    }
+
+    fn visit_expr(&mut self, expr: &Expr) {
+        match &expr.kind {
+            ExprKind::IfExp { .. } => {
+                self.score += 1;
+                walk_expr(self, expr);
+            }
+            ExprKind::BoolOp { values, .. } => {
+                self.score += values.len().saturating_sub(1) as u32;
+                walk_expr(self, expr);
+            }
+            ExprKind::Comp { generators, .. } => {
+                for g in generators {
+                    self.score += 1;
+                    self.score += g.ifs.len() as u32;
+                }
+                walk_expr(self, expr);
+            }
+            _ => walk_expr(self, expr),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fn_cc(src: &str, name: &str) -> u32 {
+        complexity(src)
+            .blocks
+            .iter()
+            .find(|b| b.name == name)
+            .unwrap_or_else(|| panic!("no block {name}"))
+            .complexity
+    }
+
+    #[test]
+    fn straight_line_is_one() {
+        assert_eq!(fn_cc("def f():\n    x = 1\n    return x\n", "f"), 1);
+    }
+
+    #[test]
+    fn each_if_adds_one() {
+        let src = "\
+def f(a, b):
+    if a:
+        return 1
+    if b:
+        return 2
+    return 3
+";
+        assert_eq!(fn_cc(src, "f"), 3);
+    }
+
+    #[test]
+    fn elif_chain() {
+        let src = "\
+def f(x):
+    if x == 1:
+        return 'a'
+    elif x == 2:
+        return 'b'
+    elif x == 3:
+        return 'c'
+    else:
+        return 'd'
+";
+        assert_eq!(fn_cc(src, "f"), 4); // 1 + three decision points
+    }
+
+    #[test]
+    fn loops_and_else() {
+        let src = "\
+def f(xs):
+    for x in xs:
+        pass
+    else:
+        done()
+    while xs:
+        xs.pop()
+";
+        // 1 + for(1) + for-else(1) + while(1)
+        assert_eq!(fn_cc(src, "f"), 4);
+    }
+
+    #[test]
+    fn except_clauses() {
+        let src = "\
+def f():
+    try:
+        g()
+    except ValueError:
+        pass
+    except KeyError:
+        pass
+    finally:
+        h()
+";
+        assert_eq!(fn_cc(src, "f"), 3);
+    }
+
+    #[test]
+    fn boolean_chains() {
+        assert_eq!(fn_cc("def f(a, b, c):\n    return a and b and c\n", "f"), 3);
+        assert_eq!(fn_cc("def f(a, b):\n    return a or b\n", "f"), 2);
+    }
+
+    #[test]
+    fn ternary_and_comprehension() {
+        assert_eq!(fn_cc("def f(x):\n    return 1 if x else 2\n", "f"), 2);
+        assert_eq!(
+            fn_cc("def f(xs):\n    return [x for x in xs if x > 0]\n", "f"),
+            3
+        );
+    }
+
+    #[test]
+    fn assert_counts() {
+        assert_eq!(fn_cc("def f(x):\n    assert x > 0\n    return x\n", "f"), 2);
+    }
+
+    #[test]
+    fn with_does_not_count() {
+        assert_eq!(fn_cc("def f(p):\n    with open(p) as f:\n        return f.read()\n", "f"), 1);
+    }
+
+    #[test]
+    fn nested_function_is_separate_block() {
+        let src = "\
+def outer(x):
+    if x:
+        pass
+    def inner(y):
+        if y:
+            pass
+        if y > 1:
+            pass
+    return inner
+";
+        assert_eq!(fn_cc(src, "outer"), 2);
+        assert_eq!(fn_cc(src, "inner"), 3);
+    }
+
+    #[test]
+    fn module_level_counted() {
+        let src = "\
+import os
+if os.name == 'nt':
+    sep = '\\\\'
+else:
+    sep = '/'
+";
+        let r = complexity(src);
+        let module = r.blocks.iter().find(|b| b.name == "<module>").unwrap();
+        assert_eq!(module.complexity, 2);
+    }
+
+    #[test]
+    fn report_statistics() {
+        let src = "\
+def a():
+    pass
+
+def b(x):
+    if x:
+        pass
+";
+        let r = complexity(src);
+        assert_eq!(r.blocks.len(), 3); // a, b, <module>
+        assert_eq!(r.max(), 2);
+        assert!((r.mean() - (1.0 + 2.0 + 1.0) / 3.0).abs() < 1e-9);
+        assert_eq!(r.total(), 4);
+    }
+
+    #[test]
+    fn empty_source() {
+        let r = complexity("");
+        assert_eq!(r.blocks.len(), 1);
+        assert_eq!(r.mean(), 1.0);
+    }
+
+    #[test]
+    fn methods_counted_as_blocks() {
+        let src = "\
+class C:
+    def m(self, x):
+        if x:
+            return 1
+        return 0
+";
+        assert_eq!(fn_cc(src, "m"), 2);
+    }
+}

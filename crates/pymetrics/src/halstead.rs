@@ -1,0 +1,178 @@
+//! Halstead complexity measures and the maintainability index, following
+//! radon's formulas.
+//!
+//! The paper's §III-C argues PatchitPy patches preserve "long-term code
+//! maintainability"; radon operationalizes that with the maintainability
+//! index (MI), computed from Halstead volume, cyclomatic complexity, and
+//! SLOC. This module completes the radon substrate so the claim can be
+//! checked quantitatively (see the `maintainability` integration tests).
+
+use crate::complexity::complexity;
+use crate::tokens::sloc;
+use pylex::{tokenize, TokenKind};
+use std::collections::HashSet;
+
+/// Halstead base measures for one file.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Halstead {
+    /// Distinct operators (η₁).
+    pub distinct_operators: usize,
+    /// Distinct operands (η₂).
+    pub distinct_operands: usize,
+    /// Total operator occurrences (N₁).
+    pub total_operators: usize,
+    /// Total operand occurrences (N₂).
+    pub total_operands: usize,
+}
+
+impl Halstead {
+    /// Program vocabulary η = η₁ + η₂.
+    pub fn vocabulary(&self) -> usize {
+        self.distinct_operators + self.distinct_operands
+    }
+
+    /// Program length N = N₁ + N₂.
+    pub fn length(&self) -> usize {
+        self.total_operators + self.total_operands
+    }
+
+    /// Volume V = N · log₂(η); 0 for empty programs.
+    pub fn volume(&self) -> f64 {
+        let eta = self.vocabulary();
+        if eta == 0 {
+            return 0.0;
+        }
+        self.length() as f64 * (eta as f64).log2()
+    }
+
+    /// Difficulty D = (η₁ / 2) · (N₂ / η₂); 0 when undefined.
+    pub fn difficulty(&self) -> f64 {
+        if self.distinct_operands == 0 {
+            return 0.0;
+        }
+        self.distinct_operators as f64 / 2.0 * self.total_operands as f64
+            / self.distinct_operands as f64
+    }
+
+    /// Effort E = D · V.
+    pub fn effort(&self) -> f64 {
+        self.difficulty() * self.volume()
+    }
+}
+
+/// Computes Halstead measures by classifying lexical tokens: keywords and
+/// operators are operators; names, numbers, and strings are operands.
+pub fn halstead(source: &str) -> Halstead {
+    let mut op_set: HashSet<String> = HashSet::new();
+    let mut operand_set: HashSet<String> = HashSet::new();
+    let mut n1 = 0usize;
+    let mut n2 = 0usize;
+    for t in tokenize(source) {
+        match t.kind {
+            TokenKind::Op | TokenKind::Keyword => {
+                // Brackets/punctuation count as operators, like radon's
+                // tokenizer-based implementation.
+                op_set.insert(t.text.clone());
+                n1 += 1;
+            }
+            TokenKind::Name | TokenKind::Number | TokenKind::Str => {
+                operand_set.insert(t.text.clone());
+                n2 += 1;
+            }
+            _ => {}
+        }
+    }
+    Halstead {
+        distinct_operators: op_set.len(),
+        distinct_operands: operand_set.len(),
+        total_operators: n1,
+        total_operands: n2,
+    }
+}
+
+/// Maintainability index on radon's 0–100 scale:
+///
+/// `MI = max(0, 100 · (171 − 5.2·ln V − 0.23·CC − 16.2·ln SLOC) / 171)`
+///
+/// where `V` is Halstead volume, `CC` total cyclomatic complexity, and
+/// `SLOC` the source-line count. Returns 100 for empty files.
+pub fn maintainability_index(source: &str) -> f64 {
+    let lines = sloc(source);
+    if lines == 0 {
+        return 100.0;
+    }
+    let v = halstead(source).volume().max(1.0);
+    let cc = complexity(source).total() as f64;
+    let raw = 171.0 - 5.2 * v.ln() - 0.23 * cc - 16.2 * (lines as f64).ln();
+    (raw * 100.0 / 171.0).clamp(0.0, 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_source() {
+        let h = halstead("");
+        assert_eq!(h.length(), 0);
+        assert_eq!(h.volume(), 0.0);
+        assert_eq!(maintainability_index(""), 100.0);
+    }
+
+    #[test]
+    fn counts_classify_tokens() {
+        // x = 1 + y  → operators {=, +} (N1=2), operands {x, 1, y} (N2=3)
+        let h = halstead("x = 1 + y\n");
+        assert_eq!(h.distinct_operators, 2);
+        assert_eq!(h.distinct_operands, 3);
+        assert_eq!(h.total_operators, 2);
+        assert_eq!(h.total_operands, 3);
+    }
+
+    #[test]
+    fn repeated_tokens_increase_totals_not_distinct() {
+        let h = halstead("a = a + a\n");
+        assert_eq!(h.distinct_operands, 1);
+        assert_eq!(h.total_operands, 3);
+    }
+
+    #[test]
+    fn volume_grows_with_program_size() {
+        let small = halstead("x = 1\n").volume();
+        let big = halstead(&"x = f(y) + g(z) * 3\n".repeat(10)).volume();
+        assert!(big > small);
+    }
+
+    #[test]
+    fn mi_decreases_with_complexity() {
+        let simple = "def f():\n    return 1\n";
+        let complex_src = "\
+def f(a, b, c):
+    if a and b or c:
+        for i in range(10):
+            while i > 0:
+                try:
+                    i -= g(i) if i % 2 else h(i)
+                except ValueError:
+                    break
+    elif b:
+        return [x for x in range(a) if x != b]
+    return None
+";
+        let mi_simple = maintainability_index(simple);
+        let mi_complex = maintainability_index(complex_src);
+        assert!(
+            mi_simple > mi_complex,
+            "simple {mi_simple} should beat complex {mi_complex}"
+        );
+        assert!((0.0..=100.0).contains(&mi_simple));
+        assert!((0.0..=100.0).contains(&mi_complex));
+    }
+
+    #[test]
+    fn difficulty_and_effort_nonnegative() {
+        let h = halstead("result = compute(a, b) + compute(b, a)\n");
+        assert!(h.difficulty() > 0.0);
+        assert!(h.effort() >= h.volume());
+    }
+}

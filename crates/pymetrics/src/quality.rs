@@ -1,0 +1,382 @@
+//! A pylint-like code-quality scorer.
+//!
+//! The paper evaluates patch quality with Pylint, "a static code analyzer
+//! for Python that checks code quality by identifying errors and code
+//! smells and assigning a score based on these evaluations" (§III-C), and
+//! reports median patch scores around 9/10. This module implements a
+//! representative subset of pylint's checkers and its scoring formula:
+//!
+//! `score = 10 − 10·(5·errors + warnings + refactors + conventions) / statements`
+//!
+//! clamped to `[0, 10]`.
+
+use pyast::{
+    parse_module, walk_expr, walk_stmt, Expr, ExprKind, Module, Stmt, StmtKind, Visitor,
+};
+use std::collections::HashSet;
+
+/// Pylint message categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageCategory {
+    /// `E…` — likely bugs.
+    Error,
+    /// `W…` — stylistic or semantic warnings.
+    Warning,
+    /// `R…` — refactoring suggestions.
+    Refactor,
+    /// `C…` — convention violations.
+    Convention,
+}
+
+/// A single lint message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintMessage {
+    /// Pylint-style message id (e.g. `"C0116"`).
+    pub id: &'static str,
+    /// Category.
+    pub category: MessageCategory,
+    /// Human-readable description.
+    pub text: String,
+    /// 1-based line number (0 when not line-specific).
+    pub line: u32,
+}
+
+/// Quality report for one file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityReport {
+    /// All messages.
+    pub messages: Vec<LintMessage>,
+    /// Number of statements considered (scoring denominator).
+    pub statement_count: usize,
+    /// Final score in `[0, 10]`.
+    pub score: f64,
+}
+
+/// Lints `source` and computes a quality score.
+pub fn quality(source: &str) -> QualityReport {
+    let module = parse_module(source);
+    let mut messages = Vec::new();
+
+    // --- text-level checks -------------------------------------------------
+    for (i, line) in source.lines().enumerate() {
+        if line.chars().count() > 120 {
+            messages.push(LintMessage {
+                id: "C0301",
+                category: MessageCategory::Convention,
+                text: format!("line too long ({} chars)", line.chars().count()),
+                line: i as u32 + 1,
+            });
+        }
+        if line.ends_with(' ') || line.ends_with('\t') {
+            messages.push(LintMessage {
+                id: "C0303",
+                category: MessageCategory::Convention,
+                text: "trailing whitespace".into(),
+                line: i as u32 + 1,
+            });
+        }
+    }
+    if !source.is_empty() && !source.ends_with('\n') {
+        messages.push(LintMessage {
+            id: "C0304",
+            category: MessageCategory::Convention,
+            text: "final newline missing".into(),
+            line: source.lines().count() as u32,
+        });
+    }
+
+    // --- module docstring ---------------------------------------------------
+    let has_module_docstring = matches!(
+        module.body.first().map(|s| &s.kind),
+        Some(StmtKind::ExprStmt(e)) if e.is_str()
+    );
+    if !has_module_docstring && statement_count(&module) > 8 {
+        messages.push(LintMessage {
+            id: "C0114",
+            category: MessageCategory::Convention,
+            text: "missing module docstring".into(),
+            line: 1,
+        });
+    }
+
+    // --- AST checks ----------------------------------------------------------
+    let mut checker = Checker {
+        messages: &mut messages,
+        imported: Vec::new(),
+        used_names: HashSet::new(),
+    };
+    for s in &module.body {
+        checker.visit_stmt(s);
+    }
+    let imported = std::mem::take(&mut checker.imported);
+    let used = std::mem::take(&mut checker.used_names);
+    for (name, line) in imported {
+        if !used.contains(&name) {
+            messages.push(LintMessage {
+                id: "W0611",
+                category: MessageCategory::Warning,
+                text: format!("unused import '{name}'"),
+                line,
+            });
+        }
+    }
+
+    // Parse errors lint as syntax errors.
+    for _ in 0..module.error_count {
+        messages.push(LintMessage {
+            id: "E0001",
+            category: MessageCategory::Error,
+            text: "syntax error (unparseable line)".into(),
+            line: 0,
+        });
+    }
+
+    let statements = statement_count(&module).max(1);
+    let (mut e, mut w, mut r, mut c) = (0usize, 0usize, 0usize, 0usize);
+    for m in &messages {
+        match m.category {
+            MessageCategory::Error => e += 1,
+            MessageCategory::Warning => w += 1,
+            MessageCategory::Refactor => r += 1,
+            MessageCategory::Convention => c += 1,
+        }
+    }
+    let penalty = 10.0 * (5 * e + w + r + c) as f64 / statements as f64;
+    let score = (10.0 - penalty).clamp(0.0, 10.0);
+    QualityReport { messages, statement_count: statements, score }
+}
+
+fn statement_count(module: &Module) -> usize {
+    struct C(usize);
+    impl Visitor for C {
+        fn visit_stmt(&mut self, stmt: &Stmt) {
+            self.0 += 1;
+            walk_stmt(self, stmt);
+        }
+    }
+    let mut c = C(0);
+    for s in &module.body {
+        c.visit_stmt(s);
+    }
+    c.0
+}
+
+struct Checker<'a> {
+    messages: &'a mut Vec<LintMessage>,
+    imported: Vec<(String, u32)>,
+    used_names: HashSet<String>,
+}
+
+fn is_snake_case(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+impl Visitor for Checker<'_> {
+    fn visit_stmt(&mut self, stmt: &Stmt) {
+        match &stmt.kind {
+            StmtKind::Import(aliases) => {
+                for a in aliases {
+                    let bound = a
+                        .asname
+                        .clone()
+                        .unwrap_or_else(|| a.name.split('.').next().unwrap_or("").into());
+                    self.imported.push((bound, stmt.span.line));
+                }
+            }
+            StmtKind::ImportFrom { names, .. } => {
+                for a in names {
+                    if a.name == "*" {
+                        self.messages.push(LintMessage {
+                            id: "W0401",
+                            category: MessageCategory::Warning,
+                            text: "wildcard import".into(),
+                            line: stmt.span.line,
+                        });
+                        continue;
+                    }
+                    let bound = a.asname.clone().unwrap_or_else(|| a.name.clone());
+                    self.imported.push((bound, stmt.span.line));
+                }
+            }
+            StmtKind::FunctionDef { name, params, body, .. } => {
+                if !is_snake_case(name) {
+                    self.messages.push(LintMessage {
+                        id: "C0103",
+                        category: MessageCategory::Convention,
+                        text: format!("function name '{name}' is not snake_case"),
+                        line: stmt.span.line,
+                    });
+                }
+                if params.len() > 6 {
+                    self.messages.push(LintMessage {
+                        id: "R0913",
+                        category: MessageCategory::Refactor,
+                        text: format!("too many arguments ({})", params.len()),
+                        line: stmt.span.line,
+                    });
+                }
+                let has_docstring = matches!(
+                    body.first().map(|s| &s.kind),
+                    Some(StmtKind::ExprStmt(e)) if e.is_str()
+                );
+                if !has_docstring && body.len() > 7 {
+                    self.messages.push(LintMessage {
+                        id: "C0116",
+                        category: MessageCategory::Convention,
+                        text: format!("missing docstring for '{name}'"),
+                        line: stmt.span.line,
+                    });
+                }
+            }
+            StmtKind::Try { handlers, .. } => {
+                for h in handlers {
+                    if h.typ.is_none() {
+                        self.messages.push(LintMessage {
+                            id: "W0702",
+                            category: MessageCategory::Warning,
+                            text: "bare except".into(),
+                            line: h.span.line,
+                        });
+                    }
+                    if h.body.len() == 1 && matches!(h.body[0].kind, StmtKind::Pass) {
+                        self.messages.push(LintMessage {
+                            id: "W0107-except",
+                            category: MessageCategory::Warning,
+                            text: "except clause swallows exception with pass".into(),
+                            line: h.span.line,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        walk_stmt(self, stmt);
+    }
+
+    fn visit_expr(&mut self, expr: &Expr) {
+        match &expr.kind {
+            ExprKind::Name(n) => {
+                self.used_names.insert(n.clone());
+            }
+            ExprKind::Call { func, .. } => {
+                if let Some(name) = func.dotted_name() {
+                    self.used_names
+                        .insert(name.split('.').next().unwrap_or("").to_string());
+                    if name == "eval" || name == "exec" {
+                        self.messages.push(LintMessage {
+                            id: if name == "eval" { "W0123" } else { "W0122" },
+                            category: MessageCategory::Warning,
+                            text: format!("use of {name}"),
+                            line: expr.span.line,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        walk_expr(self, expr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_code_scores_ten() {
+        let src = "\
+\"\"\"Utility module.\"\"\"
+import os
+
+
+def main():
+    return os.getcwd()
+";
+        let r = quality(src);
+        assert_eq!(r.score, 10.0, "messages: {:#?}", r.messages);
+    }
+
+    #[test]
+    fn unused_import_flagged() {
+        let src = "\"\"\"m.\"\"\"\nimport os\nimport sys\n\nprint(sys.argv)\n";
+        let r = quality(src);
+        assert!(r.messages.iter().any(|m| m.id == "W0611" && m.text.contains("os")));
+        assert!(!r.messages.iter().any(|m| m.id == "W0611" && m.text.contains("sys")));
+    }
+
+    #[test]
+    fn bare_except_flagged() {
+        let src = "\
+try:
+    f()
+except:
+    pass
+";
+        let r = quality(src);
+        assert!(r.messages.iter().any(|m| m.id == "W0702"));
+        assert!(r.messages.iter().any(|m| m.id == "W0107-except"));
+    }
+
+    #[test]
+    fn long_line_flagged() {
+        let src = format!("x = '{}'\n", "a".repeat(120));
+        let r = quality(&src);
+        assert!(r.messages.iter().any(|m| m.id == "C0301"));
+    }
+
+    #[test]
+    fn missing_final_newline() {
+        let r = quality("x = 1");
+        assert!(r.messages.iter().any(|m| m.id == "C0304"));
+    }
+
+    #[test]
+    fn eval_flagged() {
+        let r = quality("result = eval(user_input)\n");
+        assert!(r.messages.iter().any(|m| m.id == "W0123"));
+    }
+
+    #[test]
+    fn camel_case_function_flagged() {
+        let r = quality("def DoThing():\n    pass\n");
+        assert!(r.messages.iter().any(|m| m.id == "C0103"));
+    }
+
+    #[test]
+    fn too_many_args() {
+        let r = quality("def f(a, b, c, d, e, f, g, h):\n    pass\n");
+        assert!(r.messages.iter().any(|m| m.id == "R0913"));
+    }
+
+    #[test]
+    fn syntax_errors_penalized_heavily() {
+        let good = quality("x = 1\n").score;
+        let bad = quality("x = = = 1\n").score;
+        assert!(bad < good);
+    }
+
+    #[test]
+    fn score_is_clamped() {
+        // Many errors in few statements would go negative unclamped.
+        let src = "try:\n    f()\nexcept:\n    pass\nexcept:\n    pass\n";
+        let r = quality(src);
+        assert!((0.0..=10.0).contains(&r.score));
+    }
+
+    #[test]
+    fn wildcard_import_flagged() {
+        let r = quality("from os.path import *\n");
+        assert!(r.messages.iter().any(|m| m.id == "W0401"));
+    }
+
+    #[test]
+    fn statement_count_counts_nested() {
+        let src = "def f():\n    if x:\n        return 1\n    return 0\n";
+        let r = quality(src);
+        // def, if, return, return
+        assert_eq!(r.statement_count, 4);
+    }
+}

@@ -1,0 +1,46 @@
+//! Pattern-compilation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a pattern fails to compile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePatternError {
+    /// Human-readable description of the problem.
+    msg: String,
+    /// Byte offset in the pattern where the problem was noticed.
+    at: usize,
+}
+
+impl ParsePatternError {
+    pub(crate) fn new(msg: impl Into<String>, at: usize) -> Self {
+        ParsePatternError { msg: msg.into(), at }
+    }
+
+    /// Byte offset in the pattern where the error occurred.
+    pub fn offset(&self) -> usize {
+        self.at
+    }
+}
+
+impl fmt::Display for ParsePatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid pattern at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl Error for ParsePatternError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offset_and_message() {
+        let e = ParsePatternError::new("unbalanced parenthesis", 4);
+        let s = e.to_string();
+        assert!(s.contains("byte 4"));
+        assert!(s.contains("unbalanced"));
+        assert_eq!(e.offset(), 4);
+    }
+}

@@ -1,0 +1,361 @@
+//! Bounded-backtracking execution of a compiled [`Program`].
+//!
+//! The engine explores the instruction graph depth-first but records every
+//! visited `(pc, position)` pair in a bitset, so total work is bounded by
+//! `O(program · haystack)` — the same trick as the `regex` crate's bounded
+//! backtracker. Detection rules therefore cannot trigger catastrophic
+//! backtracking regardless of how they are written.
+
+use crate::program::{class_item_matches, Inst, Program};
+
+/// The haystack prepared for matching: characters with their byte offsets,
+/// plus a case-folded copy when the pattern is case-insensitive.
+#[derive(Debug)]
+pub struct Haystack<'h> {
+    /// Original text.
+    pub text: &'h str,
+    /// `(byte_offset, char)` for each character.
+    pub chars: Vec<(usize, char)>,
+    /// Case-folded characters (only populated for case-insensitive runs).
+    folded: Option<Vec<char>>,
+}
+
+impl<'h> Haystack<'h> {
+    /// Prepares `text` for matching against `prog`.
+    pub fn new(text: &'h str, prog: &Program) -> Self {
+        let chars: Vec<(usize, char)> = text.char_indices().collect();
+        let folded = if prog.flags.ignore_case {
+            Some(chars.iter().map(|(_, c)| fold(*c)).collect())
+        } else {
+            None
+        };
+        Haystack { text, chars, folded }
+    }
+
+    fn char_at(&self, i: usize) -> Option<char> {
+        if let Some(f) = &self.folded {
+            f.get(i).copied()
+        } else {
+            self.chars.get(i).map(|(_, c)| *c)
+        }
+    }
+
+    fn raw_char_at(&self, i: usize) -> Option<char> {
+        self.chars.get(i).map(|(_, c)| *c)
+    }
+
+    /// Byte offset of character index `i` (or text length at one-past-end).
+    pub fn byte_of(&self, i: usize) -> usize {
+        self.chars.get(i).map_or(self.text.len(), |(b, _)| *b)
+    }
+
+    /// Number of characters.
+    #[allow(clippy::len_without_is_empty)] // internal type; len is a cursor bound
+    pub fn len(&self) -> usize {
+        self.chars.len()
+    }
+}
+
+fn fold(c: char) -> char {
+    // Simple one-char case folding; sufficient for source-code patterns.
+    c.to_lowercase().next().unwrap_or(c)
+}
+
+fn is_word(c: Option<char>) -> bool {
+    c.is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Capture slots: `2*k` is the start and `2*k+1` the end (in *char*
+/// indices) of group `k`; `usize::MAX` means unset.
+pub type Slots = Vec<usize>;
+
+/// Attempts an anchored match of `prog` starting at char index `start`,
+/// reusing a caller-provided visited buffer stamped with `gen` (which must
+/// be unique per call on the same buffer). On success returns the capture
+/// slots (char indices).
+fn match_at_with(
+    prog: &Program,
+    hay: &Haystack<'_>,
+    start: usize,
+    visited: &mut [u32],
+    gen: u32,
+) -> Option<Slots> {
+    let n_slots = 2 * (prog.group_count as usize + 1);
+    let mut slots: Slots = vec![usize::MAX; n_slots];
+    let width = hay.len() + 1;
+    // Explicit backtrack stack: (pc, pos, saved-slot writes to undo).
+    let mut stack: Vec<(usize, usize, Vec<(usize, usize)>)> = vec![(0, start, Vec::new())];
+
+    while let Some((mut pc, mut pos, undo)) = stack.pop() {
+        // Undo slot writes from the abandoned branch.
+        for (slot, old) in undo.into_iter().rev() {
+            slots[slot] = old;
+        }
+        loop {
+            let key = pc * width + pos;
+            if visited[key] == gen {
+                break;
+            }
+            visited[key] = gen;
+            match &prog.insts[pc] {
+                Inst::Char(c) => {
+                    let want = if prog.flags.ignore_case { fold(*c) } else { *c };
+                    if hay.char_at(pos) == Some(want) {
+                        pc += 1;
+                        pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Inst::Any => {
+                    match hay.raw_char_at(pos) {
+                        Some(c) if prog.flags.dot_all || c != '\n' => {
+                            pc += 1;
+                            pos += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                Inst::Class { items, negated } => {
+                    let Some(c) = hay.raw_char_at(pos) else { break };
+                    let mut hit = items.iter().any(|it| class_item_matches(it, c));
+                    if !hit && prog.flags.ignore_case {
+                        let f = fold(c);
+                        hit = items.iter().any(|it| class_item_matches(it, f));
+                    }
+                    if hit != *negated {
+                        pc += 1;
+                        pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Inst::Start => {
+                    if pos == 0 {
+                        pc += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Inst::End => {
+                    if pos == hay.len() {
+                        pc += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Inst::WordBoundary => {
+                    let before = if pos == 0 { None } else { hay.raw_char_at(pos - 1) };
+                    let after = hay.raw_char_at(pos);
+                    if is_word(before) != is_word(after) {
+                        pc += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Inst::NotWordBoundary => {
+                    let before = if pos == 0 { None } else { hay.raw_char_at(pos - 1) };
+                    let after = hay.raw_char_at(pos);
+                    if is_word(before) == is_word(after) {
+                        pc += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Inst::Save(slot) => {
+                    let old = slots[*slot];
+                    slots[*slot] = pos;
+                    // Record the undo on every pending backtrack entry made
+                    // after this point — simplest correct approach: push a
+                    // sentinel frame that restores the slot if we backtrack
+                    // past this instruction.
+                    stack.push((usize::MAX, 0, vec![(*slot, old)]));
+                    pc += 1;
+                }
+                Inst::Split(first, second) => {
+                    stack.push((*second, pos, Vec::new()));
+                    pc = *first;
+                }
+                Inst::Jump(t) => {
+                    pc = *t;
+                }
+                Inst::MatchEnd => return Some(slots),
+            }
+        }
+        // Pop any sentinel undo frames that belong to the failed branch.
+        while stack.last().is_some_and(|f| f.0 == usize::MAX) {
+            let (_, _, undo) = stack.pop().expect("checked non-empty");
+            for (slot, old) in undo.into_iter().rev() {
+                slots[slot] = old;
+            }
+        }
+    }
+    None
+}
+
+/// Searches for the leftmost match of `prog` in `hay` at or after char
+/// index `from`. Returns capture slots on success.
+pub fn search(prog: &Program, hay: &Haystack<'_>, from: usize) -> Option<Slots> {
+    let width = hay.len() + 1;
+    let mut visited = vec![0u32; prog.insts.len() * width];
+    let hint = first_char_hint(prog);
+    let mut gen = 0u32;
+    for start in from..=hay.len() {
+        // Prefilter: if the pattern must begin with a known literal char,
+        // skip start positions that cannot match.
+        if let Some(c) = hint {
+            match hay.char_at(start) {
+                Some(h) if h == c => {}
+                Some(_) => continue,
+                None => {
+                    // Only a fully-empty-capable pattern can match at EOF;
+                    // a Char-first pattern cannot.
+                    continue;
+                }
+            }
+        }
+        gen += 1;
+        if let Some(slots) = match_at_with(prog, hay, start, &mut visited, gen) {
+            return Some(slots);
+        }
+    }
+    None
+}
+
+/// If the first concrete instruction is a literal char (after any Save or
+/// Start markers), returns it — folded when the program is
+/// case-insensitive, so it can be compared against [`Haystack::char_at`].
+fn first_char_hint(prog: &Program) -> Option<char> {
+    for inst in &prog.insts {
+        match inst {
+            Inst::Save(_) | Inst::Start | Inst::WordBoundary => continue,
+            Inst::Char(c) => {
+                return Some(if prog.flags.ignore_case { fold(*c) } else { *c })
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::program::compile;
+
+    fn run(pat: &str, text: &str) -> Option<(usize, usize)> {
+        let prog = compile(&parse(pat).unwrap()).unwrap();
+        let hay = Haystack::new(text, &prog);
+        search(&prog, &hay, 0).map(|s| (hay.byte_of(s[0]), hay.byte_of(s[1])))
+    }
+
+    #[test]
+    fn haystack_len() {
+        let prog = compile(&parse("a").unwrap()).unwrap();
+        assert_eq!(Haystack::new("", &prog).len(), 0);
+        assert_eq!(Haystack::new("ab", &prog).len(), 2);
+    }
+
+    #[test]
+    fn literal_search() {
+        assert_eq!(run("world", "hello world"), Some((6, 11)));
+        assert_eq!(run("absent", "hello"), None);
+    }
+
+    #[test]
+    fn greedy_vs_lazy() {
+        assert_eq!(run("a.*b", "aXbYb"), Some((0, 5)));
+        assert_eq!(run("a.*?b", "aXbYb"), Some((0, 3)));
+    }
+
+    #[test]
+    fn anchors_work() {
+        assert_eq!(run("^abc", "abcdef"), Some((0, 3)));
+        assert_eq!(run("^def", "abcdef"), None);
+        assert_eq!(run("def$", "abcdef"), Some((3, 6)));
+        assert_eq!(run("abc$", "abcdef"), None);
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert_eq!(run(r"\beval\b", "x = eval(y)"), Some((4, 8)));
+        assert_eq!(run(r"\beval\b", "x = medieval(y)"), None);
+        assert_eq!(run(r"\Bval\b", "medieval"), Some((5, 8)));
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(run(r"[0-9]+", "abc123def"), Some((3, 6)));
+        assert_eq!(run(r"[^0-9]+", "123abc"), Some((3, 6)));
+        assert_eq!(run(r"\w+\(", "os.system(cmd)"), Some((3, 10)));
+    }
+
+    #[test]
+    fn alternation_prefers_leftmost() {
+        assert_eq!(run("cat|dog", "hotdog cat"), Some((3, 6)));
+    }
+
+    #[test]
+    fn counted_repeats() {
+        assert_eq!(run("a{3}", "aaaa"), Some((0, 3)));
+        assert_eq!(run("a{3,}", "aa"), None);
+        assert_eq!(run("^a{2,3}$", "aaa"), Some((0, 3)));
+        assert_eq!(run("^a{2,3}$", "aaaa"), None);
+    }
+
+    #[test]
+    fn empty_body_star_terminates() {
+        // Would loop forever in a naive backtracker.
+        assert_eq!(run("(?:a*)*b", "aaab"), Some((0, 4)));
+        assert_eq!(run("(?:a*)*", "bbb"), Some((0, 0)));
+    }
+
+    #[test]
+    fn pathological_pattern_is_fast() {
+        // (a+)+$ against a long non-matching string — classic ReDoS.
+        let text = "a".repeat(64) + "X";
+        let start = std::time::Instant::now();
+        assert_eq!(run("(a+)+$", &text), None);
+        assert!(start.elapsed().as_secs() < 2, "bounded backtracking failed");
+    }
+
+    #[test]
+    fn captures_record_groups() {
+        let prog = compile(&parse(r"(\w+)\.(\w+)\(").unwrap()).unwrap();
+        let hay = Haystack::new("x = os.system(cmd)", &prog);
+        let slots = search(&prog, &hay, 0).unwrap();
+        let g1 = &hay.text[hay.byte_of(slots[2])..hay.byte_of(slots[3])];
+        let g2 = &hay.text[hay.byte_of(slots[4])..hay.byte_of(slots[5])];
+        assert_eq!(g1, "os");
+        assert_eq!(g2, "system");
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let prog = compile(&parse("(?i)select .* from").unwrap()).unwrap();
+        let hay = Haystack::new("q = 'SELECT * FROM users'", &prog);
+        assert!(search(&prog, &hay, 0).is_some());
+    }
+
+    #[test]
+    fn dotall_flag() {
+        assert_eq!(run("a.b", "a\nb"), None);
+        assert_eq!(run("(?s)a.b", "a\nb"), Some((0, 3)));
+    }
+
+    #[test]
+    fn unicode_haystack_offsets_are_bytes() {
+        // 'é' is 2 bytes.
+        assert_eq!(run("x", "éx"), Some((2, 3)));
+    }
+
+    #[test]
+    fn optional_group_unset_slots() {
+        let prog = compile(&parse("a(b)?c").unwrap()).unwrap();
+        let hay = Haystack::new("ac", &prog);
+        let slots = search(&prog, &hay, 0).unwrap();
+        assert_eq!(slots[2], usize::MAX);
+        assert_eq!(slots[3], usize::MAX);
+    }
+}

@@ -1,0 +1,33 @@
+//! # rxlite — a small, safe regex engine for PatchitPy-rs
+//!
+//! PatchitPy's detection layer is "rules based on regular expressions"
+//! (paper §II). This crate is the substrate that executes those rules: a
+//! self-contained regex engine supporting the Python-`re` subset the 85
+//! rules need — literals, classes, repetition (greedy and lazy, counted),
+//! alternation, capturing groups, anchors, word boundaries, and the
+//! `(?i)`/`(?s)` inline flags.
+//!
+//! Execution uses **bounded backtracking**: every `(instruction, position)`
+//! pair is visited at most once, so matching is `O(pattern × text)` and a
+//! rule author cannot accidentally introduce catastrophic backtracking
+//! (ReDoS) into the scanner itself.
+//!
+//! ```
+//! use rxlite::Regex;
+//!
+//! let re = Regex::new(r"pickle\.loads?\s*\(")?;
+//! assert!(re.is_match("data = pickle.loads(blob)"));
+//! # Ok::<(), rxlite::ParsePatternError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod exec;
+mod parser;
+mod program;
+mod regex;
+
+pub use error::ParsePatternError;
+pub use regex::{Captures, Regex, RxMatch};

@@ -1,0 +1,601 @@
+//! Pattern parser: regex text → [`Node`] syntax tree.
+//!
+//! Supported syntax (the subset PatchitPy's 85 rules use, which closely
+//! tracks Python's `re`):
+//!
+//! - literals, `.` (any char except newline; any char with DOTALL)
+//! - escapes `\d \D \w \W \s \S \b \B \n \t \r \\ \. \* …`
+//! - character classes `[a-z_]`, negated `[^…]`, escapes inside classes
+//! - repetition `* + ? {m} {m,} {m,n}` with non-greedy `?` suffix
+//! - alternation `|`, groups `(…)` (capturing) and `(?:…)` (non-capturing)
+//! - anchors `^` and `$`
+//! - inline flags `(?i)` (case-insensitive) and `(?s)` (dotall) at the start
+
+use crate::error::ParsePatternError;
+
+/// A character-class item: a single char or an inclusive range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassItem {
+    /// A single character.
+    Char(char),
+    /// An inclusive character range `lo-hi`.
+    Range(char, char),
+    /// `\d` / `\w` / `\s` inside a class.
+    Digit,
+    /// `\D`
+    NotDigit,
+    /// `\w`
+    Word,
+    /// `\W`
+    NotWord,
+    /// `\s`
+    Space,
+    /// `\S`
+    NotSpace,
+}
+
+/// Regex syntax tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// The empty pattern (matches the empty string).
+    Empty,
+    /// A single literal character.
+    Literal(char),
+    /// `.`
+    Dot,
+    /// A character class; `negated` flips membership.
+    Class {
+        /// Items in the class.
+        items: Vec<ClassItem>,
+        /// Whether the class is negated (`[^…]`).
+        negated: bool,
+    },
+    /// Concatenation of sub-patterns.
+    Concat(Vec<Node>),
+    /// Alternation between branches.
+    Alt(Vec<Node>),
+    /// Repetition of a sub-pattern.
+    Repeat {
+        /// Repeated node.
+        node: Box<Node>,
+        /// Minimum repetitions.
+        min: u32,
+        /// Maximum repetitions (`None` = unbounded).
+        max: Option<u32>,
+        /// Greedy (`true`) or lazy (`false`).
+        greedy: bool,
+    },
+    /// A group; `index` is `Some(n)` for the n-th capturing group.
+    Group {
+        /// 1-based capture index, or `None` for `(?:…)`.
+        index: Option<u32>,
+        /// Grouped sub-pattern.
+        node: Box<Node>,
+    },
+    /// `^`
+    StartAnchor,
+    /// `$`
+    EndAnchor,
+    /// `\b`
+    WordBoundary,
+    /// `\B`
+    NotWordBoundary,
+}
+
+/// Flags recognized in the `(?…)` prefix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Flags {
+    /// Case-insensitive matching.
+    pub ignore_case: bool,
+    /// `.` also matches `\n`.
+    pub dot_all: bool,
+}
+
+/// Result of parsing: the tree, flags, and the number of capture groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Parsed {
+    /// Root of the syntax tree.
+    pub node: Node,
+    /// Inline flags found at the start of the pattern.
+    pub flags: Flags,
+    /// Number of capturing groups.
+    pub group_count: u32,
+}
+
+/// Parses a pattern.
+pub fn parse(pattern: &str) -> Result<Parsed, ParsePatternError> {
+    let mut p = Parser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+        group_count: 0,
+    };
+    let mut flags = Flags::default();
+    // Leading inline flags: (?i), (?s), (?is).
+    while p.looking_at("(?") {
+        let save = p.pos;
+        p.pos += 2;
+        let mut any = false;
+        let mut f = Flags::default();
+        while let Some(c) = p.peek() {
+            match c {
+                'i' => {
+                    f.ignore_case = true;
+                    any = true;
+                    p.pos += 1;
+                }
+                's' => {
+                    f.dot_all = true;
+                    any = true;
+                    p.pos += 1;
+                }
+                ')' => break,
+                _ => {
+                    any = false;
+                    break;
+                }
+            }
+        }
+        if any && p.peek() == Some(')') {
+            p.pos += 1;
+            flags.ignore_case |= f.ignore_case;
+            flags.dot_all |= f.dot_all;
+        } else {
+            p.pos = save;
+            break;
+        }
+    }
+    let node = p.parse_alt()?;
+    if p.pos < p.chars.len() {
+        return Err(ParsePatternError::new(
+            format!("unexpected '{}'", p.chars[p.pos]),
+            p.pos,
+        ));
+    }
+    Ok(Parsed { node, flags, group_count: p.group_count })
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    group_count: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn looking_at(&self, s: &str) -> bool {
+        let mut i = self.pos;
+        for c in s.chars() {
+            if self.chars.get(i) != Some(&c) {
+                return false;
+            }
+            i += 1;
+        }
+        true
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_alt(&mut self) -> Result<Node, ParsePatternError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.peek() == Some('|') {
+            self.pos += 1;
+            branches.push(self.parse_concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Node::Alt(branches)
+        })
+    }
+
+    fn parse_concat(&mut self) -> Result<Node, ParsePatternError> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.parse_repeat()?);
+        }
+        Ok(match items.len() {
+            0 => Node::Empty,
+            1 => items.pop().expect("one item"),
+            _ => Node::Concat(items),
+        })
+    }
+
+    fn parse_repeat(&mut self) -> Result<Node, ParsePatternError> {
+        let atom = self.parse_atom()?;
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.pos += 1;
+                (0, None)
+            }
+            Some('+') => {
+                self.pos += 1;
+                (1, None)
+            }
+            Some('?') => {
+                self.pos += 1;
+                (0, Some(1))
+            }
+            Some('{') => {
+                // `{m}`, `{m,}`, `{m,n}` — if it doesn't parse as a counted
+                // repeat, treat `{` as a literal (Python re does the same).
+                if let Some((min, max, consumed)) = self.try_counted_repeat() {
+                    self.pos += consumed;
+                    (min, max)
+                } else {
+                    return Ok(atom);
+                }
+            }
+            _ => return Ok(atom),
+        };
+        if matches!(
+            atom,
+            Node::StartAnchor | Node::EndAnchor | Node::WordBoundary | Node::NotWordBoundary
+        ) {
+            return Err(ParsePatternError::new("cannot repeat an anchor", self.pos));
+        }
+        let greedy = if self.peek() == Some('?') {
+            self.pos += 1;
+            false
+        } else {
+            true
+        };
+        Ok(Node::Repeat { node: Box::new(atom), min, max, greedy })
+    }
+
+    /// Attempts to read `{m}`, `{m,}`, or `{m,n}` starting at the current
+    /// `{`. Returns `(min, max, chars_consumed)` without advancing.
+    fn try_counted_repeat(&self) -> Option<(u32, Option<u32>, usize)> {
+        debug_assert_eq!(self.peek(), Some('{'));
+        let mut i = self.pos + 1;
+        let mut min = String::new();
+        while let Some(&c) = self.chars.get(i) {
+            if c.is_ascii_digit() {
+                min.push(c);
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        if min.is_empty() {
+            return None;
+        }
+        let min_v: u32 = min.parse().ok()?;
+        match self.chars.get(i) {
+            Some('}') => Some((min_v, Some(min_v), i + 1 - self.pos)),
+            Some(',') => {
+                i += 1;
+                let mut max = String::new();
+                while let Some(&c) = self.chars.get(i) {
+                    if c.is_ascii_digit() {
+                        max.push(c);
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if self.chars.get(i) != Some(&'}') {
+                    return None;
+                }
+                let max_v = if max.is_empty() {
+                    None
+                } else {
+                    let v: u32 = max.parse().ok()?;
+                    if v < min_v {
+                        return None;
+                    }
+                    Some(v)
+                };
+                Some((min_v, max_v, i + 1 - self.pos))
+            }
+            _ => None,
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Node, ParsePatternError> {
+        match self.peek() {
+            None => Ok(Node::Empty),
+            Some('(') => {
+                self.pos += 1;
+                let index = if self.looking_at("?:") {
+                    self.pos += 2;
+                    None
+                } else if self.peek() == Some('?') {
+                    return Err(ParsePatternError::new(
+                        "unsupported group extension (only (?:…) is supported mid-pattern)",
+                        self.pos,
+                    ));
+                } else {
+                    self.group_count += 1;
+                    Some(self.group_count)
+                };
+                let inner = self.parse_alt()?;
+                if self.bump() != Some(')') {
+                    return Err(ParsePatternError::new("unbalanced parenthesis", self.pos));
+                }
+                Ok(Node::Group { index, node: Box::new(inner) })
+            }
+            Some(')') => Err(ParsePatternError::new("unbalanced ')'", self.pos)),
+            Some('[') => self.parse_class(),
+            Some('.') => {
+                self.pos += 1;
+                Ok(Node::Dot)
+            }
+            Some('^') => {
+                self.pos += 1;
+                Ok(Node::StartAnchor)
+            }
+            Some('$') => {
+                self.pos += 1;
+                Ok(Node::EndAnchor)
+            }
+            Some('\\') => {
+                self.pos += 1;
+                let c = self.bump().ok_or_else(|| {
+                    ParsePatternError::new("trailing backslash", self.pos)
+                })?;
+                Ok(match c {
+                    'd' => Node::Class { items: vec![ClassItem::Digit], negated: false },
+                    'D' => Node::Class { items: vec![ClassItem::Digit], negated: true },
+                    'w' => Node::Class { items: vec![ClassItem::Word], negated: false },
+                    'W' => Node::Class { items: vec![ClassItem::Word], negated: true },
+                    's' => Node::Class { items: vec![ClassItem::Space], negated: false },
+                    'S' => Node::Class { items: vec![ClassItem::Space], negated: true },
+                    'b' => Node::WordBoundary,
+                    'B' => Node::NotWordBoundary,
+                    'n' => Node::Literal('\n'),
+                    't' => Node::Literal('\t'),
+                    'r' => Node::Literal('\r'),
+                    '0' => Node::Literal('\0'),
+                    other => Node::Literal(other),
+                })
+            }
+            Some('*') | Some('+') | Some('?') => Err(ParsePatternError::new(
+                "repetition operator with nothing to repeat",
+                self.pos,
+            )),
+            Some(c) => {
+                self.pos += 1;
+                Ok(Node::Literal(c))
+            }
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Node, ParsePatternError> {
+        debug_assert_eq!(self.peek(), Some('['));
+        self.pos += 1;
+        let negated = if self.peek() == Some('^') {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let mut items = Vec::new();
+        // A leading `]` is a literal.
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            items.push(ClassItem::Char(']'));
+        }
+        loop {
+            let c = match self.bump() {
+                None => {
+                    return Err(ParsePatternError::new(
+                        "unterminated character class",
+                        self.pos,
+                    ))
+                }
+                Some(']') => break,
+                Some(c) => c,
+            };
+            let lo = if c == '\\' {
+                let e = self.bump().ok_or_else(|| {
+                    ParsePatternError::new("trailing backslash in class", self.pos)
+                })?;
+                match e {
+                    'd' => {
+                        items.push(ClassItem::Digit);
+                        continue;
+                    }
+                    'D' => {
+                        items.push(ClassItem::NotDigit);
+                        continue;
+                    }
+                    'w' => {
+                        items.push(ClassItem::Word);
+                        continue;
+                    }
+                    'W' => {
+                        items.push(ClassItem::NotWord);
+                        continue;
+                    }
+                    's' => {
+                        items.push(ClassItem::Space);
+                        continue;
+                    }
+                    'S' => {
+                        items.push(ClassItem::NotSpace);
+                        continue;
+                    }
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                }
+            } else {
+                c
+            };
+            // Possible range `lo-hi` (but `-` right before `]` is literal).
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.pos += 1; // consume '-'
+                let hi_raw = self.bump().ok_or_else(|| {
+                    ParsePatternError::new("unterminated range", self.pos)
+                })?;
+                let hi = if hi_raw == '\\' {
+                    self.bump().ok_or_else(|| {
+                        ParsePatternError::new("trailing backslash in class", self.pos)
+                    })?
+                } else {
+                    hi_raw
+                };
+                if hi < lo {
+                    return Err(ParsePatternError::new(
+                        "invalid range (hi < lo)",
+                        self.pos,
+                    ));
+                }
+                items.push(ClassItem::Range(lo, hi));
+            } else {
+                items.push(ClassItem::Char(lo));
+            }
+        }
+        Ok(Node::Class { items, negated })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_concat() {
+        let p = parse("abc").unwrap();
+        assert_eq!(
+            p.node,
+            Node::Concat(vec![
+                Node::Literal('a'),
+                Node::Literal('b'),
+                Node::Literal('c'),
+            ])
+        );
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        let p = parse("a|b").unwrap();
+        assert!(matches!(p.node, Node::Alt(ref v) if v.len() == 2));
+        let p = parse("(a)(?:b)").unwrap();
+        assert_eq!(p.group_count, 1);
+    }
+
+    #[test]
+    fn repetition_forms() {
+        for (pat, min, max, greedy) in [
+            ("a*", 0, None, true),
+            ("a+", 1, None, true),
+            ("a?", 0, Some(1), true),
+            ("a{3}", 3, Some(3), true),
+            ("a{2,}", 2, None, true),
+            ("a{2,5}", 2, Some(5), true),
+            ("a*?", 0, None, false),
+            ("a+?", 1, None, false),
+        ] {
+            let p = parse(pat).unwrap();
+            match p.node {
+                Node::Repeat { min: m, max: x, greedy: g, .. } => {
+                    assert_eq!((m, x, g), (min, max, greedy), "pattern {pat}");
+                }
+                other => panic!("pattern {pat} parsed to {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn literal_brace_when_not_counted() {
+        let p = parse("a{x}").unwrap();
+        // `{x}` is literal chars.
+        assert!(matches!(p.node, Node::Concat(ref v) if v.len() == 4));
+    }
+
+    #[test]
+    fn class_parsing() {
+        let p = parse("[a-z0-9_]").unwrap();
+        match p.node {
+            Node::Class { items, negated } => {
+                assert!(!negated);
+                assert_eq!(
+                    items,
+                    vec![
+                        ClassItem::Range('a', 'z'),
+                        ClassItem::Range('0', '9'),
+                        ClassItem::Char('_'),
+                    ]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn negated_class_and_leading_bracket() {
+        let p = parse("[^]a]").unwrap();
+        match p.node {
+            Node::Class { items, negated } => {
+                assert!(negated);
+                assert_eq!(items, vec![ClassItem::Char(']'), ClassItem::Char('a')]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn inline_flags() {
+        let p = parse("(?i)abc").unwrap();
+        assert!(p.flags.ignore_case);
+        assert!(!p.flags.dot_all);
+        let p = parse("(?is)a.c").unwrap();
+        assert!(p.flags.ignore_case && p.flags.dot_all);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("(a").is_err());
+        assert!(parse("a)").is_err());
+        assert!(parse("*a").is_err());
+        assert!(parse("[a").is_err());
+        assert!(parse("a\\").is_err());
+        assert!(parse("[z-a]").is_err());
+        assert!(parse("^*").is_err());
+    }
+
+    #[test]
+    fn escapes() {
+        let p = parse(r"\d\w\s\.\(").unwrap();
+        match p.node {
+            Node::Concat(v) => {
+                assert_eq!(v.len(), 5);
+                assert!(matches!(v[3], Node::Literal('.')));
+                assert!(matches!(v[4], Node::Literal('(')));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_groups_count() {
+        let p = parse("((a)(b(c)))").unwrap();
+        assert_eq!(p.group_count, 4);
+    }
+
+    #[test]
+    fn anchors() {
+        let p = parse("^ab$").unwrap();
+        match p.node {
+            Node::Concat(v) => {
+                assert!(matches!(v[0], Node::StartAnchor));
+                assert!(matches!(v[3], Node::EndAnchor));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Compilation of the parsed pattern into a flat instruction program.
+
+use crate::error::ParsePatternError;
+use crate::parser::{ClassItem, Flags, Node, Parsed};
+
+/// Upper bound on compiled program size, guarding against pathological
+/// counted repetitions like `(ab){1000}{1000}`.
+const MAX_PROGRAM: usize = 65_536;
+
+/// One VM instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// Match a single literal character.
+    Char(char),
+    /// Match any character (respecting dot-all).
+    Any,
+    /// Match one character against a class.
+    Class {
+        /// Class items.
+        items: Vec<ClassItem>,
+        /// Negated class.
+        negated: bool,
+    },
+    /// Zero-width: start of haystack.
+    Start,
+    /// Zero-width: end of haystack.
+    End,
+    /// Zero-width: word boundary.
+    WordBoundary,
+    /// Zero-width: not a word boundary.
+    NotWordBoundary,
+    /// Store the current position into capture slot `n`.
+    Save(usize),
+    /// Try `first`; on failure backtrack to `second`.
+    Split(usize, usize),
+    /// Unconditional jump.
+    Jump(usize),
+    /// Pattern fully matched.
+    MatchEnd,
+}
+
+/// A compiled pattern: instructions + metadata.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Instruction sequence.
+    pub insts: Vec<Inst>,
+    /// Pattern flags.
+    pub flags: Flags,
+    /// Number of capturing groups (excluding the implicit group 0).
+    pub group_count: u32,
+}
+
+/// Compiles a parsed pattern into a [`Program`].
+///
+/// The program is wrapped in `Save(0) … Save(1) MatchEnd` so group 0 is
+/// the overall match.
+pub fn compile(parsed: &Parsed) -> Result<Program, ParsePatternError> {
+    let mut c = Compiler { insts: Vec::new() };
+    c.push(Inst::Save(0))?;
+    c.emit(&parsed.node)?;
+    c.push(Inst::Save(1))?;
+    c.push(Inst::MatchEnd)?;
+    Ok(Program {
+        insts: c.insts,
+        flags: parsed.flags,
+        group_count: parsed.group_count,
+    })
+}
+
+struct Compiler {
+    insts: Vec<Inst>,
+}
+
+impl Compiler {
+    fn push(&mut self, inst: Inst) -> Result<usize, ParsePatternError> {
+        if self.insts.len() >= MAX_PROGRAM {
+            return Err(ParsePatternError::new("pattern too large when compiled", 0));
+        }
+        self.insts.push(inst);
+        Ok(self.insts.len() - 1)
+    }
+
+    fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    fn emit(&mut self, node: &Node) -> Result<(), ParsePatternError> {
+        match node {
+            Node::Empty => Ok(()),
+            Node::Literal(c) => {
+                self.push(Inst::Char(*c))?;
+                Ok(())
+            }
+            Node::Dot => {
+                self.push(Inst::Any)?;
+                Ok(())
+            }
+            Node::Class { items, negated } => {
+                self.push(Inst::Class { items: items.clone(), negated: *negated })?;
+                Ok(())
+            }
+            Node::StartAnchor => {
+                self.push(Inst::Start)?;
+                Ok(())
+            }
+            Node::EndAnchor => {
+                self.push(Inst::End)?;
+                Ok(())
+            }
+            Node::WordBoundary => {
+                self.push(Inst::WordBoundary)?;
+                Ok(())
+            }
+            Node::NotWordBoundary => {
+                self.push(Inst::NotWordBoundary)?;
+                Ok(())
+            }
+            Node::Concat(items) => {
+                for item in items {
+                    self.emit(item)?;
+                }
+                Ok(())
+            }
+            Node::Group { index, node } => {
+                if let Some(i) = index {
+                    self.push(Inst::Save(2 * *i as usize))?;
+                    self.emit(node)?;
+                    self.push(Inst::Save(2 * *i as usize + 1))?;
+                } else {
+                    self.emit(node)?;
+                }
+                Ok(())
+            }
+            Node::Alt(branches) => {
+                // split b1, (split b2, (... bn))  with jumps to the end.
+                let mut jump_ends = Vec::new();
+                let mut pending_split: Option<usize> = None;
+                for (i, b) in branches.iter().enumerate() {
+                    if let Some(s) = pending_split.take() {
+                        let here = self.here();
+                        if let Inst::Split(_, second) = &mut self.insts[s] {
+                            *second = here;
+                        }
+                    }
+                    let last = i + 1 == branches.len();
+                    if !last {
+                        pending_split = Some(self.push(Inst::Split(self.here() + 1, 0))?);
+                    }
+                    self.emit(b)?;
+                    if !last {
+                        jump_ends.push(self.push(Inst::Jump(0))?);
+                    }
+                }
+                if let Some(s) = pending_split.take() {
+                    let here = self.here();
+                    if let Inst::Split(_, second) = &mut self.insts[s] {
+                        *second = here;
+                    }
+                }
+                let end = self.here();
+                for j in jump_ends {
+                    if let Inst::Jump(t) = &mut self.insts[j] {
+                        *t = end;
+                    }
+                }
+                Ok(())
+            }
+            Node::Repeat { node, min, max, greedy } => {
+                // Mandatory copies.
+                for _ in 0..*min {
+                    self.emit(node)?;
+                }
+                match max {
+                    None => {
+                        // loop: split(body, out); body; jump loop
+                        let split = self.push(Inst::Split(0, 0))?;
+                        let body = self.here();
+                        self.emit(node)?;
+                        self.push(Inst::Jump(split))?;
+                        let out = self.here();
+                        self.insts[split] = if *greedy {
+                            Inst::Split(body, out)
+                        } else {
+                            Inst::Split(out, body)
+                        };
+                        Ok(())
+                    }
+                    Some(m) => {
+                        // (m - min) optional copies.
+                        let optional = m.saturating_sub(*min);
+                        let mut splits = Vec::new();
+                        for _ in 0..optional {
+                            let s = self.push(Inst::Split(0, 0))?;
+                            let body = self.here();
+                            self.emit(node)?;
+                            splits.push((s, body));
+                        }
+                        let out = self.here();
+                        for (s, body) in splits {
+                            self.insts[s] = if *greedy {
+                                Inst::Split(body, out)
+                            } else {
+                                Inst::Split(out, body)
+                            };
+                        }
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Tests a single character against a class item, honoring
+/// case-insensitivity (caller pre-folds when needed).
+pub fn class_item_matches(item: &ClassItem, c: char) -> bool {
+    match item {
+        ClassItem::Char(x) => c == *x,
+        ClassItem::Range(lo, hi) => *lo <= c && c <= *hi,
+        ClassItem::Digit => c.is_ascii_digit(),
+        ClassItem::NotDigit => !c.is_ascii_digit(),
+        ClassItem::Word => c.is_alphanumeric() || c == '_',
+        ClassItem::NotWord => !(c.is_alphanumeric() || c == '_'),
+        ClassItem::Space => c.is_whitespace(),
+        ClassItem::NotSpace => !c.is_whitespace(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn prog(pat: &str) -> Program {
+        compile(&parse(pat).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn literal_program_shape() {
+        let p = prog("ab");
+        assert_eq!(
+            p.insts,
+            vec![
+                Inst::Save(0),
+                Inst::Char('a'),
+                Inst::Char('b'),
+                Inst::Save(1),
+                Inst::MatchEnd,
+            ]
+        );
+    }
+
+    #[test]
+    fn star_loop_shape() {
+        let p = prog("a*");
+        // save0, split(body, out), char a, jump split, save1, matchend
+        assert!(matches!(p.insts[1], Inst::Split(2, 4)));
+        assert!(matches!(p.insts[3], Inst::Jump(1)));
+    }
+
+    #[test]
+    fn lazy_star_prefers_exit() {
+        let p = prog("a*?");
+        assert!(matches!(p.insts[1], Inst::Split(4, 2)));
+    }
+
+    #[test]
+    fn counted_repeat_expands() {
+        let p = prog("a{3}");
+        let chars = p.insts.iter().filter(|i| matches!(i, Inst::Char('a'))).count();
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn bounded_repeat_has_splits() {
+        let p = prog("a{1,3}");
+        let chars = p.insts.iter().filter(|i| matches!(i, Inst::Char('a'))).count();
+        let splits = p.insts.iter().filter(|i| matches!(i, Inst::Split(_, _))).count();
+        assert_eq!(chars, 3);
+        assert_eq!(splits, 2);
+    }
+
+    #[test]
+    fn capture_groups_emit_saves() {
+        let p = prog("(a)(b)");
+        let saves: Vec<usize> = p
+            .insts
+            .iter()
+            .filter_map(|i| match i {
+                Inst::Save(n) => Some(*n),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(saves, vec![0, 2, 3, 4, 5, 1]);
+    }
+
+    #[test]
+    fn program_size_guard() {
+        // 200 * 200 * 2+ instructions exceeds the cap.
+        let pat = "(ab){200}".repeat(200);
+        let parsed = parse(&pat);
+        if let Ok(parsed) = parsed {
+            assert!(compile(&parsed).is_err());
+        }
+    }
+
+    #[test]
+    fn class_item_semantics() {
+        assert!(class_item_matches(&ClassItem::Range('a', 'z'), 'm'));
+        assert!(!class_item_matches(&ClassItem::Range('a', 'z'), 'M'));
+        assert!(class_item_matches(&ClassItem::Word, '_'));
+        assert!(class_item_matches(&ClassItem::Digit, '7'));
+        assert!(class_item_matches(&ClassItem::Space, '\t'));
+        assert!(class_item_matches(&ClassItem::NotWord, '-'));
+    }
+}

@@ -1,0 +1,349 @@
+//! The public [`Regex`] API: compile once, search/replace many times.
+
+use crate::error::ParsePatternError;
+use crate::exec::{search, Haystack, Slots};
+use crate::parser::parse;
+use crate::program::{compile, Program};
+
+/// A compiled regular expression.
+///
+/// ```
+/// use rxlite::Regex;
+/// let re = Regex::new(r"os\.system\s*\(").unwrap();
+/// assert!(re.is_match("import os\nos.system(cmd)"));
+/// let m = re.find("os.system(cmd)").unwrap();
+/// assert_eq!(m.as_str(), "os.system(");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    prog: Program,
+}
+
+/// A single match: byte range plus the matched text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RxMatch<'h> {
+    haystack: &'h str,
+    /// Start byte offset.
+    start: usize,
+    /// End byte offset (exclusive).
+    end: usize,
+}
+
+impl<'h> RxMatch<'h> {
+    /// Start byte offset of the match.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// End byte offset (exclusive).
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
+    /// The matched text.
+    pub fn as_str(&self) -> &'h str {
+        &self.haystack[self.start..self.end]
+    }
+
+    /// Whether the match is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+}
+
+/// Capture groups of one match.
+#[derive(Debug, Clone)]
+pub struct Captures<'h> {
+    haystack: &'h str,
+    /// Byte-offset pairs per group; `None` for unset groups.
+    groups: Vec<Option<(usize, usize)>>,
+}
+
+impl<'h> Captures<'h> {
+    /// The text of group `i` (0 = the whole match), or `None` if unset.
+    pub fn get(&self, i: usize) -> Option<&'h str> {
+        let (s, e) = (*self.groups.get(i)?)?;
+        Some(&self.haystack[s..e])
+    }
+
+    /// The byte range of group `i`, or `None` if unset.
+    pub fn span(&self, i: usize) -> Option<(usize, usize)> {
+        *self.groups.get(i)?
+    }
+
+    /// Number of groups including group 0.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Always false: group 0 exists for every match.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+impl Regex {
+    /// Compiles a pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParsePatternError`] for syntactically invalid patterns or
+    /// patterns that exceed the compiled-size bound.
+    pub fn new(pattern: &str) -> Result<Self, ParsePatternError> {
+        let parsed = parse(pattern)?;
+        let prog = compile(&parsed)?;
+        Ok(Regex { pattern: pattern.to_string(), prog })
+    }
+
+    /// The original pattern text.
+    pub fn as_str(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Whether the pattern matches anywhere in `text`.
+    pub fn is_match(&self, text: &str) -> bool {
+        let hay = Haystack::new(text, &self.prog);
+        search(&self.prog, &hay, 0).is_some()
+    }
+
+    /// Leftmost match, if any.
+    pub fn find<'h>(&self, text: &'h str) -> Option<RxMatch<'h>> {
+        self.find_at(text, 0)
+    }
+
+    /// Leftmost match starting at or after byte offset `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not a char boundary of `text`.
+    pub fn find_at<'h>(&self, text: &'h str, start: usize) -> Option<RxMatch<'h>> {
+        assert!(text.is_char_boundary(start), "start must be a char boundary");
+        let hay = Haystack::new(text, &self.prog);
+        let from = hay.chars.partition_point(|(b, _)| *b < start);
+        let slots = search(&self.prog, &hay, from)?;
+        Some(RxMatch {
+            haystack: text,
+            start: hay.byte_of(slots[0]),
+            end: hay.byte_of(slots[1]),
+        })
+    }
+
+    /// All non-overlapping matches, left to right.
+    pub fn find_iter<'h>(&self, text: &'h str) -> Vec<RxMatch<'h>> {
+        let hay = Haystack::new(text, &self.prog);
+        let mut out = Vec::new();
+        let mut from = 0usize;
+        while from <= hay.len() {
+            let Some(slots) = search(&self.prog, &hay, from) else { break };
+            let (s, e) = (slots[0], slots[1]);
+            out.push(RxMatch {
+                haystack: text,
+                start: hay.byte_of(s),
+                end: hay.byte_of(e),
+            });
+            // Advance past the match; at least one char for empty matches.
+            from = if e > s { e } else { e + 1 };
+        }
+        out
+    }
+
+    /// Capture groups of the leftmost match.
+    pub fn captures<'h>(&self, text: &'h str) -> Option<Captures<'h>> {
+        let hay = Haystack::new(text, &self.prog);
+        let slots = search(&self.prog, &hay, 0)?;
+        Some(self.slots_to_captures(text, &hay, &slots))
+    }
+
+    /// Capture groups for every non-overlapping match.
+    pub fn captures_iter<'h>(&self, text: &'h str) -> Vec<Captures<'h>> {
+        let hay = Haystack::new(text, &self.prog);
+        let mut out = Vec::new();
+        let mut from = 0usize;
+        while from <= hay.len() {
+            let Some(slots) = search(&self.prog, &hay, from) else { break };
+            let (s, e) = (slots[0], slots[1]);
+            out.push(self.slots_to_captures(text, &hay, &slots));
+            from = if e > s { e } else { e + 1 };
+        }
+        out
+    }
+
+    /// Replaces the leftmost match with `replacement`, substituting
+    /// `$0`–`$9` with the corresponding capture text (use `$$` for a
+    /// literal `$`). Returns the input unchanged when nothing matches.
+    pub fn replace(&self, text: &str, replacement: &str) -> String {
+        let Some(c) = self.captures(text) else {
+            return text.to_string();
+        };
+        let (s, e) = c.span(0).expect("group 0 always set");
+        let mut out = String::with_capacity(text.len());
+        out.push_str(&text[..s]);
+        out.push_str(&expand(replacement, &c));
+        out.push_str(&text[e..]);
+        out
+    }
+
+    /// Replaces every match with `replacement`, substituting `$0`–`$9`
+    /// with the corresponding capture text (use `$$` for a literal `$`).
+    pub fn replace_all(&self, text: &str, replacement: &str) -> String {
+        let caps = self.captures_iter(text);
+        if caps.is_empty() {
+            return text.to_string();
+        }
+        let mut out = String::with_capacity(text.len());
+        let mut last = 0usize;
+        for c in caps {
+            let (s, e) = c.span(0).expect("group 0 always set");
+            out.push_str(&text[last..s]);
+            out.push_str(&expand(replacement, &c));
+            last = e;
+        }
+        out.push_str(&text[last..]);
+        out
+    }
+
+    fn slots_to_captures<'h>(
+        &self,
+        text: &'h str,
+        hay: &Haystack<'_>,
+        slots: &Slots,
+    ) -> Captures<'h> {
+        let n = self.prog.group_count as usize + 1;
+        let mut groups = Vec::with_capacity(n);
+        for g in 0..n {
+            let (s, e) = (slots[2 * g], slots[2 * g + 1]);
+            if s == usize::MAX || e == usize::MAX {
+                groups.push(None);
+            } else {
+                groups.push(Some((hay.byte_of(s), hay.byte_of(e))));
+            }
+        }
+        Captures { haystack: text, groups }
+    }
+}
+
+fn expand(replacement: &str, caps: &Captures<'_>) -> String {
+    let mut out = String::with_capacity(replacement.len());
+    let mut chars = replacement.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '$' {
+            out.push(c);
+            continue;
+        }
+        match chars.peek() {
+            Some('$') => {
+                chars.next();
+                out.push('$');
+            }
+            Some(d) if d.is_ascii_digit() => {
+                let idx = d.to_digit(10).expect("digit") as usize;
+                chars.next();
+                if let Some(s) = caps.get(idx) {
+                    out.push_str(s);
+                }
+            }
+            _ => out.push('$'),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_iter_non_overlapping() {
+        let re = Regex::new("aa").unwrap();
+        let ms = re.find_iter("aaaa");
+        assert_eq!(ms.len(), 2);
+        assert_eq!((ms[0].start(), ms[0].end()), (0, 2));
+        assert_eq!((ms[1].start(), ms[1].end()), (2, 4));
+    }
+
+    #[test]
+    fn empty_match_advances() {
+        let re = Regex::new("a*").unwrap();
+        let ms = re.find_iter("ba");
+        // Matches: "" at 0, "a" at 1 (then "" at end).
+        assert!(ms.len() >= 2);
+        assert!(ms.iter().any(|m| m.as_str() == "a"));
+    }
+
+    #[test]
+    fn captures_api() {
+        let re = Regex::new(r"(\w+)=(\w+)").unwrap();
+        let c = re.captures("debug=True").unwrap();
+        assert_eq!(c.get(0), Some("debug=True"));
+        assert_eq!(c.get(1), Some("debug"));
+        assert_eq!(c.get(2), Some("True"));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn replace_all_with_groups() {
+        let re = Regex::new(r"yaml\.load\(([^)]*)\)").unwrap();
+        let out = re.replace_all("d = yaml.load(f)", "yaml.safe_load($1)");
+        assert_eq!(out, "d = yaml.safe_load(f)");
+    }
+
+    #[test]
+    fn replace_first_only() {
+        let re = Regex::new("a").unwrap();
+        assert_eq!(re.replace("banana", "_"), "b_nana");
+        assert_eq!(re.replace("xyz", "_"), "xyz");
+        let caps = Regex::new(r"(\w+)=(\w+)").unwrap();
+        assert_eq!(caps.replace("k=v k2=v2", "$2:$1"), "v:k k2=v2");
+    }
+
+    #[test]
+    fn replace_all_multiple() {
+        let re = Regex::new("cat").unwrap();
+        assert_eq!(re.replace_all("cat catalog cat", "dog"), "dog dogalog dog");
+    }
+
+    #[test]
+    fn replace_dollar_escape() {
+        let re = Regex::new("x").unwrap();
+        assert_eq!(re.replace_all("x", "$$1"), "$1");
+    }
+
+    #[test]
+    fn no_match_replace_returns_original() {
+        let re = Regex::new("zzz").unwrap();
+        assert_eq!(re.replace_all("abc", "y"), "abc");
+    }
+
+    #[test]
+    fn find_at_respects_start() {
+        let re = Regex::new("a").unwrap();
+        let m = re.find_at("abca", 1).unwrap();
+        assert_eq!(m.start(), 3);
+    }
+
+    #[test]
+    fn multiline_source_patterns() {
+        let re = Regex::new(r"subprocess\.\w+\([^)]*shell\s*=\s*True").unwrap();
+        let code = "import subprocess\nsubprocess.call(cmd, shell=True)\n";
+        let m = re.find(code).unwrap();
+        assert!(m.as_str().starts_with("subprocess.call"));
+    }
+
+    #[test]
+    fn as_str_returns_pattern() {
+        let re = Regex::new("a+b").unwrap();
+        assert_eq!(re.as_str(), "a+b");
+    }
+
+    #[test]
+    fn unicode_replace_preserves_text() {
+        let re = Regex::new("x").unwrap();
+        assert_eq!(re.replace_all("éxé", "y"), "éyé");
+    }
+}

@@ -1,0 +1,205 @@
+//! Differential testing: rxlite vs. a tiny, obviously-correct reference
+//! matcher over a restricted pattern grammar.
+//!
+//! The reference is a naive exponential backtracker operating directly on
+//! a mini-AST; rxlite's bounded backtracker must agree with it on
+//! `is_match` for every generated (pattern, haystack) pair.
+
+use proptest::prelude::*;
+
+/// Restricted pattern AST (a subset of rxlite's surface syntax).
+#[derive(Debug, Clone)]
+enum Pat {
+    Lit(char),
+    Any,
+    Class(Vec<char>, bool),
+    Seq(Vec<Pat>),
+    Alt(Box<Pat>, Box<Pat>),
+    Star(Box<Pat>),
+    Plus(Box<Pat>),
+    Opt(Box<Pat>),
+}
+
+impl Pat {
+    /// Renders to rxlite syntax.
+    fn to_regex(&self) -> String {
+        match self {
+            Pat::Lit(c) => c.to_string(),
+            Pat::Any => ".".to_string(),
+            Pat::Class(chars, neg) => {
+                let inner: String = chars.iter().collect();
+                format!("[{}{}]", if *neg { "^" } else { "" }, inner)
+            }
+            Pat::Seq(items) => items.iter().map(|p| p.group()).collect(),
+            Pat::Alt(a, b) => format!("(?:{}|{})", a.to_regex(), b.to_regex()),
+            Pat::Star(p) => format!("{}*", p.group()),
+            Pat::Plus(p) => format!("{}+", p.group()),
+            Pat::Opt(p) => format!("{}?", p.group()),
+        }
+    }
+
+    /// Wraps in a non-capturing group when needed for correct precedence.
+    fn group(&self) -> String {
+        match self {
+            Pat::Lit(_) | Pat::Any | Pat::Class(..) => self.to_regex(),
+            _ => format!("(?:{})", self.to_regex()),
+        }
+    }
+}
+
+/// Reference: returns every possible end position of a match of `p`
+/// starting at `pos` (naive, exponential, but obviously correct).
+fn ends(p: &Pat, hay: &[char], pos: usize) -> Vec<usize> {
+    let mut out = match p {
+        Pat::Lit(c) => {
+            if hay.get(pos) == Some(c) {
+                vec![pos + 1]
+            } else {
+                vec![]
+            }
+        }
+        Pat::Any => {
+            if pos < hay.len() && hay[pos] != '\n' {
+                vec![pos + 1]
+            } else {
+                vec![]
+            }
+        }
+        Pat::Class(chars, neg) => {
+            if let Some(c) = hay.get(pos) {
+                if chars.contains(c) != *neg {
+                    vec![pos + 1]
+                } else {
+                    vec![]
+                }
+            } else {
+                vec![]
+            }
+        }
+        Pat::Seq(items) => {
+            let mut fronts = vec![pos];
+            for item in items {
+                let mut next = Vec::new();
+                for f in fronts {
+                    next.extend(ends(item, hay, f));
+                }
+                next.sort_unstable();
+                next.dedup();
+                fronts = next;
+                if fronts.is_empty() {
+                    break;
+                }
+            }
+            fronts
+        }
+        Pat::Alt(a, b) => {
+            let mut v = ends(a, hay, pos);
+            v.extend(ends(b, hay, pos));
+            v
+        }
+        Pat::Star(inner) => closure(inner, hay, pos, 0),
+        Pat::Plus(inner) => closure(inner, hay, pos, 1),
+        Pat::Opt(inner) => {
+            let mut v = vec![pos];
+            v.extend(ends(inner, hay, pos));
+            v
+        }
+    };
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// All end positions of `min`-or-more repetitions of `inner`.
+fn closure(inner: &Pat, hay: &[char], pos: usize, min: usize) -> Vec<usize> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut frontier = vec![pos];
+    let mut reps = 0usize;
+    let mut result = std::collections::BTreeSet::new();
+    if min == 0 {
+        result.insert(pos);
+    }
+    while !frontier.is_empty() && reps <= hay.len() + 1 {
+        let mut next = Vec::new();
+        for f in &frontier {
+            for e in ends(inner, hay, *f) {
+                if seen.insert(e) {
+                    next.push(e);
+                }
+                if reps + 1 >= min {
+                    result.insert(e);
+                }
+            }
+        }
+        frontier = next;
+        reps += 1;
+    }
+    result.into_iter().collect()
+}
+
+fn reference_is_match(p: &Pat, hay: &str) -> bool {
+    let chars: Vec<char> = hay.chars().collect();
+    (0..=chars.len()).any(|start| !ends(p, &chars, start).is_empty())
+}
+
+fn pat_strategy() -> impl Strategy<Value = Pat> {
+    let leaf = prop_oneof![
+        prop::char::range('a', 'd').prop_map(Pat::Lit),
+        Just(Pat::Any),
+        (prop::collection::vec(prop::char::range('a', 'd'), 1..3), any::<bool>())
+            .prop_map(|(cs, neg)| Pat::Class(cs, neg)),
+    ];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Pat::Seq),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Pat::Alt(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|p| Pat::Star(Box::new(p))),
+            inner.clone().prop_map(|p| Pat::Plus(Box::new(p))),
+            inner.prop_map(|p| Pat::Opt(Box::new(p))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn rxlite_agrees_with_reference(
+        pat in pat_strategy(),
+        hay in "[abcd]{0,10}",
+    ) {
+        let regex_text = pat.to_regex();
+        let re = rxlite::Regex::new(&regex_text)
+            .unwrap_or_else(|e| panic!("generated pattern failed to compile: {regex_text}: {e}"));
+        let expected = reference_is_match(&pat, &hay);
+        let actual = re.is_match(&hay);
+        prop_assert_eq!(
+            actual,
+            expected,
+            "pattern {} on {:?}: rxlite={}, reference={}",
+            regex_text, hay, actual, expected
+        );
+    }
+
+    #[test]
+    fn leftmost_match_start_is_minimal(
+        pat in pat_strategy(),
+        hay in "[abcd]{0,10}",
+    ) {
+        let re = rxlite::Regex::new(&pat.to_regex()).unwrap();
+        if let Some(m) = re.find(&hay) {
+            // No match can start earlier than the reported one.
+            let chars: Vec<char> = hay.chars().collect();
+            let starts_before: Vec<usize> = (0..chars.len().min(m.start()))
+                .filter(|s| !ends(&pat, &chars, *s).is_empty())
+                .collect();
+            prop_assert!(
+                starts_before.is_empty(),
+                "match at {} but reference finds starts {:?}",
+                m.start(),
+                starts_before
+            );
+        }
+    }
+}

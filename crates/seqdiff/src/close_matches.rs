@@ -1,0 +1,90 @@
+//! `difflib.get_close_matches` equivalent.
+//!
+//! Used by tooling around the rule catalog (e.g. suggesting a rule id or
+//! CWE name for a typo'd query in the CLI) and kept API-compatible with
+//! the Python original: candidates scoring at least `cutoff` by
+//! [`SequenceMatcher::ratio`], best first, at most `n` results.
+
+use crate::matcher::SequenceMatcher;
+
+/// Returns up to `n` elements of `possibilities` whose similarity ratio
+/// to `word` is at least `cutoff`, ordered best-first (ties keep input
+/// order, as in difflib).
+///
+/// # Panics
+///
+/// Panics if `cutoff` is outside `[0, 1]`.
+pub fn get_close_matches<'a>(
+    word: &str,
+    possibilities: &[&'a str],
+    n: usize,
+    cutoff: f64,
+) -> Vec<&'a str> {
+    assert!((0.0..=1.0).contains(&cutoff), "cutoff must be in [0, 1]");
+    if n == 0 {
+        return Vec::new();
+    }
+    let target: Vec<char> = word.chars().collect();
+    let mut scored: Vec<(f64, usize, &str)> = Vec::new();
+    for (idx, cand) in possibilities.iter().enumerate() {
+        let chars: Vec<char> = cand.chars().collect();
+        let ratio = SequenceMatcher::new(&target, &chars).ratio();
+        if ratio >= cutoff {
+            scored.push((ratio, idx, cand));
+        }
+    }
+    // Best ratio first; stable on input order for equal ratios.
+    scored.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0).expect("ratios are finite").then(a.1.cmp(&b.1))
+    });
+    scored.into_iter().take(n).map(|(_, _, c)| c).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn difflib_doc_example() {
+        // difflib: get_close_matches("appel", ["ape", "apple", "peach",
+        // "puppy"]) == ["apple", "ape"]
+        let out = get_close_matches("appel", &["ape", "apple", "peach", "puppy"], 3, 0.6);
+        assert_eq!(out, ["apple", "ape"]);
+    }
+
+    #[test]
+    fn cutoff_filters() {
+        let out = get_close_matches("rule", &["rules", "tool", "xyzzy"], 5, 0.8);
+        assert_eq!(out, ["rules"]);
+    }
+
+    #[test]
+    fn n_limits_results() {
+        let cands = ["rule1", "rule2", "rule3"];
+        let out = get_close_matches("rule", &cands, 2, 0.5);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(get_close_matches("x", &[], 3, 0.6).is_empty());
+        assert!(get_close_matches("x", &["x"], 0, 0.6).is_empty());
+    }
+
+    #[test]
+    fn exact_match_ranks_first() {
+        let out = get_close_matches(
+            "PIP-A03-005",
+            &["PIP-A03-001", "PIP-A03-005", "PIP-A05-003"],
+            3,
+            0.6,
+        );
+        assert_eq!(out[0], "PIP-A03-005");
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff")]
+    fn invalid_cutoff_panics() {
+        get_close_matches("x", &["x"], 1, 1.5);
+    }
+}

@@ -1,0 +1,154 @@
+//! Longest common subsequence over arbitrary comparable sequences.
+//!
+//! PatchitPy's safe-pattern synthesis (paper §II-A) extracts the *common
+//! implementation pattern* `LCS_vij` from each pair of standardized
+//! vulnerable samples, and `LCS_sij` from the corresponding safe pair.
+//! This module provides the token-level LCS used there.
+
+/// Returns the indices `(i, j)` of one longest common subsequence of `a`
+/// and `b`: for each element of the LCS, its position in `a` and in `b`.
+///
+/// Runs the classic dynamic program in `O(|a|·|b|)` time and space; inputs
+/// here are code snippets (hundreds of tokens), so this is comfortably fast.
+///
+/// ```
+/// use seqdiff::lcs_indices;
+/// let a = ["x", "=", "1"];
+/// let b = ["y", "=", "1"];
+/// let idx = lcs_indices(&a, &b);
+/// assert_eq!(idx, [(1, 1), (2, 2)]); // "=", "1"
+/// ```
+pub fn lcs_indices<T: PartialEq>(a: &[T], b: &[T]) -> Vec<(usize, usize)> {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return Vec::new();
+    }
+    // dp[i][j] = LCS length of a[i..] and b[j..].
+    let mut dp = vec![0u32; (n + 1) * (m + 1)];
+    let at = |i: usize, j: usize| i * (m + 1) + j;
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            dp[at(i, j)] = if a[i] == b[j] {
+                dp[at(i + 1, j + 1)] + 1
+            } else {
+                dp[at(i + 1, j)].max(dp[at(i, j + 1)])
+            };
+        }
+    }
+    let mut out = Vec::with_capacity(dp[at(0, 0)] as usize);
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            out.push((i, j));
+            i += 1;
+            j += 1;
+        } else if dp[at(i + 1, j)] >= dp[at(i, j + 1)] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Returns one longest common subsequence of `a` and `b` by value.
+pub fn lcs<T: PartialEq + Clone>(a: &[T], b: &[T]) -> Vec<T> {
+    lcs_indices(a, b)
+        .into_iter()
+        .map(|(i, _)| a[i].clone())
+        .collect()
+}
+
+/// Length of the LCS without materializing it (linear space).
+pub fn lcs_len<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    let m = b.len();
+    let mut prev = vec![0usize; m + 1];
+    let mut cur = vec![0usize; m + 1];
+    for i in (0..a.len()).rev() {
+        for j in (0..m).rev() {
+            cur[j] = if a[i] == b[j] {
+                prev[j + 1] + 1
+            } else {
+                prev[j].max(cur[j + 1])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[0]
+}
+
+/// Jaccard-style LCS similarity in `[0, 1]`: `2·|LCS| / (|a| + |b|)`.
+///
+/// Returns `1.0` for two empty sequences.
+pub fn lcs_similarity<T: PartialEq>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    2.0 * lcs_len(a, b) as f64 / (a.len() + b.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_inputs() {
+        let e: [&str; 0] = [];
+        assert!(lcs_indices(&e, &e).is_empty());
+        assert!(lcs_indices(&["a"], &e).is_empty());
+        assert_eq!(lcs_len(&e, &["a"]), 0);
+        assert_eq!(lcs_similarity(&e, &e), 1.0);
+    }
+
+    #[test]
+    fn identical_sequences() {
+        let a = ["def", "f", "(", ")", ":"];
+        assert_eq!(lcs(&a, &a), a.to_vec());
+        assert_eq!(lcs_similarity(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sequences() {
+        assert_eq!(lcs_len(&["a", "b"], &["c", "d"]), 0);
+        assert_eq!(lcs_similarity(&["a"], &["b"]), 0.0);
+    }
+
+    #[test]
+    fn classic_example() {
+        // ABCBDAB vs BDCABA → LCS length 4 (e.g. BCAB or BDAB).
+        let a: Vec<char> = "ABCBDAB".chars().collect();
+        let b: Vec<char> = "BDCABA".chars().collect();
+        assert_eq!(lcs_len(&a, &b), 4);
+        let l = lcs(&a, &b);
+        assert_eq!(l.len(), 4);
+        // The result must be a subsequence of both.
+        assert!(is_subsequence(&l, &a));
+        assert!(is_subsequence(&l, &b));
+    }
+
+    #[test]
+    fn indices_are_strictly_increasing() {
+        let a = ["x", "=", "request", ".", "args", ".", "get", "(", ")"];
+        let b = ["y", "=", "request", ".", "form", ".", "get", "(", "k", ")"];
+        let idx = lcs_indices(&a, &b);
+        for w in idx.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        for (i, j) in idx {
+            assert_eq!(a[i], b[j]);
+        }
+    }
+
+    #[test]
+    fn len_matches_indices() {
+        let a: Vec<char> = "standardized tokens".chars().collect();
+        let b: Vec<char> = "standard token".chars().collect();
+        assert_eq!(lcs_len(&a, &b), lcs_indices(&a, &b).len());
+    }
+
+    fn is_subsequence<T: PartialEq>(sub: &[T], sup: &[T]) -> bool {
+        let mut it = sup.iter();
+        sub.iter().all(|x| it.any(|y| y == x))
+    }
+}

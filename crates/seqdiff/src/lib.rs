@@ -1,0 +1,39 @@
+//! # seqdiff — sequence comparison primitives for PatchitPy-rs
+//!
+//! Reimplements the two sequence-analysis tools the paper's safe-pattern
+//! synthesis pipeline (§II-A) relies on:
+//!
+//! - **LCS** ([`lcs`], [`lcs_indices`], [`lcs_len`], [`lcs_similarity`]):
+//!   extracts the *common implementation pattern* shared by a pair of
+//!   standardized vulnerable (or safe) samples.
+//! - **[`SequenceMatcher`]**: a faithful port of Python's
+//!   `difflib.SequenceMatcher` (Ratcliff–Obershelp), used to compute the
+//!   *additional* safe-pattern code missing from the vulnerable pattern —
+//!   the blue-highlighted insertions of the paper's Table I.
+//!
+//! A [`unified_diff`] renderer is included for patch previews.
+//!
+//! ```
+//! use seqdiff::{lcs, additions};
+//!
+//! let v1: Vec<&str> = "return f ( var0 )".split(' ').collect();
+//! let v2: Vec<&str> = "return g ( var0 )".split(' ').collect();
+//! assert_eq!(lcs(&v1, &v2), ["return", "(", "var0", ")"]);
+//!
+//! let safe: Vec<&str> = "return f ( escape ( var0 ) )".split(' ').collect();
+//! let added = additions(&v1, &safe);
+//! assert!(!added.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod close_matches;
+mod lcs;
+mod matcher;
+mod unified;
+
+pub use close_matches::get_close_matches;
+pub use lcs::{lcs, lcs_indices, lcs_len, lcs_similarity};
+pub use matcher::{additions, Match, OpTag, Opcode, SequenceMatcher};
+pub use unified::{unified_diff, unified_diff_str};

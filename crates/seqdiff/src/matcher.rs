@@ -1,0 +1,323 @@
+//! A Ratcliff–Obershelp sequence matcher equivalent to Python's
+//! `difflib.SequenceMatcher`.
+//!
+//! The paper's rule-synthesis step (§II-A) "use[s] the SequenceMatcher
+//! class from the Python difflib module" to extract the additional code in
+//! the safe pattern that is missing from the vulnerable pattern. This is a
+//! faithful port: same longest-matching-block recursion (including the
+//! lowest-`(i, j)` tie-break), same opcode semantics, same `ratio`.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A maximal matching block: `a[a_start..a_start+len] == b[b_start..b_start+len]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match {
+    /// Start of the block in the first sequence.
+    pub a_start: usize,
+    /// Start of the block in the second sequence.
+    pub b_start: usize,
+    /// Length of the block (the sentinel final block has length 0).
+    pub len: usize,
+}
+
+/// Edit operation relating a range of `a` to a range of `b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpTag {
+    /// `a[i1..i2]` equals `b[j1..j2]`.
+    Equal,
+    /// `a[i1..i2]` should be replaced by `b[j1..j2]`.
+    Replace,
+    /// `a[i1..i2]` should be deleted (`j1 == j2`).
+    Delete,
+    /// `b[j1..j2]` should be inserted at `a[i1]` (`i1 == i2`).
+    Insert,
+}
+
+/// A single opcode: tag plus the ranges in both sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Opcode {
+    /// Operation kind.
+    pub tag: OpTag,
+    /// Start in `a`.
+    pub i1: usize,
+    /// End in `a` (exclusive).
+    pub i2: usize,
+    /// Start in `b`.
+    pub j1: usize,
+    /// End in `b` (exclusive).
+    pub j2: usize,
+}
+
+/// Compares two sequences and exposes matching blocks, opcodes, and a
+/// similarity ratio, like `difflib.SequenceMatcher` (with autojunk off).
+///
+/// ```
+/// use seqdiff::{SequenceMatcher, OpTag};
+/// let a: Vec<char> = "abxcd".chars().collect();
+/// let b: Vec<char> = "abcd".chars().collect();
+/// let m = SequenceMatcher::new(&a, &b);
+/// assert!(m.ratio() > 0.8);
+/// let ops = m.opcodes();
+/// let dels = ops.iter().filter(|o| o.tag == OpTag::Delete).count();
+/// assert_eq!(dels, 1);
+/// ```
+#[derive(Debug)]
+pub struct SequenceMatcher<'a, T: Eq + Hash> {
+    a: &'a [T],
+    b: &'a [T],
+    /// b element -> indices where it occurs in b.
+    b2j: HashMap<&'a T, Vec<usize>>,
+}
+
+impl<'a, T: Eq + Hash> SequenceMatcher<'a, T> {
+    /// Creates a matcher over the two sequences.
+    pub fn new(a: &'a [T], b: &'a [T]) -> Self {
+        let mut b2j: HashMap<&T, Vec<usize>> = HashMap::new();
+        for (j, x) in b.iter().enumerate() {
+            b2j.entry(x).or_default().push(j);
+        }
+        SequenceMatcher { a, b, b2j }
+    }
+
+    /// Finds the longest matching block in `a[alo..ahi]` and `b[blo..bhi]`,
+    /// preferring the block starting earliest in `a`, then earliest in `b`
+    /// (difflib's tie-break).
+    pub fn find_longest_match(
+        &self,
+        alo: usize,
+        ahi: usize,
+        blo: usize,
+        bhi: usize,
+    ) -> Match {
+        let (mut besti, mut bestj, mut bestsize) = (alo, blo, 0usize);
+        // j2len[j] = length of longest match ending at a[i-1], b[j-1].
+        let mut j2len: HashMap<usize, usize> = HashMap::new();
+        for i in alo..ahi {
+            let mut new_j2len: HashMap<usize, usize> = HashMap::new();
+            if let Some(indices) = self.b2j.get(&self.a[i]) {
+                for &j in indices {
+                    if j < blo {
+                        continue;
+                    }
+                    if j >= bhi {
+                        break;
+                    }
+                    let k = j2len.get(&j.wrapping_sub(1)).copied().unwrap_or(0) + 1;
+                    new_j2len.insert(j, k);
+                    if k > bestsize {
+                        besti = i + 1 - k;
+                        bestj = j + 1 - k;
+                        bestsize = k;
+                    }
+                }
+            }
+            j2len = new_j2len;
+        }
+        Match { a_start: besti, b_start: bestj, len: bestsize }
+    }
+
+    /// Returns all maximal matching blocks in order, ending with a
+    /// zero-length sentinel at `(len(a), len(b))`.
+    pub fn matching_blocks(&self) -> Vec<Match> {
+        let mut queue = vec![(0usize, self.a.len(), 0usize, self.b.len())];
+        let mut raw: Vec<Match> = Vec::new();
+        while let Some((alo, ahi, blo, bhi)) = queue.pop() {
+            let m = self.find_longest_match(alo, ahi, blo, bhi);
+            if m.len > 0 {
+                raw.push(m);
+                if alo < m.a_start && blo < m.b_start {
+                    queue.push((alo, m.a_start, blo, m.b_start));
+                }
+                if m.a_start + m.len < ahi && m.b_start + m.len < bhi {
+                    queue.push((m.a_start + m.len, ahi, m.b_start + m.len, bhi));
+                }
+            }
+        }
+        raw.sort_by_key(|m| (m.a_start, m.b_start));
+        // Coalesce adjacent blocks, as difflib does.
+        let mut out: Vec<Match> = Vec::with_capacity(raw.len() + 1);
+        for m in raw {
+            if let Some(last) = out.last_mut() {
+                if last.a_start + last.len == m.a_start
+                    && last.b_start + last.len == m.b_start
+                {
+                    last.len += m.len;
+                    continue;
+                }
+            }
+            out.push(m);
+        }
+        out.push(Match { a_start: self.a.len(), b_start: self.b.len(), len: 0 });
+        out
+    }
+
+    /// Returns the opcodes transforming `a` into `b`.
+    pub fn opcodes(&self) -> Vec<Opcode> {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut out = Vec::new();
+        for m in self.matching_blocks() {
+            let tag = match (i < m.a_start, j < m.b_start) {
+                (true, true) => Some(OpTag::Replace),
+                (true, false) => Some(OpTag::Delete),
+                (false, true) => Some(OpTag::Insert),
+                (false, false) => None,
+            };
+            if let Some(tag) = tag {
+                out.push(Opcode { tag, i1: i, i2: m.a_start, j1: j, j2: m.b_start });
+            }
+            i = m.a_start + m.len;
+            j = m.b_start + m.len;
+            if m.len > 0 {
+                out.push(Opcode {
+                    tag: OpTag::Equal,
+                    i1: m.a_start,
+                    i2: i,
+                    j1: m.b_start,
+                    j2: j,
+                });
+            }
+        }
+        out
+    }
+
+    /// Similarity ratio `2·M / (|a| + |b|)` where `M` is the total size of
+    /// matching blocks. `1.0` if both sequences are empty.
+    pub fn ratio(&self) -> f64 {
+        let total = self.a.len() + self.b.len();
+        if total == 0 {
+            return 1.0;
+        }
+        let matched: usize = self.matching_blocks().iter().map(|m| m.len).sum();
+        2.0 * matched as f64 / total as f64
+    }
+}
+
+/// The parts of `b` not present in the matching structure against `a` —
+/// i.e. every `Insert`/`Replace` target range. This is the "additional
+/// parts of code in `LCS_s` that are missing in `LCS_v`" extraction from
+/// the paper, returned as slices of `b`.
+pub fn additions<'b, T: Eq + Hash>(a: &[T], b: &'b [T]) -> Vec<&'b [T]> {
+    let m = SequenceMatcher::new(a, b);
+    m.opcodes()
+        .iter()
+        .filter(|o| matches!(o.tag, OpTag::Insert | OpTag::Replace))
+        .map(|o| &b[o.j1..o.j2])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chars(s: &str) -> Vec<char> {
+        s.chars().collect()
+    }
+
+    #[test]
+    fn identical() {
+        let a = chars("abcdef");
+        let m = SequenceMatcher::new(&a, &a);
+        assert_eq!(m.ratio(), 1.0);
+        let ops = m.opcodes();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].tag, OpTag::Equal);
+    }
+
+    #[test]
+    fn empty_vs_empty() {
+        let e: Vec<char> = vec![];
+        let m = SequenceMatcher::new(&e, &e);
+        assert_eq!(m.ratio(), 1.0);
+        assert_eq!(m.matching_blocks().len(), 1); // sentinel only
+        assert!(m.opcodes().is_empty());
+    }
+
+    #[test]
+    fn difflib_doc_example() {
+        // From the difflib docs: " abcd" vs "abcd abcd" has longest match
+        // at a[0..4]=b[4..8] without junk... with our no-junk matcher the
+        // earliest-in-a tie-break yields a_start=0, b_start=0 of length 4
+        // (" abc" vs " abc")? difflib reports i=0, j=4, size=5 for
+        // find_longest_match(0, 5, 0, 9): " abcd" matches b[4..9].
+        let a = chars(" abcd");
+        let b = chars("abcd abcd");
+        let m = SequenceMatcher::new(&a, &b);
+        let lm = m.find_longest_match(0, a.len(), 0, b.len());
+        assert_eq!((lm.a_start, lm.b_start, lm.len), (0, 4, 5));
+    }
+
+    #[test]
+    fn opcode_ranges_cover_both_sequences() {
+        let a = chars("qabxcd");
+        let b = chars("abycdf");
+        let m = SequenceMatcher::new(&a, &b);
+        let ops = m.opcodes();
+        assert_eq!(ops.first().unwrap().i1, 0);
+        assert_eq!(ops.last().unwrap().i2, a.len());
+        assert_eq!(ops.last().unwrap().j2, b.len());
+        for w in ops.windows(2) {
+            assert_eq!(w[0].i2, w[1].i1);
+            assert_eq!(w[0].j2, w[1].j1);
+        }
+    }
+
+    #[test]
+    fn difflib_opcode_example() {
+        // difflib docs: a="qabxcd", b="abycdf" gives
+        // delete a[0:1], equal a[1:3]/b[0:2], replace a[3:4]/b[2:3],
+        // equal a[4:6]/b[3:5], insert b[5:6].
+        let a = chars("qabxcd");
+        let b = chars("abycdf");
+        let ops = SequenceMatcher::new(&a, &b).opcodes();
+        let tags: Vec<OpTag> = ops.iter().map(|o| o.tag).collect();
+        assert_eq!(
+            tags,
+            [OpTag::Delete, OpTag::Equal, OpTag::Replace, OpTag::Equal, OpTag::Insert]
+        );
+    }
+
+    #[test]
+    fn ratio_matches_difflib() {
+        // difflib: SequenceMatcher(None, "abcd", "bcde").ratio() == 0.75
+        let a = chars("abcd");
+        let b = chars("bcde");
+        assert!((SequenceMatcher::new(&a, &b).ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn additions_extracts_inserted_code() {
+        let a: Vec<&str> = vec!["return", "f'<p>{", "var0", "}'"];
+        let b: Vec<&str> = vec!["return", "f'<p>{", "escape", "(", "var0", ")", "}'"];
+        let add = additions(&a, &b);
+        let flat: Vec<&str> = add.into_iter().flatten().copied().collect();
+        // The wrapping call is recovered exactly: "escape(" before var0 and
+        // ")" after it.
+        assert_eq!(flat, ["escape", "(", ")"]);
+    }
+
+    #[test]
+    fn works_on_token_sequences() {
+        let a: Vec<String> =
+            "app . run ( debug = True )".split(' ').map(String::from).collect();
+        let b: Vec<String> =
+            "app . run ( debug = False , use_reloader = False )"
+                .split(' ')
+                .map(String::from)
+                .collect();
+        let m = SequenceMatcher::new(&a, &b);
+        assert!(m.ratio() > 0.6);
+        let ops = m.opcodes();
+        assert!(ops.iter().any(|o| o.tag == OpTag::Replace || o.tag == OpTag::Insert));
+    }
+
+    #[test]
+    fn matching_blocks_coalesce() {
+        let a = chars("abxab");
+        let b = chars("ab");
+        let blocks = SequenceMatcher::new(&a, &b).matching_blocks();
+        // One real block ("ab") plus sentinel.
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].len, 2);
+    }
+}

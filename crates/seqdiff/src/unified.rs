@@ -1,0 +1,209 @@
+//! Unified-diff rendering over line sequences.
+//!
+//! Used by the evaluation harness and examples to display PatchitPy patches
+//! the way a developer would see them in the VS Code extension's preview.
+
+use crate::matcher::{OpTag, SequenceMatcher};
+use std::fmt::Write as _;
+
+/// Renders a unified diff (like `difflib.unified_diff`) between `a` and
+/// `b`, with `context` lines of context and the given file labels.
+///
+/// ```
+/// use seqdiff::unified_diff;
+/// let a = ["import pickle", "data = pickle.loads(blob)"];
+/// let b = ["import json", "data = json.loads(blob)"];
+/// let d = unified_diff(&a, &b, "before.py", "after.py", 3);
+/// assert!(d.contains("-import pickle"));
+/// assert!(d.contains("+import json"));
+/// ```
+pub fn unified_diff<S: AsRef<str> + Eq + std::hash::Hash>(
+    a: &[S],
+    b: &[S],
+    from_label: &str,
+    to_label: &str,
+    context: usize,
+) -> String {
+    let matcher = SequenceMatcher::new(a, b);
+    let opcodes = matcher.opcodes();
+    let groups = group_opcodes(&opcodes, context);
+    if groups.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "--- {from_label}");
+    let _ = writeln!(out, "+++ {to_label}");
+    for group in groups {
+        let first = group.first().expect("groups are non-empty");
+        let last = group.last().expect("groups are non-empty");
+        let _ = writeln!(
+            out,
+            "@@ -{} +{} @@",
+            range_header(first.i1, last.i2),
+            range_header(first.j1, last.j2),
+        );
+        for op in group {
+            match op.tag {
+                OpTag::Equal => {
+                    for line in &a[op.i1..op.i2] {
+                        let _ = writeln!(out, " {}", line.as_ref());
+                    }
+                }
+                OpTag::Delete | OpTag::Replace => {
+                    for line in &a[op.i1..op.i2] {
+                        let _ = writeln!(out, "-{}", line.as_ref());
+                    }
+                    if op.tag == OpTag::Replace {
+                        for line in &b[op.j1..op.j2] {
+                            let _ = writeln!(out, "+{}", line.as_ref());
+                        }
+                    }
+                }
+                OpTag::Insert => {
+                    for line in &b[op.j1..op.j2] {
+                        let _ = writeln!(out, "+{}", line.as_ref());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders a unified diff between two source strings, split on newlines.
+pub fn unified_diff_str(a: &str, b: &str, from_label: &str, to_label: &str) -> String {
+    let al: Vec<&str> = a.lines().collect();
+    let bl: Vec<&str> = b.lines().collect();
+    unified_diff(&al, &bl, from_label, to_label, 3)
+}
+
+fn range_header(start: usize, end: usize) -> String {
+    let len = end - start;
+    // Unified diff is 1-based; empty ranges point at the previous line.
+    if len == 0 {
+        format!("{start},0")
+    } else if len == 1 {
+        format!("{}", start + 1)
+    } else {
+        format!("{},{}", start + 1, len)
+    }
+}
+
+/// Groups opcodes into hunks separated by more than `2·context` equal
+/// lines, trimming leading/trailing context (difflib's `get_grouped_opcodes`).
+fn group_opcodes(
+    opcodes: &[crate::matcher::Opcode],
+    context: usize,
+) -> Vec<Vec<crate::matcher::Opcode>> {
+    use crate::matcher::Opcode;
+    if opcodes.is_empty() {
+        return Vec::new();
+    }
+    // If the whole diff is one Equal, there is nothing to show.
+    if opcodes.len() == 1 && opcodes[0].tag == OpTag::Equal {
+        return Vec::new();
+    }
+    let mut codes: Vec<Opcode> = opcodes.to_vec();
+    // Trim leading/trailing context to `context` lines.
+    if let Some(first) = codes.first_mut() {
+        if first.tag == OpTag::Equal {
+            first.i1 = first.i1.max(first.i2.saturating_sub(context));
+            first.j1 = first.j1.max(first.j2.saturating_sub(context));
+        }
+    }
+    if let Some(last) = codes.last_mut() {
+        if last.tag == OpTag::Equal {
+            last.i2 = last.i2.min(last.i1 + context);
+            last.j2 = last.j2.min(last.j1 + context);
+        }
+    }
+    let mut groups: Vec<Vec<Opcode>> = Vec::new();
+    let mut group: Vec<Opcode> = Vec::new();
+    for mut op in codes {
+        if op.tag == OpTag::Equal && op.i2 - op.i1 > 2 * context && !group.is_empty() {
+            // Split: close the current group with `context` lines...
+            let mut head = op;
+            head.i2 = head.i1 + context;
+            head.j2 = head.j1 + context;
+            group.push(head);
+            groups.push(std::mem::take(&mut group));
+            // ...and start the next with the trailing `context` lines.
+            op.i1 = op.i2 - context;
+            op.j1 = op.j2 - context;
+        }
+        group.push(op);
+    }
+    if !group.is_empty() && !(group.len() == 1 && group[0].tag == OpTag::Equal) {
+        groups.push(group);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_diff_for_identical() {
+        let a = ["x = 1", "y = 2"];
+        assert!(unified_diff(&a, &a, "a", "b", 3).is_empty());
+    }
+
+    #[test]
+    fn single_line_change() {
+        let a = ["import os", "os.system(cmd)"];
+        let b = ["import subprocess", "subprocess.run(cmd)"];
+        let d = unified_diff(&a, &b, "v.py", "s.py", 3);
+        assert!(d.contains("--- v.py"));
+        assert!(d.contains("+++ s.py"));
+        assert!(d.contains("-import os"));
+        assert!(d.contains("+import subprocess"));
+    }
+
+    #[test]
+    fn context_kept() {
+        let a = ["a", "b", "c", "d", "e"];
+        let b = ["a", "b", "X", "d", "e"];
+        let d = unified_diff(&a, &b, "old", "new", 1);
+        assert!(d.contains(" b\n"));
+        assert!(d.contains("-c\n"));
+        assert!(d.contains("+X\n"));
+        assert!(d.contains(" d\n"));
+        // Lines outside context are dropped.
+        assert!(!d.contains(" a\n"));
+        assert!(!d.contains(" e\n"));
+    }
+
+    #[test]
+    fn distant_changes_split_into_hunks() {
+        let mut a: Vec<String> = (0..30).map(|i| format!("line{i}")).collect();
+        let mut b = a.clone();
+        a[2] = "old-top".into();
+        b[2] = "new-top".into();
+        a[25] = "old-bottom".into();
+        b[25] = "new-bottom".into();
+        let d = unified_diff(&a, &b, "a", "b", 2);
+        let hunks = d.matches("@@ -").count();
+        assert_eq!(hunks, 2, "diff was: {d}");
+    }
+
+    #[test]
+    fn str_helper() {
+        let d = unified_diff_str("x = 1\n", "x = 2\n", "a.py", "b.py");
+        assert!(d.contains("-x = 1"));
+        assert!(d.contains("+x = 2"));
+    }
+
+    #[test]
+    fn insert_only() {
+        let a = ["def f():", "    pass"];
+        let b = ["import shlex", "def f():", "    pass"];
+        let d = unified_diff(&a, &b, "old", "new", 3);
+        assert!(d.contains("+import shlex"));
+        // No deletion lines (headers excluded).
+        assert!(
+            !d.lines().any(|l| l.starts_with('-') && !l.starts_with("---")),
+            "no deletions expected:\n{d}"
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Confusion-matrix metrics for binary detection tasks.
+//!
+//! Table II of the paper reports Precision, Recall, F1, and Accuracy for
+//! each tool, computed from the TP/TN/FP/FN counts of the manual
+//! evaluation (§III-B).
+
+use std::fmt;
+
+/// Binary-classification counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Tool says vulnerable, oracle agrees.
+    pub tp: u32,
+    /// Tool says safe, oracle agrees.
+    pub tn: u32,
+    /// Tool says vulnerable, oracle disagrees.
+    pub fp: u32,
+    /// Tool says safe, oracle disagrees.
+    pub fn_: u32,
+}
+
+impl Confusion {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one `(predicted, actual)` observation.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (false, false) => self.tn += 1,
+            (true, false) => self.fp += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u32 {
+        self.tp + self.tn + self.fp + self.fn_
+    }
+
+    /// Precision `TP / (TP + FP)`; 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Recall `TP / (TP + FN)`; 0 when undefined.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// F1 — harmonic mean of precision and recall; 0 when undefined.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accuracy `(TP + TN) / total`; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// Merges another matrix into this one (e.g. per-generator → "All").
+    pub fn merge(&mut self, other: Confusion) {
+        self.tp += other.tp;
+        self.tn += other.tn;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+}
+
+impl fmt::Display for Confusion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TP={} TN={} FP={} FN={} | P={:.2} R={:.2} F1={:.2} Acc={:.2}",
+            self.tp,
+            self.tn,
+            self.fp,
+            self.fn_,
+            self.precision(),
+            self.recall(),
+            self.f1(),
+            self.accuracy()
+        )
+    }
+}
+
+fn ratio(num: u32, den: u32) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let c = Confusion { tp: 10, tn: 5, fp: 0, fn_: 0 };
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn known_values() {
+        // P = 8/10 = .8, R = 8/12 ≈ .667, F1 ≈ .727, Acc = 13/20 = .65
+        let c = Confusion { tp: 8, fp: 2, fn_: 4, tn: 5 };
+        assert!((c.precision() - 0.8).abs() < 1e-12);
+        assert!((c.recall() - 8.0 / 12.0).abs() < 1e-12);
+        assert!((c.f1() - 2.0 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0 / 12.0)).abs() < 1e-12);
+        assert!((c.accuracy() - 13.0 / 19.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero() {
+        let c = Confusion::new();
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn record_routes_correctly() {
+        let mut c = Confusion::new();
+        c.record(true, true);
+        c.record(true, false);
+        c.record(false, true);
+        c.record(false, false);
+        assert_eq!((c.tp, c.fp, c.fn_, c.tn), (1, 1, 1, 1));
+        assert_eq!(c.accuracy(), 0.5);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = Confusion { tp: 1, tn: 2, fp: 3, fn_: 4 };
+        a.merge(Confusion { tp: 10, tn: 20, fp: 30, fn_: 40 });
+        assert_eq!(a, Confusion { tp: 11, tn: 22, fp: 33, fn_: 44 });
+    }
+
+    #[test]
+    fn display_contains_metrics() {
+        let s = Confusion { tp: 1, tn: 1, fp: 0, fn_: 0 }.to_string();
+        assert!(s.contains("P=1.00"));
+        assert!(s.contains("Acc=1.00"));
+    }
+}

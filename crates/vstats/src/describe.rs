@@ -1,0 +1,157 @@
+//! Descriptive statistics: mean, median, quartiles, IQR.
+//!
+//! Fig. 3 of the paper summarizes cyclomatic-complexity distributions by
+//! mean and interquartile range; §III-A summarizes prompt lengths by
+//! mean/median/min/max/percentile. Quartiles use linear interpolation
+//! between closest ranks (numpy's default `linear` method), matching what
+//! the paper's Python tooling would compute.
+
+/// Five-number-plus summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile (25th percentile).
+    pub q1: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// Third quartile (75th percentile).
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Interquartile range `q3 − q1`.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Computes a [`Summary`] of the sample.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains NaN.
+pub fn describe(values: &[f64]) -> Summary {
+    assert!(!values.is_empty(), "describe requires a non-empty sample");
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let n = v.len();
+    let mean = v.iter().sum::<f64>() / n as f64;
+    Summary {
+        n,
+        mean,
+        min: v[0],
+        q1: percentile_sorted(&v, 25.0),
+        median: percentile_sorted(&v, 50.0),
+        q3: percentile_sorted(&v, 75.0),
+        max: v[n - 1],
+    }
+}
+
+/// The `p`-th percentile (0–100) using linear interpolation, on a sorted
+/// slice.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is outside `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Convenience: percentile of an unsorted sample.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    percentile_sorted(&v, p)
+}
+
+/// Sample standard deviation (n − 1 denominator); 0 for n < 2.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+        / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_summary() {
+        let s = describe(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.iqr(), 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn interpolated_quartiles() {
+        // numpy.percentile([1,2,3,4], 25) == 1.75
+        let s = describe(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.q1 - 1.75).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert!((s.q3 - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_element() {
+        let s = describe(&[7.0]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.q1, 7.0);
+        assert_eq!(s.q3, 7.0);
+        assert_eq!(s.iqr(), 0.0);
+    }
+
+    #[test]
+    fn unsorted_input() {
+        let s = describe(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_panics() {
+        describe(&[]);
+    }
+
+    #[test]
+    fn percentile_extremes() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 3.0);
+    }
+
+    #[test]
+    fn std_dev_known() {
+        // Sample std of [2,4,4,4,5,5,7,9] with n-1: ~2.138
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&v) - 2.13809).abs() < 1e-4);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+}

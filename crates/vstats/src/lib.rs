@@ -1,0 +1,32 @@
+//! # vstats — evaluation statistics for PatchitPy-rs
+//!
+//! The statistical toolkit behind the paper's evaluation:
+//!
+//! - [`Confusion`] — TP/TN/FP/FN bookkeeping with the Precision / Recall /
+//!   F1 / Accuracy formulas of Table II;
+//! - [`describe`] — mean / median / quartiles / IQR summaries used in
+//!   Fig. 3 and §III-A;
+//! - [`rank_sum`] — the Wilcoxon rank-sum (Mann–Whitney U) test used in
+//!   §III-C for Pylint-score equivalence and complexity-shift significance.
+//!
+//! ```
+//! use vstats::Confusion;
+//!
+//! let mut c = Confusion::new();
+//! c.record(true, true);   // TP
+//! c.record(false, false); // TN
+//! assert_eq!(c.accuracy(), 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bootstrap;
+mod confusion;
+mod describe;
+mod wilcoxon;
+
+pub use bootstrap::{bootstrap_ci, proportion_ci, Interval};
+pub use confusion::Confusion;
+pub use describe::{describe, percentile, percentile_sorted, std_dev, Summary};
+pub use wilcoxon::{normal_sf, rank_sum, RankSumResult};

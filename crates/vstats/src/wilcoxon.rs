@@ -1,0 +1,187 @@
+//! Wilcoxon rank-sum (Mann–Whitney U) test.
+//!
+//! The paper applies "the non-parametric Wilcoxon rank sum test" twice
+//! (§III-C): to show Pylint-score equivalence between PatchitPy patches
+//! and the ground truth / LLM patches, and to show that LLM patches —
+//! unlike PatchitPy's — significantly increase cyclomatic complexity.
+//!
+//! This implementation uses the normal approximation with tie correction
+//! and continuity correction (scipy's `mannwhitneyu` default for samples
+//! of this size, n ≈ 200–600).
+
+/// Result of a rank-sum test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankSumResult {
+    /// Mann–Whitney U statistic (for the first sample).
+    pub u: f64,
+    /// Standardized z statistic.
+    pub z: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+impl RankSumResult {
+    /// Whether the difference is significant at the given alpha.
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Runs a two-sided Wilcoxon rank-sum test on two independent samples.
+///
+/// # Panics
+///
+/// Panics if either sample is empty or contains NaN.
+pub fn rank_sum(a: &[f64], b: &[f64]) -> RankSumResult {
+    assert!(!a.is_empty() && !b.is_empty(), "rank_sum requires non-empty samples");
+    let n1 = a.len() as f64;
+    let n2 = b.len() as f64;
+
+    // Pool and rank with mid-ranks for ties.
+    let mut pooled: Vec<(f64, usize)> = a
+        .iter()
+        .map(|&x| (x, 0usize))
+        .chain(b.iter().map(|&x| (x, 1usize)))
+        .collect();
+    pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("NaN in sample"));
+
+    let n = pooled.len();
+    let mut ranks = vec![0.0f64; n];
+    let mut tie_correction = 0.0f64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for r in ranks.iter_mut().take(j + 1).skip(i) {
+            *r = avg_rank;
+        }
+        let t = (j - i + 1) as f64;
+        tie_correction += t.powi(3) - t;
+        i = j + 1;
+    }
+
+    let r1: f64 = pooled
+        .iter()
+        .zip(&ranks)
+        .filter(|((_, g), _)| *g == 0)
+        .map(|(_, r)| r)
+        .sum();
+    let u1 = r1 - n1 * (n1 + 1.0) / 2.0;
+
+    let mean_u = n1 * n2 / 2.0;
+    let nn = n1 + n2;
+    let var_u = n1 * n2 / 12.0 * ((nn + 1.0) - tie_correction / (nn * (nn - 1.0)));
+    if var_u <= 0.0 {
+        // All values identical: no evidence of difference.
+        return RankSumResult { u: u1, z: 0.0, p_value: 1.0 };
+    }
+    // Continuity correction toward the mean.
+    let diff = u1 - mean_u;
+    let cc = if diff > 0.0 {
+        -0.5
+    } else if diff < 0.0 {
+        0.5
+    } else {
+        0.0
+    };
+    let z = (diff + cc) / var_u.sqrt();
+    let p = 2.0 * normal_sf(z.abs());
+    RankSumResult { u: u1, z, p_value: p.min(1.0) }
+}
+
+/// Standard-normal survival function `P(Z > z)` via the complementary
+/// error function (Abramowitz & Stegun 7.1.26, |err| < 1.5e-7).
+pub fn normal_sf(z: f64) -> f64 {
+    0.5 * erfc(z / std::f64::consts::SQRT_2)
+}
+
+fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    poly * (-x * x).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_not_significant() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = rank_sum(&a, &a);
+        assert!(r.p_value > 0.9, "p = {}", r.p_value);
+        assert!(!r.significant(0.05));
+    }
+
+    #[test]
+    fn clearly_shifted_samples_significant() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..50).map(|i| i as f64 + 100.0).collect();
+        let r = rank_sum(&a, &b);
+        assert!(r.significant(0.001), "p = {}", r.p_value);
+        // U for the lower sample is 0 when completely separated.
+        assert_eq!(r.u, 0.0);
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        let a = [1.0, 3.0, 5.0, 7.0, 9.0, 11.0];
+        let b = [2.0, 4.0, 6.0, 8.0, 10.0];
+        let r1 = rank_sum(&a, &b);
+        let r2 = rank_sum(&b, &a);
+        assert!((r1.p_value - r2.p_value).abs() < 1e-9);
+        // U1 + U2 = n1*n2.
+        assert!((r1.u + r2.u - (a.len() * b.len()) as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scipy_reference_value() {
+        // scipy.stats.mannwhitneyu([1,2,3,4,5], [6,7,8,9,10],
+        //   alternative='two-sided') → U=0, p≈0.007937 (exact) or
+        //   p≈0.0122 (normal approx with cc). We use the approximation.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [6.0, 7.0, 8.0, 9.0, 10.0];
+        let r = rank_sum(&a, &b);
+        assert_eq!(r.u, 0.0);
+        assert!((r.p_value - 0.0122).abs() < 0.002, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn ties_handled() {
+        let a = [1.0, 1.0, 1.0, 2.0, 2.0];
+        let b = [1.0, 2.0, 2.0, 2.0, 3.0];
+        let r = rank_sum(&a, &b);
+        assert!(r.p_value > 0.05);
+        assert!(r.p_value <= 1.0);
+    }
+
+    #[test]
+    fn all_identical_values() {
+        let a = [5.0; 10];
+        let b = [5.0; 8];
+        let r = rank_sum(&a, &b);
+        assert_eq!(r.p_value, 1.0);
+        assert_eq!(r.z, 0.0);
+    }
+
+    #[test]
+    fn normal_sf_reference_points() {
+        assert!((normal_sf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_sf(1.96) - 0.0249979).abs() < 1e-4);
+        assert!((normal_sf(-1.0) - 0.8413447).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sample_panics() {
+        rank_sum(&[], &[1.0]);
+    }
+}

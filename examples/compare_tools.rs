@@ -1,0 +1,68 @@
+//! Runs one AI-generated snippet through every tool of the evaluation:
+//! PatchitPy, the three SAST baselines, and the three simulated LLMs.
+//!
+//! The snippet is *incomplete* (truncated final statement), which is the
+//! paper's central scenario: pattern matching still works, AST-based
+//! tools return nothing.
+//!
+//! Run with: `cargo run --example compare_tools`
+
+use patchitpy::compare::{
+    BanditLike, CodeqlLike, DetectionTool, LlmKind, LlmTool, SemgrepLike,
+};
+use patchitpy::Detector;
+
+fn main() {
+    let code = "\
+import pickle
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route(\"/load\")
+def load():
+    data = pickle.loads(request.data)
+    result = transform(
+";
+
+    println!("snippet under analysis (note the dangling last line):\n{code}");
+
+    let pip = Detector::new();
+    let findings = pip.detect(code);
+    println!("PatchitPy          : {} finding(s)", findings.len());
+    for f in &findings {
+        println!("                     line {} CWE-{:03} {}", f.line, f.cwe, f.description);
+    }
+
+    for tool in [
+        Box::new(BanditLike::new()) as Box<dyn DetectionTool>,
+        Box::new(CodeqlLike::new()),
+        Box::new(SemgrepLike::new()),
+    ] {
+        let fs = tool.scan(code);
+        println!(
+            "{:<19}: {} finding(s){}",
+            tool.name(),
+            fs.len(),
+            if fs.is_empty() && tool.name() != "Semgrep" {
+                "  (strict AST parse failed on the incomplete snippet)"
+            } else {
+                ""
+            }
+        );
+        for f in &fs {
+            println!("                     line {} {}", f.line, f.check_id);
+        }
+    }
+
+    println!();
+    for kind in LlmKind::all() {
+        let llm = LlmTool::new(kind, 7);
+        let verdict = llm.detect(code, true);
+        println!(
+            "{:<19}: {}",
+            kind.display(),
+            if verdict { "\"Yes — vulnerable\" (ZS-RO prompt)" } else { "\"No\"" }
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! The IDE patching flow end-to-end: detect → confirm → patch → verify.
+//!
+//! Mirrors what the VS Code extension does when a developer selects an
+//! AI-generated block and accepts the fix suggestions, then checks the
+//! §III-C claims on this one file: the patch removes every detectable
+//! weakness, preserves quality, and barely moves cyclomatic complexity.
+//!
+//! Run with: `cargo run --example patch_pipeline`
+
+use patchitpy::metrics::{complexity, quality};
+use patchitpy::{Detector, Patcher};
+
+fn main() {
+    let code = r#"import os
+import hashlib
+import yaml
+from flask import Flask, request
+
+app = Flask(__name__)
+UPLOAD_DIR = "uploads"
+
+@app.route("/convert", methods=["POST"])
+def convert():
+    upload = request.files["file"]
+    upload.save(os.path.join(UPLOAD_DIR, upload.filename))
+    os.system("convert " + upload.filename + " out.png")
+    return "converted"
+
+@app.route("/config", methods=["POST"])
+def config():
+    settings = yaml.load(request.data)
+    checksum = hashlib.md5(request.data).hexdigest()
+    return {"ok": True, "checksum": checksum, "keys": list(settings)}
+
+if __name__ == "__main__":
+    app.run(host="0.0.0.0", debug=True)
+"#;
+
+    let detector = Detector::new();
+    let findings = detector.detect(code);
+    println!("== step 1: detection ({} findings) ==", findings.len());
+    for f in &findings {
+        println!(
+            "  line {:>2}  {}  CWE-{:03}  {}",
+            f.line, f.rule_id, f.cwe, f.description
+        );
+    }
+
+    println!("\n== step 2: developer accepts the fixes ==");
+    let patcher = Patcher::with_detector(detector);
+    let outcome = patcher.patch_findings(code, &findings);
+    println!(
+        "  {} patches applied, {} skipped (detection-only/overlap), {} imports added",
+        outcome.applied.len(),
+        outcome.skipped.len(),
+        outcome.imports_added.len()
+    );
+
+    println!("\n== step 3: patched file ==");
+    print!("{}", outcome.source);
+
+    println!("\n== step 4: verification ==");
+    let residual = patcher.detector().detect(&outcome.source);
+    println!("  re-scan findings: {}", residual.len());
+    let cc_before = complexity(code).mean();
+    let cc_after = complexity(&outcome.source).mean();
+    println!("  mean cyclomatic complexity: {cc_before:.2} -> {cc_after:.2}");
+    let q_before = quality(code).score;
+    let q_after = quality(&outcome.source).score;
+    println!("  quality score: {q_before:.2} -> {q_after:.2}");
+}

@@ -1,0 +1,47 @@
+//! Quickstart: detect and patch vulnerabilities in a Python snippet.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use patchitpy::diff::unified_diff_str;
+use patchitpy::scan;
+
+fn main() {
+    // A snippet the way an AI assistant might produce it: an echo
+    // endpoint with reflected XSS, a pickle-based session restore, and
+    // the Flask debug server left on.
+    let code = r#"import pickle
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route("/echo")
+def echo():
+    message = request.args.get("message", "")
+    return f"<p>{message}</p>"
+
+@app.route("/restore")
+def restore():
+    blob = request.cookies.get("session", "")
+    state = pickle.loads(bytes.fromhex(blob))
+    return str(state)
+
+if __name__ == "__main__":
+    app.run(debug=True)
+"#;
+
+    let report = scan(code);
+
+    println!("== findings ==");
+    print!("{report}");
+
+    println!("\n== patch ==");
+    print!("{}", unified_diff_str(code, &report.patch.source, "generated.py", "patched.py"));
+
+    println!("\n== imports added ==");
+    for imp in &report.patch.imports_added {
+        println!("  {imp}");
+    }
+    if let Some(rate) = report.repair_rate() {
+        println!("\nrepair rate for this file: {:.0}%", rate * 100.0);
+    }
+}

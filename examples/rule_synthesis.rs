@@ -1,0 +1,73 @@
+//! The offline rule-synthesis pipeline of paper §II-A / Table I.
+//!
+//! Takes a pair of vulnerable samples and their safe counterparts,
+//! standardizes them (`var#` tagging), extracts the common patterns with
+//! LCS, diffs vulnerable vs. safe patterns with the SequenceMatcher, and
+//! derives a detection regex — the process the 85-rule catalog was
+//! authored with.
+//!
+//! Run with: `cargo run --example rule_synthesis`
+
+use patchitpy::core::{standardize, synthesize};
+
+fn main() {
+    // Two implementations of the same insecure idea, as two different
+    // developers (or models) would write them.
+    let v1 = "token = str(random.randint(100000, 999999))\nsend_reset(user, token)\n";
+    let v2 = "reset_token = str(random.randint(0, 999999))\nemail_reset(account, reset_token)\n";
+    let s1 = "token = secrets.token_urlsafe(32)\nsend_reset(user, token)\n";
+    let s2 = "reset_token = secrets.token_urlsafe(32)\nemail_reset(account, reset_token)\n";
+
+    println!("== standardization (named entity tagging) ==");
+    for (label, src) in [("v1", v1), ("v2", v2), ("s1", s1), ("s2", s2)] {
+        println!("{label}: {}", standardize(src).text.replace('\n', " \\n "));
+    }
+
+    let syn = synthesize(v1, v2, s1, s2);
+    println!("\n== common vulnerable pattern (LCS_v12) ==");
+    println!("{}", syn.vulnerable_lcs.join(" "));
+    println!("\n== common safe pattern (LCS_s12) ==");
+    println!("{}", syn.safe_lcs.join(" "));
+    println!("\n== safe-side additions (the mitigation) ==");
+    for run in &syn.safe_additions {
+        println!("+ {}", run.join(" "));
+    }
+    println!("\n== derived detection regex (full pattern) ==");
+    println!("{}", syn.detection_regex);
+
+    // A deployable rule is scoped to one statement: take the pattern
+    // tokens up to the end of the `random.randint(...)` expression.
+    let end = {
+        let mut depth = 0usize;
+        let mut end = syn.vulnerable_lcs.len();
+        let mut seen_randint = false;
+        for (i, t) in syn.vulnerable_lcs.iter().enumerate() {
+            if t == "randint" {
+                seen_randint = true;
+            }
+            match t.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if seen_randint && depth == 0 {
+                        end = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        end
+    };
+    let statement_pattern =
+        patchitpy::core::pattern_to_regex(&syn.vulnerable_lcs[..end].to_vec());
+    println!("\n== statement-scoped rule ==");
+    println!("{statement_pattern}");
+
+    // The derived pattern generalizes: it matches a third variant that
+    // was never part of the synthesis inputs.
+    let re = patchitpy::rx::Regex::new(&statement_pattern).expect("derived regex compiles");
+    let third = standardize("otp = str(random.randint(1000, 9999))\nnotify(who, otp)\n");
+    assert!(re.is_match(&third.text));
+    println!("\nmatches an unseen third variant: {}", re.is_match(&third.text));
+}

@@ -1,0 +1,49 @@
+//! Scenario from the paper's intro: assess the output of three AI code
+//! generators at scale.
+//!
+//! Generates the 609-sample corpus (203 prompts × 3 simulated models),
+//! runs PatchitPy over every sample, and prints per-generator detection
+//! metrics against the ground-truth labels — a miniature of Table II.
+//!
+//! Run with: `cargo run --release --example scan_generated`
+
+use patchitpy::corpus::{generate_corpus, Model};
+use patchitpy::stats::Confusion;
+use patchitpy::Detector;
+
+fn main() {
+    let corpus = generate_corpus();
+    let detector = Detector::new();
+
+    println!(
+        "scanning {} samples with {} rules...\n",
+        corpus.samples.len(),
+        detector.rule_count()
+    );
+
+    let mut all = Confusion::new();
+    for model in Model::all() {
+        let mut c = Confusion::new();
+        let mut vulnerable = 0;
+        for s in corpus.by_model(model) {
+            c.record(detector.is_vulnerable(&s.code), s.vulnerable);
+            vulnerable += s.vulnerable as usize;
+        }
+        println!(
+            "{model:<9} {vulnerable:>3}/203 vulnerable | P {:.2}  R {:.2}  F1 {:.2}  Acc {:.2}",
+            c.precision(),
+            c.recall(),
+            c.f1(),
+            c.accuracy()
+        );
+        all.merge(c);
+    }
+    println!(
+        "\nAll models                    | P {:.2}  R {:.2}  F1 {:.2}  Acc {:.2}",
+        all.precision(),
+        all.recall(),
+        all.f1(),
+        all.accuracy()
+    );
+    println!("(paper Table II, PatchitPy row: P 0.97  R 0.88  F1 0.93  Acc 0.89)");
+}

@@ -1,0 +1,325 @@
+//! The PatchitPy command-line tool.
+//!
+//! The paper ships PatchitPy as a VS Code extension whose flow is:
+//! select code → detect → confirm → apply TextEdits + imports. This CLI
+//! is the same engine behind a terminal interface:
+//!
+//! ```text
+//! patchitpy scan  <file.py>...        # report findings
+//! patchitpy patch <file.py>...        # print the patched source
+//! patchitpy patch --in-place <file>   # rewrite the file
+//! patchitpy diff  <file.py>...        # show the patch as a unified diff
+//! patchitpy rules                     # list the 85-rule catalog
+//! ```
+
+use patchitpy::core::{all_rules, cwe_name};
+use patchitpy::diff::unified_diff_str;
+use patchitpy::{scan, Detector};
+use std::io::Read;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+PatchitPy — pattern-based vulnerability detection and patching for Python
+
+USAGE:
+    patchitpy scan  [--json] [FILES...] report findings (reads stdin if no files)
+    patchitpy patch [--in-place] FILES  patch and print (or rewrite) files
+    patchitpy diff  [FILES...]          show patches as unified diffs
+    patchitpy metrics [FILES...]        cyclomatic complexity + quality score
+    patchitpy rules                     list the detection rule catalog
+
+EXIT CODE:
+    0 — no vulnerabilities found
+    1 — vulnerabilities found
+    2 — usage or I/O error
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match cmd.as_str() {
+        "scan" => cmd_scan(rest),
+        "patch" => cmd_patch(rest),
+        "diff" => cmd_diff(rest),
+        "metrics" => cmd_metrics(rest),
+        "rules" => cmd_rules(rest),
+        "-h" | "--help" | "help" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command '{other}'\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Reads the inputs: named files, or stdin when none are given.
+fn read_inputs(files: &[String]) -> Result<Vec<(String, String)>, String> {
+    if files.is_empty() {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        return Ok(vec![("<stdin>".to_string(), buf)]);
+    }
+    files
+        .iter()
+        .map(|f| {
+            std::fs::read_to_string(f)
+                .map(|c| (f.clone(), c))
+                .map_err(|e| format!("{f}: {e}"))
+        })
+        .collect()
+}
+
+fn cmd_scan(args: &[String]) -> ExitCode {
+    let json = args.first().is_some_and(|a| a == "--json");
+    let files = if json { &args[1..] } else { args };
+    let inputs = match read_inputs(files) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let detector = Detector::new();
+    let mut any = false;
+    let mut json_files = Vec::new();
+    for (name, source) in &inputs {
+        let findings = detector.detect(source);
+        any |= !findings.is_empty();
+        if json {
+            json_files.push(json_file_entry(name, &findings));
+            continue;
+        }
+        if findings.is_empty() {
+            println!("{name}: clean");
+            continue;
+        }
+        println!("{name}: {} finding(s)", findings.len());
+        for f in &findings {
+            println!(
+                "  {}:{}  {}  CWE-{:03} {}{}",
+                name,
+                f.line,
+                f.rule_id,
+                f.cwe,
+                cwe_name(f.cwe),
+                if f.fixable { "" } else { "  (detection-only)" }
+            );
+        }
+    }
+    if json {
+        println!("{{\"files\":[{}]}}", json_files.join(","));
+    }
+    if any {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Minimal JSON encoder for scan results (no external JSON dependency).
+fn json_file_entry(name: &str, findings: &[patchitpy::Finding]) -> String {
+    let items: Vec<String> = findings
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"rule\":{},\"cwe\":{},\"line\":{},\"start\":{},\"end\":{},\"fixable\":{},\"description\":{}}}",
+                json_str(&f.rule_id),
+                f.cwe,
+                f.line,
+                f.start,
+                f.end,
+                f.fixable,
+                json_str(&f.description),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"file\":{},\"findings\":[{}]}}",
+        json_str(name),
+        items.join(",")
+    )
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn cmd_metrics(files: &[String]) -> ExitCode {
+    let inputs = match read_inputs(files) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for (name, source) in &inputs {
+        let cc = patchitpy::metrics::complexity(source);
+        let q = patchitpy::metrics::quality(source);
+        println!(
+            "{name}: complexity mean {:.2} (max {}), quality {:.2}/10, MI {:.1}/100, {} statement(s), sloc {}",
+            cc.mean(),
+            cc.max(),
+            q.score,
+            patchitpy::metrics::maintainability_index(source),
+            q.statement_count,
+            patchitpy::metrics::sloc(source),
+        );
+        for b in &cc.blocks {
+            println!("  CC {:>3}  {}", b.complexity, b.name);
+        }
+        for m in &q.messages {
+            println!("  lint {}:{} {}", m.id, m.line, m.text);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_patch(args: &[String]) -> ExitCode {
+    let in_place = args.first().is_some_and(|a| a == "--in-place");
+    let files = if in_place { &args[1..] } else { args };
+    if in_place && files.is_empty() {
+        eprintln!("error: --in-place requires file arguments");
+        return ExitCode::from(2);
+    }
+    let inputs = match read_inputs(files) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut any = false;
+    for (name, source) in &inputs {
+        let report = scan(source);
+        if report.is_vulnerable() {
+            any = true;
+        }
+        if in_place {
+            if report.patch.changed() {
+                if let Err(e) = std::fs::write(name, &report.patch.source) {
+                    eprintln!("error writing {name}: {e}");
+                    return ExitCode::from(2);
+                }
+                eprintln!(
+                    "{name}: {} patch(es) applied, {} import(s) added, {} finding(s) left unpatched",
+                    report.patch.applied.len(),
+                    report.patch.imports_added.len(),
+                    report.patch.skipped.len()
+                );
+            } else {
+                eprintln!("{name}: nothing to patch");
+            }
+        } else {
+            print!("{}", report.patch.source);
+        }
+    }
+    if any {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_diff(files: &[String]) -> ExitCode {
+    let inputs = match read_inputs(files) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut any = false;
+    for (name, source) in &inputs {
+        let report = scan(source);
+        if report.patch.changed() {
+            any = true;
+            print!(
+                "{}",
+                unified_diff_str(source, &report.patch.source, name, &format!("{name} (patched)"))
+            );
+        }
+    }
+    if any {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_rules(args: &[String]) -> ExitCode {
+    let rules = all_rules();
+    if let Some(query) = args.first() {
+        // Filter by rule id, CWE number, or OWASP code; fuzzy-suggest on
+        // no hit.
+        let q = query.to_uppercase();
+        let matched: Vec<_> = rules
+            .iter()
+            .filter(|r| {
+                r.id.contains(&q)
+                    || format!("CWE-{:03}", r.cwe).contains(&q)
+                    || r.cwe.to_string() == q.trim_start_matches("CWE-")
+                    || r.owasp.code() == q
+            })
+            .collect();
+        if matched.is_empty() {
+            let ids: Vec<&str> = rules.iter().map(|r| r.id).collect();
+            let close = patchitpy::diff::get_close_matches(&q, &ids, 3, 0.5);
+            eprintln!("no rule matches '{query}'");
+            if !close.is_empty() {
+                eprintln!("did you mean: {}", close.join(", "));
+            }
+            return ExitCode::from(2);
+        }
+        for r in matched {
+            println!("{}  CWE-{:03}  {}", r.id, r.cwe, r.owasp);
+            println!("  {}", r.description);
+            println!("  pattern:  {}", r.pattern);
+            match &r.fix {
+                None => println!("  fix:      (detection-only)"),
+                Some(_) => {
+                    println!("  fix:      automatic patch available");
+                    if !r.imports.is_empty() {
+                        println!("  imports:  {}", r.imports.join("; "));
+                    }
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    println!("{:<13}{:<9}{:<6}{:<7}DESCRIPTION", "RULE", "CWE", "OWASP", "FIX");
+    for r in &rules {
+        println!(
+            "{:<13}CWE-{:03}  {:<6}{:<7}{}",
+            r.id,
+            r.cwe,
+            r.owasp.code(),
+            if r.is_fixable() { "yes" } else { "no" },
+            r.description
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,91 @@
+//! # patchitpy — a Rust reproduction of PatchitPy (DSN 2025)
+//!
+//! PatchitPy (Altiero, Cotroneo, De Luca, Liguori — *Securing AI Code
+//! Generation Through Automated Pattern-Based Patching*, DSN 2025) is a
+//! lightweight pattern-matching tool that detects and patches security
+//! vulnerabilities in Python code, built for the incomplete snippets AI
+//! code generators produce. This workspace rebuilds the full system and
+//! its entire evaluation in Rust.
+//!
+//! This facade crate re-exports the public APIs of every layer:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`lex`] | `pylex` | error-tolerant Python lexer |
+//! | [`ast`] | `pyast` | lightweight Python parser + visitors |
+//! | [`rx`] | `rxlite` | bounded-backtracking regex engine |
+//! | [`diff`] | `seqdiff` | LCS + difflib-equivalent SequenceMatcher |
+//! | [`metrics`] | `pymetrics` | cyclomatic complexity + pylint-style quality |
+//! | [`stats`] | `vstats` | confusion metrics, summaries, Wilcoxon test |
+//! | [`corpus`] | `corpusgen` | simulated AI-generator corpus (609 samples) |
+//! | [`core`] | `patchit-core` | the detector, patcher, and 85-rule catalog |
+//! | [`compare`] | `baselines` | Bandit/Semgrep/CodeQL-like + LLM simulators |
+//! | [`eval`] | `evalharness` | regenerates every table and figure |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use patchitpy::scan;
+//!
+//! let report = scan("import os\nos.system(user_cmd)\napp.run(debug=True)\n");
+//! assert!(report.is_vulnerable());
+//! assert!(report.patch.source.contains("subprocess.run(shlex.split(user_cmd)"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Python lexer (`pylex`).
+pub mod lex {
+    pub use pylex::*;
+}
+
+/// Python parser and AST utilities (`pyast`).
+pub mod ast {
+    pub use pyast::*;
+}
+
+/// Regex engine (`rxlite`).
+pub mod rx {
+    pub use rxlite::*;
+}
+
+/// Sequence comparison (`seqdiff`).
+pub mod diff {
+    pub use seqdiff::*;
+}
+
+/// Code metrics (`pymetrics`).
+pub mod metrics {
+    pub use pymetrics::*;
+}
+
+/// Evaluation statistics (`vstats`).
+pub mod stats {
+    pub use vstats::*;
+}
+
+/// Corpus generation (`corpusgen`).
+pub mod corpus {
+    pub use corpusgen::*;
+}
+
+/// The PatchitPy core (`patchit-core`).
+pub mod core {
+    pub use patchit_core::*;
+}
+
+/// Baseline tools (`baselines`).
+pub mod compare {
+    pub use baselines::*;
+}
+
+/// Evaluation harness (`evalharness`).
+pub mod eval {
+    pub use evalharness::*;
+}
+
+// The headline API at the crate root.
+pub use patchit_core::{
+    all_rules, scan, Detector, Finding, PatchOutcome, Patcher, ScanReport, RULE_COUNT,
+};

@@ -1,0 +1,145 @@
+//! End-to-end tests of the `patchitpy` command-line binary.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_patchitpy"))
+}
+
+fn run_with_stdin(args: &[&str], stdin: &str) -> (String, String, i32) {
+    let mut child = bin()
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn scan_vulnerable_exits_one() {
+    let (stdout, _, code) = run_with_stdin(&["scan"], "import os\nos.system(c)\n");
+    assert_eq!(code, 1);
+    assert!(stdout.contains("PIP-A03-001"));
+    assert!(stdout.contains("CWE-078"));
+}
+
+#[test]
+fn scan_clean_exits_zero() {
+    let (stdout, _, code) = run_with_stdin(&["scan"], "x = 1\n");
+    assert_eq!(code, 0);
+    assert!(stdout.contains("clean"));
+}
+
+#[test]
+fn scan_json_is_parseable_shape() {
+    let (stdout, _, code) =
+        run_with_stdin(&["scan", "--json"], "x = eval(s)\n");
+    assert_eq!(code, 1);
+    assert!(stdout.starts_with("{\"files\":["));
+    assert!(stdout.contains("\"rule\":\"PIP-A03-005\""));
+    assert!(stdout.contains("\"cwe\":95"));
+    assert!(stdout.trim_end().ends_with("]}"));
+    // Balanced braces (cheap well-formedness check).
+    let opens = stdout.matches('{').count();
+    let closes = stdout.matches('}').count();
+    assert_eq!(opens, closes);
+}
+
+#[test]
+fn patch_stdin_prints_fixed_source() {
+    let (stdout, _, code) = run_with_stdin(&["patch"], "cfg = yaml.load(f)\n");
+    assert_eq!(code, 1);
+    assert_eq!(stdout, "cfg = yaml.safe_load(f)\n");
+}
+
+#[test]
+fn diff_shows_unified_patch() {
+    let (stdout, _, code) = run_with_stdin(&["diff"], "h = hashlib.md5(d)\n");
+    assert_eq!(code, 1);
+    assert!(stdout.contains("-h = hashlib.md5(d)"));
+    assert!(stdout.contains("+h = hashlib.sha256(d)"));
+}
+
+#[test]
+fn in_place_rewrites_file() {
+    let dir = std::env::temp_dir().join(format!("pip-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("app.py");
+    std::fs::write(&file, "app.run(debug=True)\n").unwrap();
+    let status = bin()
+        .args(["patch", "--in-place", file.to_str().unwrap()])
+        .status()
+        .expect("run");
+    assert_eq!(status.code(), Some(1));
+    let patched = std::fs::read_to_string(&file).unwrap();
+    assert!(patched.contains("debug=False"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rules_lists_all_85() {
+    let out = bin().arg("rules").output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let count = text.lines().filter(|l| l.starts_with("PIP-")).count();
+    assert_eq!(count, 85);
+}
+
+#[test]
+fn metrics_reports_complexity_and_lint() {
+    let (stdout, _, code) =
+        run_with_stdin(&["metrics"], "def f(x):\n    if x:\n        return 1\n    return 0\n");
+    assert_eq!(code, 0);
+    assert!(stdout.contains("CC   2  f"));
+    assert!(stdout.contains("quality"));
+}
+
+#[test]
+fn rules_query_by_id_and_fuzzy_suggestion() {
+    let out = bin().args(["rules", "PIP-A03-005"]).output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("eval on a dynamic expression"));
+    assert!(text.contains("pattern:"));
+
+    let miss = bin().args(["rules", "PIP-A3-005"]).output().expect("run");
+    assert_eq!(miss.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&miss.stderr);
+    assert!(err.contains("did you mean"), "{err}");
+    assert!(err.contains("PIP-A03-005"));
+}
+
+#[test]
+fn rules_query_by_owasp_category() {
+    let out = bin().args(["rules", "A10"]).output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Server-Side Request Forgery"));
+}
+
+#[test]
+fn unknown_command_exits_two() {
+    let out = bin().arg("frobnicate").output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().arg("--help").output().expect("run");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

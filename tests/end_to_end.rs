@@ -1,0 +1,166 @@
+//! Cross-crate integration tests: the full pipeline from corpus
+//! generation through detection, patching, and verification.
+
+use patchitpy::compare::{BanditLike, CodeqlLike, DetectionTool, SemgrepLike};
+use patchitpy::corpus::{generate_corpus, Model};
+use patchitpy::metrics::complexity;
+use patchitpy::stats::Confusion;
+use patchitpy::{scan, Detector, Patcher};
+
+#[test]
+fn corpus_detect_patch_rescan_loop() {
+    let corpus = generate_corpus();
+    let patcher = Patcher::new();
+    let mut patched_files = 0usize;
+    let mut clean_after = 0usize;
+    for s in corpus.samples.iter().filter(|s| s.vulnerable && s.covered) {
+        let out = patcher.patch(&s.code);
+        if out.changed() {
+            patched_files += 1;
+            if patcher.detector().detect(&out.source).is_empty() {
+                clean_after += 1;
+            }
+        }
+    }
+    assert!(patched_files > 250, "only {patched_files} files patched");
+    // The large majority of patched files are fully clean afterwards.
+    assert!(
+        clean_after * 100 / patched_files >= 85,
+        "{clean_after}/{patched_files} clean"
+    );
+}
+
+#[test]
+fn patching_never_breaks_the_lexer() {
+    let corpus = generate_corpus();
+    let patcher = Patcher::new();
+    for s in corpus.samples.iter().take(150) {
+        let out = patcher.patch(&s.code);
+        let errors = patchitpy::lex::tokenize(&out.source)
+            .iter()
+            .filter(|t| t.kind == patchitpy::lex::TokenKind::Error)
+            .count();
+        let before = patchitpy::lex::tokenize(&s.code)
+            .iter()
+            .filter(|t| t.kind == patchitpy::lex::TokenKind::Error)
+            .count();
+        assert!(
+            errors <= before,
+            "patching introduced lex errors in sample {}:\n{}",
+            s.prompt_id,
+            out.source
+        );
+    }
+}
+
+#[test]
+fn patchitpy_beats_each_sast_tool_on_recall() {
+    let corpus = generate_corpus();
+    let det = Detector::new();
+    let tools: Vec<Box<dyn DetectionTool>> = vec![
+        Box::new(BanditLike::new()),
+        Box::new(CodeqlLike::new()),
+        Box::new(SemgrepLike::new()),
+    ];
+    let mut pip = Confusion::new();
+    let mut others = vec![Confusion::new(); tools.len()];
+    for s in &corpus.samples {
+        pip.record(det.is_vulnerable(&s.code), s.vulnerable);
+        for (i, t) in tools.iter().enumerate() {
+            others[i].record(t.flags(&s.code), s.vulnerable);
+        }
+    }
+    for (i, t) in tools.iter().enumerate() {
+        assert!(
+            pip.recall() > others[i].recall(),
+            "{} recall {:.3} >= PatchitPy {:.3}",
+            t.name(),
+            others[i].recall(),
+            pip.recall()
+        );
+        assert!(
+            pip.f1() > others[i].f1(),
+            "{} F1 beats PatchitPy",
+            t.name()
+        );
+    }
+}
+
+#[test]
+fn truncated_samples_separate_pattern_matching_from_ast_tools() {
+    let corpus = generate_corpus();
+    let det = Detector::new();
+    let bandit = BanditLike::new();
+    let codeql = CodeqlLike::new();
+    let mut pattern_hits = 0usize;
+    let mut ast_hits = 0usize;
+    let mut n = 0usize;
+    for s in corpus.samples.iter().filter(|s| s.truncated && s.vulnerable && s.covered) {
+        n += 1;
+        pattern_hits += det.is_vulnerable(&s.code) as usize;
+        ast_hits += (bandit.flags(&s.code) || codeql.flags(&s.code)) as usize;
+    }
+    assert!(n > 0, "no truncated vulnerable samples in corpus");
+    assert_eq!(pattern_hits, n, "PatchitPy must handle incomplete snippets");
+    assert_eq!(ast_hits, 0, "AST tools must fail on incomplete snippets");
+}
+
+#[test]
+fn scan_api_round_trip_on_every_model_style() {
+    let corpus = generate_corpus();
+    for m in Model::all() {
+        let sample = corpus
+            .by_model(m)
+            .into_iter()
+            .find(|s| s.vulnerable && s.covered)
+            .expect("covered vulnerable sample");
+        let report = scan(&sample.code);
+        assert!(report.is_vulnerable(), "{m} sample undetected");
+        assert!(!report.cwes().is_empty());
+    }
+}
+
+#[test]
+fn patch_complexity_delta_is_minimal_per_file() {
+    let corpus = generate_corpus();
+    let patcher = Patcher::new();
+    let mut deltas = Vec::new();
+    for s in corpus.samples.iter().filter(|s| s.vulnerable).take(120) {
+        let out = patcher.patch(&s.code);
+        if out.changed() {
+            let before = complexity(&s.code).mean();
+            let after = complexity(&out.source).mean();
+            deltas.push((after - before).abs());
+        }
+    }
+    assert!(!deltas.is_empty());
+    let mean_delta: f64 = deltas.iter().sum::<f64>() / deltas.len() as f64;
+    assert!(
+        mean_delta < 0.15,
+        "PatchitPy patches should not move complexity: mean |Δ| = {mean_delta:.3}"
+    );
+}
+
+#[test]
+fn multi_cwe_sample_gets_multiple_fixes() {
+    // Paper Table I: one snippet, two OWASP categories, both patched.
+    let code = "\
+from flask import Flask, request
+
+app = Flask(__name__)
+
+@app.route('/greet')
+def greet():
+    name = request.args.get('name', '')
+    return f'<h1>Hello {name}</h1>'
+
+if __name__ == '__main__':
+    app.run(debug=True)
+";
+    let report = scan(code);
+    assert!(report.cwes().contains(&79));
+    assert!(report.cwes().contains(&209));
+    assert!(report.patch.source.contains("escape(name)"));
+    assert!(report.patch.source.contains("debug=False"));
+    assert!(report.patch.source.contains("from markupsafe import escape"));
+}

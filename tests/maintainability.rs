@@ -1,0 +1,62 @@
+//! §III-C maintainability claim, checked with the maintainability index:
+//! PatchitPy patches keep MI essentially unchanged; LLM-style patches
+//! (extra scaffolding) lower it.
+
+use patchitpy::compare::{LlmKind, LlmTool};
+use patchitpy::corpus::generate_corpus;
+use patchitpy::metrics::maintainability_index;
+use patchitpy::stats::rank_sum;
+use patchitpy::Patcher;
+
+#[test]
+fn patchitpy_preserves_maintainability_index() {
+    let corpus = generate_corpus();
+    let patcher = Patcher::new();
+    let mut before = Vec::new();
+    let mut after = Vec::new();
+    for s in corpus.samples.iter().filter(|s| s.vulnerable).take(200) {
+        let out = patcher.patch(&s.code);
+        if out.changed() {
+            before.push(maintainability_index(&s.code));
+            after.push(maintainability_index(&out.source));
+        }
+    }
+    assert!(before.len() > 100, "not enough patched samples");
+    let mean_delta: f64 = before
+        .iter()
+        .zip(&after)
+        .map(|(b, a)| a - b)
+        .sum::<f64>()
+        / before.len() as f64;
+    assert!(
+        mean_delta.abs() < 2.0,
+        "PatchitPy should barely move MI; mean Δ = {mean_delta:.2}"
+    );
+    let test = rank_sum(&before, &after);
+    assert!(
+        !test.significant(0.01),
+        "MI distribution shifted significantly: p = {}",
+        test.p_value
+    );
+}
+
+#[test]
+fn llm_scaffolding_lowers_maintainability() {
+    let corpus = generate_corpus();
+    let llm = LlmTool::new(LlmKind::Claude37Sonnet, 0x5EED_0077);
+    let mut before = Vec::new();
+    let mut after = Vec::new();
+    for s in corpus.samples.iter().filter(|s| s.vulnerable).take(150) {
+        if llm.detect(&s.code, true) {
+            before.push(maintainability_index(&s.code));
+            after.push(maintainability_index(&llm.patch(&s.code).code));
+        }
+    }
+    assert!(before.len() > 80);
+    let mean_before: f64 = before.iter().sum::<f64>() / before.len() as f64;
+    let mean_after: f64 = after.iter().sum::<f64>() / after.len() as f64;
+    assert!(
+        mean_after < mean_before - 1.0,
+        "LLM scaffolding should cost MI: {mean_before:.1} -> {mean_after:.1}"
+    );
+}

@@ -1,0 +1,223 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use patchitpy::diff::{lcs, lcs_len, lcs_similarity, SequenceMatcher};
+use patchitpy::lex::{tokenize, TokenKind};
+use patchitpy::rx::Regex;
+use patchitpy::stats::{describe, percentile, rank_sum};
+use patchitpy::{Detector, Patcher};
+use proptest::prelude::*;
+
+// ---- lexer ----------------------------------------------------------------
+
+proptest! {
+    /// Every non-marker token's span slices back to its own text.
+    #[test]
+    fn lexer_spans_roundtrip(src in "[ -~\n]{0,200}") {
+        for t in tokenize(&src) {
+            if t.kind.is_code() {
+                prop_assert_eq!(t.span.slice(&src), t.text.as_str());
+            }
+        }
+    }
+
+    /// INDENT and DEDENT always balance, whatever the input.
+    #[test]
+    fn lexer_indents_balance(src in "[a-z():= \n\t#'\"]{0,300}") {
+        let toks = tokenize(&src);
+        let i = toks.iter().filter(|t| t.kind == TokenKind::Indent).count();
+        let d = toks.iter().filter(|t| t.kind == TokenKind::Dedent).count();
+        prop_assert_eq!(i, d);
+        prop_assert_eq!(toks.last().unwrap().kind, TokenKind::EndMarker);
+    }
+
+    /// Code tokens never overlap and appear in source order.
+    #[test]
+    fn lexer_tokens_ordered(src in "[ -~\n]{0,200}") {
+        let toks = tokenize(&src);
+        let code: Vec<_> = toks.iter().filter(|t| t.kind.is_code()).collect();
+        for w in code.windows(2) {
+            prop_assert!(w[0].span.end <= w[1].span.start);
+        }
+    }
+}
+
+// ---- sequence comparison ---------------------------------------------------
+
+proptest! {
+    /// The LCS is a subsequence of both inputs and maximal w.r.t. length
+    /// symmetry.
+    #[test]
+    fn lcs_is_common_subsequence(
+        a in prop::collection::vec(0u8..5, 0..25),
+        b in prop::collection::vec(0u8..5, 0..25),
+    ) {
+        let l = lcs(&a, &b);
+        prop_assert!(is_subsequence(&l, &a));
+        prop_assert!(is_subsequence(&l, &b));
+        prop_assert_eq!(l.len(), lcs_len(&a, &b));
+        // Symmetry of length.
+        prop_assert_eq!(lcs_len(&a, &b), lcs_len(&b, &a));
+    }
+
+    /// Similarity is in [0,1], 1 for identical sequences.
+    #[test]
+    fn lcs_similarity_bounds(a in prop::collection::vec(0u8..5, 0..25)) {
+        prop_assert!((lcs_similarity(&a, &a) - 1.0).abs() < 1e-12);
+        let empty: Vec<u8> = vec![];
+        let s = lcs_similarity(&a, &empty);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    /// SequenceMatcher opcodes tile both sequences exactly, and applying
+    /// them to `a` reproduces `b`.
+    #[test]
+    fn opcodes_reconstruct_target(
+        a in prop::collection::vec(0u8..4, 0..20),
+        b in prop::collection::vec(0u8..4, 0..20),
+    ) {
+        let m = SequenceMatcher::new(&a, &b);
+        let ops = m.opcodes();
+        let mut rebuilt: Vec<u8> = Vec::new();
+        for op in &ops {
+            match op.tag {
+                patchitpy::diff::OpTag::Equal => rebuilt.extend(&a[op.i1..op.i2]),
+                patchitpy::diff::OpTag::Replace | patchitpy::diff::OpTag::Insert => {
+                    rebuilt.extend(&b[op.j1..op.j2])
+                }
+                patchitpy::diff::OpTag::Delete => {}
+            }
+        }
+        prop_assert_eq!(rebuilt, b);
+    }
+
+    /// ratio is symmetric-ish in magnitude and bounded.
+    #[test]
+    fn matcher_ratio_bounds(
+        a in prop::collection::vec(0u8..4, 0..20),
+        b in prop::collection::vec(0u8..4, 0..20),
+    ) {
+        let r = SequenceMatcher::new(&a, &b).ratio();
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+}
+
+// ---- regex engine -----------------------------------------------------------
+
+proptest! {
+    /// Literal patterns (regex-escaped) find themselves in any haystack
+    /// that contains them.
+    #[test]
+    fn regex_finds_escaped_literal(
+        needle in "[a-z]{1,8}",
+        prefix in "[A-Z0-9 ]{0,10}",
+        suffix in "[A-Z0-9 ]{0,10}",
+    ) {
+        let hay = format!("{prefix}{needle}{suffix}");
+        let re = Regex::new(&patchitpy::core::escape_regex(&needle)).unwrap();
+        let m = re.find(&hay).expect("literal must match");
+        prop_assert_eq!(m.as_str(), needle.as_str());
+    }
+
+    /// `find_iter` yields non-overlapping, ordered matches.
+    #[test]
+    fn regex_find_iter_ordered(hay in "[ab ]{0,40}") {
+        let re = Regex::new("a+").unwrap();
+        let ms = re.find_iter(&hay);
+        for w in ms.windows(2) {
+            prop_assert!(w[0].end() <= w[1].start());
+        }
+        for m in &ms {
+            prop_assert!(m.as_str().chars().all(|c| c == 'a'));
+        }
+    }
+
+    /// replace_all with a literal replacement removes every match.
+    #[test]
+    fn regex_replace_removes_matches(hay in "[xy.]{0,40}") {
+        let re = Regex::new(r"\.").unwrap();
+        let out = re.replace_all(&hay, "_");
+        prop_assert!(!out.contains('.'));
+        prop_assert_eq!(out.len(), hay.len());
+    }
+}
+
+// ---- statistics ---------------------------------------------------------------
+
+proptest! {
+    /// describe() is order-invariant and its quantiles are ordered.
+    #[test]
+    fn describe_invariants(mut v in prop::collection::vec(-1000.0f64..1000.0, 1..50)) {
+        let s1 = describe(&v);
+        v.reverse();
+        let s2 = describe(&v);
+        prop_assert_eq!(s1, s2);
+        prop_assert!(s1.min <= s1.q1 && s1.q1 <= s1.median);
+        prop_assert!(s1.median <= s1.q3 && s1.q3 <= s1.max);
+        prop_assert!(s1.min <= s1.mean && s1.mean <= s1.max);
+    }
+
+    /// Percentiles are monotone in p.
+    #[test]
+    fn percentile_monotone(v in prop::collection::vec(-100.0f64..100.0, 1..30)) {
+        let p25 = percentile(&v, 25.0);
+        let p50 = percentile(&v, 50.0);
+        let p75 = percentile(&v, 75.0);
+        prop_assert!(p25 <= p50 && p50 <= p75);
+    }
+
+    /// Rank-sum p-values are valid probabilities and symmetric.
+    #[test]
+    fn rank_sum_valid(
+        a in prop::collection::vec(-50.0f64..50.0, 1..30),
+        b in prop::collection::vec(-50.0f64..50.0, 1..30),
+    ) {
+        let r1 = rank_sum(&a, &b);
+        let r2 = rank_sum(&b, &a);
+        prop_assert!((0.0..=1.0).contains(&r1.p_value));
+        prop_assert!((r1.p_value - r2.p_value).abs() < 1e-9);
+    }
+}
+
+// ---- detector / patcher -----------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The detector never panics on arbitrary input and findings carry
+    /// valid spans.
+    #[test]
+    fn detector_total_on_arbitrary_text(src in "[ -~\n]{0,300}") {
+        let det = Detector::new();
+        for f in det.detect(&src) {
+            prop_assert!(f.start <= f.end);
+            prop_assert!(f.end <= src.len());
+            prop_assert_eq!(&src[f.start..f.end], f.matched.as_str());
+        }
+    }
+
+    /// Patching is idempotent: a second pass changes nothing.
+    #[test]
+    fn patcher_idempotent(src in "[a-z0-9_ ().,='\"\n]{0,200}") {
+        let p = Patcher::new();
+        let once = p.patch(&src);
+        let twice = p.patch(&once.source);
+        prop_assert_eq!(&once.source, &twice.source);
+    }
+
+    /// Bytes outside applied patch spans (and before import insertion)
+    /// are preserved.
+    #[test]
+    fn patcher_preserves_unmatched_lines(src in "[a-z =0-9\n]{0,200}") {
+        // Input alphabet contains no rule-triggering APIs, so the patch
+        // must be the identity.
+        let p = Patcher::new();
+        let out = p.patch(&src);
+        prop_assert!(out.applied.is_empty());
+        prop_assert_eq!(out.source, src);
+    }
+}
+
+fn is_subsequence<T: PartialEq>(sub: &[T], sup: &[T]) -> bool {
+    let mut it = sup.iter();
+    sub.iter().all(|x| it.any(|y| y == x))
+}
