@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, and the tier-1 test suite
+# (ROADMAP.md: `cargo build --release && cargo test -q`).
+#
+# Everything runs with --offline — all external dependencies resolve to
+# the in-tree stand-ins under vendor/, so no network or registry cache is
+# ever needed.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --offline --workspace --all-targets -q -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --offline --release -q
+
+echo "==> tier-1: cargo test -q"
+cargo test --offline -q
+
+echo "CI green."

@@ -1,0 +1,265 @@
+//! # analysis — the shared `SourceAnalysis` artifact
+//!
+//! Every analyzer layer in PatchitPy-rs needs the same derived views of a
+//! Python source: the token stream, the comment-blanked text, logical
+//! lines, and the (strict or tolerant) AST. Before this crate existed,
+//! each tool re-derived those facts per call — the detector lexed to
+//! blank comments, `bandit_like` and `codeql_like` each re-parsed, and
+//! the metrics crate lexed a third time. At evaluation scale (hundreds of
+//! samples × many tools) that redundancy dominates the runtime.
+//!
+//! [`SourceAnalysis`] is the fix: an immutable, thread-safe artifact
+//! built from one source string, computing each derived view lazily and
+//! **at most once**, whichever thread asks first. Tools accept
+//! `&SourceAnalysis` and read the views they need; the evaluation harness
+//! analyzes each corpus sample exactly once and fans the artifact out to
+//! every tool, across threads.
+//!
+//! Views that belong to higher layers (e.g. the standardized form from
+//! `patchit_core`, or a baseline's fact base) attach through the
+//! type-keyed [`SourceAnalysis::extension`] cache, so this crate stays at
+//! the bottom of the dependency graph.
+//!
+//! ```
+//! use analysis::SourceAnalysis;
+//!
+//! let a = SourceAnalysis::new("import os\nos.system(cmd)  # run\n");
+//! assert_eq!(a.source().len(), a.blanked().len());
+//! assert!(!a.blanked().contains("# run"));
+//! assert!(a.module().is_clean());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use pyast::{parse_module, parse_module_strict, Module, ParseError};
+use pylex::{logical_lines, tokenize, LogicalLine, Token, TokenKind};
+
+/// Immutable analyze-once/consume-many artifact for one Python source.
+///
+/// Construction is O(1): every derived view is computed on first access
+/// (and only once) behind a [`OnceLock`]. The artifact is `Sync`, so one
+/// instance can be shared by reference across scoped threads; concurrent
+/// first accesses race benignly (both compute, one result is kept).
+pub struct SourceAnalysis {
+    source: String,
+    tokens: OnceLock<Vec<Token>>,
+    blanked: OnceLock<String>,
+    logical: OnceLock<Vec<LogicalLine>>,
+    tolerant: OnceLock<Module>,
+    strict: OnceLock<Result<Module, ParseError>>,
+    extensions: RwLock<HashMap<TypeId, Arc<dyn Any + Send + Sync>>>,
+}
+
+impl std::fmt::Debug for SourceAnalysis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SourceAnalysis")
+            .field("source_len", &self.source.len())
+            .field("tokens", &self.tokens.get().map(Vec::len))
+            .field("blanked", &self.blanked.get().is_some())
+            .field("logical", &self.logical.get().map(Vec::len))
+            .field("tolerant", &self.tolerant.get().is_some())
+            .field("strict", &self.strict.get().is_some())
+            .finish()
+    }
+}
+
+impl SourceAnalysis {
+    /// Wraps a source string; no analysis happens until a view is read.
+    pub fn new(source: impl Into<String>) -> Self {
+        SourceAnalysis {
+            source: source.into(),
+            tokens: OnceLock::new(),
+            blanked: OnceLock::new(),
+            logical: OnceLock::new(),
+            tolerant: OnceLock::new(),
+            strict: OnceLock::new(),
+            extensions: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The original source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The full `pylex` token stream (computed once).
+    pub fn tokens(&self) -> &[Token] {
+        self.tokens.get_or_init(|| tokenize(&self.source))
+    }
+
+    /// The source with every comment byte replaced by a space — same
+    /// length, same line structure, identical offsets for all non-comment
+    /// bytes. Pattern rules match against this view so commented-out code
+    /// cannot fire.
+    pub fn blanked(&self) -> &str {
+        self.blanked.get_or_init(|| {
+            let mut out = self.source.as_bytes().to_vec();
+            for tok in self.tokens() {
+                if tok.kind == TokenKind::Comment {
+                    for b in &mut out[tok.span.start..tok.span.end] {
+                        if *b != b'\n' {
+                            *b = b' ';
+                        }
+                    }
+                }
+            }
+            String::from_utf8(out)
+                .expect("blanking preserves UTF-8: only ASCII bytes are overwritten")
+        })
+    }
+
+    /// Logical lines (continuation-joined), as `pylex::logical_lines`.
+    pub fn logical_lines(&self) -> &[LogicalLine] {
+        self.logical.get_or_init(|| logical_lines(&self.source))
+    }
+
+    /// The error-tolerant AST (never fails; broken lines become `Error`
+    /// statements).
+    pub fn module(&self) -> &Module {
+        self.tolerant.get_or_init(|| parse_module(&self.source))
+    }
+
+    /// The strict parse: `Ok` only when the whole file is syntactically
+    /// valid, mirroring how real AST-based tools reject incomplete
+    /// snippets.
+    pub fn strict_module(&self) -> Result<&Module, &ParseError> {
+        self.strict.get_or_init(|| parse_module_strict(&self.source)).as_ref()
+    }
+
+    /// Whether any view has been computed yet (used by tests asserting
+    /// laziness).
+    pub fn is_unevaluated(&self) -> bool {
+        self.tokens.get().is_none()
+            && self.blanked.get().is_none()
+            && self.logical.get().is_none()
+            && self.tolerant.get().is_none()
+            && self.strict.get().is_none()
+            && self.extensions.read().map(|m| m.is_empty()).unwrap_or(false)
+    }
+
+    /// Type-keyed cache for derived views owned by higher layers (e.g. a
+    /// standardized form, a baseline's fact base). The first caller's
+    /// `build` runs; later callers of the same `T` get the cached value.
+    /// `build` receives the artifact so it can read other views.
+    pub fn extension<T, F>(&self, build: F) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce(&SourceAnalysis) -> T,
+    {
+        let key = TypeId::of::<T>();
+        if let Some(hit) = self.extensions.read().expect("extension lock").get(&key) {
+            return Arc::clone(hit).downcast::<T>().expect("extension type key");
+        }
+        let value = Arc::new(build(self));
+        let mut map = self.extensions.write().expect("extension lock");
+        // Another thread may have built concurrently; first write wins so
+        // all readers observe one value.
+        let entry = map.entry(key).or_insert_with(|| value.clone());
+        Arc::clone(entry).downcast::<T>().expect("extension type key")
+    }
+}
+
+impl From<&str> for SourceAnalysis {
+    fn from(source: &str) -> Self {
+        SourceAnalysis::new(source)
+    }
+}
+
+impl From<String> for SourceAnalysis {
+    fn from(source: String) -> Self {
+        SourceAnalysis::new(source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "import os  # setup\nos.system(cmd)\nx = 1\n";
+
+    #[test]
+    fn construction_is_lazy() {
+        let a = SourceAnalysis::new(SRC);
+        assert!(a.is_unevaluated());
+        let _ = a.tokens();
+        assert!(!a.is_unevaluated());
+    }
+
+    #[test]
+    fn blanked_matches_reference_blanking() {
+        let a = SourceAnalysis::new(SRC);
+        assert_eq!(a.blanked().len(), SRC.len());
+        assert!(!a.blanked().contains("# setup"));
+        assert!(a.blanked().contains("os.system(cmd)"));
+        // Line structure preserved.
+        assert_eq!(
+            a.blanked().match_indices('\n').collect::<Vec<_>>(),
+            SRC.match_indices('\n').collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn views_are_computed_once_and_shared() {
+        let a = SourceAnalysis::new(SRC);
+        let t1 = a.tokens().as_ptr();
+        let t2 = a.tokens().as_ptr();
+        assert_eq!(t1, t2);
+        let m1 = a.module() as *const Module;
+        let m2 = a.module() as *const Module;
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn strict_and_tolerant_modes() {
+        let ok = SourceAnalysis::new("x = 1\n");
+        assert!(ok.strict_module().is_ok());
+        assert!(ok.module().is_clean());
+
+        let broken = SourceAnalysis::new("def f(:\n");
+        assert!(broken.strict_module().is_err());
+        assert!(broken.module().error_count > 0);
+    }
+
+    #[test]
+    fn extension_cache_builds_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct WordCount(usize);
+        static BUILDS: AtomicUsize = AtomicUsize::new(0);
+
+        let a = SourceAnalysis::new(SRC);
+        let build = |a: &SourceAnalysis| {
+            BUILDS.fetch_add(1, Ordering::SeqCst);
+            WordCount(a.source().split_whitespace().count())
+        };
+        let w1 = a.extension(build);
+        let w2 = a.extension(build);
+        assert_eq!(w1.0, w2.0);
+        assert_eq!(BUILDS.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn artifact_is_shareable_across_threads() {
+        let a = SourceAnalysis::new(SRC);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let a = &a;
+                    s.spawn(move || (a.tokens().len(), a.blanked().len(), a.module().body.len()))
+                })
+                .collect();
+            let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            assert!(results.windows(2).all(|w| w[0] == w[1]));
+        });
+    }
+
+    #[test]
+    fn logical_lines_view() {
+        let a = SourceAnalysis::new("x = (1 +\n     2)\ny = 3\n");
+        assert_eq!(a.logical_lines().len(), 2);
+    }
+}

@@ -13,7 +13,8 @@
 //!   modified.
 
 use crate::tool::{DetectionTool, ToolFinding};
-use pyast::{collect_calls, collect_imports, parse_module_strict, ExprKind, Keyword};
+use analysis::SourceAnalysis;
+use pyast::{collect_calls, collect_imports, ExprKind, Keyword, Module};
 
 /// The Bandit-like analyzer.
 #[derive(Debug, Default, Clone, Copy)]
@@ -104,12 +105,7 @@ const CALL_PLUGINS: &[CallPlugin] = &[
     CallPlugin {
         id: "B311",
         cwe: 330,
-        callees: &[
-            "random.random",
-            "random.randint",
-            "random.randrange",
-            "random.choice",
-        ],
+        callees: &["random.random", "random.randint", "random.randrange", "random.choice"],
         kwarg: None,
         message: "standard pseudo-random generators are not suitable for security purposes",
         suggestion: Some("use the secrets module"),
@@ -132,12 +128,7 @@ const CALL_PLUGINS: &[CallPlugin] = &[
     CallPlugin {
         id: "B501",
         cwe: 295,
-        callees: &[
-            "requests.get",
-            "requests.post",
-            "requests.put",
-            "requests.delete",
-        ],
+        callees: &["requests.get", "requests.post", "requests.put", "requests.delete"],
         kwarg: Some(("verify", "False")),
         message: "requests call with verify=False disabling SSL certificate checks",
         suggestion: Some("set verify=True"),
@@ -172,14 +163,16 @@ impl DetectionTool for BanditLike {
         "Bandit"
     }
 
-    fn scan(&self, source: &str) -> Vec<ToolFinding> {
+    fn scan_analysis(&self, a: &SourceAnalysis) -> Vec<ToolFinding> {
         // Strict parse: any syntax error aborts the scan (Bandit reports
-        // "syntax error while parsing AST" and produces no findings).
-        let Ok(module) = parse_module_strict(source) else {
+        // "syntax error while parsing AST" and produces no findings). The
+        // strict module comes from the shared artifact, so however many
+        // tools scan this sample, the file is parsed once.
+        let Ok(module) = a.strict_module() else {
             return Vec::new();
         };
         let mut out = Vec::new();
-        for call in collect_calls(&module) {
+        for call in collect_calls(module) {
             let ExprKind::Call { keywords, .. } = &call.expr.kind else {
                 continue;
             };
@@ -203,7 +196,7 @@ impl DetectionTool for BanditLike {
             }
         }
         // B401-style import checks.
-        for imp in collect_imports(&module) {
+        for imp in collect_imports(module) {
             if imp.module == "telnetlib" {
                 out.push(ToolFinding {
                     check_id: "B401".into(),
@@ -224,7 +217,7 @@ impl DetectionTool for BanditLike {
             }
         }
         // B105 hardcoded password strings (assignment to *password* names).
-        for line_no in hardcoded_password_lines(source) {
+        for line_no in hardcoded_password_lines(module) {
             out.push(ToolFinding {
                 check_id: "B105".into(),
                 cwe: 259,
@@ -240,10 +233,7 @@ impl DetectionTool for BanditLike {
 
 /// Bandit's B105 works on AST string assignments; we approximate with the
 /// parsed assignments of the module so the strict-parse property holds.
-fn hardcoded_password_lines(source: &str) -> Vec<u32> {
-    let Ok(module) = parse_module_strict(source) else {
-        return Vec::new();
-    };
+fn hardcoded_password_lines(module: &Module) -> Vec<u32> {
     struct V {
         lines: Vec<u32>,
     }
@@ -267,7 +257,7 @@ fn hardcoded_password_lines(source: &str) -> Vec<u32> {
         }
     }
     let mut v = V { lines: Vec::new() };
-    pyast::walk_module(&mut v, &module);
+    pyast::walk_module(&mut v, module);
     v.lines
 }
 

@@ -16,10 +16,12 @@
 //! - **no patching**: the API exposes findings only.
 
 use crate::tool::{DetectionTool, ToolFinding};
+use analysis::SourceAnalysis;
 use pyast::{
-    parse_module_strict, walk_expr, walk_module, walk_stmt, Expr, ExprKind, Module,
-    Stmt, StmtKind, Visitor,
+    parse_module_strict, walk_expr, walk_module, walk_stmt, Expr, ExprKind, Module, Stmt, StmtKind,
+    Visitor,
 };
+use std::sync::Arc;
 
 /// Coarse classification of an expression as a data source.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -163,6 +165,13 @@ impl FactBase {
         Ok(Self::from_module(&module))
     }
 
+    /// Facts for a shared artifact, built at most once and cached on it
+    /// via the extension mechanism (`None` when the strict parse fails —
+    /// the database build aborts, exactly as `extract` does).
+    pub fn shared(a: &SourceAnalysis) -> Arc<Option<FactBase>> {
+        a.extension(|a| a.strict_module().ok().map(Self::from_module))
+    }
+
     /// Extracts facts from an already-parsed module.
     pub fn from_module(module: &Module) -> FactBase {
         struct V {
@@ -242,10 +251,7 @@ impl FactBase {
     }
 
     fn kwarg<'c>(&self, call: &'c CallFact, name: &str) -> Option<&'c str> {
-        call.kwargs
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v.as_str())
+        call.kwargs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
     }
 }
 
@@ -287,11 +293,14 @@ impl CodeqlLike {
             if (c.name == "os.system" || c.name == "os.popen")
                 && c.args.first().is_some_and(tainted)
             {
-                emit("py/command-line-injection", 78, c.line, "shell command built from dynamic data");
+                emit(
+                    "py/command-line-injection",
+                    78,
+                    c.line,
+                    "shell command built from dynamic data",
+                );
             }
-            if c.name.starts_with("subprocess.")
-                && db.kwarg(c, "shell") == Some("True")
-            {
+            if c.name.starts_with("subprocess.") && db.kwarg(c, "shell") == Some("True") {
                 emit("py/shell-command-constructed", 78, c.line, "subprocess with shell=True");
             }
             // py/sql-injection.
@@ -309,37 +318,40 @@ impl CodeqlLike {
                 emit("py/sql-injection", 89, c.line, "SQL query built from string interpolation");
             }
             // py/code-injection.
-            if (c.name == "eval" || c.name == "exec") && c.args.first().is_some_and(tainted)
-            {
+            if (c.name == "eval" || c.name == "exec") && c.args.first().is_some_and(tainted) {
                 emit("py/code-injection", 95, c.line, "dynamic code evaluation");
             }
             // py/unsafe-deserialization.
             if c.name == "pickle.loads" || c.name == "pickle.load" {
                 emit("py/unsafe-deserialization", 502, c.line, "unsafe pickle deserialization");
             }
-            if c.name == "yaml.load"
-                && !c.kwargs.iter().any(|(_, v)| v.contains("SafeLoader"))
-            {
+            if c.name == "yaml.load" && !c.kwargs.iter().any(|(_, v)| v.contains("SafeLoader")) {
                 emit("py/unsafe-deserialization", 502, c.line, "unsafe yaml.load");
             }
             // py/weak-cryptographic-algorithm.
-            if c.name == "hashlib.md5" || c.name == "hashlib.sha1" || c.name == "DES.new"
-            {
-                emit("py/weak-cryptographic-algorithm", 327, c.line, "broken or weak cryptographic algorithm");
+            if c.name == "hashlib.md5" || c.name == "hashlib.sha1" || c.name == "DES.new" {
+                emit(
+                    "py/weak-cryptographic-algorithm",
+                    327,
+                    c.line,
+                    "broken or weak cryptographic algorithm",
+                );
             }
             // py/flask-debug.
             if c.name.ends_with(".run") && db.kwarg(c, "debug") == Some("True") {
                 emit("py/flask-debug", 209, c.line, "Flask application run in debug mode");
             }
             // py/request-without-cert-validation.
-            if c.name.starts_with("requests.") && db.kwarg(c, "verify") == Some("False")
-            {
-                emit("py/request-without-cert-validation", 295, c.line, "certificate validation disabled");
+            if c.name.starts_with("requests.") && db.kwarg(c, "verify") == Some("False") {
+                emit(
+                    "py/request-without-cert-validation",
+                    295,
+                    c.line,
+                    "certificate validation disabled",
+                );
             }
             // py/full-ssrf.
-            if c.name.starts_with("requests.")
-                && c.args.first() == Some(&ValueKind::RequestData)
-            {
+            if c.name.starts_with("requests.") && c.args.first() == Some(&ValueKind::RequestData) {
                 emit("py/full-ssrf", 918, c.line, "request URL from remote user input");
             }
             // py/url-redirection.
@@ -366,13 +378,18 @@ impl CodeqlLike {
             if c.name.ends_with(".run")
                 && db.kwarg(c, "host").is_some_and(|h| h.contains("0.0.0.0"))
             {
-                emit("py/bind-socket-all-network-interfaces", 605, c.line, "binding to all interfaces");
+                emit(
+                    "py/bind-socket-all-network-interfaces",
+                    605,
+                    c.line,
+                    "binding to all interfaces",
+                );
             }
             // py/clear-text-logging-sensitive-data.
             if c.name.starts_with("logging.")
                 && c.kwargs.is_empty()
                 && c.args.len() >= 2
-                && c.args.iter().any(|k| *k == ValueKind::Dynamic)
+                && c.args.contains(&ValueKind::Dynamic)
             {
                 // Joined with assigns below for password-named data.
             }
@@ -412,10 +429,10 @@ impl DetectionTool for CodeqlLike {
         "CodeQL"
     }
 
-    fn scan(&self, source: &str) -> Vec<ToolFinding> {
-        match FactBase::extract(source) {
-            Ok(db) => Self::run_queries(&db),
-            Err(_) => Vec::new(), // database build failed: no findings
+    fn scan_analysis(&self, a: &SourceAnalysis) -> Vec<ToolFinding> {
+        match FactBase::shared(a).as_ref() {
+            Some(db) => Self::run_queries(db),
+            None => Vec::new(), // database build failed: no findings
         }
     }
 }

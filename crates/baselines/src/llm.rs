@@ -15,6 +15,7 @@
 //! actual patched code, not asserted.
 
 use crate::tool::{DetectionTool, ToolFinding};
+use analysis::SourceAnalysis;
 use patchit_core::Patcher;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -141,6 +142,12 @@ impl LlmTool {
         }
     }
 
+    /// [`LlmTool::detect`] over a shared artifact: the verdict draw keys
+    /// on the sample text, so it is identical to the `&str` path.
+    pub fn detect_analysis(&self, a: &SourceAnalysis, actual: bool) -> bool {
+        self.detect(a.source(), actual)
+    }
+
     /// Simulated "patch the code" response for a flagged sample.
     ///
     /// On a success draw the remediation is real (PatchitPy's own fix
@@ -151,10 +158,18 @@ impl LlmTool {
     /// comments, and the same scaffolding), which the expert re-scan
     /// rejects.
     pub fn patch(&self, code: &str) -> LlmPatch {
-        let success =
-            draw(self.kind, self.seed, code, "patch") < self.kind.patch_success_rate();
+        self.patch_analysis(&SourceAnalysis::new(code))
+    }
+
+    /// [`LlmTool::patch`] over a shared artifact; the remediation path
+    /// reuses the artifact's views instead of re-analyzing the sample.
+    /// (The post-patch re-scan necessarily analyzes the *rewritten* text,
+    /// which no shared artifact can cover.)
+    pub fn patch_analysis(&self, a: &SourceAnalysis) -> LlmPatch {
+        let code = a.source();
+        let success = draw(self.kind, self.seed, code, "patch") < self.kind.patch_success_rate();
         let base = if success {
-            let out = self.patcher.patch(code);
+            let out = self.patcher.patch_analysis(a);
             // A patch attempt that changes nothing (e.g. detection-only
             // weakness) counts as failed for the LLM too unless the scan
             // comes back clean.
@@ -205,9 +220,9 @@ impl DetectionTool for LlmTool {
     /// Without ground truth the trait-level scan falls back to treating
     /// any PatchitPy-visible weakness as "actual"; evaluation harnesses
     /// use [`LlmTool::detect`] with the oracle label instead.
-    fn scan(&self, source: &str) -> Vec<ToolFinding> {
-        let actual = self.patcher.detector().is_vulnerable(source);
-        if self.detect(source, actual) {
+    fn scan_analysis(&self, a: &SourceAnalysis) -> Vec<ToolFinding> {
+        let actual = self.patcher.detector().is_vulnerable_analysis(a);
+        if self.detect_analysis(a, actual) {
             vec![ToolFinding {
                 check_id: "llm/zsro-verdict".into(),
                 cwe: 0,
@@ -241,10 +256,7 @@ mod tests {
         let b = LlmTool::new(LlmKind::Gemini20Flash, 2);
         let codes: Vec<String> =
             (0..200).map(|i| format!("value_{i} = eval(data_{i})\n")).collect();
-        let diff = codes
-            .iter()
-            .filter(|c| a.detect(c, true) != b.detect(c, true))
-            .count();
+        let diff = codes.iter().filter(|c| a.detect(c, true) != b.detect(c, true)).count();
         assert!(diff > 0);
     }
 

@@ -9,6 +9,7 @@
 //! line — which is why it contributes zero applied patches in Table III.
 
 use crate::tool::{DetectionTool, ToolFinding};
+use analysis::SourceAnalysis;
 use rxlite::Regex;
 
 struct SgRule {
@@ -138,9 +139,7 @@ impl SemgrepLike {
         let compiled = RULES
             .iter()
             .enumerate()
-            .map(|(i, r)| {
-                (i, Regex::new(r.pattern).unwrap_or_else(|e| panic!("{}: {e}", r.id)))
-            })
+            .map(|(i, r)| (i, Regex::new(r.pattern).unwrap_or_else(|e| panic!("{}: {e}", r.id))))
             .collect();
         SemgrepLike { compiled }
     }
@@ -150,7 +149,13 @@ impl SemgrepLike {
     /// rulesets come to patching — the code itself is untouched, so the
     /// Table III "applied patches" count for Semgrep is zero.
     pub fn annotate(&self, source: &str) -> String {
-        let findings = self.scan(source);
+        self.annotate_analysis(&SourceAnalysis::new(source))
+    }
+
+    /// [`SemgrepLike::annotate`] over a shared artifact.
+    pub fn annotate_analysis(&self, a: &SourceAnalysis) -> String {
+        let source = a.source();
+        let findings = self.scan_analysis(a);
         if findings.is_empty() {
             return source.to_string();
         }
@@ -161,8 +166,7 @@ impl SemgrepLike {
             for f in &findings {
                 if f.line as usize == i + 1 {
                     if let Some(s) = &f.suggestion {
-                        let indent: String =
-                            line.chars().take_while(|c| *c == ' ').collect();
+                        let indent: String = line.chars().take_while(|c| *c == ' ').collect();
                         out.push_str(&format!("{indent}# semgrep: {} — {s}\n", f.check_id));
                     }
                 }
@@ -197,12 +201,15 @@ impl DetectionTool for SemgrepLike {
         "Semgrep"
     }
 
-    fn scan(&self, source: &str) -> Vec<ToolFinding> {
-        let scan_text = patchit_core::blank_comments(source);
+    fn scan_analysis(&self, a: &SourceAnalysis) -> Vec<ToolFinding> {
+        // The comment-blanked view comes from the shared artifact: when
+        // PatchitPy and this baseline scan the same sample, the source is
+        // lexed and blanked once, not twice.
+        let scan_text = a.blanked();
         let mut out = Vec::new();
         for (idx, re) in &self.compiled {
             let rule = &RULES[*idx];
-            for m in re.find_iter(&scan_text) {
+            for m in re.find_iter(scan_text) {
                 let line = scan_text[..m.start()].matches('\n').count() as u32 + 1;
                 out.push(ToolFinding {
                     check_id: rule.id.to_string(),

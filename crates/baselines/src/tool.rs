@@ -1,5 +1,7 @@
 //! Common interface implemented by every baseline tool.
 
+use analysis::SourceAnalysis;
+
 /// What a tool reports for one file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ToolFinding {
@@ -19,16 +21,31 @@ pub struct ToolFinding {
 }
 
 /// A vulnerability-detection tool under comparison.
+///
+/// The required entry point takes a shared [`SourceAnalysis`], so an
+/// evaluation harness can analyze each sample once and fan the artifact
+/// out to every tool; the `&str` methods are provided wrappers that build
+/// a throwaway artifact for one-off calls.
 pub trait DetectionTool {
     /// Tool name as it appears in Table II.
     fn name(&self) -> &'static str;
 
-    /// Scans one file.
-    fn scan(&self, source: &str) -> Vec<ToolFinding>;
+    /// Scans one file via a shared analysis artifact.
+    fn scan_analysis(&self, a: &SourceAnalysis) -> Vec<ToolFinding>;
+
+    /// Scans one file (convenience wrapper: builds a private artifact).
+    fn scan(&self, source: &str) -> Vec<ToolFinding> {
+        self.scan_analysis(&SourceAnalysis::new(source))
+    }
 
     /// Binary verdict used for the confusion matrix.
+    fn flags_analysis(&self, a: &SourceAnalysis) -> bool {
+        !self.scan_analysis(a).is_empty()
+    }
+
+    /// Binary verdict (convenience wrapper: builds a private artifact).
     fn flags(&self, source: &str) -> bool {
-        !self.scan(source).is_empty()
+        self.flags_analysis(&SourceAnalysis::new(source))
     }
 }
 
@@ -41,7 +58,7 @@ mod tests {
         fn name(&self) -> &'static str {
             "always"
         }
-        fn scan(&self, _source: &str) -> Vec<ToolFinding> {
+        fn scan_analysis(&self, _a: &SourceAnalysis) -> Vec<ToolFinding> {
             vec![ToolFinding {
                 check_id: "X".into(),
                 cwe: 0,
@@ -55,5 +72,7 @@ mod tests {
     #[test]
     fn flags_follows_scan() {
         assert!(Always.flags("anything"));
+        assert!(Always.flags_analysis(&SourceAnalysis::new("anything")));
+        assert_eq!(Always.scan("x").len(), 1);
     }
 }

@@ -29,13 +29,9 @@ fn bench_parser(c: &mut Criterion) {
 fn bench_regex(c: &mut Criterion) {
     let re = rxlite::Regex::new(r"(subprocess\.(?:call|run|Popen)\([^)]*?)shell\s*=\s*True")
         .expect("compiles");
-    c.bench_function("rxlite/find_miss", |b| {
-        b.iter(|| re.find(black_box(FLASK_SAMPLE)))
-    });
+    c.bench_function("rxlite/find_miss", |b| b.iter(|| re.find(black_box(FLASK_SAMPLE))));
     let hit = "x = subprocess.run(cmd, shell=True)\n".repeat(8);
-    c.bench_function("rxlite/find_iter_hits", |b| {
-        b.iter(|| re.find_iter(black_box(&hit)))
-    });
+    c.bench_function("rxlite/find_iter_hits", |b| b.iter(|| re.find_iter(black_box(&hit))));
     c.bench_function("rxlite/compile_rule_pattern", |b| {
         b.iter(|| {
             rxlite::Regex::new(black_box(
@@ -84,6 +80,33 @@ fn bench_standardize(c: &mut Criterion) {
     });
 }
 
+/// The analyze-once payoff: fanning one sample out to the detector, the
+/// Bandit-like baseline, and the complexity metric — re-analyzing from
+/// the raw string each time vs sharing one `SourceAnalysis` artifact.
+fn bench_fanout(c: &mut Criterion) {
+    use baselines::{BanditLike, DetectionTool};
+    use patchit_core::{Detector, SourceAnalysis};
+
+    let detector = Detector::new();
+    let bandit = BanditLike::new();
+    c.bench_function("fanout/string_per_tool", |b| {
+        b.iter(|| {
+            let src = black_box(FLASK_SAMPLE);
+            (detector.detect(src), bandit.scan(src), pymetrics::complexity(src))
+        })
+    });
+    c.bench_function("fanout/shared_source_analysis", |b| {
+        b.iter(|| {
+            let a = SourceAnalysis::new(black_box(FLASK_SAMPLE));
+            (
+                detector.detect_analysis(&a),
+                bandit.scan_analysis(&a),
+                pymetrics::complexity_analysis(&a),
+            )
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_lexer,
@@ -91,6 +114,7 @@ criterion_group!(
     bench_regex,
     bench_diff,
     bench_metrics,
-    bench_standardize
+    bench_standardize,
+    bench_fanout
 );
 criterion_main!(benches);

@@ -54,20 +54,19 @@ if __name__ == "__main__":
 fn bench_table1(c: &mut Criterion) {
     // Regenerate the Table I artifacts once.
     let syn = patchit_core::synthesize(V1, V2, S1, S2);
-    println!("\nTABLE I pattern sizes: LCS_v = {} tokens, LCS_s = {} tokens, {} addition runs",
-        syn.vulnerable_lcs.len(), syn.safe_lcs.len(), syn.safe_additions.len());
+    println!(
+        "\nTABLE I pattern sizes: LCS_v = {} tokens, LCS_s = {} tokens, {} addition runs",
+        syn.vulnerable_lcs.len(),
+        syn.safe_lcs.len(),
+        syn.safe_additions.len()
+    );
 
     c.bench_function("table1/standardize_one_sample", |b| {
         b.iter(|| patchit_core::standardize(black_box(V1)))
     });
     c.bench_function("table1/synthesize_full_pipeline", |b| {
         b.iter(|| {
-            patchit_core::synthesize(
-                black_box(V1),
-                black_box(V2),
-                black_box(S1),
-                black_box(S2),
-            )
+            patchit_core::synthesize(black_box(V1), black_box(V2), black_box(S1), black_box(S2))
         })
     });
 }

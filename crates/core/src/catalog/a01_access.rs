@@ -14,9 +14,7 @@ pub(crate) fn rules() -> Vec<Rule> {
             description: "file opened from raw request parameter (path traversal)",
             pattern: r"open\(\s*request\.(args|form|values)\.get\(([^)]*)\)",
             suppress_if: Some(r"basename|secure_filename"),
-            fix: Some(Fix::Template {
-                replacement: "open(os.path.basename(request.$1.get($2))",
-            }),
+            fix: Some(Fix::Template { replacement: "open(os.path.basename(request.$1.get($2))" }),
             imports: &["import os"],
         },
         Rule {
@@ -26,9 +24,7 @@ pub(crate) fn rules() -> Vec<Rule> {
             description: "os.path.join with user-controlled filename (path traversal)",
             pattern: r"open\(\s*os\.path\.join\(([^,]+),\s*(filename|fname|file_name|user_path|path|name)\s*\)",
             suppress_if: Some(r"basename|secure_filename"),
-            fix: Some(Fix::Template {
-                replacement: "open(os.path.join($1, os.path.basename($2))",
-            }),
+            fix: Some(Fix::Template { replacement: "open(os.path.join($1, os.path.basename($2))" }),
             imports: &["import os"],
         },
         Rule {
@@ -72,9 +68,7 @@ pub(crate) fn rules() -> Vec<Rule> {
             description: "uploaded file saved directly under its client filename",
             pattern: r"\.save\(\s*(\w+)\.filename\s*\)",
             suppress_if: Some(r"secure_filename"),
-            fix: Some(Fix::Template {
-                replacement: ".save(secure_filename($1.filename))",
-            }),
+            fix: Some(Fix::Template { replacement: ".save(secure_filename($1.filename))" }),
             imports: &["from werkzeug.utils import secure_filename"],
         },
         Rule {

@@ -14,9 +14,7 @@ pub(crate) fn rules() -> Vec<Rule> {
             description: "deprecated ssl.wrap_socket without context",
             pattern: r"ssl\.wrap_socket\(",
             suppress_if: None,
-            fix: Some(Fix::Template {
-                replacement: "ssl.create_default_context().wrap_socket(",
-            }),
+            fix: Some(Fix::Template { replacement: "ssl.create_default_context().wrap_socket(" }),
             imports: &[],
         },
         Rule {

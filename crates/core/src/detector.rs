@@ -8,6 +8,7 @@
 
 use crate::catalog::all_rules;
 use crate::rule::{Finding, Rule};
+use analysis::SourceAnalysis;
 use rxlite::Regex;
 
 /// A compiled rule: the catalog entry plus its compiled patterns.
@@ -102,18 +103,64 @@ impl Detector {
         self.rules.len()
     }
 
-    /// Scans `source` and returns all findings, sorted by position.
-    pub fn detect(&self, source: &str) -> Vec<Finding> {
-        let scan = if self.options.blank_comments {
-            blank_comments(source)
+    /// The scan view for an artifact under this detector's options: the
+    /// comment-blanked text (computed once per artifact) or the raw
+    /// source when blanking is disabled.
+    fn scan_text<'a>(&self, a: &'a SourceAnalysis) -> &'a str {
+        if self.options.blank_comments {
+            a.blanked()
         } else {
-            source.to_string()
-        };
+            a.source()
+        }
+    }
+
+    /// Scans `source` and returns all findings, sorted by position.
+    ///
+    /// Thin wrapper over [`Detector::detect_analysis`]; callers scanning
+    /// the same source with several tools should build one
+    /// [`SourceAnalysis`] and share it instead.
+    pub fn detect(&self, source: &str) -> Vec<Finding> {
+        self.detect_analysis(&SourceAnalysis::new(source))
+    }
+
+    /// Scans a shared analysis artifact and returns all findings, sorted
+    /// by position. The artifact's comment-blanked view is computed at
+    /// most once however many tools share it.
+    pub fn detect_analysis(&self, a: &SourceAnalysis) -> Vec<Finding> {
+        self.detect_region(a, 0, a.source().len())
+    }
+
+    /// Scans only the byte range `[start, end)` of `source` — the VS Code
+    /// extension's "evaluate the selected code block" flow (paper §II-B).
+    /// Findings carry offsets relative to the *full* source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or not on char boundaries.
+    pub fn detect_in(&self, source: &str, start: usize, end: usize) -> Vec<Finding> {
+        self.detect_in_analysis(&SourceAnalysis::new(source), start, end)
+    }
+
+    /// Region scan over a shared artifact. Blanking happens on the whole
+    /// file (offsets are preserved), so a selection boundary falling
+    /// inside a comment cannot resurrect commented-out code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or not on char boundaries.
+    pub fn detect_in_analysis(&self, a: &SourceAnalysis, start: usize, end: usize) -> Vec<Finding> {
+        assert!(start <= end && end <= a.source().len(), "range out of bounds");
+        self.detect_region(a, start, end)
+    }
+
+    fn detect_region(&self, a: &SourceAnalysis, start: usize, end: usize) -> Vec<Finding> {
+        let source = a.source();
+        let region = &self.scan_text(a)[start..end];
         let mut findings = Vec::new();
         for c in &self.rules {
-            for m in c.pattern.find_iter(&scan) {
-                let line_no = line_of(source, m.start());
-                let line_text = line_text_at(source, m.start());
+            for m in c.pattern.find_iter(region) {
+                let at = start + m.start();
+                let line_text = line_text_at(source, at);
                 if self.options.apply_suppressions {
                     if let Some(sup) = &c.suppress {
                         if sup.is_match(m.as_str()) || sup.is_match(line_text) {
@@ -125,10 +172,10 @@ impl Detector {
                     rule_id: c.rule.id.to_string(),
                     cwe: c.rule.cwe,
                     owasp: c.rule.owasp,
-                    start: m.start(),
-                    end: m.end(),
-                    line: line_no,
-                    matched: source[m.start()..m.end()].to_string(),
+                    start: at,
+                    end: at + m.len(),
+                    line: line_of(source, at),
+                    matched: source[at..at + m.len()].to_string(),
                     description: c.rule.description.to_string(),
                     fixable: c.rule.is_fixable(),
                 });
@@ -138,35 +185,18 @@ impl Detector {
         findings
     }
 
-    /// Scans only the byte range `[start, end)` of `source` — the VS Code
-    /// extension's "evaluate the selected code block" flow (paper §II-B).
-    /// Findings carry offsets relative to the *full* source.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the range is out of bounds or not on char boundaries.
-    pub fn detect_in(&self, source: &str, start: usize, end: usize) -> Vec<Finding> {
-        assert!(start <= end && end <= source.len(), "range out of bounds");
-        let region = &source[start..end];
-        let mut findings = self.detect(region);
-        for f in &mut findings {
-            f.start += start;
-            f.end += start;
-            f.line += line_of(source, start) - 1;
-        }
-        findings
-    }
-
     /// Convenience: whether any rule fires on `source`.
     pub fn is_vulnerable(&self, source: &str) -> bool {
-        // detect() collects everything; short-circuit per rule instead.
-        let scan = if self.options.blank_comments {
-            blank_comments(source)
-        } else {
-            source.to_string()
-        };
+        self.is_vulnerable_analysis(&SourceAnalysis::new(source))
+    }
+
+    /// Whether any rule fires on a shared artifact; short-circuits on the
+    /// first unsuppressed match instead of collecting all findings.
+    pub fn is_vulnerable_analysis(&self, a: &SourceAnalysis) -> bool {
+        let source = a.source();
+        let scan = self.scan_text(a);
         for c in &self.rules {
-            for m in c.pattern.find_iter(&scan) {
+            for m in c.pattern.find_iter(scan) {
                 let line_text = line_text_at(source, m.start());
                 let suppressed = self.options.apply_suppressions
                     && c.suppress
@@ -198,16 +228,13 @@ pub fn blank_comments(source: &str) -> String {
             }
         }
     }
-    String::from_utf8(out).expect("blanking preserves UTF-8: comments are replaced bytewise only when ASCII")
+    String::from_utf8(out)
+        .expect("blanking preserves UTF-8: comments are replaced bytewise only when ASCII")
 }
 
 /// 1-based line number of byte offset `at`.
 pub(crate) fn line_of(source: &str, at: usize) -> u32 {
-    source[..at.min(source.len())]
-        .bytes()
-        .filter(|b| *b == b'\n')
-        .count() as u32
-        + 1
+    source[..at.min(source.len())].bytes().filter(|b| *b == b'\n').count() as u32 + 1
 }
 
 /// The full text of the line containing byte offset `at`.
@@ -308,12 +335,9 @@ def load_config(path):
     #[test]
     fn is_vulnerable_short_circuits_consistently() {
         let d = det();
-        for src in [
-            "pickle.loads(blob)\n",
-            "x = 1\n",
-            "# eval(x)\n",
-            "requests.get(url, verify=False)\n",
-        ] {
+        for src in
+            ["pickle.loads(blob)\n", "x = 1\n", "# eval(x)\n", "requests.get(url, verify=False)\n"]
+        {
             assert_eq!(d.is_vulnerable(src), !d.detect(src).is_empty(), "{src}");
         }
     }
@@ -362,10 +386,7 @@ def load_config(path):
     fn timeout_rule_suppressed_when_present() {
         let d = det();
         assert!(d.detect("requests.get(url)\n").iter().any(|f| f.cwe == 400));
-        assert!(!d
-            .detect("requests.get(url, timeout=5)\n")
-            .iter()
-            .any(|f| f.cwe == 400));
+        assert!(!d.detect("requests.get(url, timeout=5)\n").iter().any(|f| f.cwe == 400));
     }
 
     #[test]

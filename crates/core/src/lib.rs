@@ -8,6 +8,10 @@
 //!
 //! ## Architecture (paper §II)
 //!
+//! - [`SourceAnalysis`] — the shared analyze-once artifact (re-exported
+//!   from the `analysis` crate): every entry point below has an
+//!   `*_analysis` variant accepting `&SourceAnalysis`, so callers running
+//!   several tools over one source lex/parse/blank it exactly once;
 //! - [`standardize`] — the *named entity tagger*: rewrites incidental
 //!   identifiers/literals to `var#` while preserving behavioral tokens
 //!   (API names, keyword arguments, configuration values);
@@ -44,11 +48,12 @@ mod rule;
 mod standardize;
 mod synthesis;
 
+pub use analysis::SourceAnalysis;
 pub use catalog::{all_rules, RULE_COUNT};
 pub use detector::{blank_comments, Detector, DetectorOptions};
 pub use owasp::{cwe_name, Owasp};
 pub use patcher::{AppliedFix, PatchOutcome, Patcher};
-pub use report::{scan, ScanReport};
+pub use report::{scan, scan_analysis, ScanReport};
 pub use rule::{BuiltinFix, Finding, Fix, Rule};
-pub use standardize::{standardize, Standardization};
+pub use standardize::{standardize, standardize_analysis, standardize_lines, Standardization};
 pub use synthesis::{escape_regex, pattern_to_regex, synthesize, SynthesizedPattern};

@@ -6,8 +6,9 @@
 //! any imports the patch requires — mirroring the VS Code extension's
 //! `TextEdit.replace` + `Position`-based import insertion (paper §II-B).
 
-use crate::detector::{blank_comments, Detector};
+use crate::detector::Detector;
 use crate::rule::{BuiltinFix, Finding, Fix};
+use analysis::SourceAnalysis;
 use serde::{Deserialize, Serialize};
 
 /// One applied patch.
@@ -48,12 +49,7 @@ impl PatchOutcome {
     /// Renders the patch as a unified diff against the original source —
     /// what the IDE extension shows in its confirmation pop-up.
     pub fn diff(&self, original: &str, label: &str) -> String {
-        seqdiff::unified_diff_str(
-            original,
-            &self.source,
-            label,
-            &format!("{label} (patched)"),
-        )
+        seqdiff::unified_diff_str(original, &self.source, label, &format!("{label} (patched)"))
     }
 }
 
@@ -87,9 +83,19 @@ impl Patcher {
     }
 
     /// Detects and patches every fixable finding in `source`.
+    ///
+    /// Thin wrapper over [`Patcher::patch_analysis`]: builds one
+    /// [`SourceAnalysis`] shared by the detection and patching passes.
     pub fn patch(&self, source: &str) -> PatchOutcome {
-        let findings = self.detector.detect(source);
-        self.patch_findings(source, &findings)
+        self.patch_analysis(&SourceAnalysis::new(source))
+    }
+
+    /// Detects and patches against a shared analysis artifact. The
+    /// comment-blanked view is computed once and reused by both the
+    /// detection scan and the capture-recovery pass.
+    pub fn patch_analysis(&self, a: &SourceAnalysis) -> PatchOutcome {
+        let findings = self.detector.detect_analysis(a);
+        self.patch_findings_analysis(a, &findings)
     }
 
     /// Repeats detect-and-patch until a fixpoint (or `max_rounds`).
@@ -104,7 +110,10 @@ impl Patcher {
         let mut imports_added = Vec::new();
         let mut skipped = Vec::new();
         for round in 0..max_rounds.max(1) {
-            let out = self.patch(&current);
+            // Exactly one fresh artifact per round: the source changed, so
+            // every derived view must be recomputed — but only once, even
+            // though both the detection and patching passes consume it.
+            let out = self.patch_analysis(&SourceAnalysis::new(current.as_str()));
             let changed = out.changed();
             skipped = out.skipped;
             applied.extend(out.applied);
@@ -127,8 +136,22 @@ impl Patcher {
 
     /// Patches a pre-computed finding list (as the IDE flow does after the
     /// user confirms).
+    ///
+    /// Thin wrapper over [`Patcher::patch_findings_analysis`].
     pub fn patch_findings(&self, source: &str, findings: &[Finding]) -> PatchOutcome {
-        let scan = blank_comments(source);
+        self.patch_findings_analysis(&SourceAnalysis::new(source), findings)
+    }
+
+    /// Patches a pre-computed finding list against a shared artifact. The
+    /// findings must have been produced from the same source (offsets are
+    /// trusted).
+    pub fn patch_findings_analysis(
+        &self,
+        a: &SourceAnalysis,
+        findings: &[Finding],
+    ) -> PatchOutcome {
+        let source = a.source();
+        let scan = a.blanked();
         let mut skipped = Vec::new();
         let mut plans: Vec<AppliedFix> = Vec::new();
         let mut imports: Vec<&'static str> = Vec::new();
@@ -156,7 +179,7 @@ impl Patcher {
             // Recover captures for this exact match.
             let caps = compiled
                 .pattern
-                .captures_iter(&scan)
+                .captures_iter(scan)
                 .into_iter()
                 .find(|c| c.span(0) == Some((f.start, f.end)));
             let Some(caps) = caps else {
@@ -200,11 +223,8 @@ impl Patcher {
         }
 
         // Insert missing imports at the top.
-        let needed: Vec<String> = imports
-            .into_iter()
-            .filter(|imp| !has_import(&out, imp))
-            .map(String::from)
-            .collect();
+        let needed: Vec<String> =
+            imports.into_iter().filter(|imp| !has_import(&out, imp)).map(String::from).collect();
         if !needed.is_empty() && !plans.is_empty() {
             let at = import_insertion_offset(&out);
             let mut block = needed.join("\n");
@@ -247,11 +267,7 @@ fn expand_template(template: &str, caps: &rxlite::Captures<'_>) -> String {
 /// Dispatches a built-in transformation. Returns `None` when the matched
 /// text does not have the shape the transform needs (the finding is then
 /// reported but left unpatched).
-fn apply_builtin(
-    kind: BuiltinFix,
-    matched: &str,
-    caps: &rxlite::Captures<'_>,
-) -> Option<String> {
+fn apply_builtin(kind: BuiltinFix, matched: &str, caps: &rxlite::Captures<'_>) -> Option<String> {
     match kind {
         BuiltinFix::EscapeFStringPlaceholders => escape_fstring(matched),
         BuiltinFix::ParameterizeSql => parameterize_sql(matched),
@@ -280,9 +296,7 @@ fn escape_fstring(matched: &str) -> Option<String> {
             let close = matched[i + 1..].find('}')? + i + 1;
             let inner = &matched[i + 1..close];
             // Split off format spec / conversion.
-            let split = inner
-                .find([':', '!'])
-                .unwrap_or(inner.len());
+            let split = inner.find([':', '!']).unwrap_or(inner.len());
             let (expr, suffix) = inner.split_at(split);
             if expr.trim_start().starts_with("escape(") {
                 out.push('{');
@@ -344,10 +358,7 @@ fn parameterize_sql(matched: &str) -> Option<String> {
         if args.is_empty() {
             return None;
         }
-        Some(format!(
-            "{prefix}{quote}{query}{quote}, ({},))",
-            args.join(", ")
-        ))
+        Some(format!("{prefix}{quote}{query}{quote}, ({},))", args.join(", ")))
     } else {
         // %-format form: .execute("... %s ..." % args)
         let quote = rest.chars().next()?;
@@ -410,10 +421,7 @@ fn add_timeout(matched: &str, caps: &rxlite::Captures<'_>) -> Option<String> {
 /// Replaces a hard-coded credential with an environment lookup.
 fn credential_from_env(caps: &rxlite::Captures<'_>) -> Option<String> {
     let var = caps.get(1)?;
-    Some(format!(
-        "{var} = os.environ.get(\"{}\", \"\")",
-        var.to_uppercase()
-    ))
+    Some(format!("{var} = os.environ.get(\"{}\", \"\")", var.to_uppercase()))
 }
 
 /// Whether `source` already contains an equivalent import line.
@@ -436,9 +444,7 @@ pub(crate) fn has_import(source: &str, import_line: &str) -> bool {
                 if let Some((m2, n2)) = r2.split_once(" import ") {
                     return m2 == module
                         && names.split(',').all(|n| {
-                            n2.split(',').any(|x| {
-                                x.trim().split(" as ").next() == Some(n.trim())
-                            })
+                            n2.split(',').any(|x| x.trim().split(" as ").next() == Some(n.trim()))
                         });
                 }
             }
@@ -529,25 +535,47 @@ mod tests {
     }
 
     #[test]
+    fn imports_inserted_after_shebang_and_docstring() {
+        // End-to-end regression: a file opening with a shebang, a coding
+        // cookie, and a multi-line module docstring must keep all three at
+        // the top — inserted imports land after the docstring, before the
+        // first statement.
+        let src = "#!/usr/bin/env python\n# -*- coding: utf-8 -*-\n\"\"\"Runs things.\n\nDetails.\n\"\"\"\nimport os\nos.system(user_cmd)\n";
+        let out = patcher().patch(src);
+        assert!(!out.imports_added.is_empty(), "expected imports: {out:#?}");
+        let lines: Vec<&str> = out.source.lines().collect();
+        assert_eq!(lines[0], "#!/usr/bin/env python");
+        assert_eq!(lines[1], "# -*- coding: utf-8 -*-");
+        assert_eq!(lines[2], "\"\"\"Runs things.");
+        assert_eq!(lines[5], "\"\"\"");
+        assert_eq!(lines[6], "import subprocess");
+        assert_eq!(lines[7], "import shlex");
+        assert!(out.source.contains("subprocess.run(shlex.split(user_cmd)"));
+    }
+
+    #[test]
+    fn imports_inserted_after_shebang_without_docstring() {
+        let src = "#!/usr/bin/env python\npickle.loads(b)\n";
+        let out = patcher().patch(src);
+        let lines: Vec<&str> = out.source.lines().collect();
+        assert_eq!(lines[0], "#!/usr/bin/env python");
+        assert_eq!(lines[1], "import json");
+        assert!(lines[2].contains("json.loads(b)"));
+    }
+
+    #[test]
     fn flask_debug_patch_matches_paper() {
         // Paper Table I safe pattern: debug=False, use_debugger=False,
         // use_reloader=False.
         let out = patcher().patch("app.run(debug=True)\n");
-        assert_eq!(
-            out.source,
-            "app.run(debug=False, use_debugger=False, use_reloader=False)\n"
-        );
+        assert_eq!(out.source, "app.run(debug=False, use_debugger=False, use_reloader=False)\n");
     }
 
     #[test]
     fn xss_fstring_escaped_like_paper() {
         let src = "return f\"<p>{comment}</p>\"\n";
         let out = patcher().patch(src);
-        assert!(
-            out.source.contains("{escape(comment)}"),
-            "got: {}",
-            out.source
-        );
+        assert!(out.source.contains("{escape(comment)}"), "got: {}", out.source);
         assert!(out.source.contains("from markupsafe import escape"));
     }
 
@@ -562,7 +590,8 @@ mod tests {
         let src = "cursor.execute(\"SELECT * FROM users WHERE name = '%s'\" % username)\n";
         let out = patcher().patch(src);
         assert!(
-            out.source.contains("cursor.execute(\"SELECT * FROM users WHERE name = '?'\", (username,))"),
+            out.source
+                .contains("cursor.execute(\"SELECT * FROM users WHERE name = '?'\", (username,))"),
             "got: {}",
             out.source
         );
@@ -596,10 +625,7 @@ mod tests {
     #[test]
     fn hardcoded_password_moved_to_env() {
         let out = patcher().patch("password = \"hunter2\"\n");
-        assert_eq!(
-            out.source,
-            "import os\npassword = os.environ.get(\"PASSWORD\", \"\")\n"
-        );
+        assert_eq!(out.source, "import os\npassword = os.environ.get(\"PASSWORD\", \"\")\n");
     }
 
     #[test]
@@ -649,10 +675,7 @@ data = yaml.load(f)
         assert!(has_import("import os, sys\n", "import os"));
         assert!(has_import("import os as o\n", "import os"));
         assert!(!has_import("import osmnx\n", "import os"));
-        assert!(has_import(
-            "from markupsafe import escape\n",
-            "from markupsafe import escape"
-        ));
+        assert!(has_import("from markupsafe import escape\n", "from markupsafe import escape"));
         assert!(has_import(
             "from markupsafe import Markup, escape\n",
             "from markupsafe import escape"
@@ -662,7 +685,8 @@ data = yaml.load(f)
 
     #[test]
     fn insertion_offset_past_shebang_and_docstring() {
-        let src = "#!/usr/bin/env python\n# -*- coding: utf-8 -*-\n\"\"\"Doc.\n\nMore.\n\"\"\"\nx = 1\n";
+        let src =
+            "#!/usr/bin/env python\n# -*- coding: utf-8 -*-\n\"\"\"Doc.\n\nMore.\n\"\"\"\nx = 1\n";
         let at = import_insertion_offset(src);
         assert_eq!(&src[at..at + 5], "x = 1");
     }

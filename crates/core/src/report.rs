@@ -5,6 +5,7 @@ use crate::detector::Detector;
 use crate::owasp::{cwe_name, Owasp};
 use crate::patcher::{PatchOutcome, Patcher};
 use crate::rule::Finding;
+use analysis::SourceAnalysis;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -87,10 +88,17 @@ impl fmt::Display for ScanReport {
 /// assert!(report.patch.source.contains("ast.literal_eval"));
 /// ```
 pub fn scan(source: &str) -> ScanReport {
+    scan_analysis(&SourceAnalysis::new(source))
+}
+
+/// [`scan`] over a shared analysis artifact: the detection pass and the
+/// patching pass consume the same derived views, so the source is lexed
+/// and blanked exactly once.
+pub fn scan_analysis(a: &SourceAnalysis) -> ScanReport {
     let detector = Detector::new();
-    let findings = detector.detect(source);
+    let findings = detector.detect_analysis(a);
     let patcher = Patcher::with_detector(detector);
-    let patch = patcher.patch_findings(source, &findings);
+    let patch = patcher.patch_findings_analysis(a, &findings);
     ScanReport { findings, patch }
 }
 

@@ -9,8 +9,10 @@
 //! of the same vulnerable pattern thus standardize to nearly identical
 //! token streams, which is what makes LCS extraction meaningful.
 
-use pylex::{logical_lines, Token, TokenKind};
+use analysis::SourceAnalysis;
+use pylex::{LogicalLine, Token, TokenKind};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Result of standardizing a snippet.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,10 +32,7 @@ impl Standardization {
 
     /// Inverse lookup: the original text standardized as `var_name`.
     pub fn original_of(&self, var_name: &str) -> Option<&str> {
-        self.mapping
-            .iter()
-            .find(|(_, v)| v.as_str() == var_name)
-            .map(|(k, _)| k.as_str())
+        self.mapping.iter().find(|(_, v)| v.as_str() == var_name).map(|(k, _)| k.as_str())
     }
 }
 
@@ -45,11 +44,24 @@ impl Standardization {
 /// assert_eq!(s.text, "var0 = request . args . get ( var1 , var2 )");
 /// ```
 pub fn standardize(source: &str) -> Standardization {
+    standardize_lines(SourceAnalysis::new(source).logical_lines())
+}
+
+/// Standardizes via a shared analysis artifact, reusing its logical-line
+/// view and caching the result on the artifact: however many tools ask,
+/// the standardization is computed once.
+pub fn standardize_analysis(a: &SourceAnalysis) -> Arc<Standardization> {
+    a.extension(|a| standardize_lines(a.logical_lines()))
+}
+
+/// Standardizes a pre-computed logical-line stream (the shared core both
+/// entry points delegate to).
+pub fn standardize_lines(lines: &[LogicalLine]) -> Standardization {
     let mut mapping: HashMap<String, String> = HashMap::new();
     let mut next_var = 0usize;
     let mut out_lines = Vec::new();
 
-    for line in logical_lines(source) {
+    for line in lines {
         let toks = &line.tokens;
         let is_decorator = toks.first().is_some_and(|t| t.is_op("@"));
         let mut depth = 0i32;
@@ -90,9 +102,7 @@ pub fn standardize(source: &str) -> Standardization {
                         || text.starts_with("fr");
                     if is_fstring {
                         rendered.push(standardize_fstring(text, &mut mapping, &mut next_var));
-                    } else if is_decorator
-                        || is_kwarg_value(prev, depth)
-                        || is_dunder_string(text)
+                    } else if is_decorator || is_kwarg_value(prev, depth) || is_dunder_string(text)
                     {
                         rendered.push(text.clone());
                     } else {
@@ -135,7 +145,10 @@ fn keep_name(
     }
     // Names bound by import/def/class statements and `as` aliases.
     if let Some(p) = prev {
-        if p.is_kw("import") || p.is_kw("from") || p.is_kw("as") || p.is_kw("def")
+        if p.is_kw("import")
+            || p.is_kw("from")
+            || p.is_kw("as")
+            || p.is_kw("def")
             || p.is_kw("class")
         {
             return true;
@@ -173,11 +186,7 @@ fn is_dunder_string(text: &str) -> bool {
     inner.starts_with("__") && inner.ends_with("__")
 }
 
-fn var_for(
-    original: &str,
-    mapping: &mut HashMap<String, String>,
-    next_var: &mut usize,
-) -> String {
+fn var_for(original: &str, mapping: &mut HashMap<String, String>, next_var: &mut usize) -> String {
     if let Some(v) = mapping.get(original) {
         return v.clone();
     }

@@ -47,10 +47,8 @@ pub fn synthesize(v1: &str, v2: &str, s1: &str, s2: &str) -> SynthesizedPattern 
 
     let vulnerable_lcs = lcs(&v1t, &v2t);
     let safe_lcs = lcs(&s1t, &s2t);
-    let safe_additions: Vec<Vec<String>> = additions(&vulnerable_lcs, &safe_lcs)
-        .into_iter()
-        .map(|run| run.to_vec())
-        .collect();
+    let safe_additions: Vec<Vec<String>> =
+        additions(&vulnerable_lcs, &safe_lcs).into_iter().map(|run| run.to_vec()).collect();
     let detection_regex = pattern_to_regex(&vulnerable_lcs);
 
     SynthesizedPattern { vulnerable_lcs, safe_lcs, safe_additions, detection_regex }
@@ -62,8 +60,7 @@ pub fn synthesize(v1: &str, v2: &str, s1: &str, s2: &str) -> SynthesizedPattern 
 pub fn pattern_to_regex(tokens: &[String]) -> String {
     let mut parts = Vec::with_capacity(tokens.len());
     for t in tokens {
-        if t.starts_with("var") && t[3..].chars().all(|c| c.is_ascii_digit()) && t.len() > 3
-        {
+        if t.starts_with("var") && t[3..].chars().all(|c| c.is_ascii_digit()) && t.len() > 3 {
             parts.push(r"([^,()\s]+)".to_string());
         } else if t.starts_with("f\"") || t.starts_with("f'") {
             // f-string token: match structure, placeholders become groups.
@@ -96,13 +93,14 @@ fn fstring_to_regex(token: &str) -> String {
 
 /// Escapes a literal string for rxlite.
 pub fn escape_regex(text: &str) -> String {
-    text.chars().map(|c| escape_char(c)).collect()
+    text.chars().map(escape_char).collect()
 }
 
 fn escape_char(c: char) -> String {
     match c {
-        '.' | '*' | '+' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '^' | '$'
-        | '\\' => format!("\\{c}"),
+        '.' | '*' | '+' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '^' | '$' | '\\' => {
+            format!("\\{c}")
+        }
         _ => c.to_string(),
     }
 }
@@ -198,13 +196,9 @@ if __name__ == \"__main__\":
         let syn = synthesize(v1, v2, s1, s2);
         // Build a regex from a focused sub-pattern (the full-file LCS is
         // long; take the debug=True tail which must match both).
-        let idx = syn
-            .vulnerable_lcs
-            .iter()
-            .position(|t| t == "debug")
-            .expect("debug in pattern");
+        let idx = syn.vulnerable_lcs.iter().position(|t| t == "debug").expect("debug in pattern");
         let tail = &syn.vulnerable_lcs[idx..idx + 3]; // debug = True
-        let re = rxlite::Regex::new(&pattern_to_regex(&tail.to_vec())).unwrap();
+        let re = rxlite::Regex::new(&pattern_to_regex(tail)).unwrap();
         assert!(re.is_match(&crate::standardize(v1).text));
         assert!(re.is_match(&crate::standardize(v2).text));
         assert!(!re.is_match(&crate::standardize(s1).text));
@@ -212,10 +206,7 @@ if __name__ == \"__main__\":
 
     #[test]
     fn var_slots_become_capture_groups() {
-        let toks: Vec<String> = ["eval", "(", "var0", ")"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let toks: Vec<String> = ["eval", "(", "var0", ")"].iter().map(|s| s.to_string()).collect();
         let rx = pattern_to_regex(&toks);
         let re = rxlite::Regex::new(&rx).unwrap();
         let caps = re.captures("eval ( user_input )").expect("matches");
@@ -235,10 +226,7 @@ if __name__ == \"__main__\":
         let v = "x = pickle.loads(data)\n";
         let s = "x = json.loads(data)\n";
         let syn = synthesize(v, v, s, s);
-        assert_eq!(
-            syn.vulnerable_lcs.join(" "),
-            crate::standardize(v).text
-        );
+        assert_eq!(syn.vulnerable_lcs.join(" "), crate::standardize(v).text);
         let added = syn.safe_additions.iter().flatten().cloned().collect::<Vec<_>>();
         assert!(added.iter().any(|t| t.contains("json")));
     }

@@ -62,8 +62,5 @@ fn detector_compilation_is_fast_enough_to_construct_per_request() {
         let _ = Detector::new();
     }
     let elapsed = start.elapsed();
-    assert!(
-        elapsed.as_millis() < 5000,
-        "10 detector constructions took {elapsed:?}"
-    );
+    assert!(elapsed.as_millis() < 5000, "10 detector constructions took {elapsed:?}");
 }

@@ -77,10 +77,7 @@ const VECTORS: &[Vector] = &[
     Vector {
         rule: "PIP-A02-001",
         fires: &["h = hashlib.md5(data)\n"],
-        clean: &[
-            "h = hashlib.sha256(data)\n",
-            "h = hashlib.md5(data, usedforsecurity=False)\n",
-        ],
+        clean: &["h = hashlib.sha256(data)\n", "h = hashlib.md5(data, usedforsecurity=False)\n"],
         patched: &["hashlib.sha256(data)"],
     },
     Vector {
@@ -161,10 +158,7 @@ const VECTORS: &[Vector] = &[
     Vector {
         rule: "PIP-A02-014",
         fires: &["session_token = str(random.randint(0, 999999))\n"],
-        clean: &[
-            "session_token = secrets.token_hex(16)\n",
-            "delay = random.randint(1, 5)\n",
-        ],
+        clean: &["session_token = secrets.token_hex(16)\n", "delay = random.randint(1, 5)\n"],
         patched: &["secrets.SystemRandom().randint", "import secrets"],
     },
     Vector {
@@ -282,7 +276,9 @@ const VECTORS: &[Vector] = &[
     Vector {
         rule: "PIP-A03-015",
         fires: &["res = conn.search_s(base, SCOPE, '(uid=%s)' % uid)\n"],
-        clean: &["res = conn.search_s(base, SCOPE, '(uid=%s)' % ldap.filter.escape_filter_chars(uid))\n"],
+        clean: &[
+            "res = conn.search_s(base, SCOPE, '(uid=%s)' % ldap.filter.escape_filter_chars(uid))\n",
+        ],
         patched: &[],
     },
     Vector {
@@ -422,10 +418,7 @@ const VECTORS: &[Vector] = &[
             "api_key = \"sk-123456\"\n",
             "db_password = 'prod-pass'\n",
         ],
-        clean: &[
-            "password = os.environ.get('PASSWORD', '')\n",
-            "password = input('enter: ')\n",
-        ],
+        clean: &["password = os.environ.get('PASSWORD', '')\n", "password = input('enter: ')\n"],
         patched: &["os.environ.get(\"PASSWORD\", \"\")", "import os"],
     },
     Vector {
@@ -575,8 +568,7 @@ fn every_rule_has_a_vector() {
     assert!(missing.is_empty(), "rules without test vectors: {missing:?}");
     // And no stale vectors for removed rules.
     let catalog: HashSet<&str> = all_rules().iter().map(|r| r.id).collect();
-    let stale: Vec<&str> =
-        covered.iter().filter(|v| !catalog.contains(**v)).copied().collect();
+    let stale: Vec<&str> = covered.iter().filter(|v| !catalog.contains(**v)).copied().collect();
     assert!(stale.is_empty(), "vectors for unknown rules: {stale:?}");
 }
 

@@ -53,15 +53,9 @@ fn synthesis_extracts_nonempty_patterns_for_every_pair() {
         let s1 = concretize(b.safe[0]);
         let s2 = concretize_alt(b.safe[0]);
         let syn = synthesize(&v1, &v2, &s1, &s2);
-        assert!(
-            !syn.vulnerable_lcs.is_empty(),
-            "CWE-{cwe}: empty vulnerable pattern"
-        );
+        assert!(!syn.vulnerable_lcs.is_empty(), "CWE-{cwe}: empty vulnerable pattern");
         assert!(!syn.safe_lcs.is_empty(), "CWE-{cwe}: empty safe pattern");
-        assert!(
-            !syn.detection_regex.is_empty(),
-            "CWE-{cwe}: no detection regex derived"
-        );
+        assert!(!syn.detection_regex.is_empty(), "CWE-{cwe}: no detection regex derived");
     }
 }
 
@@ -98,10 +92,9 @@ fn identical_pair_pattern_compiles_and_matches_its_source() {
         let syn = synthesize(&v1, &v1, &s1, &s1);
         let re = match rxlite::Regex::new(&syn.detection_regex) {
             Ok(r) => r,
-            Err(e) => panic!(
-                "CWE-{cwe}: derived regex failed to compile: {}: {e}",
-                syn.detection_regex
-            ),
+            Err(e) => {
+                panic!("CWE-{cwe}: derived regex failed to compile: {}: {e}", syn.detection_regex)
+            }
         };
         let std1 = standardize(&v1).text;
         assert!(
@@ -128,10 +121,8 @@ fn cross_pair_patterns_are_subsequences_of_both_sources() {
         let v2 = concretize_alt(b.vulnerable[1]);
         let s1 = concretize(b.safe[0]);
         let syn = synthesize(&v1, &v2, &s1, &s1);
-        let t1: Vec<String> =
-            standardize(&v1).text.split_whitespace().map(String::from).collect();
-        let t2: Vec<String> =
-            standardize(&v2).text.split_whitespace().map(String::from).collect();
+        let t1: Vec<String> = standardize(&v1).text.split_whitespace().map(String::from).collect();
+        let t2: Vec<String> = standardize(&v2).text.split_whitespace().map(String::from).collect();
         assert!(
             is_subsequence(&syn.vulnerable_lcs, &t1),
             "CWE-{cwe}: pattern not a subsequence of v1"
@@ -164,9 +155,6 @@ fn safe_additions_mention_the_mitigation_api() {
         let added: Vec<String> =
             syn.safe_additions.iter().flat_map(|r| r.iter().cloned()).collect();
         let flat = added.join(" ");
-        assert!(
-            flat.contains(api),
-            "CWE-{cwe}: additions missing {api:?}: {flat}"
-        );
+        assert!(flat.contains(api), "CWE-{cwe}: additions missing {api:?}: {flat}");
     }
 }

@@ -23,9 +23,7 @@ pub const DEFAULT_SEED: u64 = 0xDE5E_2025;
 /// API substitution (detection-only in the PatchitPy catalog). Claude's
 /// vulnerable-group ordering places these last; see
 /// [`generate_corpus_with_seed`].
-const DESIGN_LEVEL_CWES: &[u16] = &[
-    90, 94, 117, 200, 287, 532, 601, 759, 918, 942, 1336, 379,
-];
+const DESIGN_LEVEL_CWES: &[u16] = &[90, 94, 117, 200, 287, 532, 601, 759, 918, 942, 1336, 379];
 
 /// Fraction of a model's covered vulnerable samples that additionally
 /// carry a *detection-only* secondary weakness (a dynamic `exec` plugin
@@ -96,7 +94,9 @@ pub fn generate_corpus_with_seed(seed: u64) -> Corpus {
     let prompts = build_prompts();
     let mut samples = Vec::with_capacity(prompts.len() * 3);
     for (model_idx, model) in Model::all().into_iter().enumerate() {
-        let mut rng = StdRng::seed_from_u64(seed ^ (model_idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = StdRng::seed_from_u64(
+            seed ^ (model_idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
         // Which prompts yield vulnerable code for this model. Copilot and
         // DeepSeek fail near-uniformly across scenarios; Claude's failures
         // cluster by scenario *kind* (whole CWE groups it handles well or
@@ -115,11 +115,8 @@ pub fn generate_corpus_with_seed(seed: u64) -> Corpus {
             let mut fixable: Vec<u16> = Vec::new();
             let mut design: Vec<u16> = Vec::new();
             for p in &prompts {
-                let bucket = if DESIGN_LEVEL_CWES.contains(&p.cwe) {
-                    &mut design
-                } else {
-                    &mut fixable
-                };
+                let bucket =
+                    if DESIGN_LEVEL_CWES.contains(&p.cwe) { &mut design } else { &mut fixable };
                 if !bucket.contains(&p.cwe) {
                     bucket.push(p.cwe);
                 }
@@ -130,11 +127,7 @@ pub fn generate_corpus_with_seed(seed: u64) -> Corpus {
             order = fixable
                 .iter()
                 .flat_map(|c| {
-                    prompts
-                        .iter()
-                        .enumerate()
-                        .filter(move |(_, p)| p.cwe == *c)
-                        .map(|(i, _)| i)
+                    prompts.iter().enumerate().filter(move |(_, p)| p.cwe == *c).map(|(i, _)| i)
                 })
                 .collect();
         } else {
@@ -199,9 +192,8 @@ fn render_sample(
     bait: bool,
 ) -> Sample {
     let b = bank(prompt.cwe);
-    let pick = |list: &[&'static str]| -> &'static str {
-        list[(prompt.id + model as usize) % list.len()]
-    };
+    let pick =
+        |list: &[&'static str]| -> &'static str { list[(prompt.id + model as usize) % list.len()] };
     let template = if vulnerable {
         if uncovered {
             pick(b.uncovered)
@@ -234,13 +226,10 @@ fn render_sample(
     // Token-limit truncation: append a dangling statement on a fixed
     // per-model schedule. Patterns in the completed lines stay intact,
     // but strict AST parsing now fails.
-    let truncated = (prompt.id * 7 + model as usize) % 100
-        < (model.truncation_rate() * 100.0).round() as usize;
+    let truncated =
+        (prompt.id * 7 + model as usize) % 100 < (model.truncation_rate() * 100.0).round() as usize;
     if truncated {
-        code.push_str(&format!(
-            "{} = transform(\n",
-            model.style().var(prompt.id + 3)
-        ));
+        code.push_str(&format!("{} = transform(\n", model.style().var(prompt.id + 3)));
     }
     let cwes = if vulnerable {
         let mut c = ground_truth_cwes(prompt.cwe, &code);
@@ -375,8 +364,7 @@ mod tests {
     fn uncovered_fraction_tracks_model_rate() {
         let c = generate_corpus();
         for m in Model::all() {
-            let vuln: Vec<_> =
-                c.by_model(m).into_iter().filter(|s| s.vulnerable).collect();
+            let vuln: Vec<_> = c.by_model(m).into_iter().filter(|s| s.vulnerable).collect();
             let uncovered = vuln.iter().filter(|s| !s.covered).count();
             let expected = (vuln.len() as f64 * m.uncovered_rate()).round() as usize;
             assert_eq!(uncovered, expected, "{m}");
@@ -387,8 +375,7 @@ mod tests {
     fn bait_fraction_tracks_model_rate() {
         let c = generate_corpus();
         for m in Model::all() {
-            let safe: Vec<_> =
-                c.by_model(m).into_iter().filter(|s| !s.vulnerable).collect();
+            let safe: Vec<_> = c.by_model(m).into_iter().filter(|s| !s.vulnerable).collect();
             let bait = safe.iter().filter(|s| s.bait).count();
             let expected = (safe.len() as f64 * m.bait_rate()).round() as usize;
             assert_eq!(bait, expected, "{m}");
@@ -428,11 +415,12 @@ mod tests {
         let c = generate_corpus();
         for s in &c.samples {
             let toks = pylex::tokenize(&s.code);
-            let errors = toks
-                .iter()
-                .filter(|t| t.kind == pylex::TokenKind::Error)
-                .count();
-            assert_eq!(errors, 0, "lex errors in sample {}/{:?}:\n{}", s.prompt_id, s.model, s.code);
+            let errors = toks.iter().filter(|t| t.kind == pylex::TokenKind::Error).count();
+            assert_eq!(
+                errors, 0,
+                "lex errors in sample {}/{:?}:\n{}",
+                s.prompt_id, s.model, s.code
+            );
         }
     }
 
@@ -452,11 +440,7 @@ mod tests {
     #[test]
     fn truncated_samples_break_strict_parsing_only() {
         let c = generate_corpus();
-        let t = c
-            .samples
-            .iter()
-            .find(|s| s.truncated)
-            .expect("some samples truncated");
+        let t = c.samples.iter().find(|s| s.truncated).expect("some samples truncated");
         // The tolerant parser recovers; a strict parse fails.
         assert!(pyast::parse_module(&t.code).error_count >= 1);
         assert!(pyast::parse_module_strict(&t.code).is_err());

@@ -100,12 +100,19 @@ impl Model {
                 main_guard: true,
                 helper_wrap: true,
                 var_names: &[
-                    "user_input", "response_data", "file_contents", "query_result",
-                    "parsed_value", "output_buffer",
+                    "user_input",
+                    "response_data",
+                    "file_contents",
+                    "query_result",
+                    "parsed_value",
+                    "output_buffer",
                 ],
                 fn_names: &[
-                    "process_request", "handle_input", "load_resource",
-                    "execute_task", "build_response",
+                    "process_request",
+                    "handle_input",
+                    "load_resource",
+                    "execute_task",
+                    "build_response",
                 ],
             },
             Model::DeepSeek => Style {

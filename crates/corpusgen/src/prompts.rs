@@ -109,9 +109,8 @@ pub const PROMPT_SPEC: &[(u16, usize)] = &[
 
 /// CWEs whose prompts (partially) come from LLMSecEval — a subset of the
 /// 2021 Top-25 plus adjacent scenarios, 18 CWEs as in §III-A.
-const LLMSECEVAL_CWES: &[u16] = &[
-    79, 20, 78, 89, 22, 352, 434, 306, 502, 287, 798, 522, 200, 327, 328, 611, 94, 330,
-];
+const LLMSECEVAL_CWES: &[u16] =
+    &[79, 20, 78, 89, 22, 352, 434, 306, 502, 287, 798, 522, 200, 327, 328, 611, 94, 330];
 
 /// The task phrase for each CWE scenario.
 fn phrase(cwe: u16) -> &'static str {
@@ -215,9 +214,9 @@ fn render(cwe: u16, k: usize, global_idx: usize) -> String {
         // ~30% short (≈ 10-15 tokens).
         1 | 4 | 8 | 12 | 16 | 19 => format!("Write Python code that {p}"),
         // ~30% medium (≈ 18-24 tokens).
-        2 | 3 | 6 | 9 | 13 | 17 => format!(
-            "Write a Python function that {p} and return the result to the caller"
-        ),
+        2 | 3 | 6 | 9 | 13 | 17 => {
+            format!("Write a Python function that {p} and return the result to the caller")
+        }
         // ~15% detailed (≈ 36-42 tokens).
         7 | 11 | 18 => format!(
             "Using Python, implement a small module that {p}. Include the \
@@ -240,11 +239,8 @@ pub fn build_prompts() -> Vec<Prompt> {
     // The LLMSecEval-eligible CWEs carry more prompts than the 82-prompt
     // quota; skip the *last* variant of the largest eligible CWEs until
     // the quota fits, so all 18 eligible CWEs stay represented.
-    let eligible_total: usize = PROMPT_SPEC
-        .iter()
-        .filter(|(c, _)| LLMSECEVAL_CWES.contains(c))
-        .map(|(_, n)| n)
-        .sum();
+    let eligible_total: usize =
+        PROMPT_SPEC.iter().filter(|(c, _)| LLMSECEVAL_CWES.contains(c)).map(|(_, n)| n).sum();
     let mut skips_needed = eligible_total.saturating_sub(82);
     let mut skip_last: Vec<u16> = Vec::new();
     for &(cwe, count) in PROMPT_SPEC {
@@ -261,13 +257,10 @@ pub fn build_prompts() -> Vec<Prompt> {
     for &(cwe, count) in PROMPT_SPEC {
         for k in 0..count {
             let text = render(cwe, k, idx);
-            let eligible = LLMSECEVAL_CWES.contains(&cwe)
-                && !(skip_last.contains(&cwe) && k + 1 == count);
-            let source = if eligible {
-                PromptSource::LlmSecEval
-            } else {
-                PromptSource::SecurityEval
-            };
+            let eligible =
+                LLMSECEVAL_CWES.contains(&cwe) && !(skip_last.contains(&cwe) && k + 1 == count);
+            let source =
+                if eligible { PromptSource::LlmSecEval } else { PromptSource::SecurityEval };
             prompts.push(Prompt { id: idx + 1, source, text, cwe });
             idx += 1;
         }
@@ -319,8 +312,7 @@ mod tests {
     #[test]
     fn token_statistics_match_section_3a() {
         let ps = build_prompts();
-        let lens: Vec<f64> =
-            ps.iter().map(|p| nl_token_count(&p.text) as f64).collect();
+        let lens: Vec<f64> = ps.iter().map(|p| nl_token_count(&p.text) as f64).collect();
         let s = vstats::describe(&lens);
         assert_eq!(s.min, 3.0, "min token count");
         assert_eq!(s.max, 63.0, "max token count");
@@ -345,11 +337,8 @@ mod tests {
     #[test]
     fn llmseceval_covers_18_cwes() {
         let ps = build_prompts();
-        let mut cwes: Vec<u16> = ps
-            .iter()
-            .filter(|p| p.source == PromptSource::LlmSecEval)
-            .map(|p| p.cwe)
-            .collect();
+        let mut cwes: Vec<u16> =
+            ps.iter().filter(|p| p.source == PromptSource::LlmSecEval).map(|p| p.cwe).collect();
         cwes.sort_unstable();
         cwes.dedup();
         assert!(cwes.len() <= 18, "{} CWEs", cwes.len());

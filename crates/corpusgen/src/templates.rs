@@ -228,15 +228,12 @@ def __F0__(user):
     return False
 "#,
         ],
-        uncovered: &[
-            r#"
+        uncovered: &[r#"
 def __F0__():
     creds = {"user": "svc", "pass": "wired-in-value"}
     return creds["user"], creds["pass"]
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import os
 
 def __F0__():
@@ -244,16 +241,13 @@ def __F0__():
     if not password:
         raise RuntimeError("DB_PASSWORD is not set")
     return password
-"#,
-        ],
-        bait: &[
-            r#"
+"#],
+        bait: &[r#"
 def __F0__():
     password = "EXAMPLE-ONLY"
     note = "sample shown in the README; real value comes from the vault"
     return password, note
-"#,
-        ],
+"#],
     },
     CweBank {
         cwe: 434,
@@ -283,8 +277,7 @@ def __F0__():
     return "ok"
 "#,
         ],
-        uncovered: &[
-            r#"
+        uncovered: &[r#"
 import os
 from flask import Flask, request
 
@@ -296,10 +289,8 @@ def __F0__():
     __V1__ = "uploads" + "/" + __V0__.filename
     __V0__.save(__V1__)
     return "stored"
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import os
 from flask import Flask, request, abort
 from werkzeug.utils import secure_filename
@@ -316,8 +307,7 @@ def __F0__():
         abort(400)
     __V0__.save(os.path.join(UPLOAD_DIR, __V1__))
     return "stored"
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
@@ -355,8 +345,7 @@ def __F0__(order_id):
     return __V0__.rowcount
 "#,
         ],
-        uncovered: &[
-            r#"
+        uncovered: &[r#"
 import sqlite3
 
 def __F0__(username):
@@ -364,10 +353,8 @@ def __F0__(username):
     __V1__ = sqlite3.connect("users.db").cursor()
     __V1__.execute(__V0__)
     return __V1__.fetchall()
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import sqlite3
 
 def __F0__(username):
@@ -375,8 +362,7 @@ def __F0__(username):
     __V1__ = __V0__.cursor()
     __V1__.execute("SELECT * FROM users WHERE name = ?", (username,))
     return __V1__.fetchall()
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
@@ -399,8 +385,7 @@ if __name__ == "__main__":
     app.run(debug=True)
 "#,
         ],
-        uncovered: &[
-            r#"
+        uncovered: &[r#"
 from flask import Flask, jsonify
 
 app = Flask(__name__)
@@ -409,10 +394,8 @@ app = Flask(__name__)
 def __F0__(user_id=1):
     __V0__ = load_user(user_id)
     return jsonify(__V0__.__dict__)
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 from flask import Flask, jsonify
 
 app = Flask(__name__)
@@ -426,8 +409,7 @@ def __F0__(user_id=1):
 
 if __name__ == "__main__":
     app.run(debug=False, use_reloader=False)
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
@@ -455,17 +437,14 @@ def __F0__(directory):
     return __V0__
 "#,
         ],
-        uncovered: &[
-            r#"
+        uncovered: &[r#"
 from os import system as run_shell
 
 def __F0__(hostname):
     __V0__ = run_shell("ping -c 1 " + hostname)
     return __V0__ == 0
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import subprocess
 
 def __F0__(hostname):
@@ -474,17 +453,14 @@ def __F0__(hostname):
         raise ValueError("invalid hostname")
     __V0__ = subprocess.run(["ping", "-c", "1", hostname], check=False)
     return __V0__.returncode == 0
-"#,
-        ],
-        bait: &[
-            r#"
+"#],
+        bait: &[r#"
 import os
 
 def __F0__():
     os.system("stty sane")
     return "terminal reset"
-"#,
-        ],
+"#],
     },
     CweBank {
         cwe: 79,
@@ -510,8 +486,7 @@ def __F0__():
     return make_response(f"<h1>Hello {__V0__}</h1>")
 "#,
         ],
-        uncovered: &[
-            r#"
+        uncovered: &[r#"
 from flask import Flask, request
 
 app = Flask(__name__)
@@ -521,10 +496,8 @@ def __F0__():
     __V0__ = request.args.get("comment", "")
     __V1__ = "<p>" + __V0__ + "</p>"
     return __V1__
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 from flask import Flask, request
 from markupsafe import escape
 
@@ -534,8 +507,7 @@ app = Flask(__name__)
 def __F0__():
     __V0__ = request.args.get("comment", "")
     return f"<p>{escape(__V0__)}</p>"
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
@@ -559,8 +531,7 @@ def __F0__(filename):
         return __V0__.read()
 "#,
         ],
-        uncovered: &[
-            r#"
+        uncovered: &[r#"
 from flask import Flask, request
 
 app = Flask(__name__)
@@ -570,10 +541,8 @@ def __F0__():
     __V0__ = request.args.get("name", "")
     with open(__V0__) as __V1__:
         return __V1__.read()
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import os
 from flask import Flask, request, abort
 
@@ -588,34 +557,28 @@ def __F0__():
         abort(403)
     with open(__V1__) as __V2__:
         return __V2__.read()
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 798,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 import requests
 
 def __F0__(payload):
     api_key = "sk-live-4242424242424242"
     __V0__ = requests.post("https://api.example.com/v1/send", json=payload, headers={"Authorization": api_key}, timeout=10)
     return __V0__.json()
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 import requests
 
 def __F0__(payload):
     API_KEY = "sk-live-4242424242424242"
     __V0__ = requests.post("https://api.example.com/v1/send", json=payload, headers={"Authorization": API_KEY}, timeout=10)
     return __V0__.json()
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import os
 import requests
 
@@ -623,8 +586,7 @@ def __F0__(payload):
     api_key = os.environ["API_KEY"]
     __V0__ = requests.post("https://api.example.com/v1/send", json=payload, headers={"Authorization": api_key}, timeout=10)
     return __V0__.json()
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
@@ -647,17 +609,14 @@ def __F0__(host):
     return __V0__.wrap_socket(__V1__)
 "#,
         ],
-        uncovered: &[
-            r#"
+        uncovered: &[r#"
 from Crypto.Cipher import Blowfish
 
 def __F0__(key, payload):
     __V0__ = Blowfish.new(key, Blowfish.MODE_ECB)
     return __V0__.encrypt(payload)
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 from Crypto.Cipher import AES
 from Crypto.Random import get_random_bytes
 
@@ -666,8 +625,7 @@ def __F0__(key, payload):
     __V1__ = AES.new(key, AES.MODE_GCM, nonce=__V0__)
     __V2__, tag = __V1__.encrypt_and_digest(payload)
     return __V0__ + tag + __V2__
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
@@ -688,8 +646,7 @@ def __F0__(data):
     return __V0__
 "#,
         ],
-        uncovered: &[
-            r#"
+        uncovered: &[r#"
 import hashlib
 
 def __F0__(path, algo="md5"):
@@ -697,26 +654,22 @@ def __F0__(path, algo="md5"):
         __V1__ = hashlib.new(algo)
         __V1__.update(__V0__.read())
     return __V1__.hexdigest()
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import hashlib
 
 def __F0__(path):
     with open(path, "rb") as __V0__:
         return hashlib.sha256(__V0__.read()).hexdigest()
-"#,
-        ],
-        bait: &[
-            r#"
+"#],
+        bait: &[r#"
 import hashlib
 
 def __F0__(path):
+    """Cache key for build artifact deduplication (not a security control)."""
     with open(path, "rb") as __V0__:
-        return hashlib.md5(__V0__.read(), usedforsecurity=False).hexdigest()
-"#,
-        ],
+        return hashlib.md5(__V0__.read()).hexdigest()
+"#],
     },
     CweBank {
         cwe: 330,
@@ -737,8 +690,7 @@ def __F0__(user_id):
     return session_id
 "#,
         ],
-        uncovered: &[
-            r#"
+        uncovered: &[r#"
 import random
 import string
 
@@ -747,16 +699,13 @@ def __F0__():
     for _ in range(16):
         __V0__.append(random.choice(string.ascii_letters))
     return "".join(__V0__)
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import secrets
 
 def __F0__():
     return secrets.token_urlsafe(32)
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
@@ -781,18 +730,15 @@ def __F0__(payload):
     return __V0__.documentElement.tagName
 "#,
         ],
-        uncovered: &[
-            r#"
+        uncovered: &[r#"
 from xml.dom.pulldom import parseString
 
 def __F0__(payload):
     __V0__ = parseString(payload)
     for event, node in __V0__:
         return event
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import defusedxml.ElementTree
 from flask import Flask, request
 
@@ -802,14 +748,12 @@ app = Flask(__name__)
 def __F0__():
     __V0__ = defusedxml.ElementTree.fromstring(request.data)
     return __V0__.tag
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 94,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 from flask import Flask, request
 
 app = Flask(__name__)
@@ -819,20 +763,16 @@ def __F0__():
     __V0__ = request.form.get("code", "")
     exec(__V0__)
     return "executed"
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 import builtins
 
 def __F0__(snippet):
     __V0__ = compile(snippet, "<job>", "exec")
     getattr(builtins, "ex" + "ec")(__V0__)
     return True
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 ALLOWED_ACTIONS = {"reload": lambda: "reloaded", "status": lambda: "ok"}
 
 def __F0__(action):
@@ -840,8 +780,7 @@ def __F0__(action):
     if handler is None:
         raise ValueError("unknown action")
     return handler()
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
@@ -863,32 +802,26 @@ def __F0__():
     return str(eval(__V0__))
 "#,
         ],
-        uncovered: &[
-            r#"
+        uncovered: &[r#"
 def __F0__(expression):
     evaluate = getattr(__builtins__, "eval", None)
     if evaluate is None:
         raise RuntimeError
     return evaluate(expression)
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import ast
 
 def __F0__(expression):
     # was eval(expression) before the security audit
     __V0__ = ast.literal_eval(expression)
     return __V0__
-"#,
-        ],
-        bait: &[
-            r#"
+"#],
+        bait: &[r#"
 def __F0__():
     lookup_size = eval("4 * 256")
     return bytearray(lookup_size)
-"#,
-        ],
+"#],
     },
     CweBank {
         cwe: 209,
@@ -920,8 +853,7 @@ def __F0__():
         return traceback.format_exc()
 "#,
         ],
-        uncovered: &[
-            r#"
+        uncovered: &[r#"
 from flask import Flask, jsonify
 
 app = Flask(__name__)
@@ -933,10 +865,8 @@ def __F0__():
     except Exception as exc:
         __V0__ = {"error": repr(exc), "context": "job"}
         return jsonify(__V0__), 500
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import logging
 from flask import Flask, request
 
@@ -950,8 +880,7 @@ def __F0__():
     except Exception:
         logging.exception("request failed")
         return "An internal error has occurred", 500
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
@@ -974,8 +903,7 @@ def __F0__(url):
         return __V1__.read()
 "#,
         ],
-        uncovered: &[
-            r#"
+        uncovered: &[r#"
 import ssl
 import urllib.request
 
@@ -985,18 +913,15 @@ def __F0__(url):
     __V0__.verify_mode = ssl.CERT_NONE
     with urllib.request.urlopen(url, context=__V0__) as __V1__:
         return __V1__.read()
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import requests
 
 def __F0__(report_id):
     __V0__ = requests.get("https://reports.internal/api/" + str(report_id), timeout=10)
     __V0__.raise_for_status()
     return __V0__.content
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
@@ -1021,8 +946,7 @@ def __F0__(path):
     return True
 "#,
         ],
-        uncovered: &[
-            r#"
+        uncovered: &[r#"
 import requests
 
 def __F0__(archive_path, host):
@@ -1030,10 +954,8 @@ def __F0__(archive_path, host):
     with open(archive_path, "rb") as __V1__:
         __V2__ = requests.post(__V0__, data=__V1__, timeout=30)
     return __V2__.status_code
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import requests
 
 def __F0__(archive_path):
@@ -1041,14 +963,12 @@ def __F0__(archive_path):
         __V1__ = requests.post("https://backup.example.com/upload", data=__V0__, timeout=30)
     __V1__.raise_for_status()
     return __V1__.status_code
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 377,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 import tempfile
 
 def __F0__(rows):
@@ -1057,10 +977,8 @@ def __F0__(rows):
         for row in rows:
             __V1__.write(str(row) + "\n")
     return __V0__
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 import os
 
 def __F0__(rows):
@@ -1069,10 +987,8 @@ def __F0__(rows):
         for row in rows:
             __V1__.write(str(row) + "\n")
     return __V0__
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import os
 import tempfile
 
@@ -1082,24 +998,20 @@ def __F0__(rows):
         for row in rows:
             __V2__.write(str(row) + "\n")
     return __V1__
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 400,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 import requests
 
 def __F0__(feed_url):
     __V0__ = requests.get(feed_url)
     __V1__ = __V0__.json()
     return __V1__.get("entries", [])
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 import urllib.request
 import json
 
@@ -1107,32 +1019,26 @@ def __F0__(feed_url):
     with urllib.request.urlopen(feed_url) as __V0__:
         __V1__ = json.loads(__V0__.read())
     return __V1__.get("entries", [])
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import requests
 
 def __F0__(feed_url):
     __V0__ = requests.get(feed_url, timeout=10)
     __V0__.raise_for_status()
     return __V0__.json().get("entries", [])
-"#,
-        ],
-        bait: &[
-            r#"
+"#],
+        bait: &[r#"
 import requests
 
 def __F0__():
     health = requests.get("https://status.internal.example/healthz")
     return health.ok
-"#,
-        ],
+"#],
     },
     CweBank {
         cwe: 601,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 from flask import Flask, request, redirect
 
 app = Flask(__name__)
@@ -1140,10 +1046,8 @@ app = Flask(__name__)
 @app.route("__ROUTE__")
 def __F0__():
     return redirect(request.args.get("next", "/"))
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 from flask import Flask, request, redirect
 
 app = Flask(__name__)
@@ -1152,10 +1056,8 @@ app = Flask(__name__)
 def __F0__():
     __V0__ = request.args.get("next", "/")
     return redirect(__V0__)
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 from flask import Flask, request, redirect, url_for
 
 app = Flask(__name__)
@@ -1167,14 +1069,12 @@ def __F0__():
     if __V0__ not in ALLOWED:
         __V0__ = "home"
     return redirect(url_for(__V0__))
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 918,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 import requests
 from flask import Flask, request
 
@@ -1184,10 +1084,8 @@ app = Flask(__name__)
 def __F0__():
     __V0__ = requests.get(request.args["url"], timeout=10)
     return __V0__.text
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 import requests
 from flask import Flask, request
 
@@ -1198,10 +1096,8 @@ def __F0__():
     __V0__ = request.args.get("url", "")
     __V1__ = requests.get(__V0__, timeout=10)
     return __V1__.text
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import requests
 from urllib.parse import urlparse
 from flask import Flask, request, abort
@@ -1216,44 +1112,36 @@ def __F0__():
         abort(400)
     __V1__ = requests.get(__V0__, timeout=10)
     return __V1__.text
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 287,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 def __F0__(user, password):
     if password == user.password:
         return create_session(user)
     return None
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 def __F0__(account, supplied):
     if account.pw == supplied:
         return create_session(account)
     return None
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 from werkzeug.security import check_password_hash
 
 def __F0__(user, password):
     if check_password_hash(user.password_hash, password):
         return create_session(user)
     return None
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 117,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 import logging
 from flask import Flask, request
 
@@ -1263,10 +1151,8 @@ app = Flask(__name__)
 def __F0__():
     logging.info(f"login attempt for {request.form.get('username')}")
     return "logged"
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 import logging
 from flask import Flask, request
 
@@ -1277,10 +1163,8 @@ logger = logging.getLogger("auth")
 def __F0__():
     logger.info(f"login attempt for {request.form.get('username')}")
     return "logged"
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import logging
 from flask import Flask, request
 
@@ -1292,42 +1176,34 @@ def __F0__():
     __V1__ = "".join(ch for ch in __V0__ if ch.isprintable() and ch not in "\r\n")
     logging.info("login attempt for %s", __V1__)
     return "logged"
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 208,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 def __F0__(provided):
     if provided == "9f86d081884c7d659a2feaa0c55ad015a3bf4f1b2b0b822cd15d6c15b0f00a08":
         return True
     return False
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 def __F0__(provided, stored):
     if stored == provided:
         return True
     return False
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import hmac
 
 def __F0__(provided, stored):
     return hmac.compare_digest(provided, stored)
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 306,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 from flask import Flask, request
 
 app = Flask(__name__)
@@ -1341,10 +1217,8 @@ def __F0__():
 
 if __name__ == "__main__":
     app.run(debug=True)
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 from flask import Flask, request
 
 app = Flask(__name__)
@@ -1353,10 +1227,8 @@ app = Flask(__name__)
 def __F0__():
     update_email(request.form["user_id"], request.form["email"])
     return "updated"
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 from flask import Flask, request, abort, session
 
 app = Flask(__name__)
@@ -1367,14 +1239,12 @@ def __F0__():
         abort(401)
     update_email(session["user_id"], request.form["email"])
     return "updated"
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 352,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 from flask import Flask, request
 
 app = Flask(__name__)
@@ -1384,10 +1254,8 @@ app.config["SECRET_KEY"] = "dev-key-1234"
 def __F0__():
     change_email(request.form["user"], request.form["email"])
     return "changed"
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 from flask import Flask, request
 
 app = Flask(__name__)
@@ -1396,10 +1264,8 @@ app = Flask(__name__)
 def __F0__():
     change_email(request.values["user"], request.values["email"])
     return "changed"
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import os
 from flask import Flask, request
 from flask_wtf.csrf import CSRFProtect
@@ -1412,55 +1278,45 @@ csrf = CSRFProtect(app)
 def __F0__():
     change_email(request.form["user"], request.form["email"])
     return "changed"
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 521,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 def __F0__(username, password):
     if len(password) < 4:
         raise ValueError("password too short")
     return register(username, password)
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 import re
 
 def __F0__(username, password):
     if not re.match(r".{4,}", password):
         raise ValueError("password too short")
     return register(username, password)
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 def __F0__(username, password):
     if len(password) < 12:
         raise ValueError("password must be at least 12 characters")
     if password.lower() == password or not any(c.isdigit() for c in password):
         raise ValueError("password must mix cases and digits")
     return register(username, password)
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 532,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 import logging
 
 def __F0__(username, password):
     logging.info("auth attempt user=%s password=%s", username, password)
     return authenticate(username, password)
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 import logging
 
 logger = logging.getLogger("audit")
@@ -1468,23 +1324,19 @@ logger = logging.getLogger("audit")
 def __F0__(username, credential):
     logger.info("auth attempt user=%s cred=%s", username, credential)
     return authenticate(username, credential)
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import logging
 
 def __F0__(username, password):
     logging.info("auth attempt user=%s password=***", username)
     return authenticate(username, password)
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 605,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 from flask import Flask
 
 app = Flask(__name__)
@@ -1495,10 +1347,8 @@ def __F0__():
 
 if __name__ == "__main__":
     app.run(host="0.0.0.0", port=5000)
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 from flask import Flask
 
 app = Flask(__name__)
@@ -1510,10 +1360,8 @@ def __F0__():
 
 if __name__ == "__main__":
     app.run(host=BIND_ADDR, port=5000)
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 from flask import Flask
 
 app = Flask(__name__)
@@ -1524,14 +1372,12 @@ def __F0__():
 
 if __name__ == "__main__":
     app.run(host="127.0.0.1", port=5000)
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 614,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 from flask import Flask, make_response
 
 app = Flask(__name__)
@@ -1541,10 +1387,8 @@ def __F0__():
     __V0__ = make_response("welcome")
     __V0__.set_cookie("session", new_session_id(), secure=False)
     return __V0__
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 from flask import Flask, make_response
 
 app = Flask(__name__)
@@ -1554,10 +1398,8 @@ def __F0__():
     __V0__ = make_response("welcome")
     __V0__.headers.add("Set-Cookie", "session=" + new_session_id())
     return __V0__
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 from flask import Flask, make_response
 
 app = Flask(__name__)
@@ -1567,101 +1409,81 @@ def __F0__():
     __V0__ = make_response("welcome")
     __V0__.set_cookie("session", new_session_id(), secure=True, httponly=True, samesite="Strict")
     return __V0__
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 643,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 from lxml import etree
 
 def __F0__(tree, username):
     __V0__ = tree.xpath(f"//user[@name='{username}']")
     return __V0__
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 from lxml import etree
 
 def __F0__(tree, username):
     __V0__ = "//user[@name='" + username + "']"
     return tree.xpath(__V0__)
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 from lxml import etree
 
 def __F0__(tree, username):
     return tree.xpath("//user[@name=$name]", name=username)
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 676,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 import md5
 
 def __F0__(path):
     with open(path, "rb") as __V0__:
         return md5.new(__V0__.read()).hexdigest()
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 from hashlib import md5
 
 def __F0__(path):
     with open(path, "rb") as __V0__:
         return md5(__V0__.read()).hexdigest()
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import hashlib
 
 def __F0__(path):
     with open(path, "rb") as __V0__:
         return hashlib.sha256(__V0__.read()).hexdigest()
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 703,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 def __F0__(user, action):
     assert user.is_admin, "admin required"
     return perform(action)
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 def __F0__(user, action):
     assert has_role(user), "admin required"
     return perform(action)
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 def __F0__(user, action):
     if not user.is_admin:
         raise PermissionError("admin required")
     return perform(action)
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 732,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 import os
 
 def __F0__(path, rows):
@@ -1670,10 +1492,8 @@ def __F0__(path, rows):
             __V0__.write(row + "\n")
     os.chmod(path, 0o777)
     return path
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 import os
 import stat
 
@@ -1683,10 +1503,8 @@ def __F0__(path, rows):
             __V0__.write(row + "\n")
     os.chmod(path, stat.S_IRWXU | stat.S_IRWXG | stat.S_IRWXO)
     return path
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import os
 
 def __F0__(path, rows):
@@ -1695,32 +1513,26 @@ def __F0__(path, rows):
             __V0__.write(row + "\n")
     os.chmod(path, 0o600)
     return path
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 759,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 import hashlib
 
 def __F0__(password):
     __V0__ = hashlib.sha256(password.encode()).hexdigest()
     return __V0__
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 from hashlib import sha256
 
 def __F0__(secret_text):
     __V0__ = sha256(secret_text.encode()).hexdigest()
     return __V0__
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import hashlib
 import os
 
@@ -1728,32 +1540,26 @@ def __F0__(password):
     __V0__ = os.urandom(16)
     __V1__ = hashlib.pbkdf2_hmac("sha256", password.encode(), __V0__, 600000)
     return __V0__ + __V1__
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 760,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 import hashlib
 
 def __F0__(passphrase):
     __V0__ = hashlib.pbkdf2_hmac("sha256", passphrase.encode(), b"salt", 1000)
     return __V0__
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 import hashlib
 
 def __F0__(passphrase):
     __V0__ = hashlib.pbkdf2_hmac("sha256", passphrase.encode(), b"app-static-salt", 600000)
     return __V0__
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import hashlib
 import os
 
@@ -1761,48 +1567,40 @@ def __F0__(passphrase):
     __V0__ = os.urandom(16)
     __V1__ = hashlib.pbkdf2_hmac("sha256", passphrase.encode(), __V0__, 600000)
     return __V0__, __V1__
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 776,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 import xml.sax
 
 def __F0__(path):
     __V0__ = xml.sax.make_parser()
     __V0__.parse(path)
     return True
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 from xml.parsers import expat
 
 def __F0__(payload):
     __V0__ = expat.ParserCreate()
     __V0__.Parse(payload, True)
     return True
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import defusedxml.sax
 
 def __F0__(path):
     __V0__ = defusedxml.sax.make_parser()
     __V0__.parse(path)
     return True
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 329,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 import os
 from Crypto.Cipher import AES
 
@@ -1810,20 +1608,16 @@ def __F0__(key, payload):
     iv = b"0123456789abcdef"
     __V0__ = AES.new(key, AES.MODE_CBC, iv)
     return iv + __V0__.encrypt(payload)
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 from Crypto.Cipher import AES
 
 def __F0__(key, payload):
     __V0__ = bytes(16)
     __V1__ = AES.new(key, AES.MODE_CBC, __V0__)
     return __V0__ + __V1__.encrypt(payload)
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import os
 from Crypto.Cipher import AES
 
@@ -1831,8 +1625,7 @@ def __F0__(key, payload):
     __V0__ = os.urandom(16)
     __V1__ = AES.new(key, AES.MODE_CBC, __V0__)
     return __V0__ + __V1__.encrypt(payload)
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
@@ -1853,31 +1646,26 @@ def __F0__(token):
     return __V0__.get("sub")
 "#,
         ],
-        uncovered: &[
-            r#"
+        uncovered: &[r#"
 import jwt
 
 def __F0__(token):
     __V0__ = {"verify_signature": bool(0)}
     __V1__ = jwt.decode(token, options=__V0__)
     return __V1__.get("sub")
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import jwt
 
 def __F0__(token, key):
     __V0__ = jwt.decode(token, key, algorithms=["HS256"])
     return __V0__.get("sub")
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 379,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 import os
 
 def __F0__(name, image):
@@ -1885,10 +1673,8 @@ def __F0__(name, image):
     with open(__V0__, "wb") as __V1__:
         __V1__.write(image)
     return __V0__
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 import os
 
 def __F0__(name, image):
@@ -1896,10 +1682,8 @@ def __F0__(name, image):
     with open(__V0__, "wb") as __V1__:
         __V1__.write(image)
     return __V0__
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import os
 import tempfile
 
@@ -1909,14 +1693,12 @@ def __F0__(name, image):
     with open(__V1__, "wb") as __V2__:
         __V2__.write(image)
     return __V1__
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 477,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 import socket
 import ssl
 
@@ -1924,20 +1706,16 @@ def __F0__(host):
     __V0__ = socket.create_connection((host, 443))
     __V1__ = ssl.wrap_socket(__V0__)
     return __V1__
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 import socket
 from ssl import wrap_socket
 
 def __F0__(host):
     __V0__ = socket.create_connection((host, 443))
     return wrap_socket(__V0__)
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import socket
 import ssl
 
@@ -1945,55 +1723,45 @@ def __F0__(host):
     __V0__ = ssl.create_default_context()
     __V1__ = socket.create_connection((host, 443))
     return __V0__.wrap_socket(__V1__, server_hostname=host)
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 489,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 DEBUG = True
 ALLOWED_HOSTS = ["*"]
 
 def __F0__(settings):
     settings.update({"debug": DEBUG})
     return settings
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 def __F0__(app):
     app.config["DEBUG"] = True
     return app
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 DEBUG = False
 ALLOWED_HOSTS = ["app.example.com"]
 
 def __F0__(settings):
     settings.update({"debug": DEBUG})
     return settings
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 494,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 from urllib.request import urlretrieve
 
 def __F0__(version):
     __V0__ = "plugin-" + version + ".tar.gz"
     urlretrieve("http://plugins.example.com/" + __V0__, __V0__)
     return __V0__
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 import urllib.request
 
 def __F0__(version):
@@ -2003,10 +1771,8 @@ def __F0__(version):
     with open(__V0__, "wb") as out:
         out.write(__V2__)
     return __V0__
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import hashlib
 from urllib.request import urlretrieve
 
@@ -2018,14 +1784,12 @@ def __F0__(version, expected_sha256):
     if digest != expected_sha256:
         raise ValueError("checksum mismatch")
     return __V0__
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 942,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 from flask import Flask, jsonify
 
 app = Flask(__name__)
@@ -2035,10 +1799,8 @@ def __F0__():
     __V0__ = jsonify({"ok": True})
     __V0__.headers["Access-Control-Allow-Origin"] = "*"
     return __V0__
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 from flask import Flask, jsonify
 
 app = Flask(__name__)
@@ -2048,10 +1810,8 @@ def __F0__():
     __V0__ = jsonify({"ok": True})
     __V0__.headers.update({"Access-Control-Allow-Origin": "*"})
     return __V0__
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 from flask import Flask, jsonify
 
 app = Flask(__name__)
@@ -2061,14 +1821,12 @@ def __F0__():
     __V0__ = jsonify({"ok": True})
     __V0__.headers["Access-Control-Allow-Origin"] = "https://app.example.com"
     return __V0__
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 1004,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 from flask import Flask, make_response
 
 app = Flask(__name__)
@@ -2078,10 +1836,8 @@ def __F0__():
     __V0__ = make_response("signed in")
     __V0__.set_cookie("remember_me", new_token())
     return __V0__
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 from flask import Flask, make_response
 
 app = Flask(__name__)
@@ -2091,10 +1847,8 @@ def __F0__():
     __V0__ = make_response("signed in")
     __V0__.headers["Set-Cookie"] = "remember_me=" + new_token()
     return __V0__
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 from flask import Flask, make_response
 
 app = Flask(__name__)
@@ -2104,14 +1858,12 @@ def __F0__():
     __V0__ = make_response("signed in")
     __V0__.set_cookie("remember_me", new_token(), secure=True, httponly=True, samesite="Lax")
     return __V0__
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 1336,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 from flask import Flask, request, render_template_string
 
 app = Flask(__name__)
@@ -2120,10 +1872,8 @@ app = Flask(__name__)
 def __F0__():
     __V0__ = request.args.get("name", "guest")
     return render_template_string(f"<h1>Welcome {__V0__}</h1>")
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 from flask import Flask, request
 from jinja2 import Template
 
@@ -2134,10 +1884,8 @@ def __F0__():
     __V0__ = request.args.get("name", "guest")
     __V1__ = Template("<h1>Welcome " + __V0__ + "</h1>")
     return __V1__.render()
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 from flask import Flask, request, render_template
 
 app = Flask(__name__)
@@ -2146,8 +1894,7 @@ app = Flask(__name__)
 def __F0__():
     __V0__ = request.args.get("name", "guest")
     return render_template("welcome.html", name=__V0__)
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
@@ -2165,16 +1912,13 @@ def __F0__(username, secret_text, path="accounts.txt"):
     return path
 "#,
         ],
-        uncovered: &[
-            r#"
+        uncovered: &[r#"
 def __F0__(username, secret_text, path="accounts.txt"):
     with open(path, "a") as __V0__:
         __V0__.write(username + ":" + secret_text + "\n")
     return path
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import hashlib
 import os
 
@@ -2185,14 +1929,12 @@ def __F0__(username, secret_text, path="accounts.txt"):
         __V2__.write(username + ":" + __V0__.hex() + ":" + __V1__.hex() + "\n")
     os.chmod(path, 0o600)
     return path
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 259,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 import sqlite3
 
 def __F0__():
@@ -2200,10 +1942,8 @@ def __F0__():
     __V0__ = sqlite3.connect("admin.db")
     __V0__.execute("PRAGMA key = ?", (password,))
     return __V0__
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 import sqlite3
 
 ADMIN_PASSWORD = "backend-master-2024"
@@ -2212,10 +1952,8 @@ def __F0__():
     __V0__ = sqlite3.connect("admin.db")
     __V0__.execute("PRAGMA key = ?", (ADMIN_PASSWORD,))
     return __V0__
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import os
 import sqlite3
 
@@ -2224,40 +1962,33 @@ def __F0__():
     __V0__ = sqlite3.connect("admin.db")
     __V0__.execute("PRAGMA key = ?", (password,))
     return __V0__
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 312,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 def __F0__(client):
     auth_token = "ya29.a0AfH6SMBxxxxxxxx"
     client.authorize(auth_token)
     return client
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 import json
 
 def __F0__(token, path="token-cache.json"):
     with open(path, "w") as __V0__:
         json.dump({"oauth": token}, __V0__)
     return path
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import os
 
 def __F0__(client):
     auth_token = os.environ["OAUTH_TOKEN"]
     client.authorize(auth_token)
     return client
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
@@ -2275,17 +2006,14 @@ def __F0__():
     return __V0__, __V1__
 "#,
         ],
-        uncovered: &[
-            r#"
+        uncovered: &[r#"
 from Crypto.PublicKey import RSA
 
 def __F0__():
     __V0__ = RSA.generate(1024)
     return __V0__
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import hashlib
 from Crypto.PublicKey import RSA
 
@@ -2293,14 +2021,12 @@ def __F0__():
     __V0__ = RSA.generate(3072)
     __V1__ = hashlib.sha256(__V0__.publickey().export_key()).hexdigest()
     return __V0__, __V1__
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 20,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 import sqlite3
 from flask import Flask, request
 
@@ -2312,10 +2038,8 @@ def __F0__():
     __V1__ = sqlite3.connect("app.db").cursor()
     __V1__.execute(f"SELECT * FROM posts LIMIT 10 OFFSET {__V0__}")
     return str(__V1__.fetchall())
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 from flask import Flask, request
 
 app = Flask(__name__)
@@ -2324,10 +2048,8 @@ app = Flask(__name__)
 def __F0__():
     __V0__ = int(request.args.get("page", "1"))
     return str(load_page(__V0__))
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 from flask import Flask, request, abort
 
 app = Flask(__name__)
@@ -2338,39 +2060,32 @@ def __F0__():
     if not __V0__.isdigit() or not 1 <= int(__V0__) <= 10000:
         abort(400)
     return str(load_page(int(__V0__)))
-"#,
-        ],
+"#],
         bait: &[],
     },
     CweBank {
         cwe: 90,
-        vulnerable: &[
-            r#"
+        vulnerable: &[r#"
 import ldap
 
 def __F0__(conn, account):
     __V0__ = conn.search_s("ou=people,dc=example,dc=com", ldap.SCOPE_SUBTREE, "(uid=%s)" % account)
     return __V0__
-"#,
-        ],
-        uncovered: &[
-            r#"
+"#],
+        uncovered: &[r#"
 import ldap
 
 def __F0__(conn, account):
     __V0__ = "(uid={})".format(account)
     return conn.search_s("ou=people,dc=example,dc=com", ldap.SCOPE_SUBTREE, __V0__)
-"#,
-        ],
-        safe: &[
-            r#"
+"#],
+        safe: &[r#"
 import ldap
 import ldap.filter
 
 def __F0__(conn, account):
     return conn.search_s("ou=people,dc=example,dc=com", ldap.SCOPE_SUBTREE, "(uid=%s)" % ldap.filter.escape_filter_chars(account))
-"#,
-        ],
+"#],
         bait: &[],
     },
 ];

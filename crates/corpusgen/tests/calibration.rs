@@ -22,11 +22,7 @@ fn covered_vulnerable_samples_are_detected() {
             misses.push((s.prompt_id, s.model, corpus.prompt(s).cwe));
         }
     }
-    assert!(
-        misses.is_empty(),
-        "{} covered samples undetected: {misses:?}",
-        misses.len()
-    );
+    assert!(misses.is_empty(), "{} covered samples undetected: {misses:?}", misses.len());
 }
 
 #[test]
@@ -39,11 +35,7 @@ fn uncovered_vulnerable_samples_are_missed() {
             hits.push((s.prompt_id, s.model, corpus.prompt(s).cwe));
         }
     }
-    assert!(
-        hits.is_empty(),
-        "{} uncovered samples unexpectedly detected: {hits:?}",
-        hits.len()
-    );
+    assert!(hits.is_empty(), "{} uncovered samples unexpectedly detected: {hits:?}", hits.len());
 }
 
 #[test]
@@ -54,19 +46,10 @@ fn plain_safe_samples_are_clean() {
     for s in corpus.samples.iter().filter(|s| !s.vulnerable && !s.bait) {
         let findings = det.detect(&s.code);
         if !findings.is_empty() {
-            hits.push((
-                s.prompt_id,
-                s.model,
-                corpus.prompt(s).cwe,
-                findings[0].rule_id.clone(),
-            ));
+            hits.push((s.prompt_id, s.model, corpus.prompt(s).cwe, findings[0].rule_id.clone()));
         }
     }
-    assert!(
-        hits.is_empty(),
-        "{} safe samples flagged: {hits:?}",
-        hits.len()
-    );
+    assert!(hits.is_empty(), "{} safe samples flagged: {hits:?}", hits.len());
 }
 
 #[test]
@@ -79,11 +62,7 @@ fn bait_samples_trip_the_detector() {
             misses.push((s.prompt_id, s.model, corpus.prompt(s).cwe));
         }
     }
-    assert!(
-        misses.is_empty(),
-        "{} bait samples not flagged: {misses:?}",
-        misses.len()
-    );
+    assert!(misses.is_empty(), "{} bait samples not flagged: {misses:?}", misses.len());
 }
 
 #[test]

@@ -1,6 +1,7 @@
 //! Rule-catalog ablation: detection metrics with parts of the catalog
 //! removed, quantifying each OWASP category's contribution.
 
+use crate::parallel::{default_jobs, par_map_samples};
 use corpusgen::Corpus;
 use patchit_core::{all_rules, Detector, DetectorOptions, Owasp};
 use vstats::Confusion;
@@ -16,34 +17,39 @@ pub struct AblationRow {
     pub metrics: Confusion,
 }
 
-fn measure(detector: &Detector, corpus: &Corpus) -> Confusion {
-    let mut c = Confusion::new();
-    for s in &corpus.samples {
-        c.record(detector.is_vulnerable(&s.code), s.vulnerable);
+/// Measures every configuration in one pass: each sample is analyzed
+/// once (one `SourceAnalysis`), and the artifact is fanned out to all
+/// detector configurations.
+fn measure_all(detectors: &[Detector], corpus: &Corpus) -> Vec<Confusion> {
+    let verdicts: Vec<Vec<bool>> = par_map_samples(corpus, default_jobs(), |_, _, a| {
+        detectors.iter().map(|d| d.is_vulnerable_analysis(a)).collect()
+    });
+    let mut out = vec![Confusion::new(); detectors.len()];
+    for (s, row) in corpus.samples.iter().zip(&verdicts) {
+        for (c, v) in out.iter_mut().zip(row) {
+            c.record(*v, s.vulnerable);
+        }
     }
-    c
+    out
 }
 
 /// Runs the full catalog plus one leave-one-category-out configuration
 /// per OWASP category. The first row is always the full catalog.
 pub fn run_rule_ablation(corpus: &Corpus) -> Vec<AblationRow> {
-    let full = Detector::new();
-    let mut rows = vec![AblationRow {
-        label: "full catalog".into(),
-        rule_count: full.rule_count(),
-        metrics: measure(&full, corpus),
-    }];
+    let mut labels = vec!["full catalog".to_string()];
+    let mut detectors = vec![Detector::new()];
     for cat in Owasp::all() {
         let rules: Vec<_> = all_rules().into_iter().filter(|r| r.owasp != cat).collect();
-        let n = rules.len();
-        let det = Detector::with_rules(rules);
-        rows.push(AblationRow {
-            label: format!("without {} ({})", cat.code(), cat.title()),
-            rule_count: n,
-            metrics: measure(&det, corpus),
-        });
+        labels.push(format!("without {} ({})", cat.code(), cat.title()));
+        detectors.push(Detector::with_rules(rules));
     }
-    rows
+    let metrics = measure_all(&detectors, corpus);
+    labels
+        .into_iter()
+        .zip(detectors)
+        .zip(metrics)
+        .map(|((label, det), metrics)| AblationRow { label, rule_count: det.rule_count(), metrics })
+        .collect()
 }
 
 /// Design-choice ablation: the detector's comment blanking and rule
@@ -60,15 +66,17 @@ pub fn run_feature_ablation(corpus: &Corpus) -> Vec<AblationRow> {
             DetectorOptions { blank_comments: true, apply_suppressions: false },
         ),
     ];
+    let detectors: Vec<Detector> =
+        configs.iter().map(|(_, o)| Detector::with_options(*o)).collect();
+    let metrics = measure_all(&detectors, corpus);
     configs
-        .into_iter()
-        .map(|(label, options)| {
-            let det = Detector::with_options(options);
-            AblationRow {
-                label: label.to_string(),
-                rule_count: det.rule_count(),
-                metrics: measure(&det, corpus),
-            }
+        .iter()
+        .zip(&detectors)
+        .zip(metrics)
+        .map(|(((label, _), det), metrics)| AblationRow {
+            label: (*label).to_string(),
+            rule_count: det.rule_count(),
+            metrics,
         })
         .collect()
 }
@@ -102,10 +110,8 @@ mod tests {
         let full = rows[0].metrics;
         // Disabling suppressions must not lose any true positive and can
         // only add false positives → precision ≤ full, recall ≥ full.
-        let no_sup = rows
-            .iter()
-            .find(|r| r.label.contains("suppressions"))
-            .expect("config present");
+        let no_sup =
+            rows.iter().find(|r| r.label.contains("suppressions")).expect("config present");
         assert!(no_sup.metrics.precision() <= full.precision() + 1e-12);
         assert!(no_sup.metrics.recall() >= full.recall() - 1e-12);
     }
@@ -117,10 +123,8 @@ mod tests {
         let corpus = generate_corpus();
         let rows = run_rule_ablation(&corpus);
         let full_recall = rows[0].metrics.recall();
-        let contributing = rows[1..]
-            .iter()
-            .filter(|r| r.metrics.recall() < full_recall - 1e-9)
-            .count();
+        let contributing =
+            rows[1..].iter().filter(|r| r.metrics.recall() < full_recall - 1e-9).count();
         assert!(contributing >= 5, "only {contributing} categories contribute");
     }
 }

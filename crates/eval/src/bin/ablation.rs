@@ -10,10 +10,7 @@ fn main() {
     let rows = run_rule_ablation(&corpus);
     let baseline = rows[0].metrics;
     println!("RULE-CATALOG ABLATION (609 samples)");
-    println!(
-        "{:<58}{:>6}{:>8}{:>8}{:>8}{:>9}",
-        "Configuration", "rules", "P", "R", "F1", "ΔF1"
-    );
+    println!("{:<58}{:>6}{:>8}{:>8}{:>8}{:>9}", "Configuration", "rules", "P", "R", "F1", "ΔF1");
     println!("{}", "-".repeat(97));
     for (i, row) in rows.iter().enumerate() {
         let delta = if i == 0 {

@@ -8,10 +8,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 fn main() -> std::io::Result<()> {
-    let out: PathBuf = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "corpus-out".to_string())
-        .into();
+    let out: PathBuf = std::env::args().nth(1).unwrap_or_else(|| "corpus-out".to_string()).into();
     let corpus = generate_corpus();
     let mut manifest = String::from(
         "file\tprompt_id\tmodel\tcwe\tsource\tvulnerable\tcwes\tcovered\tbait\ttruncated\n",
@@ -26,12 +23,7 @@ fn main() -> std::io::Result<()> {
             let mut body = format!("# Prompt {}: {}\n", s.prompt_id, prompt.text);
             body.push_str(&s.code);
             std::fs::write(&path, body)?;
-            let cwes = s
-                .cwes
-                .iter()
-                .map(|c| c.to_string())
-                .collect::<Vec<_>>()
-                .join(",");
+            let cwes = s.cwes.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(",");
             let _ = writeln!(
                 manifest,
                 "{}/{}\t{}\t{}\t{}\t{:?}\t{}\t{}\t{}\t{}\t{}",
@@ -50,10 +42,6 @@ fn main() -> std::io::Result<()> {
         }
     }
     std::fs::write(out.join("manifest.tsv"), manifest)?;
-    eprintln!(
-        "wrote {} samples under {} (+ manifest.tsv)",
-        corpus.samples.len(),
-        out.display()
-    );
+    eprintln!("wrote {} samples under {} (+ manifest.tsv)", corpus.samples.len(), out.display());
     Ok(())
 }

@@ -3,10 +3,11 @@
 //! patches, and LLM patches.
 
 use crate::detection::LLM_SEED;
+use crate::parallel::{default_jobs, par_map_samples};
 use baselines::{LlmKind, LlmTool};
 use corpusgen::{safe_variant, Corpus};
 use patchit_core::Patcher;
-use pymetrics::{complexity, quality};
+use pymetrics::{complexity, complexity_analysis, quality};
 use vstats::{describe, rank_sum, RankSumResult, Summary};
 
 /// One distribution series of Fig. 3.
@@ -33,10 +34,7 @@ pub struct ComplexityStudy {
 impl ComplexityStudy {
     /// Finds a series by label.
     pub fn get(&self, label: &str) -> &Series {
-        self.series
-            .iter()
-            .find(|s| s.label == label)
-            .unwrap_or_else(|| panic!("no series {label}"))
+        self.series.iter().find(|s| s.label == label).unwrap_or_else(|| panic!("no series {label}"))
     }
 }
 
@@ -44,48 +42,51 @@ fn cc_of(code: &str) -> f64 {
     complexity(code).mean()
 }
 
-/// Runs the Fig. 3 complexity study over the corpus.
+/// Runs the Fig. 3 complexity study over the corpus with the default
+/// worker count.
 pub fn run_complexity(corpus: &Corpus) -> ComplexityStudy {
-    let generated: Vec<f64> = corpus.samples.iter().map(|s| cc_of(&s.code)).collect();
+    run_complexity_jobs(corpus, default_jobs())
+}
 
-    // PatchitPy: each sample after (possibly identity) patching.
+/// [`run_complexity`] with an explicit worker count. All five series
+/// (generated, PatchitPy, three LLMs) are measured in one pass over the
+/// corpus: each sample is analyzed once and its artifact shared by the
+/// generated-complexity measurement, the PatchitPy patcher, and every
+/// LLM simulator.
+pub fn run_complexity_jobs(corpus: &Corpus, jobs: usize) -> ComplexityStudy {
     let patcher = Patcher::new();
-    let patched: Vec<f64> = corpus
-        .samples
-        .iter()
-        .map(|s| cc_of(&patcher.patch(&s.code).source))
-        .collect();
+    let llms: Vec<LlmTool> =
+        LlmKind::all().into_iter().map(|k| LlmTool::new(k, LLM_SEED)).collect();
 
-    let mut series = vec![
-        Series {
-            label: "Generated".into(),
-            summary: describe(&generated),
-            vs_generated: None,
-            values: generated.clone(),
-        },
-        Series {
-            label: "PatchitPy".into(),
-            summary: describe(&patched),
-            vs_generated: Some(rank_sum(&patched, &generated)),
-            values: patched,
-        },
-    ];
+    // [generated, patchitpy, llm0, llm1, llm2] per sample.
+    let rows: Vec<[f64; 5]> = par_map_samples(corpus, jobs, |_, s, a| {
+        let generated = complexity_analysis(a).mean();
+        let patched = cc_of(&patcher.patch_analysis(a).source);
+        let mut row = [generated, patched, 0.0, 0.0, 0.0];
+        for (slot, tool) in row.iter_mut().skip(2).zip(&llms) {
+            *slot = if tool.detect_analysis(a, s.vulnerable) {
+                cc_of(&tool.patch_analysis(a).code)
+            } else {
+                generated
+            };
+        }
+        row
+    });
 
-    for kind in LlmKind::all() {
-        let tool = LlmTool::new(kind, LLM_SEED);
-        let values: Vec<f64> = corpus
-            .samples
-            .iter()
-            .map(|s| {
-                if tool.detect(&s.code, s.vulnerable) {
-                    cc_of(&tool.patch(&s.code).code)
-                } else {
-                    cc_of(&s.code)
-                }
-            })
-            .collect();
+    let column = |i: usize| rows.iter().map(|r| r[i]).collect::<Vec<f64>>();
+    let generated = column(0);
+    let mut series = vec![Series {
+        label: "Generated".into(),
+        summary: describe(&generated),
+        vs_generated: None,
+        values: generated.clone(),
+    }];
+    let labels: [&str; 4] =
+        ["PatchitPy", llms[0].kind().display(), llms[1].kind().display(), llms[2].kind().display()];
+    for (i, label) in labels.iter().enumerate() {
+        let values = column(i + 1);
         series.push(Series {
-            label: kind.display().into(),
+            label: (*label).to_string(),
             summary: describe(&values),
             vs_generated: Some(rank_sum(&values, &generated)),
             values,
@@ -104,46 +105,63 @@ pub struct QualityStudy {
     pub patchitpy_vs_ground_truth: RankSumResult,
 }
 
-/// Runs the patch-quality study.
+/// Runs the patch-quality study with the default worker count.
 pub fn run_quality(corpus: &Corpus) -> QualityStudy {
+    run_quality_jobs(corpus, default_jobs())
+}
+
+/// [`run_quality`] with an explicit worker count: one shared artifact per
+/// sample feeds PatchitPy's patch pass and all three LLM simulators, with
+/// scores folded in sample order.
+pub fn run_quality_jobs(corpus: &Corpus, jobs: usize) -> QualityStudy {
     let patcher = Patcher::new();
-    let mut pip_scores = Vec::new();
-    let mut gt_scores = Vec::new();
-    for s in &corpus.samples {
+    let llms: Vec<LlmTool> =
+        LlmKind::all().into_iter().map(|k| LlmTool::new(k, LLM_SEED)).collect();
+
+    // Per-sample: PatchitPy (patched score, ground-truth score) when the
+    // patch verified, plus one optional score per LLM.
+    type Row = (Option<(f64, f64)>, [Option<f64>; 3]);
+    let rows: Vec<Row> = par_map_samples(corpus, jobs, |_, s, a| {
         // As in the paper, quality is judged on *successful* patches: a
         // truncated sample cannot be linted meaningfully, and a file with
         // residual findings was not counted as patched in Table III.
-        if s.truncated {
-            continue;
+        let pip = if s.truncated {
+            None
+        } else {
+            let out = patcher.patch_analysis(a);
+            if out.changed() && patcher.detector().detect(&out.source).is_empty() {
+                Some((
+                    quality(&out.source).score,
+                    quality(&safe_variant(corpus.prompt(s), s.model)).score,
+                ))
+            } else {
+                None
+            }
+        };
+        let mut llm_scores = [None; 3];
+        for (slot, tool) in llm_scores.iter_mut().zip(&llms) {
+            if s.vulnerable && tool.detect_analysis(a, true) {
+                let p = tool.patch_analysis(a);
+                if p.correct {
+                    *slot = Some(quality(&p.code).score);
+                }
+            }
         }
-        let out = patcher.patch(&s.code);
-        if out.changed() && patcher.detector().detect(&out.source).is_empty() {
-            pip_scores.push(quality(&out.source).score);
-            gt_scores.push(quality(&safe_variant(corpus.prompt(s), s.model)).score);
-        }
-    }
+        (pip, llm_scores)
+    });
+
+    let pip_scores: Vec<f64> = rows.iter().filter_map(|(p, _)| p.map(|(s, _)| s)).collect();
+    let gt_scores: Vec<f64> = rows.iter().filter_map(|(p, _)| p.map(|(_, g)| g)).collect();
     let mut series = vec![
         ("PatchitPy".to_string(), pip_scores.clone(), median(&pip_scores)),
         ("Ground truth".to_string(), gt_scores.clone(), median(&gt_scores)),
     ];
-    for kind in LlmKind::all() {
-        let tool = LlmTool::new(kind, LLM_SEED);
-        let mut scores = Vec::new();
-        for s in &corpus.samples {
-            if s.vulnerable && tool.detect(&s.code, true) {
-                let p = tool.patch(&s.code);
-                if p.correct {
-                    scores.push(quality(&p.code).score);
-                }
-            }
-        }
+    for (i, kind) in LlmKind::all().into_iter().enumerate() {
+        let scores: Vec<f64> = rows.iter().filter_map(|(_, l)| l[i]).collect();
         let m = median(&scores);
         series.push((kind.display().to_string(), scores, m));
     }
-    QualityStudy {
-        patchitpy_vs_ground_truth: rank_sum(&pip_scores, &gt_scores),
-        series,
-    }
+    QualityStudy { patchitpy_vs_ground_truth: rank_sum(&pip_scores, &gt_scores), series }
 }
 
 fn median(values: &[f64]) -> f64 {

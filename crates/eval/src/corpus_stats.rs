@@ -26,11 +26,7 @@ pub struct CorpusStats {
 
 /// Computes the §III-A/§III-B statistics.
 pub fn corpus_stats(corpus: &Corpus) -> CorpusStats {
-    let lens: Vec<f64> = corpus
-        .prompts
-        .iter()
-        .map(|p| nl_token_count(&p.text) as f64)
-        .collect();
+    let lens: Vec<f64> = corpus.prompts.iter().map(|p| nl_token_count(&p.text) as f64).collect();
     let under_35 = lens.iter().filter(|l| **l < 35.0).count() as f64 / lens.len() as f64;
 
     let mut per_source: HashMap<PromptSource, usize> = HashMap::new();
@@ -94,22 +90,11 @@ pub fn render_corpus_stats(stats: &CorpusStats) -> String {
             *v as f64 / *total as f64 * 100.0
         );
     }
-    let _ = writeln!(
-        out,
-        "  distinct ground-truth CWEs: {} (paper: 63)",
-        stats.distinct_cwes
-    );
-    let top5: Vec<String> = stats
-        .top_cwes
-        .iter()
-        .take(5)
-        .map(|(c, n)| format!("CWE-{c:03} ({n})"))
-        .collect();
-    let _ = writeln!(
-        out,
-        "  most frequent CWEs: {} (paper: 502, 522, 434, 089, 200)",
-        top5.join(", ")
-    );
+    let _ = writeln!(out, "  distinct ground-truth CWEs: {} (paper: 63)", stats.distinct_cwes);
+    let top5: Vec<String> =
+        stats.top_cwes.iter().take(5).map(|(c, n)| format!("CWE-{c:03} ({n})")).collect();
+    let _ =
+        writeln!(out, "  most frequent CWEs: {} (paper: 502, 522, 434, 089, 200)", top5.join(", "));
     out
 }
 
@@ -124,8 +109,7 @@ mod tests {
         let stats = corpus_stats(&corpus);
         assert_eq!(stats.distinct_cwes, 63);
         assert!(stats.under_35_fraction >= 0.75);
-        let rates: Vec<usize> =
-            stats.vulnerable_rates.iter().map(|(_, v, _)| *v).collect();
+        let rates: Vec<usize> = stats.vulnerable_rates.iter().map(|(_, v, _)| *v).collect();
         assert_eq!(rates, vec![169, 126, 166]);
         assert_eq!(stats.top_cwes[0].0, 502);
     }

@@ -1,7 +1,8 @@
 //! Table II: detection performance of PatchitPy and the six baselines.
 
+use crate::parallel::{default_jobs, par_map_samples};
 use baselines::{BanditLike, CodeqlLike, DetectionTool, LlmKind, LlmTool, SemgrepLike};
-use corpusgen::{Corpus, Model, Sample};
+use corpusgen::{Corpus, Model};
 use patchit_core::Detector;
 use std::collections::{BTreeSet, HashMap};
 use vstats::Confusion;
@@ -23,53 +24,8 @@ pub struct ToolDetection {
 impl ToolDetection {
     /// Confusion matrix for one generator.
     pub fn model(&self, m: Model) -> Confusion {
-        self.per_model
-            .iter()
-            .find(|(mm, _)| *mm == m)
-            .map(|(_, c)| *c)
-            .expect("all models present")
+        self.per_model.iter().find(|(mm, _)| *mm == m).map(|(_, c)| *c).expect("all models present")
     }
-}
-
-/// Runs one tool's verdict over every sample, in parallel chunks.
-fn run_tool<F>(corpus: &Corpus, verdict: F) -> Vec<(Model, Confusion)>
-where
-    F: Fn(&Sample) -> bool + Sync,
-{
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(8);
-    let chunk = corpus.samples.len().div_ceil(n_threads);
-    let partials: Vec<HashMap<Model, Confusion>> = crossbeam::scope(|scope| {
-        let handles: Vec<_> = corpus
-            .samples
-            .chunks(chunk)
-            .map(|samples| {
-                let verdict = &verdict;
-                scope.spawn(move |_| {
-                    let mut local: HashMap<Model, Confusion> = HashMap::new();
-                    for s in samples {
-                        local
-                            .entry(s.model)
-                            .or_default()
-                            .record(verdict(s), s.vulnerable);
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
-    })
-    .expect("scope");
-
-    let mut merged: HashMap<Model, Confusion> = HashMap::new();
-    for partial in partials {
-        for (m, c) in partial {
-            merged.entry(m).or_default().merge(c);
-        }
-    }
-    Model::all().into_iter().map(|m| (m, merged.remove(&m).unwrap_or_default())).collect()
 }
 
 fn finish(tool: &str, per_model: Vec<(Model, Confusion)>) -> ToolDetection {
@@ -80,31 +36,65 @@ fn finish(tool: &str, per_model: Vec<(Model, Confusion)>) -> ToolDetection {
     ToolDetection { tool: tool.to_string(), per_model, all }
 }
 
+/// Number of tools in the Table II study.
+const TOOLS: usize = 7;
+
 /// Runs the full Table II study: PatchitPy, CodeQL, Semgrep, Bandit, and
-/// the three simulated LLMs over every corpus sample.
+/// the three simulated LLMs over every corpus sample, with the default
+/// worker count.
 pub fn run_detection(corpus: &Corpus) -> Vec<ToolDetection> {
-    let mut rows = Vec::with_capacity(7);
+    run_detection_jobs(corpus, default_jobs())
+}
 
+/// [`run_detection`] with an explicit worker count. Each sample is
+/// analyzed exactly once — one [`analysis::SourceAnalysis`] per sample —
+/// and the artifact is fanned out to all seven tools; the per-sample loop
+/// runs on `jobs` threads with results folded in sample order, so the
+/// study is byte-identical for any `jobs ≥ 1`.
+pub fn run_detection_jobs(corpus: &Corpus, jobs: usize) -> Vec<ToolDetection> {
     let detector = Detector::new();
-    rows.push(finish("PatchitPy", run_tool(corpus, |s| detector.is_vulnerable(&s.code))));
-
     let codeql = CodeqlLike::new();
-    rows.push(finish("CodeQL", run_tool(corpus, |s| codeql.flags(&s.code))));
-
     let semgrep = SemgrepLike::new();
-    rows.push(finish("Semgrep", run_tool(corpus, |s| semgrep.flags(&s.code))));
-
     let bandit = BanditLike::new();
-    rows.push(finish("Bandit", run_tool(corpus, |s| bandit.flags(&s.code))));
+    let llms: Vec<LlmTool> =
+        LlmKind::all().into_iter().map(|k| LlmTool::new(k, LLM_SEED)).collect();
 
-    for kind in LlmKind::all() {
-        let tool = LlmTool::new(kind, LLM_SEED);
-        rows.push(finish(
-            kind.display(),
-            run_tool(corpus, |s| tool.detect(&s.code, s.vulnerable)),
-        ));
-    }
-    rows
+    let verdicts: Vec<[bool; TOOLS]> = par_map_samples(corpus, jobs, |_, s, a| {
+        [
+            detector.is_vulnerable_analysis(a),
+            codeql.flags_analysis(a),
+            semgrep.flags_analysis(a),
+            bandit.flags_analysis(a),
+            llms[0].detect_analysis(a, s.vulnerable),
+            llms[1].detect_analysis(a, s.vulnerable),
+            llms[2].detect_analysis(a, s.vulnerable),
+        ]
+    });
+
+    let names: [&str; TOOLS] = [
+        "PatchitPy",
+        "CodeQL",
+        "Semgrep",
+        "Bandit",
+        llms[0].name(),
+        llms[1].name(),
+        llms[2].name(),
+    ];
+    names
+        .iter()
+        .enumerate()
+        .map(|(t, name)| {
+            let mut merged: HashMap<Model, Confusion> = HashMap::new();
+            for (s, v) in corpus.samples.iter().zip(&verdicts) {
+                merged.entry(s.model).or_default().record(v[t], s.vulnerable);
+            }
+            let per_model = Model::all()
+                .into_iter()
+                .map(|m| (m, merged.remove(&m).unwrap_or_default()))
+                .collect();
+            finish(name, per_model)
+        })
+        .collect()
 }
 
 /// §III-C: distinct CWEs among PatchitPy's *true-positive* samples per

@@ -25,13 +25,20 @@ pub mod ablation;
 pub mod complexity_study;
 pub mod corpus_stats;
 pub mod detection;
+pub mod parallel;
 pub mod patching;
 pub mod tables;
 
 pub use ablation::{run_rule_ablation, AblationRow};
 
-pub use complexity_study::{run_complexity, run_quality, ComplexityStudy, QualityStudy, Series};
+pub use complexity_study::{
+    run_complexity, run_complexity_jobs, run_quality, run_quality_jobs, ComplexityStudy,
+    QualityStudy, Series,
+};
 pub use corpus_stats::{corpus_stats, render_corpus_stats, CorpusStats};
-pub use detection::{distinct_cwes_detected, run_detection, ToolDetection, LLM_SEED};
-pub use patching::{run_patching, suggestion_rates, PatchCounts, ToolPatching};
+pub use detection::{
+    distinct_cwes_detected, run_detection, run_detection_jobs, ToolDetection, LLM_SEED,
+};
+pub use parallel::{default_jobs, par_map_samples};
+pub use patching::{run_patching, run_patching_jobs, suggestion_rates, PatchCounts, ToolPatching};
 pub use tables::{render_fig3, render_table2, render_table3};

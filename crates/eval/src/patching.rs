@@ -6,8 +6,10 @@
 //! reported separately by [`suggestion_rates`]).
 
 use crate::detection::LLM_SEED;
+use crate::parallel::{default_jobs, par_map_samples};
+use analysis::SourceAnalysis;
 use baselines::{BanditLike, DetectionTool, LlmKind, LlmTool, SemgrepLike};
-use corpusgen::{Corpus, Model, Sample};
+use corpusgen::{Corpus, Model};
 use patchit_core::Patcher;
 
 /// Patch-study results for one tool.
@@ -53,11 +55,7 @@ impl PatchCounts {
 impl ToolPatching {
     /// Counts for one generator.
     pub fn model(&self, m: Model) -> PatchCounts {
-        self.per_model
-            .iter()
-            .find(|(mm, _)| *mm == m)
-            .map(|(_, c)| *c)
-            .expect("all models present")
+        self.per_model.iter().find(|(mm, _)| *mm == m).map(|(_, c)| *c).expect("all models present")
     }
 
     /// Pooled counts over all generators.
@@ -74,63 +72,77 @@ impl ToolPatching {
 
 /// Verifies a PatchitPy patch the way the paper's experts + CodeQL
 /// re-scan do: at least one fix must have been applied and the re-scan of
-/// the patched source must come back clean.
-fn patchitpy_sample(patcher: &Patcher, s: &Sample) -> (bool, bool) {
-    let findings = patcher.detector().detect(&s.code);
+/// the patched source must come back clean. (The re-scan necessarily
+/// analyzes the *patched* text, which no shared artifact can cover.)
+fn patchitpy_sample(patcher: &Patcher, a: &SourceAnalysis) -> (bool, bool) {
+    let findings = patcher.detector().detect_analysis(a);
     let detected = !findings.is_empty();
     if !detected {
         return (false, false);
     }
-    let out = patcher.patch_findings(&s.code, &findings);
+    let out = patcher.patch_findings_analysis(a, &findings);
     let clean = out.changed() && patcher.detector().detect(&out.source).is_empty();
     (true, clean)
 }
 
-/// Runs the Table III study.
+/// Number of patching tools (PatchitPy + three LLMs).
+const TOOLS: usize = 4;
+
+/// Runs the Table III study with the default worker count.
 pub fn run_patching(corpus: &Corpus) -> Vec<ToolPatching> {
-    let mut rows = Vec::new();
+    run_patching_jobs(corpus, default_jobs())
+}
 
-    // PatchitPy.
+/// [`run_patching`] with an explicit worker count. Each vulnerable sample
+/// is analyzed once and the artifact shared by PatchitPy's
+/// detect-then-patch pass and all three LLM simulators; results fold in
+/// sample order, so the table is identical for any `jobs ≥ 1`.
+pub fn run_patching_jobs(corpus: &Corpus, jobs: usize) -> Vec<ToolPatching> {
     let patcher = Patcher::new();
-    let mut per_model = Vec::new();
-    for m in Model::all() {
-        let mut counts = PatchCounts::default();
-        for s in corpus.by_model(m) {
-            if !s.vulnerable {
-                continue;
-            }
-            counts.vulnerable += 1;
-            let (detected, patched) = patchitpy_sample(&patcher, s);
-            counts.detected += detected as usize;
-            counts.patched += patched as usize;
-        }
-        per_model.push((m, counts));
-    }
-    rows.push(ToolPatching { tool: "PatchitPy".into(), per_model });
+    let llms: Vec<LlmTool> =
+        LlmKind::all().into_iter().map(|k| LlmTool::new(k, LLM_SEED)).collect();
 
-    // LLM baselines.
-    for kind in LlmKind::all() {
-        let tool = LlmTool::new(kind, LLM_SEED);
-        let mut per_model = Vec::new();
-        for m in Model::all() {
-            let mut counts = PatchCounts::default();
-            for s in corpus.by_model(m) {
-                if !s.vulnerable {
-                    continue;
-                }
-                counts.vulnerable += 1;
-                if tool.detect(&s.code, true) {
-                    counts.detected += 1;
-                    if tool.patch(&s.code).correct {
-                        counts.patched += 1;
-                    }
-                }
-            }
-            per_model.push((m, counts));
+    // Per-sample (detected, patched) per tool; None for non-vulnerable
+    // samples, which Table III skips entirely.
+    let outcomes: Vec<Option<[(bool, bool); TOOLS]>> = par_map_samples(corpus, jobs, |_, s, a| {
+        if !s.vulnerable {
+            return None;
         }
-        rows.push(ToolPatching { tool: kind.display().into(), per_model });
-    }
-    rows
+        let mut row = [(false, false); TOOLS];
+        row[0] = patchitpy_sample(&patcher, a);
+        for (slot, tool) in row.iter_mut().skip(1).zip(&llms) {
+            let detected = tool.detect_analysis(a, true);
+            let patched = detected && tool.patch_analysis(a).correct;
+            *slot = (detected, patched);
+        }
+        Some(row)
+    });
+
+    let names: [&str; TOOLS] = ["PatchitPy", llms[0].name(), llms[1].name(), llms[2].name()];
+    names
+        .iter()
+        .enumerate()
+        .map(|(t, name)| {
+            let per_model = Model::all()
+                .into_iter()
+                .map(|m| {
+                    let mut counts = PatchCounts::default();
+                    for (s, o) in corpus.samples.iter().zip(&outcomes) {
+                        if s.model != m {
+                            continue;
+                        }
+                        if let Some(row) = o {
+                            counts.vulnerable += 1;
+                            counts.detected += row[t].0 as usize;
+                            counts.patched += row[t].1 as usize;
+                        }
+                    }
+                    (m, counts)
+                })
+                .collect();
+            ToolPatching { tool: (*name).to_string(), per_model }
+        })
+        .collect()
 }
 
 /// §III-C: the share of detections for which Bandit and Semgrep at least
@@ -139,29 +151,27 @@ pub fn run_patching(corpus: &Corpus) -> Vec<ToolPatching> {
 pub fn suggestion_rates(corpus: &Corpus) -> Vec<(String, f64)> {
     let bandit = BanditLike::new();
     let semgrep = SemgrepLike::new();
-    let tools: Vec<(&str, Box<dyn Fn(&str) -> Vec<baselines::ToolFinding>>)> = vec![
-        ("Semgrep", Box::new(move |s: &str| semgrep.scan(s))),
-        ("Bandit", Box::new(move |s: &str| bandit.scan(s))),
-    ];
-    let mut out = Vec::new();
-    for (name, scan) in tools {
-        // Per-detected-vulnerability semantics, as in the paper: of the
-        // truly vulnerable samples, how many received at least one fix
-        // suggestion in the tool's report.
-        let mut vulnerable = 0usize;
-        let mut with_fix = 0usize;
-        for s in corpus.samples.iter().filter(|s| s.vulnerable) {
-            vulnerable += 1;
-            if scan(&s.code).iter().any(|f| f.suggestion.is_some()) {
-                with_fix += 1;
-            }
+    // Per-detected-vulnerability semantics, as in the paper: of the truly
+    // vulnerable samples, how many received at least one fix suggestion
+    // in the tool's report. Both tools read the same shared artifact.
+    let suggests =
+        |findings: Vec<baselines::ToolFinding>| findings.iter().any(|f| f.suggestion.is_some());
+    let per_sample: Vec<Option<(bool, bool)>> =
+        par_map_samples(corpus, default_jobs(), |_, s, a| {
+            s.vulnerable
+                .then(|| (suggests(semgrep.scan_analysis(a)), suggests(bandit.scan_analysis(a))))
+        });
+    let vulnerable = per_sample.iter().flatten().count();
+    let rate = |count: usize| {
+        if vulnerable == 0 {
+            0.0
+        } else {
+            count as f64 / vulnerable as f64
         }
-        out.push((
-            name.to_string(),
-            if vulnerable == 0 { 0.0 } else { with_fix as f64 / vulnerable as f64 },
-        ));
-    }
-    out
+    };
+    let semgrep_fix = per_sample.iter().flatten().filter(|(sg, _)| *sg).count();
+    let bandit_fix = per_sample.iter().flatten().filter(|(_, b)| *b).count();
+    vec![("Semgrep".to_string(), rate(semgrep_fix)), ("Bandit".to_string(), rate(bandit_fix))]
 }
 
 #[cfg(test)]
@@ -193,16 +203,8 @@ mod tests {
         let corpus = generate_corpus();
         let rows = run_patching(&corpus);
         let pip = rows[0].all();
-        assert!(
-            (pip.patched_det() - 0.80).abs() < 0.10,
-            "patched[det] {:.3}",
-            pip.patched_det()
-        );
-        assert!(
-            (pip.patched_tot() - 0.70).abs() < 0.10,
-            "patched[tot] {:.3}",
-            pip.patched_tot()
-        );
+        assert!((pip.patched_det() - 0.80).abs() < 0.10, "patched[det] {:.3}", pip.patched_det());
+        assert!((pip.patched_tot() - 0.70).abs() < 0.10, "patched[tot] {:.3}", pip.patched_tot());
     }
 
     #[test]
@@ -221,10 +223,7 @@ mod tests {
     fn suggestion_rates_are_partial() {
         let corpus = generate_corpus();
         for (tool, rate) in suggestion_rates(&corpus) {
-            assert!(
-                rate > 0.0 && rate < 1.0,
-                "{tool} suggestion rate {rate} should be partial"
-            );
+            assert!(rate > 0.0 && rate < 1.0, "{tool} suggestion rate {rate} should be partial");
         }
     }
 }

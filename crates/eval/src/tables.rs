@@ -10,10 +10,7 @@ use std::fmt::Write as _;
 /// Renders Table II (detection metrics, 7 tools × 4 columns).
 pub fn render_table2(rows: &[ToolDetection]) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "TABLE II — DETECTION RESULTS (609 samples; 203 per generator)"
-    );
+    let _ = writeln!(out, "TABLE II — DETECTION RESULTS (609 samples; 203 per generator)");
     let _ = writeln!(
         out,
         "{:<11}{:<19}{:>9}{:>9}{:>10}{:>12}",
@@ -90,23 +87,18 @@ pub fn render_table3(rows: &[ToolPatching]) -> String {
         }
         let _ = writeln!(out, "{}", "-".repeat(75));
     }
-    out.push_str(
-        "Paper (PatchitPy row): Det. .68/.89/.84/.80   Tot. .57/.83/.74/.70\n",
-    );
+    out.push_str("Paper (PatchitPy row): Det. .68/.89/.84/.80   Tot. .57/.83/.74/.70\n");
     out
 }
 
 /// Renders Fig. 3 as an ASCII box-stat table plus significance column.
 pub fn render_fig3(study: &ComplexityStudy) -> String {
     let mut out = String::new();
+    let _ = writeln!(out, "FIG. 3 — CYCLOMATIC COMPLEXITY DISTRIBUTIONS (per-sample mean CC)");
     let _ = writeln!(
         out,
-        "FIG. 3 — CYCLOMATIC COMPLEXITY DISTRIBUTIONS (per-sample mean CC)"
-    );
-    let _ = writeln!(
-        out,
-        "{:<19}{:>7}{:>8}{:>7}{:>7}{:>7}{:>8}  {}",
-        "Series", "mean", "median", "q1", "q3", "IQR", "p-value", "vs generated"
+        "{:<19}{:>7}{:>8}{:>7}{:>7}{:>7}{:>8}  vs generated",
+        "Series", "mean", "median", "q1", "q3", "IQR", "p-value"
     );
     let _ = writeln!(out, "{}", "-".repeat(84));
     for s in &study.series {

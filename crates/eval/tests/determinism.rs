@@ -1,0 +1,34 @@
+//! Worker-count determinism: every experiment folds per-sample results in
+//! sample-index order and all tools are deterministic given the sample
+//! text, so the rendered tables must be **byte-identical** whether the
+//! study runs on one thread or many.
+
+use corpusgen::generate_corpus;
+use evalharness::{
+    render_fig3, render_table2, render_table3, run_complexity_jobs, run_detection_jobs,
+    run_patching_jobs,
+};
+
+#[test]
+fn table2_is_byte_identical_across_job_counts() {
+    let corpus = generate_corpus();
+    let serial = render_table2(&run_detection_jobs(&corpus, 1));
+    let parallel = render_table2(&run_detection_jobs(&corpus, 5));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn table3_is_byte_identical_across_job_counts() {
+    let corpus = generate_corpus();
+    let serial = render_table3(&run_patching_jobs(&corpus, 1));
+    let parallel = render_table3(&run_patching_jobs(&corpus, 5));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn fig3_is_byte_identical_across_job_counts() {
+    let corpus = generate_corpus();
+    let serial = render_fig3(&run_complexity_jobs(&corpus, 1));
+    let parallel = render_fig3(&run_complexity_jobs(&corpus, 5));
+    assert_eq!(serial, parallel);
+}

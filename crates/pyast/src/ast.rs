@@ -451,10 +451,7 @@ mod tests {
         let e = Expr {
             kind: ExprKind::Attribute {
                 value: Box::new(Expr {
-                    kind: ExprKind::Attribute {
-                        value: Box::new(name("os")),
-                        attr: "path".into(),
-                    },
+                    kind: ExprKind::Attribute { value: Box::new(name("os")), attr: "path".into() },
                     span: Span::default(),
                 }),
                 attr: "join".into(),
@@ -467,11 +464,7 @@ mod tests {
     #[test]
     fn dotted_name_rejects_calls() {
         let call = Expr {
-            kind: ExprKind::Call {
-                func: Box::new(name("f")),
-                args: vec![],
-                keywords: vec![],
-            },
+            kind: ExprKind::Call { func: Box::new(name("f")), args: vec![], keywords: vec![] },
             span: Span::default(),
         };
         assert_eq!(call.dotted_name(), None);

@@ -30,13 +30,13 @@ mod parser;
 mod visit;
 
 pub use ast::{
-    Alias, CompKind, Comprehension, ExceptHandler, Expr, ExprKind, Keyword, Module,
-    Param, Stmt, StmtKind,
+    Alias, CompKind, Comprehension, ExceptHandler, Expr, ExprKind, Keyword, Module, Param, Stmt,
+    StmtKind,
 };
 pub use parser::{parse_module, parse_module_strict, ParseError};
 pub use visit::{
-    collect_calls, collect_functions, collect_imports, collect_strings, walk_expr,
-    walk_module, walk_stmt, CallSite, FunctionInfo, ImportBinding, Visitor,
+    collect_calls, collect_functions, collect_imports, collect_strings, walk_expr, walk_module,
+    walk_stmt, CallSite, FunctionInfo, ImportBinding, Visitor,
 };
 
 #[cfg(test)]

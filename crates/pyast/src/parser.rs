@@ -67,9 +67,7 @@ impl Parser {
     fn new(source: &str, tolerant: bool) -> Self {
         let toks: Vec<Token> = tokenize(source)
             .into_iter()
-            .filter(|t| {
-                !matches!(t.kind, TokenKind::Comment | TokenKind::Nl)
-            })
+            .filter(|t| !matches!(t.kind, TokenKind::Comment | TokenKind::Nl))
             .collect();
         Parser { toks, pos: 0, tolerant, errors: 0, depth: 0 }
     }
@@ -203,10 +201,7 @@ impl Parser {
         if self.at_kind(TokenKind::Newline) {
             self.bump();
         }
-        Stmt {
-            kind: StmtKind::Error { text },
-            span: start_span.join(last_span),
-        }
+        Stmt { kind: StmtKind::Error { text }, span: start_span.join(last_span) }
     }
 
     /// Parses one statement; simple-statement lines may contain several
@@ -383,11 +378,7 @@ impl Parser {
         let mut items = Vec::new();
         loop {
             let ctx = self.parse_expr()?;
-            let target = if self.eat_kw("as") {
-                Some(self.parse_target()?)
-            } else {
-                None
-            };
+            let target = if self.eat_kw("as") { Some(self.parse_target()?) } else { None };
             items.push((ctx, target));
             if !self.eat_op(",") {
                 break;
@@ -408,11 +399,7 @@ impl Parser {
                 (None, None)
             } else {
                 let t = self.parse_expr()?;
-                let n = if self.eat_kw("as") {
-                    Some(self.expect_name()?)
-                } else {
-                    None
-                };
+                let n = if self.eat_kw("as") { Some(self.expect_name()?) } else { None };
                 (Some(t), n)
             };
             let hbody = self.parse_block()?;
@@ -450,11 +437,7 @@ impl Parser {
         self.expect_op("(")?;
         let params = self.parse_params()?;
         self.expect_op(")")?;
-        let returns = if self.eat_op("->") {
-            Some(self.parse_expr()?)
-        } else {
-            None
-        };
+        let returns = if self.eat_op("->") { Some(self.parse_expr()?) } else { None };
         let body = self.parse_block()?;
         let span = start.join(last_span(&body, &[]));
         Ok(Stmt {
@@ -487,16 +470,8 @@ impl Parser {
                 0
             };
             let name = self.expect_name()?;
-            let annotation = if self.eat_op(":") {
-                Some(self.parse_expr()?)
-            } else {
-                None
-            };
-            let default = if self.eat_op("=") {
-                Some(self.parse_expr()?)
-            } else {
-                None
-            };
+            let annotation = if self.eat_op(":") { Some(self.parse_expr()?) } else { None };
+            let default = if self.eat_op("=") { Some(self.parse_expr()?) } else { None };
             params.push(Param { name, star, annotation, default });
             if !self.eat_op(",") {
                 break;
@@ -588,22 +563,14 @@ impl Parser {
                     StmtKind::Raise { exc: None, cause: None }
                 } else {
                     let exc = self.parse_expr()?;
-                    let cause = if self.eat_kw("from") {
-                        Some(self.parse_expr()?)
-                    } else {
-                        None
-                    };
+                    let cause = if self.eat_kw("from") { Some(self.parse_expr()?) } else { None };
                     StmtKind::Raise { exc: Some(exc), cause }
                 }
             }
             "assert" => {
                 self.bump();
                 let test = self.parse_expr()?;
-                let msg = if self.eat_op(",") {
-                    Some(self.parse_expr()?)
-                } else {
-                    None
-                };
+                let msg = if self.eat_op(",") { Some(self.parse_expr()?) } else { None };
                 StmtKind::Assert { test, msg }
             }
             "import" => {
@@ -629,11 +596,8 @@ impl Parser {
                         break;
                     }
                 }
-                let module = if self.at_kw("import") {
-                    String::new()
-                } else {
-                    self.parse_dotted_name()?
-                };
+                let module =
+                    if self.at_kw("import") { String::new() } else { self.parse_dotted_name()? };
                 if !self.eat_kw("import") {
                     return Err(self.err("expected 'import' in from-import".into()));
                 }
@@ -644,11 +608,8 @@ impl Parser {
                     let mut names = Vec::new();
                     loop {
                         let n = self.expect_name()?;
-                        let asname = if self.eat_kw("as") {
-                            Some(self.expect_name()?)
-                        } else {
-                            None
-                        };
+                        let asname =
+                            if self.eat_kw("as") { Some(self.expect_name()?) } else { None };
                         names.push(Alias { name: n, asname });
                         if !self.eat_op(",") {
                             break;
@@ -711,11 +672,7 @@ impl Parser {
 
     fn parse_dotted_alias(&mut self) -> PResult<Alias> {
         let name = self.parse_dotted_name()?;
-        let asname = if self.eat_kw("as") {
-            Some(self.expect_name()?)
-        } else {
-            None
-        };
+        let asname = if self.eat_kw("as") { Some(self.expect_name()?) } else { None };
         Ok(Alias { name, asname })
     }
 
@@ -726,11 +683,8 @@ impl Parser {
         if self.at_op(":") && !matches!(first.kind, ExprKind::Tuple(_)) {
             self.bump();
             let annotation = self.parse_expr()?;
-            let value = if self.eat_op("=") {
-                Some(self.parse_exprlist_with_yield()?)
-            } else {
-                None
-            };
+            let value =
+                if self.eat_op("=") { Some(self.parse_exprlist_with_yield()?) } else { None };
             let span = start.join(self.prev_span());
             return Ok(Stmt {
                 kind: StmtKind::AnnAssign { target: first, annotation, value },
@@ -738,9 +692,9 @@ impl Parser {
             });
         }
         // Augmented assignment.
-        for aug in [
-            "+=", "-=", "*=", "/=", "//=", "%=", "**=", ">>=", "<<=", "&=", "|=", "^=", "@=",
-        ] {
+        for aug in
+            ["+=", "-=", "*=", "/=", "//=", "%=", "**=", ">>=", "<<=", "&=", "|=", "^=", "@="]
+        {
             if self.at_op(aug) {
                 self.bump();
                 let value = self.parse_exprlist_with_yield()?;
@@ -765,10 +719,7 @@ impl Parser {
             }
             let span = start.join(self.prev_span());
             return Ok(Stmt {
-                kind: StmtKind::Assign {
-                    targets,
-                    value: value.expect("assignment has a value"),
-                },
+                kind: StmtKind::Assign { targets, value: value.expect("assignment has a value") },
                 span,
             });
         }
@@ -936,11 +887,7 @@ impl Parser {
                 0
             };
             let name = self.expect_name()?;
-            let default = if self.eat_op("=") {
-                Some(self.parse_expr()?)
-            } else {
-                None
-            };
+            let default = if self.eat_op("=") { Some(self.parse_expr()?) } else { None };
             params.push(Param { name, star, annotation: None, default });
             if !self.eat_op(",") {
                 break;
@@ -1042,10 +989,7 @@ impl Parser {
             return Ok(left);
         }
         let span = left.span.join(comparators.last().expect("nonempty").span);
-        Ok(Expr {
-            kind: ExprKind::Compare { left: Box::new(left), ops, comparators },
-            span,
-        })
+        Ok(Expr { kind: ExprKind::Compare { left: Box::new(left), ops, comparators }, span })
     }
 
     fn parse_binop_level(
@@ -1153,10 +1097,7 @@ impl Parser {
                 let (args, keywords) = self.parse_call_args()?;
                 let close = self.expect_op(")")?;
                 let span = e.span.join(close.span);
-                e = Expr {
-                    kind: ExprKind::Call { func: Box::new(e), args, keywords },
-                    span,
-                };
+                e = Expr { kind: ExprKind::Call { func: Box::new(e), args, keywords }, span };
             } else if self.at_op("[") {
                 self.bump();
                 let index = self.parse_subscript()?;
@@ -1199,9 +1140,7 @@ impl Parser {
                 let v = self.parse_expr()?;
                 let span = start.join(v.span);
                 args.push(Expr { kind: ExprKind::Starred(Box::new(v)), span });
-            } else if self.at_kind(TokenKind::Name)
-                && self.peek2().is_some_and(|t| t.is_op("="))
-            {
+            } else if self.at_kind(TokenKind::Name) && self.peek2().is_some_and(|t| t.is_op("=")) {
                 let name = self.bump().text;
                 self.bump(); // '='
                 let v = self.parse_expr()?;
@@ -1349,10 +1288,7 @@ impl Parser {
         let open = self.bump(); // '('
         if self.at_op(")") {
             let close = self.bump();
-            return Ok(Expr {
-                kind: ExprKind::Tuple(vec![]),
-                span: open.span.join(close.span),
-            });
+            return Ok(Expr { kind: ExprKind::Tuple(vec![]), span: open.span.join(close.span) });
         }
         if self.at_kw("yield") {
             let y = self.parse_yield()?;
@@ -1382,10 +1318,7 @@ impl Parser {
                 items.push(self.parse_namedexpr_or_starred()?);
             }
             let close = self.expect_op(")")?;
-            return Ok(Expr {
-                kind: ExprKind::Tuple(items),
-                span: open.span.join(close.span),
-            });
+            return Ok(Expr { kind: ExprKind::Tuple(items), span: open.span.join(close.span) });
         }
         let close = self.expect_op(")")?;
         Ok(Expr { kind: first.kind, span: open.span.join(close.span) })
@@ -1405,10 +1338,7 @@ impl Parser {
         let open = self.bump(); // '['
         if self.at_op("]") {
             let close = self.bump();
-            return Ok(Expr {
-                kind: ExprKind::List(vec![]),
-                span: open.span.join(close.span),
-            });
+            return Ok(Expr { kind: ExprKind::List(vec![]), span: open.span.join(close.span) });
         }
         let first = self.parse_namedexpr_or_starred()?;
         if self.at_kw("for") || self.at_kw("async") {
@@ -1439,10 +1369,7 @@ impl Parser {
         let open = self.bump(); // '{'
         if self.at_op("}") {
             let close = self.bump();
-            return Ok(Expr {
-                kind: ExprKind::Dict(vec![]),
-                span: open.span.join(close.span),
-            });
+            return Ok(Expr { kind: ExprKind::Dict(vec![]), span: open.span.join(close.span) });
         }
         if self.at_op("**") {
             // Dict with expansion.
@@ -1462,10 +1389,7 @@ impl Parser {
                 }
             }
             let close = self.expect_op("}")?;
-            return Ok(Expr {
-                kind: ExprKind::Dict(items),
-                span: open.span.join(close.span),
-            });
+            return Ok(Expr { kind: ExprKind::Dict(items), span: open.span.join(close.span) });
         }
         let first = self.parse_namedexpr_or_starred()?;
         if self.at_op(":") {
@@ -1501,10 +1425,7 @@ impl Parser {
                 items.push((Some(k), v));
             }
             let close = self.expect_op("}")?;
-            return Ok(Expr {
-                kind: ExprKind::Dict(items),
-                span: open.span.join(close.span),
-            });
+            return Ok(Expr { kind: ExprKind::Dict(items), span: open.span.join(close.span) });
         }
         // Set (possibly comprehension).
         if self.at_kw("for") || self.at_kw("async") {
@@ -1533,9 +1454,5 @@ impl Parser {
 }
 
 fn last_span(body: &[Stmt], orelse: &[Stmt]) -> Span {
-    orelse
-        .last()
-        .or_else(|| body.last())
-        .map(|s| s.span)
-        .unwrap_or_default()
+    orelse.last().or_else(|| body.last()).map(|s| s.span).unwrap_or_default()
 }

@@ -199,9 +199,7 @@ from os.path import *
     let imports = collect_imports(&m);
     assert!(imports.iter().any(|i| i.module == "os" && i.bound_as == "os"));
     assert!(imports.iter().any(|i| i.module == "sys" && i.bound_as == "system"));
-    assert!(imports
-        .iter()
-        .any(|i| i.module == "flask" && i.name.as_deref() == Some("escape")));
+    assert!(imports.iter().any(|i| i.module == "flask" && i.name.as_deref() == Some("escape")));
     match &m.body[3].kind {
         StmtKind::ImportFrom { level, module, names } => {
             assert_eq!(*level, 2);
@@ -372,10 +370,7 @@ fn comprehensions() {
             _ => None,
         })
         .collect();
-    assert_eq!(
-        kinds,
-        [CompKind::List, CompKind::Dict, CompKind::Set, CompKind::Generator]
-    );
+    assert_eq!(kinds, [CompKind::List, CompKind::Dict, CompKind::Set, CompKind::Generator]);
 }
 
 #[test]
@@ -637,10 +632,7 @@ fn generator_call_argument() {
     match first(&m) {
         StmtKind::Assign { value, .. } => match &value.kind {
             ExprKind::Call { args, .. } => {
-                assert!(matches!(
-                    args[0].kind,
-                    ExprKind::Comp { kind: CompKind::Generator, .. }
-                ));
+                assert!(matches!(args[0].kind, ExprKind::Comp { kind: CompKind::Generator, .. }));
             }
             other => panic!("{other:?}"),
         },

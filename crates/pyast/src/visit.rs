@@ -233,9 +233,7 @@ pub fn walk_expr<V: Visitor + ?Sized>(v: &mut V, expr: &Expr) {
                 }
             }
         }
-        ExprKind::Await(e) | ExprKind::YieldFrom(e) | ExprKind::Starred(e) => {
-            v.visit_expr(e)
-        }
+        ExprKind::Await(e) | ExprKind::YieldFrom(e) | ExprKind::Starred(e) => v.visit_expr(e),
         ExprKind::Yield(Some(e)) => v.visit_expr(e),
         ExprKind::NamedExpr { target, value } => {
             v.visit_expr(target);

@@ -13,10 +13,9 @@ use crate::token::{is_keyword, Token, TokenKind};
 
 /// Operators and delimiters, longest first so greedy matching is correct.
 const OPERATORS: &[&str] = &[
-    "**=", "//=", ">>=", "<<=", "...", "!=", ">=", "<=", "==", "->", ":=",
-    "+=", "-=", "*=", "/=", "%=", "@=", "&=", "|=", "^=", ">>", "<<", "**",
-    "//", "+", "-", "*", "/", "%", "@", "&", "|", "^", "~", "<", ">", "(",
-    ")", "[", "]", "{", "}", ",", ":", ".", ";", "=",
+    "**=", "//=", ">>=", "<<=", "...", "!=", ">=", "<=", "==", "->", ":=", "+=", "-=", "*=", "/=",
+    "%=", "@=", "&=", "|=", "^=", ">>", "<<", "**", "//", "+", "-", "*", "/", "%", "@", "&", "|",
+    "^", "~", "<", ">", "(", ")", "[", "]", "{", "}", ",", ":", ".", ";", "=",
 ];
 
 /// Configuration for [`Lexer`].
@@ -56,10 +55,7 @@ pub fn tokenize(source: &str) -> Vec<Token> {
 /// strings, operators). Convenient for pattern matching over standardized
 /// snippets where layout is irrelevant.
 pub fn code_tokens(source: &str) -> Vec<Token> {
-    tokenize(source)
-        .into_iter()
-        .filter(|t| t.kind.is_code())
-        .collect()
+    tokenize(source).into_iter().filter(|t| t.kind.is_code()).collect()
 }
 
 /// A single-pass Python lexer over a borrowed source string.
@@ -127,12 +123,7 @@ impl<'s> Lexer<'s> {
     }
 
     fn here(&self, len: usize) -> Span {
-        Span::new(
-            self.pos,
-            self.pos + len,
-            self.line,
-            (self.pos - self.line_start) as u32,
-        )
+        Span::new(self.pos, self.pos + len, self.line, (self.pos - self.line_start) as u32)
     }
 
     fn push(&mut self, kind: TokenKind, text: impl Into<String>, span: Span) {
@@ -199,12 +190,8 @@ impl<'s> Lexer<'s> {
                         self.pos += 1;
                     }
                     if self.opts.keep_comments {
-                        let span = Span::new(
-                            start,
-                            self.pos,
-                            self.line,
-                            (start - self.line_start) as u32,
-                        );
+                        let span =
+                            Span::new(start, self.pos, self.line, (start - self.line_start) as u32);
                         let text = self.src[start..self.pos].to_string();
                         self.push(TokenKind::Comment, text, span);
                     }
@@ -221,17 +208,10 @@ impl<'s> Lexer<'s> {
                     let current = *self.indents.last().expect("indent stack never empty");
                     if width > current {
                         self.indents.push(width);
-                        let span = Span::new(
-                            line_begin,
-                            self.pos,
-                            self.line,
-                            0,
-                        );
+                        let span = Span::new(line_begin, self.pos, self.line, 0);
                         self.push(TokenKind::Indent, "", span);
                     } else if width < current {
-                        while self.indents.len() > 1
-                            && *self.indents.last().unwrap() > width
-                        {
+                        while self.indents.len() > 1 && *self.indents.last().unwrap() > width {
                             self.indents.pop();
                             let sp = self.here(0);
                             self.push(TokenKind::Dedent, "", sp);
@@ -280,21 +260,15 @@ impl<'s> Lexer<'s> {
                         self.pos += 1;
                     }
                     if self.opts.keep_comments {
-                        let span = Span::new(
-                            start,
-                            self.pos,
-                            self.line,
-                            (start - self.line_start) as u32,
-                        );
+                        let span =
+                            Span::new(start, self.pos, self.line, (start - self.line_start) as u32);
                         let text = self.src[start..self.pos].to_string();
                         self.push(TokenKind::Comment, text, span);
                     }
                 }
                 b'\'' | b'"' => self.lex_string(0),
                 b'0'..=b'9' => self.lex_number(),
-                b'.' if matches!(self.peek_at(1), Some(b'0'..=b'9')) => {
-                    self.lex_number()
-                }
+                b'.' if matches!(self.peek_at(1), Some(b'0'..=b'9')) => self.lex_number(),
                 _ if is_ident_start(c) => {
                     if let Some(prefix_len) = self.string_prefix_len() {
                         self.lex_string(prefix_len);
@@ -334,11 +308,7 @@ impl<'s> Lexer<'s> {
         let mut len = 0;
         while len < max {
             match self.peek_at(len) {
-                Some(c) if matches!(
-                    c,
-                    b'r' | b'R' | b'b' | b'B' | b'f' | b'F' | b'u' | b'U'
-                ) =>
-                {
+                Some(b'r' | b'R' | b'b' | b'B' | b'f' | b'F' | b'u' | b'U') => {
                     len += 1;
                 }
                 _ => break,
@@ -425,8 +395,7 @@ impl<'s> Lexer<'s> {
         if self.peek() == Some(b'0')
             && matches!(
                 self.peek_at(1),
-                Some(b'x') | Some(b'X') | Some(b'o') | Some(b'O') | Some(b'b')
-                    | Some(b'B')
+                Some(b'x') | Some(b'X') | Some(b'o') | Some(b'O') | Some(b'b') | Some(b'B')
             )
         {
             self.pos += 2;
@@ -450,21 +419,17 @@ impl<'s> Lexer<'s> {
                         seen_dot = true;
                         self.pos += 1;
                     }
-                    b'e' | b'E' if !seen_exp => {
-                        match self.peek_at(1) {
-                            Some(b'0'..=b'9') => {
-                                seen_exp = true;
-                                self.pos += 2;
-                            }
-                            Some(b'+') | Some(b'-')
-                                if matches!(self.peek_at(2), Some(b'0'..=b'9')) =>
-                            {
-                                seen_exp = true;
-                                self.pos += 3;
-                            }
-                            _ => break,
+                    b'e' | b'E' if !seen_exp => match self.peek_at(1) {
+                        Some(b'0'..=b'9') => {
+                            seen_exp = true;
+                            self.pos += 2;
                         }
-                    }
+                        Some(b'+') | Some(b'-') if matches!(self.peek_at(2), Some(b'0'..=b'9')) => {
+                            seen_exp = true;
+                            self.pos += 3;
+                        }
+                        _ => break,
+                    },
                     b'j' | b'J' => {
                         self.pos += 1;
                         break;
@@ -498,11 +463,7 @@ impl<'s> Lexer<'s> {
         debug_assert!(len > 0, "lex_name called at non-identifier");
         self.pos += len;
         let text = &self.src[start..self.pos];
-        let kind = if is_keyword(text) {
-            TokenKind::Keyword
-        } else {
-            TokenKind::Name
-        };
+        let kind = if is_keyword(text) { TokenKind::Keyword } else { TokenKind::Name };
         let span = Span::new(start, self.pos, line, start_col);
         self.push(kind, text.to_string(), span);
     }
@@ -513,9 +474,7 @@ impl<'s> Lexer<'s> {
             if rest.starts_with(op) {
                 match *op {
                     "(" | "[" | "{" => self.paren_depth += 1,
-                    ")" | "]" | "}" => {
-                        self.paren_depth = self.paren_depth.saturating_sub(1)
-                    }
+                    ")" | "]" | "}" => self.paren_depth = self.paren_depth.saturating_sub(1),
                     _ => {}
                 }
                 let span = self.here(op.len());
@@ -550,11 +509,7 @@ mod tests {
     }
 
     fn texts(src: &str) -> Vec<String> {
-        tokenize(src)
-            .into_iter()
-            .filter(|t| t.kind.is_code())
-            .map(|t| t.text)
-            .collect()
+        tokenize(src).into_iter().filter(|t| t.kind.is_code()).map(|t| t.text).collect()
     }
 
     #[test]
@@ -618,8 +573,16 @@ mod tests {
     #[test]
     fn string_flavors() {
         for s in [
-            "'a'", "\"a\"", "'''a'''", "\"\"\"a\"\"\"", "r'a\\b'", "b'a'",
-            "f'{x}'", "rb'a'", "BR'a'", "f\"hi {name}!\"",
+            "'a'",
+            "\"a\"",
+            "'''a'''",
+            "\"\"\"a\"\"\"",
+            "r'a\\b'",
+            "b'a'",
+            "f'{x}'",
+            "rb'a'",
+            "BR'a'",
+            "f\"hi {name}!\"",
         ] {
             let toks = tokenize(s);
             assert_eq!(toks[0].kind, TokenKind::Str, "failed on {s}");
@@ -656,8 +619,8 @@ mod tests {
     #[test]
     fn numbers() {
         for n in [
-            "0", "42", "1_000", "3.14", ".5", "1.", "1e10", "1E-3", "2.5e+4",
-            "0xFF", "0o77", "0b1010", "3j", "2.5J",
+            "0", "42", "1_000", "3.14", ".5", "1.", "1e10", "1E-3", "2.5e+4", "0xFF", "0o77",
+            "0b1010", "3j", "2.5J",
         ] {
             let toks = tokenize(n);
             assert_eq!(toks[0].kind, TokenKind::Number, "failed on {n}");

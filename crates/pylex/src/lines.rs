@@ -60,11 +60,8 @@ pub fn logical_lines(source: &str) -> Vec<LogicalLine> {
             TokenKind::Dedent => depth = depth.saturating_sub(1),
             TokenKind::Newline => {
                 if !current.is_empty() {
-                    let span = current
-                        .iter()
-                        .map(|t| t.span)
-                        .reduce(|a, b| a.join(b))
-                        .expect("non-empty");
+                    let span =
+                        current.iter().map(|t| t.span).reduce(|a, b| a.join(b)).expect("non-empty");
                     out.push(LogicalLine { tokens: std::mem::take(&mut current), span, depth });
                 }
             }
@@ -73,11 +70,7 @@ pub fn logical_lines(source: &str) -> Vec<LogicalLine> {
         }
     }
     if !current.is_empty() {
-        let span = current
-            .iter()
-            .map(|t| t.span)
-            .reduce(|a, b| a.join(b))
-            .expect("non-empty");
+        let span = current.iter().map(|t| t.span).reduce(|a, b| a.join(b)).expect("non-empty");
         out.push(LogicalLine { tokens: current, span, depth });
     }
     out

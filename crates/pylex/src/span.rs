@@ -39,17 +39,9 @@ impl Span {
 
     /// The smallest span covering both `self` and `other`.
     pub fn join(&self, other: Span) -> Span {
-        let (line, col) = if self.start <= other.start {
-            (self.line, self.col)
-        } else {
-            (other.line, other.col)
-        };
-        Span {
-            start: self.start.min(other.start),
-            end: self.end.max(other.end),
-            line,
-            col,
-        }
+        let (line, col) =
+            if self.start <= other.start { (self.line, self.col) } else { (other.line, other.col) };
+        Span { start: self.start.min(other.start), end: self.end.max(other.end), line, col }
     }
 
     /// Extracts the spanned text from `source`.

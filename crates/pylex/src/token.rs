@@ -5,10 +5,10 @@ use std::fmt;
 
 /// All Python keywords (3.x), used to classify identifiers.
 pub const KEYWORDS: &[&str] = &[
-    "False", "None", "True", "and", "as", "assert", "async", "await", "break",
-    "class", "continue", "def", "del", "elif", "else", "except", "finally",
-    "for", "from", "global", "if", "import", "in", "is", "lambda", "nonlocal",
-    "not", "or", "pass", "raise", "return", "try", "while", "with", "yield",
+    "False", "None", "True", "and", "as", "assert", "async", "await", "break", "class", "continue",
+    "def", "del", "elif", "else", "except", "finally", "for", "from", "global", "if", "import",
+    "in", "is", "lambda", "nonlocal", "not", "or", "pass", "raise", "return", "try", "while",
+    "with", "yield",
 ];
 
 /// Returns `true` if `word` is a Python keyword.
@@ -51,10 +51,7 @@ pub enum TokenKind {
 impl TokenKind {
     /// Whether the token kind carries no source text (structural markers).
     pub fn is_marker(self) -> bool {
-        matches!(
-            self,
-            TokenKind::Indent | TokenKind::Dedent | TokenKind::EndMarker
-        )
+        matches!(self, TokenKind::Indent | TokenKind::Dedent | TokenKind::EndMarker)
     }
 
     /// Whether the token is lexically significant for pattern matching

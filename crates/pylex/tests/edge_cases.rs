@@ -38,7 +38,8 @@ fn carriage_return_only_is_tolerated() {
 
 #[test]
 fn very_long_single_line() {
-    let src = format!("total = {}\n", (0..500).map(|i| i.to_string()).collect::<Vec<_>>().join(" + "));
+    let src =
+        format!("total = {}\n", (0..500).map(|i| i.to_string()).collect::<Vec<_>>().join(" + "));
     let toks = code_tokens(&src);
     // 1 name + 1 '=' + 500 numbers + 499 '+'.
     assert_eq!(toks.len(), 1 + 1 + 500 + 499);

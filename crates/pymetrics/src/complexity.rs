@@ -16,9 +16,8 @@
 //!
 //! `with`, `finally`, `else` of `if`, and plain statements add nothing.
 
-use pyast::{
-    parse_module, walk_expr, walk_stmt, Expr, ExprKind, Module, Stmt, StmtKind, Visitor,
-};
+use analysis::SourceAnalysis;
+use pyast::{walk_expr, walk_stmt, Expr, ExprKind, Module, Stmt, StmtKind, Visitor};
 
 /// Complexity of one function (or of the module's top level).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,7 +60,13 @@ impl ComplexityReport {
 
 /// Computes the complexity report for a source file (tolerant parse).
 pub fn complexity(source: &str) -> ComplexityReport {
-    complexity_of(&parse_module(source))
+    complexity_analysis(&SourceAnalysis::new(source))
+}
+
+/// Computes the complexity report from a shared analysis artifact,
+/// reusing its tolerant AST instead of re-parsing.
+pub fn complexity_analysis(a: &SourceAnalysis) -> ComplexityReport {
+    complexity_of(a.module())
 }
 
 /// Computes the complexity report from an already-parsed module.
@@ -91,14 +96,12 @@ impl Visitor for Counter<'_> {
     fn visit_stmt(&mut self, stmt: &Stmt) {
         match &stmt.kind {
             StmtKind::FunctionDef { name, body, .. } if self.skip_nested_defs => {
-                let mut inner =
-                    Counter { score: 1, blocks: self.blocks, skip_nested_defs: true };
+                let mut inner = Counter { score: 1, blocks: self.blocks, skip_nested_defs: true };
                 for s in body {
                     inner.visit_stmt(s);
                 }
                 let score = inner.score;
-                self.blocks
-                    .push(BlockComplexity { name: name.clone(), complexity: score });
+                self.blocks.push(BlockComplexity { name: name.clone(), complexity: score });
                 // Do not descend again.
             }
             StmtKind::If { test, body, orelse } => {
@@ -239,10 +242,7 @@ def f():
     #[test]
     fn ternary_and_comprehension() {
         assert_eq!(fn_cc("def f(x):\n    return 1 if x else 2\n", "f"), 2);
-        assert_eq!(
-            fn_cc("def f(xs):\n    return [x for x in xs if x > 0]\n", "f"),
-            3
-        );
+        assert_eq!(fn_cc("def f(xs):\n    return [x for x in xs if x > 0]\n", "f"), 3);
     }
 
     #[test]

@@ -161,10 +161,7 @@ def f(a, b, c):
 ";
         let mi_simple = maintainability_index(simple);
         let mi_complex = maintainability_index(complex_src);
-        assert!(
-            mi_simple > mi_complex,
-            "simple {mi_simple} should beat complex {mi_complex}"
-        );
+        assert!(mi_simple > mi_complex, "simple {mi_simple} should beat complex {mi_complex}");
         assert!((0.0..=100.0).contains(&mi_simple));
         assert!((0.0..=100.0).contains(&mi_complex));
     }

@@ -28,7 +28,9 @@ mod halstead;
 mod quality;
 mod tokens;
 
-pub use complexity::{complexity, complexity_of, BlockComplexity, ComplexityReport};
+pub use complexity::{
+    complexity, complexity_analysis, complexity_of, BlockComplexity, ComplexityReport,
+};
 pub use halstead::{halstead, maintainability_index, Halstead};
-pub use quality::{quality, LintMessage, MessageCategory, QualityReport};
-pub use tokens::{code_token_count, nl_token_count, sloc};
+pub use quality::{quality, quality_analysis, LintMessage, MessageCategory, QualityReport};
+pub use tokens::{code_token_count, code_token_count_analysis, nl_token_count, sloc};

@@ -10,9 +10,8 @@
 //!
 //! clamped to `[0, 10]`.
 
-use pyast::{
-    parse_module, walk_expr, walk_stmt, Expr, ExprKind, Module, Stmt, StmtKind, Visitor,
-};
+use analysis::SourceAnalysis;
+use pyast::{walk_expr, walk_stmt, Expr, ExprKind, Module, Stmt, StmtKind, Visitor};
 use std::collections::HashSet;
 
 /// Pylint message categories.
@@ -54,7 +53,13 @@ pub struct QualityReport {
 
 /// Lints `source` and computes a quality score.
 pub fn quality(source: &str) -> QualityReport {
-    let module = parse_module(source);
+    quality_analysis(&SourceAnalysis::new(source))
+}
+
+/// Lints via a shared analysis artifact, reusing its tolerant AST.
+pub fn quality_analysis(a: &SourceAnalysis) -> QualityReport {
+    let source = a.source();
+    let module = a.module();
     let mut messages = Vec::new();
 
     // --- text-level checks -------------------------------------------------
@@ -90,7 +95,7 @@ pub fn quality(source: &str) -> QualityReport {
         module.body.first().map(|s| &s.kind),
         Some(StmtKind::ExprStmt(e)) if e.is_str()
     );
-    if !has_module_docstring && statement_count(&module) > 8 {
+    if !has_module_docstring && statement_count(module) > 8 {
         messages.push(LintMessage {
             id: "C0114",
             category: MessageCategory::Convention,
@@ -100,11 +105,8 @@ pub fn quality(source: &str) -> QualityReport {
     }
 
     // --- AST checks ----------------------------------------------------------
-    let mut checker = Checker {
-        messages: &mut messages,
-        imported: Vec::new(),
-        used_names: HashSet::new(),
-    };
+    let mut checker =
+        Checker { messages: &mut messages, imported: Vec::new(), used_names: HashSet::new() };
     for s in &module.body {
         checker.visit_stmt(s);
     }
@@ -131,7 +133,7 @@ pub fn quality(source: &str) -> QualityReport {
         });
     }
 
-    let statements = statement_count(&module).max(1);
+    let statements = statement_count(module).max(1);
     let (mut e, mut w, mut r, mut c) = (0usize, 0usize, 0usize, 0usize);
     for m in &messages {
         match m.category {
@@ -169,9 +171,7 @@ struct Checker<'a> {
 
 fn is_snake_case(name: &str) -> bool {
     !name.is_empty()
-        && name
-            .chars()
-            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        && name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
 }
 
 impl Visitor for Checker<'_> {
@@ -263,8 +263,7 @@ impl Visitor for Checker<'_> {
             }
             ExprKind::Call { func, .. } => {
                 if let Some(name) = func.dotted_name() {
-                    self.used_names
-                        .insert(name.split('.').next().unwrap_or("").to_string());
+                    self.used_names.insert(name.split('.').next().unwrap_or("").to_string());
                     if name == "eval" || name == "exec" {
                         self.messages.push(LintMessage {
                             id: if name == "eval" { "W0123" } else { "W0122" },

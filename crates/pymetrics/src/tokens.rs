@@ -20,6 +20,12 @@ pub fn code_token_count(source: &str) -> usize {
     pylex::code_tokens(source).len()
 }
 
+/// [`code_token_count`] over a shared analysis artifact, reusing its
+/// token stream instead of re-lexing.
+pub fn code_token_count_analysis(a: &analysis::SourceAnalysis) -> usize {
+    a.tokens().iter().filter(|t| t.kind.is_code()).count()
+}
+
 /// Counts non-blank, non-comment-only source lines (a simple SLOC).
 pub fn sloc(source: &str) -> usize {
     source

@@ -84,7 +84,8 @@ fn match_at_with(
     let mut slots: Slots = vec![usize::MAX; n_slots];
     let width = hay.len() + 1;
     // Explicit backtrack stack: (pc, pos, saved-slot writes to undo).
-    let mut stack: Vec<(usize, usize, Vec<(usize, usize)>)> = vec![(0, start, Vec::new())];
+    type Frame = (usize, usize, Vec<(usize, usize)>);
+    let mut stack: Vec<Frame> = vec![(0, start, Vec::new())];
 
     while let Some((mut pc, mut pos, undo)) = stack.pop() {
         // Undo slot writes from the abandoned branch.
@@ -107,15 +108,13 @@ fn match_at_with(
                         break;
                     }
                 }
-                Inst::Any => {
-                    match hay.raw_char_at(pos) {
-                        Some(c) if prog.flags.dot_all || c != '\n' => {
-                            pc += 1;
-                            pos += 1;
-                        }
-                        _ => break,
+                Inst::Any => match hay.raw_char_at(pos) {
+                    Some(c) if prog.flags.dot_all || c != '\n' => {
+                        pc += 1;
+                        pos += 1;
                     }
-                }
+                    _ => break,
+                },
                 Inst::Class { items, negated } => {
                     let Some(c) = hay.raw_char_at(pos) else { break };
                     let mut hit = items.iter().any(|it| class_item_matches(it, c));
@@ -229,9 +228,7 @@ fn first_char_hint(prog: &Program) -> Option<char> {
     for inst in &prog.insts {
         match inst {
             Inst::Save(_) | Inst::Start | Inst::WordBoundary => continue,
-            Inst::Char(c) => {
-                return Some(if prog.flags.ignore_case { fold(*c) } else { *c })
-            }
+            Inst::Char(c) => return Some(if prog.flags.ignore_case { fold(*c) } else { *c }),
             _ => return None,
         }
     }

@@ -104,11 +104,7 @@ pub struct Parsed {
 
 /// Parses a pattern.
 pub fn parse(pattern: &str) -> Result<Parsed, ParsePatternError> {
-    let mut p = Parser {
-        chars: pattern.chars().collect(),
-        pos: 0,
-        group_count: 0,
-    };
+    let mut p = Parser { chars: pattern.chars().collect(), pos: 0, group_count: 0 };
     let mut flags = Flags::default();
     // Leading inline flags: (?i), (?s), (?is).
     while p.looking_at("(?") {
@@ -146,10 +142,7 @@ pub fn parse(pattern: &str) -> Result<Parsed, ParsePatternError> {
     }
     let node = p.parse_alt()?;
     if p.pos < p.chars.len() {
-        return Err(ParsePatternError::new(
-            format!("unexpected '{}'", p.chars[p.pos]),
-            p.pos,
-        ));
+        return Err(ParsePatternError::new(format!("unexpected '{}'", p.chars[p.pos]), p.pos));
     }
     Ok(Parsed { node, flags, group_count: p.group_count })
 }
@@ -166,12 +159,10 @@ impl Parser {
     }
 
     fn looking_at(&self, s: &str) -> bool {
-        let mut i = self.pos;
-        for c in s.chars() {
+        for (i, c) in (self.pos..).zip(s.chars()) {
             if self.chars.get(i) != Some(&c) {
                 return false;
             }
-            i += 1;
         }
         true
     }
@@ -342,9 +333,9 @@ impl Parser {
             }
             Some('\\') => {
                 self.pos += 1;
-                let c = self.bump().ok_or_else(|| {
-                    ParsePatternError::new("trailing backslash", self.pos)
-                })?;
+                let c = self
+                    .bump()
+                    .ok_or_else(|| ParsePatternError::new("trailing backslash", self.pos))?;
                 Ok(match c {
                     'd' => Node::Class { items: vec![ClassItem::Digit], negated: false },
                     'D' => Node::Class { items: vec![ClassItem::Digit], negated: true },
@@ -361,10 +352,9 @@ impl Parser {
                     other => Node::Literal(other),
                 })
             }
-            Some('*') | Some('+') | Some('?') => Err(ParsePatternError::new(
-                "repetition operator with nothing to repeat",
-                self.pos,
-            )),
+            Some('*') | Some('+') | Some('?') => {
+                Err(ParsePatternError::new("repetition operator with nothing to repeat", self.pos))
+            }
             Some(c) => {
                 self.pos += 1;
                 Ok(Node::Literal(c))
@@ -390,10 +380,7 @@ impl Parser {
         loop {
             let c = match self.bump() {
                 None => {
-                    return Err(ParsePatternError::new(
-                        "unterminated character class",
-                        self.pos,
-                    ))
+                    return Err(ParsePatternError::new("unterminated character class", self.pos))
                 }
                 Some(']') => break,
                 Some(c) => c,
@@ -438,9 +425,9 @@ impl Parser {
             // Possible range `lo-hi` (but `-` right before `]` is literal).
             if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
                 self.pos += 1; // consume '-'
-                let hi_raw = self.bump().ok_or_else(|| {
-                    ParsePatternError::new("unterminated range", self.pos)
-                })?;
+                let hi_raw = self
+                    .bump()
+                    .ok_or_else(|| ParsePatternError::new("unterminated range", self.pos))?;
                 let hi = if hi_raw == '\\' {
                     self.bump().ok_or_else(|| {
                         ParsePatternError::new("trailing backslash in class", self.pos)
@@ -449,10 +436,7 @@ impl Parser {
                     hi_raw
                 };
                 if hi < lo {
-                    return Err(ParsePatternError::new(
-                        "invalid range (hi < lo)",
-                        self.pos,
-                    ));
+                    return Err(ParsePatternError::new("invalid range (hi < lo)", self.pos));
                 }
                 items.push(ClassItem::Range(lo, hi));
             } else {
@@ -472,11 +456,7 @@ mod tests {
         let p = parse("abc").unwrap();
         assert_eq!(
             p.node,
-            Node::Concat(vec![
-                Node::Literal('a'),
-                Node::Literal('b'),
-                Node::Literal('c'),
-            ])
+            Node::Concat(vec![Node::Literal('a'), Node::Literal('b'), Node::Literal('c'),])
         );
     }
 

@@ -60,11 +60,7 @@ pub fn compile(parsed: &Parsed) -> Result<Program, ParsePatternError> {
     c.emit(&parsed.node)?;
     c.push(Inst::Save(1))?;
     c.push(Inst::MatchEnd)?;
-    Ok(Program {
-        insts: c.insts,
-        flags: parsed.flags,
-        group_count: parsed.group_count,
-    })
+    Ok(Program { insts: c.insts, flags: parsed.flags, group_count: parsed.group_count })
 }
 
 struct Compiler {
@@ -178,11 +174,8 @@ impl Compiler {
                         self.emit(node)?;
                         self.push(Inst::Jump(split))?;
                         let out = self.here();
-                        self.insts[split] = if *greedy {
-                            Inst::Split(body, out)
-                        } else {
-                            Inst::Split(out, body)
-                        };
+                        self.insts[split] =
+                            if *greedy { Inst::Split(body, out) } else { Inst::Split(out, body) };
                         Ok(())
                     }
                     Some(m) => {
@@ -240,13 +233,7 @@ mod tests {
         let p = prog("ab");
         assert_eq!(
             p.insts,
-            vec![
-                Inst::Save(0),
-                Inst::Char('a'),
-                Inst::Char('b'),
-                Inst::Save(1),
-                Inst::MatchEnd,
-            ]
+            vec![Inst::Save(0), Inst::Char('a'), Inst::Char('b'), Inst::Save(1), Inst::MatchEnd,]
         );
     }
 

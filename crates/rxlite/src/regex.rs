@@ -127,11 +127,7 @@ impl Regex {
         let hay = Haystack::new(text, &self.prog);
         let from = hay.chars.partition_point(|(b, _)| *b < start);
         let slots = search(&self.prog, &hay, from)?;
-        Some(RxMatch {
-            haystack: text,
-            start: hay.byte_of(slots[0]),
-            end: hay.byte_of(slots[1]),
-        })
+        Some(RxMatch { haystack: text, start: hay.byte_of(slots[0]), end: hay.byte_of(slots[1]) })
     }
 
     /// All non-overlapping matches, left to right.
@@ -142,11 +138,7 @@ impl Regex {
         while from <= hay.len() {
             let Some(slots) = search(&self.prog, &hay, from) else { break };
             let (s, e) = (slots[0], slots[1]);
-            out.push(RxMatch {
-                haystack: text,
-                start: hay.byte_of(s),
-                end: hay.byte_of(e),
-            });
+            out.push(RxMatch { haystack: text, start: hay.byte_of(s), end: hay.byte_of(e) });
             // Advance past the match; at least one char for empty matches.
             from = if e > s { e } else { e + 1 };
         }

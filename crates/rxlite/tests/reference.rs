@@ -152,8 +152,7 @@ fn pat_strategy() -> impl Strategy<Value = Pat> {
     leaf.prop_recursive(3, 12, 3, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 1..4).prop_map(Pat::Seq),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Pat::Alt(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Pat::Alt(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|p| Pat::Star(Box::new(p))),
             inner.clone().prop_map(|p| Pat::Plus(Box::new(p))),
             inner.prop_map(|p| Pat::Opt(Box::new(p))),

@@ -34,9 +34,7 @@ pub fn get_close_matches<'a>(
         }
     }
     // Best ratio first; stable on input order for equal ratios.
-    scored.sort_by(|a, b| {
-        b.0.partial_cmp(&a.0).expect("ratios are finite").then(a.1.cmp(&b.1))
-    });
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("ratios are finite").then(a.1.cmp(&b.1)));
     scored.into_iter().take(n).map(|(_, _, c)| c).collect()
 }
 

@@ -53,10 +53,7 @@ pub fn lcs_indices<T: PartialEq>(a: &[T], b: &[T]) -> Vec<(usize, usize)> {
 
 /// Returns one longest common subsequence of `a` and `b` by value.
 pub fn lcs<T: PartialEq + Clone>(a: &[T], b: &[T]) -> Vec<T> {
-    lcs_indices(a, b)
-        .into_iter()
-        .map(|(i, _)| a[i].clone())
-        .collect()
+    lcs_indices(a, b).into_iter().map(|(i, _)| a[i].clone()).collect()
 }
 
 /// Length of the LCS without materializing it (linear space).
@@ -66,11 +63,7 @@ pub fn lcs_len<T: PartialEq>(a: &[T], b: &[T]) -> usize {
     let mut cur = vec![0usize; m + 1];
     for i in (0..a.len()).rev() {
         for j in (0..m).rev() {
-            cur[j] = if a[i] == b[j] {
-                prev[j + 1] + 1
-            } else {
-                prev[j].max(cur[j + 1])
-            };
+            cur[j] = if a[i] == b[j] { prev[j + 1] + 1 } else { prev[j].max(cur[j + 1]) };
         }
         std::mem::swap(&mut prev, &mut cur);
     }

@@ -83,13 +83,7 @@ impl<'a, T: Eq + Hash> SequenceMatcher<'a, T> {
     /// Finds the longest matching block in `a[alo..ahi]` and `b[blo..bhi]`,
     /// preferring the block starting earliest in `a`, then earliest in `b`
     /// (difflib's tie-break).
-    pub fn find_longest_match(
-        &self,
-        alo: usize,
-        ahi: usize,
-        blo: usize,
-        bhi: usize,
-    ) -> Match {
+    pub fn find_longest_match(&self, alo: usize, ahi: usize, blo: usize, bhi: usize) -> Match {
         let (mut besti, mut bestj, mut bestsize) = (alo, blo, 0usize);
         // j2len[j] = length of longest match ending at a[i-1], b[j-1].
         let mut j2len: HashMap<usize, usize> = HashMap::new();
@@ -139,9 +133,7 @@ impl<'a, T: Eq + Hash> SequenceMatcher<'a, T> {
         let mut out: Vec<Match> = Vec::with_capacity(raw.len() + 1);
         for m in raw {
             if let Some(last) = out.last_mut() {
-                if last.a_start + last.len == m.a_start
-                    && last.b_start + last.len == m.b_start
-                {
+                if last.a_start + last.len == m.a_start && last.b_start + last.len == m.b_start {
                     last.len += m.len;
                     continue;
                 }
@@ -169,13 +161,7 @@ impl<'a, T: Eq + Hash> SequenceMatcher<'a, T> {
             i = m.a_start + m.len;
             j = m.b_start + m.len;
             if m.len > 0 {
-                out.push(Opcode {
-                    tag: OpTag::Equal,
-                    i1: m.a_start,
-                    i2: i,
-                    j1: m.b_start,
-                    j2: j,
-                });
+                out.push(Opcode { tag: OpTag::Equal, i1: m.a_start, i2: i, j1: m.b_start, j2: j });
             }
         }
         out
@@ -298,13 +284,11 @@ mod tests {
 
     #[test]
     fn works_on_token_sequences() {
-        let a: Vec<String> =
-            "app . run ( debug = True )".split(' ').map(String::from).collect();
-        let b: Vec<String> =
-            "app . run ( debug = False , use_reloader = False )"
-                .split(' ')
-                .map(String::from)
-                .collect();
+        let a: Vec<String> = "app . run ( debug = True )".split(' ').map(String::from).collect();
+        let b: Vec<String> = "app . run ( debug = False , use_reloader = False )"
+            .split(' ')
+            .map(String::from)
+            .collect();
         let m = SequenceMatcher::new(&a, &b);
         assert!(m.ratio() > 0.6);
         let ops = m.opcodes();

@@ -133,7 +133,8 @@ fn group_opcodes(
         }
         group.push(op);
     }
-    if !group.is_empty() && !(group.len() == 1 && group[0].tag == OpTag::Equal) {
+    let all_equal = group.len() == 1 && group[0].tag == OpTag::Equal;
+    if !group.is_empty() && !all_equal {
         groups.push(group);
     }
     groups

@@ -90,13 +90,7 @@ pub fn proportion_ci(successes: usize, total: usize, seed: u64) -> Interval {
     for v in values.iter_mut().take(successes) {
         *v = 1.0;
     }
-    bootstrap_ci(
-        &values,
-        |s| s.iter().sum::<f64>() / s.len() as f64,
-        2000,
-        0.05,
-        seed,
-    )
+    bootstrap_ci(&values, |s| s.iter().sum::<f64>() / s.len() as f64, 2000, 0.05, seed)
 }
 
 #[cfg(test)]

@@ -86,8 +86,7 @@ pub fn std_dev(values: &[f64]) -> f64 {
         return 0.0;
     }
     let mean = values.iter().sum::<f64>() / values.len() as f64;
-    let var = values.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-        / (values.len() - 1) as f64;
+    let var = values.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
     var.sqrt()
 }
 

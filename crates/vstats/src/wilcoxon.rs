@@ -38,11 +38,8 @@ pub fn rank_sum(a: &[f64], b: &[f64]) -> RankSumResult {
     let n2 = b.len() as f64;
 
     // Pool and rank with mid-ranks for ties.
-    let mut pooled: Vec<(f64, usize)> = a
-        .iter()
-        .map(|&x| (x, 0usize))
-        .chain(b.iter().map(|&x| (x, 1usize)))
-        .collect();
+    let mut pooled: Vec<(f64, usize)> =
+        a.iter().map(|&x| (x, 0usize)).chain(b.iter().map(|&x| (x, 1usize))).collect();
     pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("NaN in sample"));
 
     let n = pooled.len();
@@ -63,12 +60,7 @@ pub fn rank_sum(a: &[f64], b: &[f64]) -> RankSumResult {
         i = j + 1;
     }
 
-    let r1: f64 = pooled
-        .iter()
-        .zip(&ranks)
-        .filter(|((_, g), _)| *g == 0)
-        .map(|(_, r)| r)
-        .sum();
+    let r1: f64 = pooled.iter().zip(&ranks).filter(|((_, g), _)| *g == 0).map(|(_, r)| r).sum();
     let u1 = r1 - n1 * (n1 + 1.0) / 2.0;
 
     let mean_u = n1 * n2 / 2.0;

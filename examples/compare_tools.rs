@@ -7,9 +7,7 @@
 //!
 //! Run with: `cargo run --example compare_tools`
 
-use patchitpy::compare::{
-    BanditLike, CodeqlLike, DetectionTool, LlmKind, LlmTool, SemgrepLike,
-};
+use patchitpy::compare::{BanditLike, CodeqlLike, DetectionTool, LlmKind, LlmTool, SemgrepLike};
 use patchitpy::Detector;
 
 fn main() {

@@ -40,10 +40,7 @@ if __name__ == "__main__":
     let findings = detector.detect(code);
     println!("== step 1: detection ({} findings) ==", findings.len());
     for f in &findings {
-        println!(
-            "  line {:>2}  {}  CWE-{:03}  {}",
-            f.line, f.rule_id, f.cwe, f.description
-        );
+        println!("  line {:>2}  {}  CWE-{:03}  {}", f.line, f.rule_id, f.cwe, f.description);
     }
 
     println!("\n== step 2: developer accepts the fixes ==");

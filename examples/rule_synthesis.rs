@@ -59,8 +59,7 @@ fn main() {
         }
         end
     };
-    let statement_pattern =
-        patchitpy::core::pattern_to_regex(&syn.vulnerable_lcs[..end].to_vec());
+    let statement_pattern = patchitpy::core::pattern_to_regex(&syn.vulnerable_lcs[..end]);
     println!("\n== statement-scoped rule ==");
     println!("{statement_pattern}");
 

@@ -15,11 +15,7 @@ fn main() {
     let corpus = generate_corpus();
     let detector = Detector::new();
 
-    println!(
-        "scanning {} samples with {} rules...\n",
-        corpus.samples.len(),
-        detector.rule_count()
-    );
+    println!("scanning {} samples with {} rules...\n", corpus.samples.len(), detector.rule_count());
 
     let mut all = Confusion::new();
     for model in Model::all() {

@@ -12,9 +12,9 @@
 //! patchitpy rules                     # list the 85-rule catalog
 //! ```
 
-use patchitpy::core::{all_rules, cwe_name};
+use patchitpy::core::{all_rules, cwe_name, SourceAnalysis};
 use patchitpy::diff::unified_diff_str;
-use patchitpy::{scan, Detector};
+use patchitpy::{scan, Detector, Finding};
 use std::io::Read;
 use std::process::ExitCode;
 
@@ -22,7 +22,9 @@ const USAGE: &str = "\
 PatchitPy — pattern-based vulnerability detection and patching for Python
 
 USAGE:
-    patchitpy scan  [--json] [FILES...] report findings (reads stdin if no files)
+    patchitpy scan  [--json] [--jobs N] [FILES...]
+                                        report findings (reads stdin if no
+                                        files; N worker threads over files)
     patchitpy patch [--in-place] FILES  patch and print (or rewrite) files
     patchitpy diff  [FILES...]          show patches as unified diffs
     patchitpy metrics [FILES...]        cyclomatic complexity + quality score
@@ -62,39 +64,86 @@ fn main() -> ExitCode {
 fn read_inputs(files: &[String]) -> Result<Vec<(String, String)>, String> {
     if files.is_empty() {
         let mut buf = String::new();
-        std::io::stdin()
-            .read_to_string(&mut buf)
-            .map_err(|e| format!("reading stdin: {e}"))?;
+        std::io::stdin().read_to_string(&mut buf).map_err(|e| format!("reading stdin: {e}"))?;
         return Ok(vec![("<stdin>".to_string(), buf)]);
     }
     files
         .iter()
         .map(|f| {
-            std::fs::read_to_string(f)
-                .map(|c| (f.clone(), c))
-                .map_err(|e| format!("{f}: {e}"))
+            std::fs::read_to_string(f).map(|c| (f.clone(), c)).map_err(|e| format!("{f}: {e}"))
         })
         .collect()
 }
 
+/// Scans every input on `jobs` worker threads — one [`SourceAnalysis`]
+/// per file — returning findings in input order regardless of `jobs`.
+fn scan_files(inputs: &[(String, String)], jobs: usize) -> Vec<Vec<Finding>> {
+    let detector = Detector::new();
+    let jobs = jobs.clamp(1, inputs.len().max(1));
+    if jobs == 1 {
+        return inputs
+            .iter()
+            .map(|(_, source)| detector.detect_analysis(&SourceAnalysis::new(source.as_str())))
+            .collect();
+    }
+    let chunk = inputs.len().div_ceil(jobs);
+    let per_chunk: Vec<Vec<Vec<Finding>>> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .chunks(chunk)
+            .map(|files| {
+                let detector = &detector;
+                scope.spawn(move |_| {
+                    files
+                        .iter()
+                        .map(|(_, source)| {
+                            detector.detect_analysis(&SourceAnalysis::new(source.as_str()))
+                        })
+                        .collect::<Vec<Vec<Finding>>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("scope");
+    per_chunk.into_iter().flatten().collect()
+}
+
 fn cmd_scan(args: &[String]) -> ExitCode {
-    let json = args.first().is_some_and(|a| a == "--json");
-    let files = if json { &args[1..] } else { args };
-    let inputs = match read_inputs(files) {
+    let mut json = false;
+    let mut jobs = 1usize;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--jobs" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("error: --jobs requires a positive integer");
+                    return ExitCode::from(2);
+                };
+                if n == 0 {
+                    eprintln!("error: --jobs requires a positive integer");
+                    return ExitCode::from(2);
+                }
+                jobs = n;
+            }
+            _ => files.push(a.clone()),
+        }
+    }
+    let inputs = match read_inputs(&files) {
         Ok(i) => i,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
-    let detector = Detector::new();
+    let per_file = scan_files(&inputs, jobs);
     let mut any = false;
     let mut json_files = Vec::new();
-    for (name, source) in &inputs {
-        let findings = detector.detect(source);
+    for ((name, _), findings) in inputs.iter().zip(&per_file) {
         any |= !findings.is_empty();
         if json {
-            json_files.push(json_file_entry(name, &findings));
+            json_files.push(json_file_entry(name, findings));
             continue;
         }
         if findings.is_empty() {
@@ -102,7 +151,7 @@ fn cmd_scan(args: &[String]) -> ExitCode {
             continue;
         }
         println!("{name}: {} finding(s)", findings.len());
-        for f in &findings {
+        for f in findings {
             println!(
                 "  {}:{}  {}  CWE-{:03} {}{}",
                 name,
@@ -141,11 +190,7 @@ fn json_file_entry(name: &str, findings: &[patchitpy::Finding]) -> String {
             )
         })
         .collect();
-    format!(
-        "{{\"file\":{},\"findings\":[{}]}}",
-        json_str(name),
-        items.join(",")
-    )
+    format!("{{\"file\":{},\"findings\":[{}]}}", json_str(name), items.join(","))
 }
 
 fn json_str(s: &str) -> String {

@@ -15,12 +15,7 @@ fn run_with_stdin(args: &[&str], stdin: &str) -> (String, String, i32) {
         .stderr(Stdio::piped())
         .spawn()
         .expect("binary spawns");
-    child
-        .stdin
-        .as_mut()
-        .expect("stdin piped")
-        .write_all(stdin.as_bytes())
-        .expect("write stdin");
+    child.stdin.as_mut().expect("stdin piped").write_all(stdin.as_bytes()).expect("write stdin");
     let out = child.wait_with_output().expect("wait");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -46,8 +41,7 @@ fn scan_clean_exits_zero() {
 
 #[test]
 fn scan_json_is_parseable_shape() {
-    let (stdout, _, code) =
-        run_with_stdin(&["scan", "--json"], "x = eval(s)\n");
+    let (stdout, _, code) = run_with_stdin(&["scan", "--json"], "x = eval(s)\n");
     assert_eq!(code, 1);
     assert!(stdout.starts_with("{\"files\":["));
     assert!(stdout.contains("\"rule\":\"PIP-A03-005\""));
@@ -80,10 +74,7 @@ fn in_place_rewrites_file() {
     std::fs::create_dir_all(&dir).unwrap();
     let file = dir.join("app.py");
     std::fs::write(&file, "app.run(debug=True)\n").unwrap();
-    let status = bin()
-        .args(["patch", "--in-place", file.to_str().unwrap()])
-        .status()
-        .expect("run");
+    let status = bin().args(["patch", "--in-place", file.to_str().unwrap()]).status().expect("run");
     assert_eq!(status.code(), Some(1));
     let patched = std::fs::read_to_string(&file).unwrap();
     assert!(patched.contains("debug=False"));

@@ -24,10 +24,7 @@ fn corpus_detect_patch_rescan_loop() {
     }
     assert!(patched_files > 250, "only {patched_files} files patched");
     // The large majority of patched files are fully clean afterwards.
-    assert!(
-        clean_after * 100 / patched_files >= 85,
-        "{clean_after}/{patched_files} clean"
-    );
+    assert!(clean_after * 100 / patched_files >= 85, "{clean_after}/{patched_files} clean");
 }
 
 #[test]
@@ -78,11 +75,7 @@ fn patchitpy_beats_each_sast_tool_on_recall() {
             others[i].recall(),
             pip.recall()
         );
-        assert!(
-            pip.f1() > others[i].f1(),
-            "{} F1 beats PatchitPy",
-            t.name()
-        );
+        assert!(pip.f1() > others[i].f1(), "{} F1 beats PatchitPy", t.name());
     }
 }
 

@@ -22,22 +22,11 @@ fn patchitpy_preserves_maintainability_index() {
         }
     }
     assert!(before.len() > 100, "not enough patched samples");
-    let mean_delta: f64 = before
-        .iter()
-        .zip(&after)
-        .map(|(b, a)| a - b)
-        .sum::<f64>()
-        / before.len() as f64;
-    assert!(
-        mean_delta.abs() < 2.0,
-        "PatchitPy should barely move MI; mean Δ = {mean_delta:.2}"
-    );
+    let mean_delta: f64 =
+        before.iter().zip(&after).map(|(b, a)| a - b).sum::<f64>() / before.len() as f64;
+    assert!(mean_delta.abs() < 2.0, "PatchitPy should barely move MI; mean Δ = {mean_delta:.2}");
     let test = rank_sum(&before, &after);
-    assert!(
-        !test.significant(0.01),
-        "MI distribution shifted significantly: p = {}",
-        test.p_value
-    );
+    assert!(!test.significant(0.01), "MI distribution shifted significantly: p = {}", test.p_value);
 }
 
 #[test]

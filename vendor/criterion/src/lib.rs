@@ -1,0 +1,203 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API subset this workspace's benches use — `Criterion`,
+//! `black_box`, `bench_function`, `benchmark_group` (with `sample_size`,
+//! `bench_with_input`, `finish`), `BenchmarkId::from_parameter`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! warmup-then-measure timing loop printing mean ns/iter. No statistics,
+//! plots, or baseline comparison; swap in upstream criterion if those
+//! are ever needed.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(200);
+const WARMUP_TARGET: Duration = Duration::from_millis(50);
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut routine);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_string() }
+    }
+}
+
+/// A named group; all methods mirror criterion's `BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is time-based here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, &mut routine);
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(&full, &mut |b: &mut Bencher| routine(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies a parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id rendered from the parameter alone.
+    pub fn from_parameter<P: Display>(p: P) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Id from a function name plus parameter.
+    pub fn new<P: Display>(name: &str, p: P) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the routine.
+pub struct Bencher {
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing total elapsed time and iteration count.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warmup while estimating per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_TARGET {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+        let iters = (MEASURE_TARGET.as_nanos() / per_iter.max(1)).clamp(1, 10_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+}
+
+fn run_one<F>(name: &str, routine: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher { measured: None };
+    routine(&mut b);
+    match b.measured {
+        Some((elapsed, iters)) => {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            println!("{name:<50} {:>14} ns/iter ({iters} iters)", format_ns(ns));
+        }
+        None => println!("{name:<50} (no measurement)"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1_000_000_000.0 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1_000_000.0 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1_000.0 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1}")
+    }
+}
+
+/// Declares a group runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` from group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Ignore harness flags cargo passes (e.g. --bench).
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::from_parameter(3usize), &3usize, |b, n| {
+            b.iter(|| black_box(*n * 2));
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,90 @@
+//! Offline stand-in for the `crossbeam::scope` scoped-thread API,
+//! implemented on top of `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Only the surface this workspace uses is provided: `scope(|s| ...)`,
+//! `Scope::spawn` (whose closure receives a `&Scope` argument, as in
+//! crossbeam), and `ScopedJoinHandle::join`.
+
+#![forbid(unsafe_code)]
+
+use std::thread;
+
+/// Scope handle passed to the `scope` closure and to spawned closures.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives a `&Scope` so it can
+    /// spawn further threads, mirroring crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || {
+                let scope = Scope { inner };
+                f(&scope)
+            }),
+        }
+    }
+}
+
+/// Join handle for a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish, returning its result or the panic
+    /// payload if it panicked.
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+/// Creates a scope for spawning threads that may borrow from the caller.
+/// All spawned threads are joined before this returns. The `Result`
+/// mirrors crossbeam's signature; with this backend the closure's own
+/// panic propagates and the result is always `Ok`.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| {
+        let wrapper = Scope { inner: s };
+        f(&wrapper)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::scope;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = scope(|s| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let n: usize = scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21usize);
+                inner.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

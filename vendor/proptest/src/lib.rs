@@ -1,0 +1,301 @@
+//! Offline, dependency-free mini property-testing framework covering the
+//! subset of the `proptest` API this workspace uses.
+//!
+//! Differences from upstream, by design:
+//! - **No shrinking.** A failing case panics with the case number; the
+//!   RNG is seeded from the test name, so every run (and every CI run)
+//!   replays the identical sequence — re-running reproduces the failure.
+//! - **String strategies** support the regex subset the tests use:
+//!   character classes with ranges and `\n`/`\t` escapes, literal
+//!   characters, `\`-escaped literals, and `{m}`/`{m,n}`/`*`/`+`/`?`
+//!   quantifiers. No groups or alternation at the string level.
+//! - `prop_recursive(depth, ..)` ignores the node-count hints and mixes
+//!   leaf and composite strategies 50/50 per level, bounding expected
+//!   tree size.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+
+/// Deterministic RNG driving generation (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary label (FNV-1a of the test's full name),
+    /// making every test's sequence stable across runs and platforms.
+    pub fn from_test_name(name: &str) -> Self {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `usize` in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Failure raised by `prop_assert!`-family macros.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError(msg)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Namespaced strategy constructors, mirroring `proptest::prelude::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    /// Character strategies.
+    pub mod char {
+        pub use crate::strategy::char_range as range;
+    }
+}
+
+/// Everything tests normally import.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+/// Defines property tests. Supports an optional leading
+/// `#![proptest_config(..)]`, any number of `fn name(pat in strategy, ..)`
+/// items, doc comments, and the `#[test]` attribute.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::from_test_name(
+                    ::std::concat!(::std::module_path!(), "::", ::std::stringify!($name)),
+                );
+                for __case in 0..__config.cases {
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(__e) = __result {
+                        ::std::panic!(
+                            "proptest: case #{} of {} failed: {}",
+                            __case,
+                            ::std::stringify!($name),
+                            __e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a proptest body, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::concat!("assertion failed: ", ::std::stringify!($cond)).to_string(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body (operands taken by reference,
+/// so neither side is moved).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                ::std::format!($($fmt)+),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: `left != right`\n  both: {:?}",
+                __l
+            )));
+        }
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![
+            $($crate::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_strategy_respects_class_and_counts() {
+        let mut rng = crate::TestRng::from_test_name("string_strategy");
+        let strat = "[a-c]{2,5}";
+        for _ in 0..200 {
+            let s = Strategy::generate(&strat, &mut rng);
+            assert!((2..=5).contains(&s.chars().count()), "bad len: {s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "bad char: {s:?}");
+        }
+    }
+
+    #[test]
+    fn string_strategy_handles_escapes_and_literals() {
+        let mut rng = crate::TestRng::from_test_name("escapes");
+        let strat = "x = y\\([0-9]{1,3}\\)\n{1,2}";
+        for _ in 0..50 {
+            let s = Strategy::generate(&strat, &mut rng);
+            assert!(s.starts_with("x = y("), "bad prefix: {s:?}");
+            assert!(s.contains(')'), "missing close: {s:?}");
+            assert!(s.ends_with('\n'), "missing newline: {s:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        let mut a = crate::TestRng::from_test_name("same");
+        let mut b = crate::TestRng::from_test_name("same");
+        let strat = "[ -~\n]{0,40}";
+        for _ in 0..20 {
+            assert_eq!(Strategy::generate(&strat, &mut a), Strategy::generate(&strat, &mut b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: args, config, prop_assert all work.
+        #[test]
+        fn macro_roundtrip(v in prop::collection::vec(0u8..5, 0..10), flip in any::<bool>()) {
+            prop_assert!(v.len() < 10);
+            prop_assert!(v.iter().all(|&x| x < 5));
+            let _ = flip;
+        }
+
+        #[test]
+        fn tuples_and_oneof(pair in (0u8..3, "[ab]{1,2}"), pick in prop_oneof![Just(1u32), Just(2u32)]) {
+            prop_assert!(pair.0 < 3);
+            prop_assert!(!pair.1.is_empty());
+            prop_assert!(pick == 1 || pick == 2);
+        }
+    }
+}

@@ -1,0 +1,536 @@
+//! Strategy trait and combinators for the vendored mini-proptest.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::rc::Rc;
+
+use crate::TestRng;
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { strat: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { gen: Rc::new(move |rng| self.generate(rng)) }
+    }
+
+    /// Builds a recursive strategy: `f` receives the strategy for the
+    /// previous level and returns the composite level. The `_size` and
+    /// `_branch` hints are ignored; each level mixes leaf-or-lower and
+    /// composite 50/50, which keeps expected tree size small.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _size: u32,
+        _branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let mut current = self.boxed();
+        for _ in 0..depth {
+            let deeper = f(current.clone()).boxed();
+            current = OneOf::new(vec![current, deeper]).boxed();
+        }
+        current
+    }
+}
+
+/// Type-erased strategy; cheaply cloneable.
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { gen: Rc::clone(&self.gen) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    strat: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.strat.generate(rng))
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies (see `prop_oneof!`).
+pub struct OneOf<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Clone for OneOf<T> {
+    fn clone(&self) -> Self {
+        OneOf { options: self.options.clone() }
+    }
+}
+
+impl<T> OneOf<T> {
+    /// Builds from a non-empty option list.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        OneOf { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+// ---- primitive ranges -------------------------------------------------------
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.f64_unit() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<char> {
+    type Value = char;
+    fn generate(&self, rng: &mut TestRng) -> char {
+        char_between(self.start, self.end, false, rng)
+    }
+}
+
+// ---- any / Arbitrary --------------------------------------------------------
+
+/// Types with a canonical uniform strategy (subset of upstream).
+pub trait Arbitrary {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        AnyStrategy(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (e.g. `any::<bool>()`).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+// ---- collections ------------------------------------------------------------
+
+/// Strategy for vectors with a uniformly chosen length in `size`.
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.usize_in(self.size.start, self.size.end);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec(element, size_range)`.
+pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty size range for vec strategy");
+    VecStrategy { elem, size }
+}
+
+// ---- chars ------------------------------------------------------------------
+
+/// Inclusive character range strategy (`prop::char::range`).
+#[derive(Clone)]
+pub struct CharRange {
+    lo: char,
+    hi: char,
+}
+
+impl Strategy for CharRange {
+    type Value = char;
+    fn generate(&self, rng: &mut TestRng) -> char {
+        char_between(self.lo, self.hi, true, rng)
+    }
+}
+
+/// `prop::char::range(lo, hi)` — inclusive on both ends.
+pub fn char_range(lo: char, hi: char) -> CharRange {
+    assert!(lo <= hi, "empty char range");
+    CharRange { lo, hi }
+}
+
+fn char_between(lo: char, hi: char, inclusive: bool, rng: &mut TestRng) -> char {
+    let lo = lo as u32;
+    let hi = if inclusive { hi as u32 + 1 } else { hi as u32 };
+    assert!(lo < hi, "empty char range");
+    // Rejection-sample past the surrogate gap; ASCII never loops.
+    loop {
+        let v = lo + (rng.next_u64() % (hi - lo) as u64) as u32;
+        if let Some(c) = char::from_u32(v) {
+            return c;
+        }
+    }
+}
+
+// ---- tuples -----------------------------------------------------------------
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+// ---- string patterns --------------------------------------------------------
+
+/// One parsed pattern element: a literal or a character class, plus a
+/// repetition range (inclusive).
+enum Atom {
+    Lit(char),
+    Class(Vec<char>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for p in &pieces {
+            let n = rng.usize_in(p.min, p.max + 1);
+            for _ in 0..n {
+                match &p.atom {
+                    Atom::Lit(c) => out.push(*c),
+                    Atom::Class(set) => out.push(set[rng.below(set.len())]),
+                }
+            }
+        }
+        out
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+/// Parses the supported regex subset; panics on anything else so that a
+/// typo in a test pattern fails loudly rather than generating garbage.
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                Atom::Class(set)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                Atom::Lit(unescape(c))
+            }
+            '.' => {
+                i += 1;
+                Atom::Class((' '..='~').collect())
+            }
+            c @ ('(' | ')' | '|' | '*' | '+' | '?' | '{' | '}') => {
+                panic!("unsupported regex construct {c:?} in pattern {pattern:?}")
+            }
+            c => {
+                i += 1;
+                Atom::Lit(c)
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed quantifier in pattern {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("quantifier min"),
+                        hi.trim().parse().expect("quantifier max"),
+                    ),
+                    None => {
+                        let n: usize = body.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+        out.push(Piece { atom, min, max });
+    }
+    out
+}
+
+/// Parses a character class body starting just past `[`; returns the
+/// expanded set and the index just past `]`.
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    assert!(chars.get(i) != Some(&'^'), "negated classes unsupported in pattern {pattern:?}");
+    while i < chars.len() && chars[i] != ']' {
+        let lo = if chars[i] == '\\' {
+            i += 1;
+            unescape(chars[i])
+        } else {
+            chars[i]
+        };
+        i += 1;
+        // Range iff a '-' follows and is not the last char before ']'.
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&c| c != ']') {
+            i += 1;
+            let hi = if chars[i] == '\\' {
+                i += 1;
+                unescape(chars[i])
+            } else {
+                chars[i]
+            };
+            i += 1;
+            assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+            for v in lo as u32..=hi as u32 {
+                if let Some(c) = char::from_u32(v) {
+                    set.push(c);
+                }
+            }
+        } else {
+            set.push(lo);
+        }
+    }
+    assert!(chars.get(i) == Some(&']'), "unclosed class in pattern {pattern:?}");
+    assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+    (set, i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_test_name("strategy-internal")
+    }
+
+    #[test]
+    fn class_ranges_and_escapes_expand() {
+        let pieces = parse_pattern("[ -~\n]{0,5}");
+        assert_eq!(pieces.len(), 1);
+        match &pieces[0].atom {
+            Atom::Class(set) => {
+                assert!(set.contains(&' ') && set.contains(&'~') && set.contains(&'\n'));
+                assert_eq!(set.len(), 96); // 95 printables + newline
+            }
+            _ => panic!("expected class"),
+        }
+    }
+
+    #[test]
+    fn mixed_literals_ranges_parse() {
+        let pieces = parse_pattern("[a-z =0-9\n]{0,4}");
+        match &pieces[0].atom {
+            Atom::Class(set) => {
+                for c in ['a', 'z', ' ', '=', '0', '9', '\n'] {
+                    assert!(set.contains(&c), "missing {c:?}");
+                }
+                assert!(!set.contains(&'-'));
+            }
+            _ => panic!("expected class"),
+        }
+    }
+
+    #[test]
+    fn escaped_parens_outside_class() {
+        let pieces = parse_pattern("\\([a-b]{1,2}\\)\n{1,3}");
+        assert_eq!(pieces.len(), 4);
+        assert!(matches!(pieces[0].atom, Atom::Lit('(')));
+        assert!(matches!(pieces[2].atom, Atom::Lit(')')));
+        assert!(matches!(pieces[3].atom, Atom::Lit('\n')));
+        assert_eq!((pieces[3].min, pieces[3].max), (1, 3));
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            #[allow(dead_code)]
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn size(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(children) => 1 + children.iter().map(size).sum::<usize>(),
+            }
+        }
+        let strat = (0u8..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 12, 3, |inner| vec(inner, 1..4).prop_map(Tree::Node));
+        let mut r = rng();
+        let mut saw_node = false;
+        for _ in 0..200 {
+            let t = strat.generate(&mut r);
+            assert!(size(&t) <= 1 + 3 + 9 + 27);
+            if matches!(t, Tree::Node(_)) {
+                saw_node = true;
+            }
+        }
+        assert!(saw_node, "recursion never produced a composite");
+    }
+
+    #[test]
+    fn oneof_covers_all_options() {
+        let strat = OneOf::new(vec![Just(1u8).boxed(), Just(2u8).boxed(), Just(3u8).boxed()]);
+        let mut r = rng();
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[strat.generate(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline, dependency-free stand-in for the `serde` façade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a handful of data
+//! types but never actually serializes at runtime (report output is a
+//! hand-rolled JSON encoder). This stub keeps those derives compiling
+//! offline: the traits are inert markers and the derive macro emits
+//! empty impls. If real serialization is ever needed, swap this vendor
+//! crate for the upstream one.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

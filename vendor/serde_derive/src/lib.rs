@@ -1,0 +1,40 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde stub.
+//!
+//! The real traits here are inert markers (see `vendor/serde`), so the
+//! derive only needs the type's name: it scans the item's token stream
+//! for the identifier following `struct` or `enum` and emits empty
+//! `impl` blocks. Generic types are not supported — nothing in this
+//! workspace derives serde on a generic type.
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let id = id.to_string();
+            if id == "struct" || id == "enum" {
+                for tt in tokens.by_ref() {
+                    if let TokenTree::Ident(name) = tt {
+                        return name.to_string();
+                    }
+                }
+            }
+        }
+    }
+    panic!("serde_derive stub: could not find struct/enum name in input");
+}
+
+/// Emits an empty `impl serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}").parse().unwrap()
+}
+
+/// Emits an empty `impl serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}").parse().unwrap()
+}
