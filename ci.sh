@@ -20,4 +20,7 @@ cargo build --offline --release -q
 echo "==> tier-1: cargo test -q"
 cargo test --offline -q
 
+echo "==> bench smoke: scan_prefilter (one criterion pass)"
+cargo bench --offline -p patchit-bench --bench scan_prefilter
+
 echo "CI green."

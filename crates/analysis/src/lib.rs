@@ -164,6 +164,30 @@ impl SourceAnalysis {
     }
 }
 
+/// Prepared-text view of [`SourceAnalysis::source`] for the rxlite
+/// engine (char table + lazy case-folded view), cached in the
+/// [`SourceAnalysis::extension`] map so every pattern scanning the raw
+/// source shares one preparation.
+pub struct PreparedSource(pub rxlite::Prepared);
+
+/// Prepared-text view of [`SourceAnalysis::blanked`]; shared by the
+/// detector, the patcher, and regex-based baselines, which all scan the
+/// comment-blanked text.
+pub struct PreparedBlanked(pub rxlite::Prepared);
+
+impl SourceAnalysis {
+    /// The shared [`rxlite::Prepared`] table for the raw source text.
+    pub fn prepared_source(&self) -> Arc<PreparedSource> {
+        self.extension(|a| PreparedSource(rxlite::Prepared::new(a.source())))
+    }
+
+    /// The shared [`rxlite::Prepared`] table for the comment-blanked
+    /// text (building it also materializes [`SourceAnalysis::blanked`]).
+    pub fn prepared_blanked(&self) -> Arc<PreparedBlanked> {
+        self.extension(|a| PreparedBlanked(rxlite::Prepared::new(a.blanked())))
+    }
+}
+
 impl From<&str> for SourceAnalysis {
     fn from(source: &str) -> Self {
         SourceAnalysis::new(source)
@@ -261,5 +285,17 @@ mod tests {
     fn logical_lines_view() {
         let a = SourceAnalysis::new("x = (1 +\n     2)\ny = 3\n");
         assert_eq!(a.logical_lines().len(), 2);
+    }
+
+    #[test]
+    fn prepared_views_are_cached_and_match_their_text() {
+        let a = SourceAnalysis::new(SRC);
+        let p1 = a.prepared_blanked();
+        let p2 = a.prepared_blanked();
+        assert!(Arc::ptr_eq(&p1, &p2));
+        let re = rxlite::Regex::new(r"os\.system\(").unwrap();
+        assert!(re.is_match_prepared(a.blanked(), &p1.0));
+        let ps = a.prepared_source();
+        assert!(re.is_match_prepared(a.source(), &ps.0));
     }
 }

@@ -206,10 +206,11 @@ impl DetectionTool for SemgrepLike {
         // PatchitPy and this baseline scan the same sample, the source is
         // lexed and blanked once, not twice.
         let scan_text = a.blanked();
+        let prep = a.prepared_blanked();
         let mut out = Vec::new();
         for (idx, re) in &self.compiled {
             let rule = &RULES[*idx];
-            for m in re.find_iter(scan_text) {
+            for m in re.find_iter_prepared(scan_text, &prep.0) {
                 let line = scan_text[..m.start()].matches('\n').count() as u32 + 1;
                 out.push(ToolFinding {
                     check_id: rule.id.to_string(),

@@ -39,6 +39,12 @@ fn bench_regex(c: &mut Criterion) {
             ))
         })
     });
+    // Case-insensitive scanning is dominated by per-char folding; the
+    // ASCII fast path in exec::fold (vs. char::to_lowercase, which
+    // allocates an iterator per char) is what this measures.
+    let ci = rxlite::Regex::new(r"(?i)select\s+.+\s+from\s+\w+").expect("compiles");
+    let sql = "q = \"SELECT name, role FROM users WHERE id = %s\"  # query\n".repeat(16);
+    c.bench_function("rxlite/ci_fold_scan", |b| b.iter(|| ci.find_iter(black_box(&sql))));
 }
 
 fn bench_diff(c: &mut Criterion) {

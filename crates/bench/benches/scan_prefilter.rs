@@ -1,0 +1,72 @@
+//! Prefiltered vs unfiltered catalog scan — the headline numbers for the
+//! literal-prefilter scan engine (see DESIGN.md §10 and BENCH_scan.json).
+//!
+//! Both configurations produce byte-identical findings (enforced by the
+//! `prefilter_equivalence` tests in `crates/eval`); this bench measures
+//! the speed gap only.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use patchit_bench::{corpus, sample_codes, CLEAN_SAMPLE, FLASK_SAMPLE};
+use patchit_core::{Detector, DetectorOptions};
+
+fn bench_scan_prefilter(c: &mut Criterion) {
+    let corpus = corpus();
+    let on = Detector::new();
+    let off =
+        Detector::with_options(DetectorOptions { prefilter: false, ..DetectorOptions::default() });
+    let mut g = c.benchmark_group("scan_prefilter");
+    g.sample_size(10);
+
+    // End-to-end catalog scan over the full 609-sample corpus — the same
+    // workload as table2/patchitpy_full_corpus_609.
+    g.bench_function("full_corpus_609_on", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for s in &corpus.samples {
+                hits += on.is_vulnerable(black_box(&s.code)) as usize;
+            }
+            hits
+        })
+    });
+    g.bench_function("full_corpus_609_off", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for s in &corpus.samples {
+                hits += off.is_vulnerable(black_box(&s.code)) as usize;
+            }
+            hits
+        })
+    });
+
+    // Full findings collection (detect, not just is_vulnerable).
+    let codes = sample_codes(&corpus, 60);
+    g.bench_function("detect_60_samples_on", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for code in &codes {
+                n += on.detect(black_box(code)).len();
+            }
+            n
+        })
+    });
+    g.bench_function("detect_60_samples_off", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for code in &codes {
+                n += off.detect(black_box(code)).len();
+            }
+            n
+        })
+    });
+
+    // Single-sample extremes: a clean sample (prescan kills everything)
+    // and a multi-weakness sample (several rules stay live).
+    g.bench_function("clean_sample_on", |b| b.iter(|| on.detect(black_box(CLEAN_SAMPLE))));
+    g.bench_function("clean_sample_off", |b| b.iter(|| off.detect(black_box(CLEAN_SAMPLE))));
+    g.bench_function("flask_sample_on", |b| b.iter(|| on.detect(black_box(FLASK_SAMPLE))));
+    g.bench_function("flask_sample_off", |b| b.iter(|| off.detect(black_box(FLASK_SAMPLE))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_scan_prefilter);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Emits `BENCH_scan.json`: before/after numbers for the literal-prefilter
+//! scan engine on the table2 end-to-end workload (full 609-sample catalog
+//! scan), plus the prefilter-off control measured with the same engine.
+//!
+//! Run from the repo root:
+//!
+//! ```text
+//! cargo run --release -p patchit-bench --bin bench_scan
+//! ```
+
+use patchit_core::{Detector, DetectorOptions, SourceAnalysis};
+use std::time::Instant;
+
+/// table2/patchitpy_full_corpus_609 measured on the pre-prefilter engine
+/// (criterion mean, this machine, commit 039d01e) — the frozen "before".
+const BASELINE_FULL_CORPUS_MS: f64 = 595.209;
+/// table2/patchitpy_60_samples on the pre-prefilter engine.
+const BASELINE_60_SAMPLES_MS: f64 = 36.703;
+
+/// Mean wall-clock milliseconds of `f` over `iters` timed runs (after
+/// one warmup run).
+fn time_ms<F: FnMut() -> usize>(iters: u32, mut f: F) -> f64 {
+    let mut guard = 0usize;
+    guard += f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        guard += f();
+    }
+    let ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(iters);
+    std::hint::black_box(guard);
+    ms
+}
+
+fn scan_all(det: &Detector, codes: &[String]) -> usize {
+    let mut hits = 0usize;
+    for code in codes {
+        hits += det.is_vulnerable(code) as usize;
+    }
+    hits
+}
+
+fn main() {
+    let corpus = corpusgen::generate_corpus();
+    let codes: Vec<String> = corpus.samples.iter().map(|s| s.code.clone()).collect();
+    let codes60: Vec<String> = codes.iter().take(60).cloned().collect();
+
+    let on = Detector::new();
+    let off =
+        Detector::with_options(DetectorOptions { prefilter: false, ..DetectorOptions::default() });
+
+    let iters = 10;
+    let full_on = time_ms(iters, || scan_all(&on, &codes));
+    let full_off = time_ms(iters, || scan_all(&off, &codes));
+    let s60_on = time_ms(iters, || scan_all(&on, &codes60));
+    let s60_off = time_ms(iters, || scan_all(&off, &codes60));
+
+    // Prescan effectiveness on one representative sample.
+    let a = SourceAnalysis::new(codes[0].clone());
+    let (_, stats) = on.detect_analysis_with_stats(&a);
+
+    let json = format!(
+        r#"{{
+  "workload": "table2 end-to-end catalog scan (is_vulnerable over all samples)",
+  "samples": {},
+  "rules": {},
+  "baseline_before_pr": {{
+    "full_corpus_609_ms": {BASELINE_FULL_CORPUS_MS},
+    "samples_60_ms": {BASELINE_60_SAMPLES_MS},
+    "note": "criterion means on the pre-prefilter engine (commit 039d01e)"
+  }},
+  "after": {{
+    "full_corpus_609_ms": {full_on:.3},
+    "samples_60_ms": {s60_on:.3}
+  }},
+  "prefilter_off_control": {{
+    "full_corpus_609_ms": {full_off:.3},
+    "samples_60_ms": {s60_off:.3},
+    "note": "same engine, DetectorOptions.prefilter = false"
+  }},
+  "speedup_vs_baseline": {{
+    "full_corpus_609": {:.2},
+    "samples_60": {:.2}
+  }},
+  "speedup_vs_prefilter_off": {{
+    "full_corpus_609": {:.2},
+    "samples_60": {:.2}
+  }},
+  "prescan_stats_sample0": {{
+    "rules_total": {},
+    "rules_executed": {},
+    "rules_skipped": {}
+  }}
+}}
+"#,
+        codes.len(),
+        on.rule_count(),
+        BASELINE_FULL_CORPUS_MS / full_on,
+        BASELINE_60_SAMPLES_MS / s60_on,
+        full_off / full_on,
+        s60_off / s60_on,
+        stats.rules_total,
+        stats.rules_executed,
+        stats.rules_skipped,
+    );
+
+    std::fs::write("BENCH_scan.json", &json).expect("write BENCH_scan.json");
+    print!("{json}");
+    eprintln!(
+        "wrote BENCH_scan.json (full corpus: {full_on:.1} ms prefiltered vs {:.1} ms baseline, {:.1}x)",
+        BASELINE_FULL_CORPUS_MS,
+        BASELINE_FULL_CORPUS_MS / full_on
+    );
+}

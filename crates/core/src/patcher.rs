@@ -152,6 +152,7 @@ impl Patcher {
     ) -> PatchOutcome {
         let source = a.source();
         let scan = a.blanked();
+        let prep = a.prepared_blanked();
         let mut skipped = Vec::new();
         let mut plans: Vec<AppliedFix> = Vec::new();
         let mut imports: Vec<&'static str> = Vec::new();
@@ -179,7 +180,7 @@ impl Patcher {
             // Recover captures for this exact match.
             let caps = compiled
                 .pattern
-                .captures_iter(scan)
+                .captures_iter_prepared(scan, &prep.0)
                 .into_iter()
                 .find(|c| c.span(0) == Some((f.start, f.end)));
             let Some(caps) = caps else {

@@ -59,11 +59,19 @@ pub fn run_feature_ablation(corpus: &Corpus) -> Vec<AblationRow> {
         ("full (blanking + suppressions)", DetectorOptions::default()),
         (
             "without comment blanking",
-            DetectorOptions { blank_comments: false, apply_suppressions: true },
+            DetectorOptions {
+                blank_comments: false,
+                apply_suppressions: true,
+                ..DetectorOptions::default()
+            },
         ),
         (
             "without suppressions",
-            DetectorOptions { blank_comments: true, apply_suppressions: false },
+            DetectorOptions {
+                blank_comments: true,
+                apply_suppressions: false,
+                ..DetectorOptions::default()
+            },
         ),
     ];
     let detectors: Vec<Detector> =

@@ -3,7 +3,7 @@
 use crate::parallel::{default_jobs, par_map_samples};
 use baselines::{BanditLike, CodeqlLike, DetectionTool, LlmKind, LlmTool, SemgrepLike};
 use corpusgen::{Corpus, Model};
-use patchit_core::Detector;
+use patchit_core::{Detector, DetectorOptions};
 use std::collections::{BTreeSet, HashMap};
 use vstats::Confusion;
 
@@ -52,7 +52,18 @@ pub fn run_detection(corpus: &Corpus) -> Vec<ToolDetection> {
 /// runs on `jobs` threads with results folded in sample order, so the
 /// study is byte-identical for any `jobs ≥ 1`.
 pub fn run_detection_jobs(corpus: &Corpus, jobs: usize) -> Vec<ToolDetection> {
-    let detector = Detector::new();
+    run_detection_jobs_opts(corpus, jobs, DetectorOptions::default())
+}
+
+/// [`run_detection_jobs`] with explicit [`DetectorOptions`] — used by the
+/// prefilter differential test, which asserts Table II is byte-identical
+/// with the literal prescan on and off.
+pub fn run_detection_jobs_opts(
+    corpus: &Corpus,
+    jobs: usize,
+    options: DetectorOptions,
+) -> Vec<ToolDetection> {
+    let detector = Detector::with_options(options);
     let codeql = CodeqlLike::new();
     let semgrep = SemgrepLike::new();
     let bandit = BanditLike::new();

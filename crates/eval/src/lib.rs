@@ -37,8 +37,12 @@ pub use complexity_study::{
 };
 pub use corpus_stats::{corpus_stats, render_corpus_stats, CorpusStats};
 pub use detection::{
-    distinct_cwes_detected, run_detection, run_detection_jobs, ToolDetection, LLM_SEED,
+    distinct_cwes_detected, run_detection, run_detection_jobs, run_detection_jobs_opts,
+    ToolDetection, LLM_SEED,
 };
 pub use parallel::{default_jobs, par_map_samples};
-pub use patching::{run_patching, run_patching_jobs, suggestion_rates, PatchCounts, ToolPatching};
+pub use patching::{
+    run_patching, run_patching_jobs, run_patching_jobs_opts, suggestion_rates, PatchCounts,
+    ToolPatching,
+};
 pub use tables::{render_fig3, render_table2, render_table3};

@@ -10,7 +10,7 @@ use crate::parallel::{default_jobs, par_map_samples};
 use analysis::SourceAnalysis;
 use baselines::{BanditLike, DetectionTool, LlmKind, LlmTool, SemgrepLike};
 use corpusgen::{Corpus, Model};
-use patchit_core::Patcher;
+use patchit_core::{Detector, DetectorOptions, Patcher};
 
 /// Patch-study results for one tool.
 #[derive(Debug, Clone)]
@@ -98,7 +98,18 @@ pub fn run_patching(corpus: &Corpus) -> Vec<ToolPatching> {
 /// detect-then-patch pass and all three LLM simulators; results fold in
 /// sample order, so the table is identical for any `jobs ≥ 1`.
 pub fn run_patching_jobs(corpus: &Corpus, jobs: usize) -> Vec<ToolPatching> {
-    let patcher = Patcher::new();
+    run_patching_jobs_opts(corpus, jobs, DetectorOptions::default())
+}
+
+/// [`run_patching_jobs`] with explicit [`DetectorOptions`] — used by the
+/// prefilter differential test, which asserts Table III is byte-identical
+/// with the literal prescan on and off.
+pub fn run_patching_jobs_opts(
+    corpus: &Corpus,
+    jobs: usize,
+    options: DetectorOptions,
+) -> Vec<ToolPatching> {
+    let patcher = Patcher::with_detector(Detector::with_options(options));
     let llms: Vec<LlmTool> =
         LlmKind::all().into_iter().map(|k| LlmTool::new(k, LLM_SEED)).collect();
 

@@ -1,0 +1,37 @@
+//! Prefilter equivalence: the literal prescan and per-pattern prefilters
+//! are pure optimizations, so the paper tables rendered from a full
+//! corpus run must be **byte-identical** with the prefilter on and off.
+
+use corpusgen::generate_corpus;
+use evalharness::{render_table2, render_table3, run_detection_jobs_opts, run_patching_jobs_opts};
+use patchit_core::{Detector, DetectorOptions};
+
+fn opts(prefilter: bool) -> DetectorOptions {
+    DetectorOptions { prefilter, ..DetectorOptions::default() }
+}
+
+#[test]
+fn table2_is_byte_identical_with_prefilter_on_and_off() {
+    let corpus = generate_corpus();
+    let on = render_table2(&run_detection_jobs_opts(&corpus, 4, opts(true)));
+    let off = render_table2(&run_detection_jobs_opts(&corpus, 4, opts(false)));
+    assert_eq!(on, off);
+}
+
+#[test]
+fn table3_is_byte_identical_with_prefilter_on_and_off() {
+    let corpus = generate_corpus();
+    let on = render_table3(&run_patching_jobs_opts(&corpus, 4, opts(true)));
+    let off = render_table3(&run_patching_jobs_opts(&corpus, 4, opts(false)));
+    assert_eq!(on, off);
+}
+
+#[test]
+fn per_sample_findings_identical_with_prefilter_on_and_off() {
+    let corpus = generate_corpus();
+    let on = Detector::with_options(opts(true));
+    let off = Detector::with_options(opts(false));
+    for s in &corpus.samples {
+        assert_eq!(on.detect(&s.code), off.detect(&s.code), "sample diverged:\n{}", s.code);
+    }
+}

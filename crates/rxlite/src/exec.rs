@@ -1,64 +1,149 @@
 //! Bounded-backtracking execution of a compiled [`Program`].
 //!
 //! The engine explores the instruction graph depth-first but records every
-//! visited `(pc, position)` pair in a bitset, so total work is bounded by
-//! `O(program · haystack)` — the same trick as the `regex` crate's bounded
-//! backtracker. Detection rules therefore cannot trigger catastrophic
-//! backtracking regardless of how they are written.
+//! visited `(pc, position)` pair in a generation-stamped buffer, so total
+//! work is bounded by `O(program · haystack)` — the same trick as the
+//! `regex` crate's bounded backtracker. Detection rules therefore cannot
+//! trigger catastrophic backtracking regardless of how they are written.
+//!
+//! Two allocation sinks live outside the match loop:
+//!
+//! - [`Prepared`] holds the per-text char table (and a lazily built folded
+//!   view). It is independent of any pattern, so one instance can be
+//!   shared by every rule scanning the same text — and cached across
+//!   calls in `analysis::SourceAnalysis`.
+//! - [`Scratch`] holds the visited buffer, the backtrack stack, and the
+//!   capture slots. Reusing one across calls makes the hot match path
+//!   allocation-free after warmup.
 
 use crate::program::{class_item_matches, Inst, Program};
+use std::sync::OnceLock;
 
-/// The haystack prepared for matching: characters with their byte offsets,
-/// plus a case-folded copy when the pattern is case-insensitive.
-#[derive(Debug)]
-pub struct Haystack<'h> {
-    /// Original text.
-    pub text: &'h str,
-    /// `(byte_offset, char)` for each character.
-    pub chars: Vec<(usize, char)>,
-    /// Case-folded characters (only populated for case-insensitive runs).
-    folded: Option<Vec<char>>,
+/// A text prepared for matching: the `(byte_offset, char)` table plus a
+/// lazily built case-folded view. Pattern-independent, so one `Prepared`
+/// serves every regex scanning the same text (the folded view is only
+/// materialized if some case-insensitive pattern asks for it).
+#[derive(Debug, Default)]
+pub struct Prepared {
+    chars: Vec<(usize, char)>,
+    folded: OnceLock<Vec<char>>,
+    ascii_only: bool,
+    text_len: usize,
 }
 
-impl<'h> Haystack<'h> {
-    /// Prepares `text` for matching against `prog`.
-    pub fn new(text: &'h str, prog: &Program) -> Self {
-        let chars: Vec<(usize, char)> = text.char_indices().collect();
-        let folded = if prog.flags.ignore_case {
-            Some(chars.iter().map(|(_, c)| fold(*c)).collect())
-        } else {
-            None
-        };
-        Haystack { text, chars, folded }
+impl Prepared {
+    /// Builds the char table for `text`.
+    pub fn new(text: &str) -> Self {
+        Prepared {
+            chars: text.char_indices().collect(),
+            folded: OnceLock::new(),
+            ascii_only: text.is_ascii(),
+            text_len: text.len(),
+        }
     }
 
-    fn char_at(&self, i: usize) -> Option<char> {
-        if let Some(f) = &self.folded {
-            f.get(i).copied()
+    /// Byte length of the text this was built from (used to check that a
+    /// caller-supplied `Prepared` belongs to the text being scanned).
+    pub fn text_len(&self) -> usize {
+        self.text_len
+    }
+
+    /// Whether the prepared text is pure ASCII (enables byte-level
+    /// prefiltering for case-insensitive patterns).
+    pub fn is_ascii(&self) -> bool {
+        self.ascii_only
+    }
+
+    fn folded(&self) -> &[char] {
+        self.folded.get_or_init(|| self.chars.iter().map(|(_, c)| fold(*c)).collect())
+    }
+
+    /// Char index of byte offset `b` (which must be a char boundary).
+    pub(crate) fn char_index_of(&self, b: usize) -> usize {
+        if self.ascii_only {
+            b
         } else {
-            self.chars.get(i).map(|(_, c)| *c)
+            self.chars.partition_point(|(off, _)| *off < b)
+        }
+    }
+}
+
+/// The haystack for one search: the text plus its [`Prepared`] table,
+/// either owned (one-shot API) or borrowed (shared-haystack API).
+#[derive(Debug)]
+pub struct Haystack<'h, 'p> {
+    /// Original text.
+    pub text: &'h str,
+    prep: PrepRef<'p>,
+}
+
+#[derive(Debug)]
+enum PrepRef<'p> {
+    Owned(Prepared),
+    Shared(&'p Prepared),
+}
+
+impl<'h, 'p> Haystack<'h, 'p> {
+    /// Prepares `text` for matching, owning the char table.
+    pub fn new(text: &'h str) -> Self {
+        Haystack { text, prep: PrepRef::Owned(Prepared::new(text)) }
+    }
+
+    /// Wraps a caller-prepared table (must have been built from `text`).
+    pub fn shared(text: &'h str, prep: &'p Prepared) -> Self {
+        debug_assert_eq!(prep.text_len, text.len(), "Prepared built from different text");
+        Haystack { text, prep: PrepRef::Shared(prep) }
+    }
+
+    /// The prepared table backing this haystack.
+    pub fn prep(&self) -> &Prepared {
+        match &self.prep {
+            PrepRef::Owned(p) => p,
+            PrepRef::Shared(p) => p,
+        }
+    }
+
+    /// Character at index `i`, case-folded when `folded` is set.
+    fn char_at(&self, i: usize, folded: bool) -> Option<char> {
+        let p = self.prep();
+        if folded {
+            p.folded().get(i).copied()
+        } else {
+            p.chars.get(i).map(|(_, c)| *c)
         }
     }
 
     fn raw_char_at(&self, i: usize) -> Option<char> {
-        self.chars.get(i).map(|(_, c)| *c)
+        self.prep().chars.get(i).map(|(_, c)| *c)
     }
 
     /// Byte offset of character index `i` (or text length at one-past-end).
     pub fn byte_of(&self, i: usize) -> usize {
-        self.chars.get(i).map_or(self.text.len(), |(b, _)| *b)
+        self.prep().chars.get(i).map_or(self.text.len(), |(b, _)| *b)
+    }
+
+    /// Char index of byte offset `b` (must be a char boundary).
+    pub fn char_index_of(&self, b: usize) -> usize {
+        self.prep().char_index_of(b)
     }
 
     /// Number of characters.
     #[allow(clippy::len_without_is_empty)] // internal type; len is a cursor bound
     pub fn len(&self) -> usize {
-        self.chars.len()
+        self.prep().chars.len()
     }
 }
 
-fn fold(c: char) -> char {
-    // Simple one-char case folding; sufficient for source-code patterns.
-    c.to_lowercase().next().unwrap_or(c)
+/// Simple one-char case folding; ASCII stays on a branch-free fast path,
+/// everything else takes the full Unicode mapping (sufficient for
+/// source-code patterns, and identical to the previous
+/// `to_lowercase()`-per-char behavior).
+pub(crate) fn fold(c: char) -> char {
+    if c.is_ascii() {
+        c.to_ascii_lowercase()
+    } else {
+        c.to_lowercase().next().unwrap_or(c)
+    }
 }
 
 fn is_word(c: Option<char>) -> bool {
@@ -69,39 +154,81 @@ fn is_word(c: Option<char>) -> bool {
 /// indices) of group `k`; `usize::MAX` means unset.
 pub type Slots = Vec<usize>;
 
-/// Attempts an anchored match of `prog` starting at char index `start`,
-/// reusing a caller-provided visited buffer stamped with `gen` (which must
-/// be unique per call on the same buffer). On success returns the capture
-/// slots (char indices).
-fn match_at_with(
-    prog: &Program,
-    hay: &Haystack<'_>,
-    start: usize,
-    visited: &mut [u32],
-    gen: u32,
-) -> Option<Slots> {
-    let n_slots = 2 * (prog.group_count as usize + 1);
-    let mut slots: Slots = vec![usize::MAX; n_slots];
-    let width = hay.len() + 1;
-    // Explicit backtrack stack: (pc, pos, saved-slot writes to undo).
-    type Frame = (usize, usize, Vec<(usize, usize)>);
-    let mut stack: Vec<Frame> = vec![(0, start, Vec::new())];
+/// One backtrack entry: `(pc, pos, slot-write to undo)`. `pc ==
+/// usize::MAX` marks a pure undo sentinel.
+type Frame = (usize, usize, Option<(usize, usize)>);
 
-    while let Some((mut pc, mut pos, undo)) = stack.pop() {
-        // Undo slot writes from the abandoned branch.
-        for (slot, old) in undo.into_iter().rev() {
-            slots[slot] = old;
+/// Reusable per-thread match state: the generation-stamped visited
+/// buffer, the backtrack stack, and the capture slots. One `Scratch` can
+/// serve any number of (pattern, text) pairs; after warmup the match loop
+/// performs no heap allocation.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    visited: Vec<u32>,
+    gen: u32,
+    stack: Vec<Frame>,
+    /// Capture slots of the most recent successful match.
+    pub slots: Slots,
+}
+
+impl Scratch {
+    /// A fresh scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Ensures the visited buffer covers `need` cells and returns a fresh
+    /// generation stamp.
+    fn next_gen(&mut self, need: usize) -> u32 {
+        if self.visited.len() < need {
+            self.visited.resize(need, 0);
+        }
+        if self.gen == u32::MAX {
+            // Stamp wrap-around: clear and restart (vanishingly rare).
+            self.visited.iter_mut().for_each(|v| *v = 0);
+            self.gen = 0;
+        }
+        self.gen += 1;
+        self.gen
+    }
+}
+
+/// Attempts an anchored match of `prog` at char index `start`. On success
+/// returns `true` with the capture slots in `scratch.slots` (char
+/// indices).
+pub fn match_at(
+    prog: &Program,
+    hay: &Haystack<'_, '_>,
+    start: usize,
+    scratch: &mut Scratch,
+) -> bool {
+    let n_slots = 2 * (prog.group_count as usize + 1);
+    let width = hay.len() + 1;
+    let gen = scratch.next_gen(prog.insts.len() * width);
+    scratch.slots.clear();
+    scratch.slots.resize(n_slots, usize::MAX);
+    scratch.stack.clear();
+    scratch.stack.push((0, start, None));
+    let ci = prog.flags.ignore_case;
+
+    while let Some((mut pc, mut pos, undo)) = scratch.stack.pop() {
+        // Undo the slot write from the abandoned branch.
+        if let Some((slot, old)) = undo {
+            scratch.slots[slot] = old;
+        }
+        if pc == usize::MAX {
+            continue;
         }
         loop {
             let key = pc * width + pos;
-            if visited[key] == gen {
+            if scratch.visited[key] == gen {
                 break;
             }
-            visited[key] = gen;
+            scratch.visited[key] = gen;
             match &prog.insts[pc] {
                 Inst::Char(c) => {
-                    let want = if prog.flags.ignore_case { fold(*c) } else { *c };
-                    if hay.char_at(pos) == Some(want) {
+                    let want = if ci { fold(*c) } else { *c };
+                    if hay.char_at(pos, ci) == Some(want) {
                         pc += 1;
                         pos += 1;
                     } else {
@@ -118,7 +245,7 @@ fn match_at_with(
                 Inst::Class { items, negated } => {
                     let Some(c) = hay.raw_char_at(pos) else { break };
                     let mut hit = items.iter().any(|it| class_item_matches(it, c));
-                    if !hit && prog.flags.ignore_case {
+                    if !hit && ci {
                         let f = fold(c);
                         hit = items.iter().any(|it| class_item_matches(it, f));
                     }
@@ -162,68 +289,52 @@ fn match_at_with(
                     }
                 }
                 Inst::Save(slot) => {
-                    let old = slots[*slot];
-                    slots[*slot] = pos;
-                    // Record the undo on every pending backtrack entry made
-                    // after this point — simplest correct approach: push a
-                    // sentinel frame that restores the slot if we backtrack
+                    let old = scratch.slots[*slot];
+                    scratch.slots[*slot] = pos;
+                    // Sentinel frame restoring the slot if we backtrack
                     // past this instruction.
-                    stack.push((usize::MAX, 0, vec![(*slot, old)]));
+                    scratch.stack.push((usize::MAX, 0, Some((*slot, old))));
                     pc += 1;
                 }
                 Inst::Split(first, second) => {
-                    stack.push((*second, pos, Vec::new()));
+                    scratch.stack.push((*second, pos, None));
                     pc = *first;
                 }
                 Inst::Jump(t) => {
                     pc = *t;
                 }
-                Inst::MatchEnd => return Some(slots),
-            }
-        }
-        // Pop any sentinel undo frames that belong to the failed branch.
-        while stack.last().is_some_and(|f| f.0 == usize::MAX) {
-            let (_, _, undo) = stack.pop().expect("checked non-empty");
-            for (slot, old) in undo.into_iter().rev() {
-                slots[slot] = old;
+                Inst::MatchEnd => return true,
             }
         }
     }
-    None
+    false
 }
 
 /// Searches for the leftmost match of `prog` in `hay` at or after char
-/// index `from`. Returns capture slots on success.
-pub fn search(prog: &Program, hay: &Haystack<'_>, from: usize) -> Option<Slots> {
-    let width = hay.len() + 1;
-    let mut visited = vec![0u32; prog.insts.len() * width];
+/// index `from`. Returns `true` with capture slots in `scratch.slots`.
+pub fn search(prog: &Program, hay: &Haystack<'_, '_>, from: usize, scratch: &mut Scratch) -> bool {
     let hint = first_char_hint(prog);
-    let mut gen = 0u32;
+    let ci = prog.flags.ignore_case;
     for start in from..=hay.len() {
         // Prefilter: if the pattern must begin with a known literal char,
         // skip start positions that cannot match.
         if let Some(c) = hint {
-            match hay.char_at(start) {
+            match hay.char_at(start, ci) {
                 Some(h) if h == c => {}
-                Some(_) => continue,
-                None => {
-                    // Only a fully-empty-capable pattern can match at EOF;
-                    // a Char-first pattern cannot.
-                    continue;
-                }
+                // A Char-first pattern cannot match at EOF either.
+                _ => continue,
             }
         }
-        gen += 1;
-        if let Some(slots) = match_at_with(prog, hay, start, &mut visited, gen) {
-            return Some(slots);
+        if match_at(prog, hay, start, scratch) {
+            return true;
         }
     }
-    None
+    false
 }
 
 /// If the first concrete instruction is a literal char (after any Save or
 /// Start markers), returns it — folded when the program is
-/// case-insensitive, so it can be compared against [`Haystack::char_at`].
+/// case-insensitive, so it can be compared against the folded view.
 fn first_char_hint(prog: &Program) -> Option<char> {
     for inst in &prog.insts {
         match inst {
@@ -243,15 +354,53 @@ mod tests {
 
     fn run(pat: &str, text: &str) -> Option<(usize, usize)> {
         let prog = compile(&parse(pat).unwrap()).unwrap();
-        let hay = Haystack::new(text, &prog);
-        search(&prog, &hay, 0).map(|s| (hay.byte_of(s[0]), hay.byte_of(s[1])))
+        let hay = Haystack::new(text);
+        let mut scratch = Scratch::new();
+        search(&prog, &hay, 0, &mut scratch)
+            .then(|| (hay.byte_of(scratch.slots[0]), hay.byte_of(scratch.slots[1])))
     }
 
     #[test]
     fn haystack_len() {
-        let prog = compile(&parse("a").unwrap()).unwrap();
-        assert_eq!(Haystack::new("", &prog).len(), 0);
-        assert_eq!(Haystack::new("ab", &prog).len(), 2);
+        assert_eq!(Haystack::new("").len(), 0);
+        assert_eq!(Haystack::new("ab").len(), 2);
+    }
+
+    #[test]
+    fn shared_prepared_matches_owned() {
+        let text = "x = os.system(cmd)";
+        let prep = Prepared::new(text);
+        let hay = Haystack::shared(text, &prep);
+        let prog = compile(&parse(r"os\.system").unwrap()).unwrap();
+        let mut s = Scratch::new();
+        assert!(search(&prog, &hay, 0, &mut s));
+        assert_eq!(hay.byte_of(s.slots[0]), 4);
+    }
+
+    #[test]
+    fn scratch_reuse_across_patterns_and_texts() {
+        let mut s = Scratch::new();
+        for _ in 0..3 {
+            assert_eq!(run_with(&mut s, "a+", "bbaa"), Some((2, 4)));
+            assert_eq!(run_with(&mut s, "xyz", "abc"), None);
+            assert_eq!(run_with(&mut s, "c$", "abc"), Some((2, 3)));
+        }
+    }
+
+    fn run_with(s: &mut Scratch, pat: &str, text: &str) -> Option<(usize, usize)> {
+        let prog = compile(&parse(pat).unwrap()).unwrap();
+        let hay = Haystack::new(text);
+        search(&prog, &hay, 0, s).then(|| (hay.byte_of(s.slots[0]), hay.byte_of(s.slots[1])))
+    }
+
+    #[test]
+    fn fold_ascii_fast_path_agrees_with_unicode_fold() {
+        for c in (0u8..=127).map(char::from) {
+            assert_eq!(fold(c), c.to_lowercase().next().unwrap_or(c), "{c:?}");
+        }
+        // Non-ASCII still goes through the full mapping.
+        assert_eq!(fold('É'), 'é');
+        assert_eq!(fold('\u{212A}'), 'k'); // Kelvin sign folds to ASCII k
     }
 
     #[test]
@@ -320,10 +469,11 @@ mod tests {
     #[test]
     fn captures_record_groups() {
         let prog = compile(&parse(r"(\w+)\.(\w+)\(").unwrap()).unwrap();
-        let hay = Haystack::new("x = os.system(cmd)", &prog);
-        let slots = search(&prog, &hay, 0).unwrap();
-        let g1 = &hay.text[hay.byte_of(slots[2])..hay.byte_of(slots[3])];
-        let g2 = &hay.text[hay.byte_of(slots[4])..hay.byte_of(slots[5])];
+        let hay = Haystack::new("x = os.system(cmd)");
+        let mut s = Scratch::new();
+        assert!(search(&prog, &hay, 0, &mut s));
+        let g1 = &hay.text[hay.byte_of(s.slots[2])..hay.byte_of(s.slots[3])];
+        let g2 = &hay.text[hay.byte_of(s.slots[4])..hay.byte_of(s.slots[5])];
         assert_eq!(g1, "os");
         assert_eq!(g2, "system");
     }
@@ -331,8 +481,9 @@ mod tests {
     #[test]
     fn case_insensitive() {
         let prog = compile(&parse("(?i)select .* from").unwrap()).unwrap();
-        let hay = Haystack::new("q = 'SELECT * FROM users'", &prog);
-        assert!(search(&prog, &hay, 0).is_some());
+        let hay = Haystack::new("q = 'SELECT * FROM users'");
+        let mut s = Scratch::new();
+        assert!(search(&prog, &hay, 0, &mut s));
     }
 
     #[test]
@@ -350,9 +501,18 @@ mod tests {
     #[test]
     fn optional_group_unset_slots() {
         let prog = compile(&parse("a(b)?c").unwrap()).unwrap();
-        let hay = Haystack::new("ac", &prog);
-        let slots = search(&prog, &hay, 0).unwrap();
-        assert_eq!(slots[2], usize::MAX);
-        assert_eq!(slots[3], usize::MAX);
+        let hay = Haystack::new("ac");
+        let mut s = Scratch::new();
+        assert!(search(&prog, &hay, 0, &mut s));
+        assert_eq!(s.slots[2], usize::MAX);
+        assert_eq!(s.slots[3], usize::MAX);
+    }
+
+    #[test]
+    fn char_index_of_round_trips() {
+        let hay = Haystack::new("aé b");
+        for i in 0..=hay.len() {
+            assert_eq!(hay.char_index_of(hay.byte_of(i)), i);
+        }
     }
 }

@@ -25,9 +25,13 @@
 
 mod error;
 mod exec;
+mod literal;
+mod multi;
 mod parser;
 mod program;
 mod regex;
 
 pub use error::ParsePatternError;
+pub use exec::Prepared;
+pub use multi::MultiLiteral;
 pub use regex::{Captures, Regex, RxMatch};

@@ -1,0 +1,356 @@
+//! Literal analysis of a compiled [`Program`] and the byte-level
+//! substring searchers built from it.
+//!
+//! Detection rules are overwhelmingly literal-anchored (`os.system`,
+//! `yaml.load`, `hashlib.md5`, …). This module derives, directly from the
+//! compiled instruction graph:
+//!
+//! - a **prefix literal** — a string every match must *start* with, and
+//! - a **required set** — literals such that every match must *contain*
+//!   at least one of them (alternations contribute one literal per
+//!   branch).
+//!
+//! Both are conservative: when nothing can be guaranteed (e.g. `\w+\s*=`)
+//! the result is empty and the engine runs unfiltered. The extraction
+//! never produces false *negatives* — a candidate check may pass spuriously
+//! (costing a verification run) but can never reject a real match.
+//!
+//! Case-insensitive patterns store folded literals and are matched with
+//! ASCII-case-insensitive byte comparison; because a handful of non-ASCII
+//! code points fold *into* ASCII (e.g. the Kelvin sign `\u{212A}` → `k`),
+//! byte prefiltering of case-insensitive patterns is only applied to
+//! pure-ASCII haystacks (see [`crate::Regex`]); literals whose fold
+//! leaves ASCII are discarded entirely.
+
+use crate::exec::fold;
+use crate::program::{Inst, Program};
+
+/// Upper bound on the number of literals in a required set; alternations
+/// wider than this fall back to "no requirement".
+const MAX_LITERALS: usize = 16;
+
+/// Upper bound on the walk's recursion depth (split/jump nodes on the
+/// current path).
+const MAX_DEPTH: usize = 64;
+
+/// Upper bound on total extraction work (recursive calls); the walk
+/// explores a DAG path-sensitively, so a global budget caps blowup.
+const MAX_STEPS: usize = 4096;
+
+/// Literals derived from a compiled program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct LiteralSet {
+    /// Literal every match starts with (empty = unknown).
+    pub prefix: String,
+    /// Every match contains at least one of these (empty = unknown).
+    pub required: Vec<String>,
+}
+
+/// Derives the literal set of `prog`. Literals of case-insensitive
+/// programs are case-folded; any fold escaping ASCII voids the result
+/// (byte search could miss Unicode folds).
+pub(crate) fn extract(prog: &Program) -> LiteralSet {
+    let ci = prog.flags.ignore_case;
+    let usable = |s: &String| !s.is_empty() && (!ci || s.is_ascii());
+    let prefix = extract_prefix(prog).filter(usable).unwrap_or_default();
+    let required = match required_from(prog, 0, &mut Vec::new(), &mut 0) {
+        Req::Set(lits) if !lits.is_empty() && lits.iter().all(usable) => prune(lits),
+        _ => Vec::new(),
+    };
+    LiteralSet { prefix, required }
+}
+
+/// Drops literals subsumed by a shorter member: if `m` is a substring of
+/// `l`, any text containing `l` also contains `m`, so keeping only `m`
+/// preserves the "every match contains one of these" guarantee.
+fn prune(lits: Vec<String>) -> Vec<String> {
+    let mut out: Vec<String> = Vec::with_capacity(lits.len());
+    for (i, l) in lits.iter().enumerate() {
+        let subsumed = lits
+            .iter()
+            .enumerate()
+            .any(|(j, m)| j != i && l.contains(m.as_str()) && (m.len() < l.len() || j < i));
+        if !subsumed {
+            out.push(l.clone());
+        }
+    }
+    out
+}
+
+/// Outcome of the required-literal walk from one program point.
+enum Req {
+    /// Every path to `MatchEnd` contains one of these (all nonempty).
+    Set(Vec<String>),
+    /// No guarantee can be made.
+    Top,
+    /// The walk re-entered an enclosing loop head; such paths exit
+    /// through that loop's sibling branch, whose literals the enclosing
+    /// union already covers — so this branch contributes nothing.
+    Cycle,
+}
+
+/// The literal run every match begins with: consecutive `Char`
+/// instructions at the head of the program, skipping zero-width markers.
+fn extract_prefix(prog: &Program) -> Option<String> {
+    let ci = prog.flags.ignore_case;
+    let mut out = String::new();
+    for inst in &prog.insts {
+        match inst {
+            Inst::Save(_) | Inst::Start | Inst::WordBoundary | Inst::NotWordBoundary => {}
+            Inst::Char(c) => out.push(if ci { fold(*c) } else { *c }),
+            _ => break,
+        }
+    }
+    (!out.is_empty()).then_some(out)
+}
+
+/// Computes a set of literals such that every path from `pc` to
+/// `MatchEnd` passes through at least one of them ([`Req::Set`]), or
+/// gives up ([`Req::Top`]). Zero-width instructions do not interrupt a
+/// literal run (the surrounding chars are contiguous in the haystack).
+///
+/// `visited` holds the split/jump nodes on the *current* path only
+/// (pushed before recursing, popped after), so a revisit is a genuine
+/// back-edge into an enclosing loop — never a mere DAG convergence,
+/// which must be re-walked because the literal requirement depends on
+/// the path taken to reach it. `steps` is the global work budget.
+fn required_from(
+    prog: &Program,
+    mut pc: usize,
+    visited: &mut Vec<usize>,
+    steps: &mut usize,
+) -> Req {
+    *steps += 1;
+    if *steps > MAX_STEPS || visited.len() >= MAX_DEPTH {
+        return Req::Top;
+    }
+    let ci = prog.flags.ignore_case;
+    let mut cur = String::new();
+    loop {
+        match &prog.insts[pc] {
+            Inst::Char(c) => {
+                cur.push(if ci { fold(*c) } else { *c });
+                pc += 1;
+            }
+            Inst::Save(_)
+            | Inst::Start
+            | Inst::End
+            | Inst::WordBoundary
+            | Inst::NotWordBoundary => pc += 1,
+            Inst::Any | Inst::Class { .. } => {
+                if cur.is_empty() {
+                    // No literal yet on this path; keep scanning past the
+                    // wildcard for a later one.
+                    pc += 1;
+                } else {
+                    // The run so far is unconditionally required.
+                    return Req::Set(vec![cur]);
+                }
+            }
+            Inst::Jump(t) => {
+                if !cur.is_empty() {
+                    // The run so far is on every match through this path;
+                    // stopping here (rather than continuing at the target)
+                    // just yields a shorter — still required — literal.
+                    return Req::Set(vec![cur]);
+                }
+                if visited.contains(&pc) {
+                    return Req::Cycle;
+                }
+                visited.push(pc);
+                let r = required_from(prog, *t, visited, steps);
+                visited.pop();
+                return r;
+            }
+            Inst::Split(a, b) => {
+                if !cur.is_empty() {
+                    return Req::Set(vec![cur]);
+                }
+                if visited.contains(&pc) {
+                    return Req::Cycle;
+                }
+                visited.push(pc);
+                let la = required_from(prog, *a, visited, steps);
+                let lb = required_from(prog, *b, visited, steps);
+                visited.pop();
+                return match (la, lb) {
+                    (Req::Top, _) | (_, Req::Top) => Req::Top,
+                    (Req::Cycle, other) | (other, Req::Cycle) => other,
+                    (Req::Set(mut la), Req::Set(lb)) => {
+                        for l in lb {
+                            if !la.contains(&l) {
+                                la.push(l);
+                            }
+                        }
+                        if la.len() > MAX_LITERALS {
+                            Req::Top
+                        } else {
+                            Req::Set(la)
+                        }
+                    }
+                };
+            }
+            Inst::MatchEnd => {
+                return if cur.is_empty() { Req::Top } else { Req::Set(vec![cur]) };
+            }
+        }
+    }
+}
+
+/// Boyer–Moore–Horspool substring searcher over bytes, optionally
+/// ASCII-case-insensitive (the needle is stored pre-folded).
+#[derive(Debug, Clone)]
+pub(crate) struct Finder {
+    needle: Vec<u8>,
+    /// Bad-character shift table: distance to slide on a mismatch.
+    skip: [u8; 256],
+    ci: bool,
+}
+
+impl Finder {
+    /// Builds a searcher for `lit` (pre-folded when `ci`).
+    pub(crate) fn new(lit: &str, ci: bool) -> Self {
+        let needle: Vec<u8> =
+            if ci { lit.bytes().map(|b| b.to_ascii_lowercase()).collect() } else { lit.into() };
+        let n = needle.len();
+        let max_shift = n.min(255) as u8;
+        let mut skip = [max_shift; 256];
+        for (i, &b) in needle.iter().enumerate().take(n - 1) {
+            skip[b as usize] = ((n - 1 - i).min(255)) as u8;
+        }
+        Finder { needle, skip, ci }
+    }
+
+    /// Leftmost occurrence of the needle in `hay[from..]`, as an absolute
+    /// byte offset.
+    pub(crate) fn find(&self, hay: &[u8], from: usize) -> Option<usize> {
+        let n = self.needle.len();
+        if n == 0 {
+            return (from <= hay.len()).then_some(from);
+        }
+        let fold8 = |b: u8| if self.ci { b.to_ascii_lowercase() } else { b };
+        let last = n - 1;
+        let mut i = from;
+        while i + n <= hay.len() {
+            let tail = fold8(hay[i + last]);
+            if tail == self.needle[last] {
+                let mut k = 0;
+                while k < last && fold8(hay[i + k]) == self.needle[k] {
+                    k += 1;
+                }
+                if k == last {
+                    return Some(i);
+                }
+            }
+            i += self.skip[tail as usize] as usize;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::program::compile;
+
+    fn lits(pat: &str) -> LiteralSet {
+        extract(&compile(&parse(pat).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn plain_literal_is_its_own_prefix_and_requirement() {
+        let l = lits(r"os\.system");
+        assert_eq!(l.prefix, "os.system");
+        assert_eq!(l.required, vec!["os.system"]);
+    }
+
+    #[test]
+    fn prefix_stops_at_first_wildcard() {
+        let l = lits(r"yaml\.load\s*\(");
+        assert_eq!(l.prefix, "yaml.load");
+        assert_eq!(l.required, vec!["yaml.load"]);
+    }
+
+    #[test]
+    fn word_boundary_does_not_break_runs() {
+        let l = lits(r"\beval\(");
+        assert_eq!(l.prefix, "eval(");
+        assert_eq!(l.required, vec!["eval("]);
+    }
+
+    #[test]
+    fn alternation_contributes_one_literal_per_branch() {
+        let l = lits(r"pickle\.loads|marshal\.loads");
+        assert!(l.prefix.is_empty());
+        assert_eq!(l.required, vec!["pickle.loads", "marshal.loads"]);
+    }
+
+    #[test]
+    fn leading_class_still_yields_inner_literal() {
+        let l = lits(r"\w+\.execute\(");
+        assert!(l.prefix.is_empty());
+        assert_eq!(l.required, vec![".execute("]);
+    }
+
+    #[test]
+    fn no_literal_patterns_fall_back_to_empty() {
+        for pat in [r"\w+", r".*", r"[a-z]{3,}", r"a*", r"(?:x?)*"] {
+            let l = lits(pat);
+            assert!(l.required.is_empty(), "{pat}: {:?}", l.required);
+        }
+    }
+
+    #[test]
+    fn optional_head_voids_prefix_but_keeps_requirement() {
+        // The `x` is optional, so matches need not start with it — but
+        // "abc" must appear in every match.
+        let l = lits(r"x?abc");
+        assert!(l.prefix.is_empty());
+        // The x-branch yields "xabc", subsumed by the skip-branch "abc".
+        assert_eq!(l.required, vec!["abc"]);
+    }
+
+    #[test]
+    fn case_insensitive_literals_are_folded() {
+        let l = lits(r"(?i)SELECT");
+        assert_eq!(l.prefix, "select");
+        assert_eq!(l.required, vec!["select"]);
+    }
+
+    #[test]
+    fn case_insensitive_non_ascii_fold_is_discarded() {
+        let l = lits("(?i)Émile");
+        assert!(l.prefix.is_empty());
+        assert!(l.required.is_empty());
+    }
+
+    #[test]
+    fn groups_and_anchors_are_transparent() {
+        let l = lits(r"^(subprocess)\.(call|run)");
+        assert_eq!(l.prefix, "subprocess.");
+        assert_eq!(l.required, vec!["subprocess."]);
+    }
+
+    #[test]
+    fn finder_exact_and_ci() {
+        let f = Finder::new("needle", false);
+        assert_eq!(f.find(b"haystack with a needle inside", 0), Some(16));
+        assert_eq!(f.find(b"no such thing", 0), None);
+        assert_eq!(f.find(b"needleneedle", 7), None);
+        assert_eq!(f.find(b"needleneedle", 6), Some(6));
+
+        let ci = Finder::new("true", true);
+        assert_eq!(ci.find(b"shell=True", 0), Some(6));
+        assert_eq!(ci.find(b"TRUE", 0), Some(0));
+    }
+
+    #[test]
+    fn finder_single_byte_and_overlaps() {
+        let f = Finder::new("(", false);
+        assert_eq!(f.find(b"eval(x)", 0), Some(4));
+        let aa = Finder::new("aa", false);
+        assert_eq!(aa.find(b"aaa", 0), Some(0));
+        assert_eq!(aa.find(b"aaa", 1), Some(1));
+    }
+}

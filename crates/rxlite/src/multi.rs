@@ -1,0 +1,213 @@
+//! Multi-literal prescan: an Aho–Corasick automaton answering, in one
+//! pass over a text, *which patterns could possibly match*.
+//!
+//! Built once from every pattern's required literals (see
+//! [`crate::Regex::required_literals`]), the automaton lets a rule
+//! catalog skip the regex engine entirely for every rule whose literals
+//! are absent from the sample — the dominant case when ~85 rules scan
+//! code that triggers a handful of them.
+//!
+//! The automaton is byte-based and ASCII-case-insensitive on both sides
+//! (literals and text are folded with `to_ascii_lowercase`). Folding can
+//! only *add* candidate hits for case-sensitive literals, so the prescan
+//! may report a pattern as live that cannot match (costing one engine
+//! run) but never suppresses one that can — except for case-insensitive
+//! patterns over non-ASCII text, where a caller must treat the pattern as
+//! live unconditionally (see [`MultiLiteral::scan_into`]'s return value
+//! and `Regex::is_case_insensitive`).
+
+/// Dense goto/fail Aho–Corasick automaton mapping literal hits to the
+/// ids of the patterns that require them.
+#[derive(Debug)]
+pub struct MultiLiteral {
+    /// `next[state * 256 + byte]` — full goto function (fail links are
+    /// pre-resolved during construction, so scanning never backtracks).
+    next: Vec<u32>,
+    /// Pattern ids completed at each state (fail-closure merged).
+    outputs: Vec<Vec<u32>>,
+    /// Number of distinct pattern ids the automaton was built over.
+    id_count: usize,
+}
+
+impl MultiLiteral {
+    /// Builds the automaton from `(pattern_id, literal)` pairs; ids must
+    /// be `< id_count`. Empty literals are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pair's id is out of range.
+    pub fn build<I, S>(id_count: usize, literals: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, S)>,
+        S: AsRef<str>,
+    {
+        // Trie construction over folded bytes.
+        let mut children: Vec<[u32; 256]> = vec![[u32::MAX; 256]];
+        let mut outputs: Vec<Vec<u32>> = vec![Vec::new()];
+        for (id, lit) in literals {
+            assert!(id < id_count, "literal id {id} out of range (< {id_count})");
+            let lit = lit.as_ref();
+            if lit.is_empty() {
+                continue;
+            }
+            let mut state = 0usize;
+            for b in lit.bytes().map(|b| b.to_ascii_lowercase()) {
+                if children[state][b as usize] == u32::MAX {
+                    children[state][b as usize] = children.len() as u32;
+                    children.push([u32::MAX; 256]);
+                    outputs.push(Vec::new());
+                }
+                state = children[state][b as usize] as usize;
+            }
+            if !outputs[state].contains(&(id as u32)) {
+                outputs[state].push(id as u32);
+            }
+        }
+
+        // BFS: resolve fail links into a dense goto function and merge
+        // output sets along the failure chain.
+        let n = children.len();
+        let mut next = vec![0u32; n * 256];
+        let mut fail = vec![0u32; n];
+        let mut queue = std::collections::VecDeque::new();
+        for b in 0..256 {
+            let c = children[0][b];
+            if c == u32::MAX {
+                next[b] = 0;
+            } else {
+                next[b] = c;
+                fail[c as usize] = 0;
+                queue.push_back(c as usize);
+            }
+        }
+        while let Some(s) = queue.pop_front() {
+            let f = fail[s] as usize;
+            if !outputs[f].is_empty() {
+                let merged: Vec<u32> = outputs[f].clone();
+                for id in merged {
+                    if !outputs[s].contains(&id) {
+                        outputs[s].push(id);
+                    }
+                }
+            }
+            for b in 0..256 {
+                let c = children[s][b];
+                if c == u32::MAX {
+                    next[s * 256 + b] = next[f * 256 + b];
+                } else {
+                    fail[c as usize] = next[f * 256 + b];
+                    next[s * 256 + b] = c;
+                    queue.push_back(c as usize);
+                }
+            }
+        }
+
+        MultiLiteral { next, outputs, id_count }
+    }
+
+    /// Number of pattern ids this automaton covers.
+    pub fn id_count(&self) -> usize {
+        self.id_count
+    }
+
+    /// Scans `text`, setting `live[id] = true` for every pattern id with
+    /// at least one literal occurrence (ASCII-case-insensitive). Entries
+    /// already `true` are left untouched, so callers can pre-seed the
+    /// vector with always-live patterns. Returns `true` when the text is
+    /// pure ASCII — when `false`, callers must treat case-*insensitive*
+    /// patterns as live regardless (non-ASCII code points can case-fold
+    /// into ASCII literals that byte scanning cannot see).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `live.len() < id_count`.
+    pub fn scan_into(&self, text: &str, live: &mut [bool]) -> bool {
+        assert!(live.len() >= self.id_count, "live vector too small");
+        let mut remaining = live.iter().take(self.id_count).filter(|l| !**l).count();
+        let mut ascii = true;
+        let mut state = 0usize;
+        for &b in text.as_bytes() {
+            ascii &= b < 0x80;
+            state = self.next[state * 256 + b.to_ascii_lowercase() as usize] as usize;
+            for &id in &self.outputs[state] {
+                if !live[id as usize] {
+                    live[id as usize] = true;
+                    remaining -= 1;
+                }
+            }
+            if remaining == 0 {
+                // Every pattern already live — finish the ASCII check
+                // without automaton work.
+                return ascii && text.as_bytes().iter().all(|b| *b < 0x80);
+            }
+        }
+        ascii
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn live_for(ml: &MultiLiteral, text: &str) -> Vec<bool> {
+        let mut live = vec![false; ml.id_count()];
+        ml.scan_into(text, &mut live);
+        live
+    }
+
+    #[test]
+    fn marks_only_patterns_with_present_literals() {
+        let ml = MultiLiteral::build(
+            3,
+            vec![(0, "os.system"), (1, "yaml.load"), (2, "pickle"), (2, "marshal")],
+        );
+        assert_eq!(live_for(&ml, "import os\nos.system(cmd)\n"), vec![true, false, false]);
+        assert_eq!(live_for(&ml, "data = yaml.load(f)\n"), vec![false, true, false]);
+        assert_eq!(live_for(&ml, "x = marshal.loads(b)\n"), vec![false, false, true]);
+        assert_eq!(live_for(&ml, "print('hello')\n"), vec![false, false, false]);
+    }
+
+    #[test]
+    fn overlapping_literals_all_fire() {
+        let ml = MultiLiteral::build(3, vec![(0, "he"), (1, "she"), (2, "hers")]);
+        assert_eq!(live_for(&ml, "ushers"), vec![true, true, true]);
+        assert_eq!(live_for(&ml, "he said"), vec![true, false, false]);
+    }
+
+    #[test]
+    fn ascii_case_insensitive_both_sides() {
+        let ml = MultiLiteral::build(1, vec![(0, "Select")]);
+        assert_eq!(live_for(&ml, "SELECT * FROM t"), vec![true]);
+        assert_eq!(live_for(&ml, "select 1"), vec![true]);
+    }
+
+    #[test]
+    fn preseeded_entries_survive() {
+        let ml = MultiLiteral::build(2, vec![(1, "eval")]);
+        let mut live = vec![true, false]; // id 0 has no literal: always live
+        ml.scan_into("x = 1", &mut live);
+        assert_eq!(live, vec![true, false]);
+    }
+
+    #[test]
+    fn reports_non_ascii_text() {
+        let ml = MultiLiteral::build(1, vec![(0, "eval")]);
+        let mut live = vec![false];
+        assert!(ml.scan_into("eval(x)", &mut live));
+        assert!(!ml.scan_into("é = eval(x)", &mut live));
+    }
+
+    #[test]
+    fn empty_automaton_scans_cleanly() {
+        let ml = MultiLiteral::build(0, Vec::<(usize, &str)>::new());
+        let mut live: Vec<bool> = Vec::new();
+        assert!(ml.scan_into("anything", &mut live));
+    }
+
+    #[test]
+    fn literal_at_text_start_and_end() {
+        let ml = MultiLiteral::build(2, vec![(0, "abc"), (1, "xyz")]);
+        assert_eq!(live_for(&ml, "abc...xyz"), vec![true, true]);
+        assert_eq!(live_for(&ml, "ab"), vec![false, false]);
+    }
+}

@@ -1,9 +1,29 @@
 //! The public [`Regex`] API: compile once, search/replace many times.
+//!
+//! Compilation also derives the pattern's literal prefilter (see
+//! [`crate::literal`]): a prefix literal jumps the search directly to
+//! candidate positions, and a required-literal check rejects whole texts
+//! without running the backtracker at all. Both are transparent — results
+//! are identical with the prefilter on or off ([`Regex::set_prefilter`])
+//! — and are exercised differentially by the test suite.
 
 use crate::error::ParsePatternError;
-use crate::exec::{search, Haystack, Slots};
+use crate::exec::{self, Haystack, Prepared, Scratch, Slots};
+use crate::literal::{extract, Finder, LiteralSet};
 use crate::parser::parse;
 use crate::program::{compile, Program};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread match scratch shared by every `Regex` call on the
+    /// thread: visited stamps, backtrack stack, and capture slots are
+    /// reused, so steady-state matching performs no heap allocation.
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+fn with_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
 
 /// A compiled regular expression.
 ///
@@ -18,6 +38,10 @@ use crate::program::{compile, Program};
 pub struct Regex {
     pattern: String,
     prog: Program,
+    lits: LiteralSet,
+    prefix_finder: Option<Finder>,
+    required_finders: Vec<Finder>,
+    prefilter: bool,
 }
 
 /// A single match: byte range plus the matched text.
@@ -89,7 +113,7 @@ impl<'h> Captures<'h> {
 }
 
 impl Regex {
-    /// Compiles a pattern.
+    /// Compiles a pattern and derives its literal prefilter.
     ///
     /// # Errors
     ///
@@ -98,7 +122,24 @@ impl Regex {
     pub fn new(pattern: &str) -> Result<Self, ParsePatternError> {
         let parsed = parse(pattern)?;
         let prog = compile(&parsed)?;
-        Ok(Regex { pattern: pattern.to_string(), prog })
+        let lits = extract(&prog);
+        let ci = prog.flags.ignore_case;
+        let prefix_finder = (!lits.prefix.is_empty()).then(|| Finder::new(&lits.prefix, ci));
+        // With a prefix, candidate enumeration subsumes the contains
+        // gate; only prefix-less patterns need the required finders.
+        let required_finders = if prefix_finder.is_some() {
+            Vec::new()
+        } else {
+            lits.required.iter().map(|l| Finder::new(l, ci)).collect()
+        };
+        Ok(Regex {
+            pattern: pattern.to_string(),
+            prog,
+            lits,
+            prefix_finder,
+            required_finders,
+            prefilter: true,
+        })
     }
 
     /// The original pattern text.
@@ -106,15 +147,97 @@ impl Regex {
         &self.pattern
     }
 
+    /// Enables or disables the literal prefilter (on by default). Results
+    /// are identical either way; disabling exists for differential
+    /// testing and benchmarking.
+    pub fn set_prefilter(&mut self, on: bool) {
+        self.prefilter = on;
+    }
+
+    /// Whether the literal prefilter is enabled.
+    pub fn prefilter_enabled(&self) -> bool {
+        self.prefilter
+    }
+
+    /// The literal every match must start with (`""` when unknown).
+    /// Case-folded for case-insensitive patterns.
+    pub fn literal_prefix(&self) -> &str {
+        &self.lits.prefix
+    }
+
+    /// Literals such that every match contains at least one of them
+    /// (empty when no guarantee could be derived). Case-folded for
+    /// case-insensitive patterns. A catalog can feed these into
+    /// [`crate::MultiLiteral`] to skip entire patterns per text.
+    pub fn required_literals(&self) -> &[String] {
+        &self.lits.required
+    }
+
+    /// Whether the pattern carries the `(?i)` flag (relevant to prescan
+    /// callers: byte-level literal scans of case-insensitive patterns are
+    /// only exact over pure-ASCII text).
+    pub fn is_case_insensitive(&self) -> bool {
+        self.prog.flags.ignore_case
+    }
+
+    /// Whether the byte-level prefilter may be consulted for this
+    /// haystack (case-insensitive patterns fold at the char level, which
+    /// byte search only mirrors exactly for pure-ASCII text).
+    fn prefilter_usable(&self, hay: &Haystack<'_, '_>) -> bool {
+        self.prefilter && (!self.prog.flags.ignore_case || hay.prep().is_ascii())
+    }
+
+    /// Leftmost match at or after char index `from_char`; fills
+    /// `scratch.slots` on success.
+    fn search_hay(&self, hay: &Haystack<'_, '_>, from_char: usize, scratch: &mut Scratch) -> bool {
+        if !self.prefilter_usable(hay) {
+            return exec::search(&self.prog, hay, from_char, scratch);
+        }
+        let bytes = hay.text.as_bytes();
+        if let Some(pf) = &self.prefix_finder {
+            // Every match starts with the prefix: enumerate candidate
+            // positions directly instead of walking char by char.
+            let mut at = hay.byte_of(from_char);
+            while let Some(hit) = pf.find(bytes, at) {
+                if exec::match_at(&self.prog, hay, hay.char_index_of(hit), scratch) {
+                    return true;
+                }
+                at = hit + 1;
+            }
+            return false;
+        }
+        if !self.required_finders.is_empty() {
+            let from_byte = hay.byte_of(from_char);
+            if !self.required_finders.iter().any(|f| f.find(bytes, from_byte).is_some()) {
+                return false;
+            }
+        }
+        exec::search(&self.prog, hay, from_char, scratch)
+    }
+
     /// Whether the pattern matches anywhere in `text`.
     pub fn is_match(&self, text: &str) -> bool {
-        let hay = Haystack::new(text, &self.prog);
-        search(&self.prog, &hay, 0).is_some()
+        self.is_match_hay(&Haystack::new(text))
+    }
+
+    /// [`Regex::is_match`] against a caller-prepared text (see
+    /// [`Prepared`]); `prep` must have been built from `text`.
+    pub fn is_match_prepared(&self, text: &str, prep: &Prepared) -> bool {
+        self.is_match_hay(&Haystack::shared(text, prep))
+    }
+
+    fn is_match_hay(&self, hay: &Haystack<'_, '_>) -> bool {
+        with_scratch(|scratch| self.search_hay(hay, 0, scratch))
     }
 
     /// Leftmost match, if any.
     pub fn find<'h>(&self, text: &'h str) -> Option<RxMatch<'h>> {
         self.find_at(text, 0)
+    }
+
+    /// [`Regex::find`] against a caller-prepared text.
+    pub fn find_prepared<'h>(&self, text: &'h str, prep: &Prepared) -> Option<RxMatch<'h>> {
+        self.find_hay(&Haystack::shared(text, prep), 0)
     }
 
     /// Leftmost match starting at or after byte offset `start`.
@@ -124,46 +247,95 @@ impl Regex {
     /// Panics if `start` is not a char boundary of `text`.
     pub fn find_at<'h>(&self, text: &'h str, start: usize) -> Option<RxMatch<'h>> {
         assert!(text.is_char_boundary(start), "start must be a char boundary");
-        let hay = Haystack::new(text, &self.prog);
-        let from = hay.chars.partition_point(|(b, _)| *b < start);
-        let slots = search(&self.prog, &hay, from)?;
-        Some(RxMatch { haystack: text, start: hay.byte_of(slots[0]), end: hay.byte_of(slots[1]) })
+        let hay = Haystack::new(text);
+        let from = hay.char_index_of(start);
+        self.find_hay(&hay, from)
+    }
+
+    fn find_hay<'h>(&self, hay: &Haystack<'h, '_>, from: usize) -> Option<RxMatch<'h>> {
+        with_scratch(|scratch| {
+            self.search_hay(hay, from, scratch).then(|| RxMatch {
+                haystack: hay.text,
+                start: hay.byte_of(scratch.slots[0]),
+                end: hay.byte_of(scratch.slots[1]),
+            })
+        })
     }
 
     /// All non-overlapping matches, left to right.
     pub fn find_iter<'h>(&self, text: &'h str) -> Vec<RxMatch<'h>> {
-        let hay = Haystack::new(text, &self.prog);
-        let mut out = Vec::new();
-        let mut from = 0usize;
-        while from <= hay.len() {
-            let Some(slots) = search(&self.prog, &hay, from) else { break };
-            let (s, e) = (slots[0], slots[1]);
-            out.push(RxMatch { haystack: text, start: hay.byte_of(s), end: hay.byte_of(e) });
-            // Advance past the match; at least one char for empty matches.
-            from = if e > s { e } else { e + 1 };
-        }
-        out
+        self.find_iter_hay(&Haystack::new(text))
+    }
+
+    /// [`Regex::find_iter`] against a caller-prepared text. One shared
+    /// [`Prepared`] lets many patterns sweep the same text without
+    /// re-deriving the char table per call.
+    pub fn find_iter_prepared<'h>(&self, text: &'h str, prep: &Prepared) -> Vec<RxMatch<'h>> {
+        self.find_iter_hay(&Haystack::shared(text, prep))
+    }
+
+    fn find_iter_hay<'h>(&self, hay: &Haystack<'h, '_>) -> Vec<RxMatch<'h>> {
+        with_scratch(|scratch| {
+            let mut out = Vec::new();
+            let mut from = 0usize;
+            while from <= hay.len() {
+                if !self.search_hay(hay, from, scratch) {
+                    break;
+                }
+                let (s, e) = (scratch.slots[0], scratch.slots[1]);
+                out.push(RxMatch {
+                    haystack: hay.text,
+                    start: hay.byte_of(s),
+                    end: hay.byte_of(e),
+                });
+                // Advance past the match; at least one char for empty matches.
+                from = if e > s { e } else { e + 1 };
+            }
+            out
+        })
     }
 
     /// Capture groups of the leftmost match.
     pub fn captures<'h>(&self, text: &'h str) -> Option<Captures<'h>> {
-        let hay = Haystack::new(text, &self.prog);
-        let slots = search(&self.prog, &hay, 0)?;
-        Some(self.slots_to_captures(text, &hay, &slots))
+        self.captures_hay(&Haystack::new(text))
+    }
+
+    /// [`Regex::captures`] against a caller-prepared text.
+    pub fn captures_prepared<'h>(&self, text: &'h str, prep: &Prepared) -> Option<Captures<'h>> {
+        self.captures_hay(&Haystack::shared(text, prep))
+    }
+
+    fn captures_hay<'h>(&self, hay: &Haystack<'h, '_>) -> Option<Captures<'h>> {
+        with_scratch(|scratch| {
+            self.search_hay(hay, 0, scratch)
+                .then(|| self.slots_to_captures(hay.text, hay, &scratch.slots))
+        })
     }
 
     /// Capture groups for every non-overlapping match.
     pub fn captures_iter<'h>(&self, text: &'h str) -> Vec<Captures<'h>> {
-        let hay = Haystack::new(text, &self.prog);
-        let mut out = Vec::new();
-        let mut from = 0usize;
-        while from <= hay.len() {
-            let Some(slots) = search(&self.prog, &hay, from) else { break };
-            let (s, e) = (slots[0], slots[1]);
-            out.push(self.slots_to_captures(text, &hay, &slots));
-            from = if e > s { e } else { e + 1 };
-        }
-        out
+        self.captures_iter_hay(&Haystack::new(text))
+    }
+
+    /// [`Regex::captures_iter`] against a caller-prepared text.
+    pub fn captures_iter_prepared<'h>(&self, text: &'h str, prep: &Prepared) -> Vec<Captures<'h>> {
+        self.captures_iter_hay(&Haystack::shared(text, prep))
+    }
+
+    fn captures_iter_hay<'h>(&self, hay: &Haystack<'h, '_>) -> Vec<Captures<'h>> {
+        with_scratch(|scratch| {
+            let mut out = Vec::new();
+            let mut from = 0usize;
+            while from <= hay.len() {
+                if !self.search_hay(hay, from, scratch) {
+                    break;
+                }
+                let (s, e) = (scratch.slots[0], scratch.slots[1]);
+                out.push(self.slots_to_captures(hay.text, hay, &scratch.slots));
+                from = if e > s { e } else { e + 1 };
+            }
+            out
+        })
     }
 
     /// Replaces the leftmost match with `replacement`, substituting
@@ -183,6 +355,7 @@ impl Regex {
 
     /// Replaces every match with `replacement`, substituting `$0`–`$9`
     /// with the corresponding capture text (use `$$` for a literal `$`).
+    /// The text is prepared once for the whole sweep.
     pub fn replace_all(&self, text: &str, replacement: &str) -> String {
         let caps = self.captures_iter(text);
         if caps.is_empty() {
@@ -203,7 +376,7 @@ impl Regex {
     fn slots_to_captures<'h>(
         &self,
         text: &'h str,
-        hay: &Haystack<'_>,
+        hay: &Haystack<'_, '_>,
         slots: &Slots,
     ) -> Captures<'h> {
         let n = self.prog.group_count as usize + 1;
@@ -337,5 +510,73 @@ mod tests {
     fn unicode_replace_preserves_text() {
         let re = Regex::new("x").unwrap();
         assert_eq!(re.replace_all("éxé", "y"), "éyé");
+    }
+
+    #[test]
+    fn prepared_apis_agree_with_plain() {
+        let re = Regex::new(r"(\w+)\.loads?\(").unwrap();
+        let text = "a = pickle.loads(b)\nc = json.load(d)\n";
+        let prep = Prepared::new(text);
+        assert_eq!(re.is_match(text), re.is_match_prepared(text, &prep));
+        assert_eq!(re.find(text), re.find_prepared(text, &prep));
+        assert_eq!(re.find_iter(text), re.find_iter_prepared(text, &prep));
+        let a: Vec<Option<(usize, usize)>> =
+            re.captures_iter(text).iter().map(|c| c.span(1)).collect();
+        let b: Vec<Option<(usize, usize)>> =
+            re.captures_iter_prepared(text, &prep).iter().map(|c| c.span(1)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prefilter_toggle_is_transparent() {
+        let mut re = Regex::new(r"os\.system\s*\(").unwrap();
+        let text = "import os\nos.system(cmd)\nos . system(x)\nos.system (y)\n";
+        let on = re.find_iter(text);
+        re.set_prefilter(false);
+        let off = re.find_iter(text);
+        assert_eq!(on, off);
+        assert!(!re.prefilter_enabled());
+    }
+
+    #[test]
+    fn literal_metadata_exposed() {
+        let re = Regex::new(r"yaml\.load\s*\(").unwrap();
+        assert_eq!(re.literal_prefix(), "yaml.load");
+        assert_eq!(re.required_literals(), ["yaml.load".to_string()]);
+        assert!(!re.is_case_insensitive());
+
+        let ci = Regex::new(r"(?i)SELECT\s").unwrap();
+        assert!(ci.is_case_insensitive());
+        assert_eq!(ci.literal_prefix(), "select");
+
+        // No guaranteed start, but "=" must appear in every match.
+        let open = Regex::new(r"\w+\s*=").unwrap();
+        assert_eq!(open.literal_prefix(), "");
+        assert_eq!(open.required_literals(), ["=".to_string()]);
+
+        let free = Regex::new(r"\w+").unwrap();
+        assert_eq!(free.literal_prefix(), "");
+        assert!(free.required_literals().is_empty());
+    }
+
+    #[test]
+    fn kelvin_sign_folds_into_ascii_literal() {
+        // \u{212A} (Kelvin sign) case-folds to 'k'; a byte prefilter must
+        // not suppress this match on non-ASCII text.
+        let re = Regex::new(r"(?i)kelvin").unwrap();
+        let text = "temp in \u{212A}elvin units";
+        assert!(re.is_match(text));
+        let ms = re.find_iter(text);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].as_str(), "\u{212A}elvin");
+    }
+
+    #[test]
+    fn prefix_enumeration_finds_overlapping_candidates() {
+        let re = Regex::new("aaa?b").unwrap();
+        // Prefix "aa": candidates at 0 and 1; only the one at 1 matches.
+        assert_eq!(re.find("xaaab").map(|m| (m.start(), m.end())), Some((1, 5)));
+        let re2 = Regex::new("aab").unwrap();
+        assert_eq!(re2.find("aaab").map(|m| m.start()), Some(1));
     }
 }

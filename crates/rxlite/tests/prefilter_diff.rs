@@ -1,0 +1,215 @@
+//! Differential testing of the literal prefilter: every API must return
+//! byte-identical results with the prefilter enabled and disabled, for
+//! catalog-style patterns and for randomized (pattern, haystack) pairs.
+
+use proptest::prelude::*;
+use rxlite::Regex;
+
+/// Patterns shaped like the detection catalog's: literal-anchored calls,
+/// alternations, flags, classes — plus deliberately prefilter-hostile
+/// ones (no extractable literal, optional heads, case folds).
+const PATTERNS: &[&str] = &[
+    r"os\.system\s*\(",
+    r"subprocess\.(call|run|Popen)\([^)]*shell\s*=\s*True",
+    r"pickle\.loads?\s*\(",
+    r"yaml\.load\s*\(([^)]*)\)",
+    r"hashlib\.(md5|sha1)\s*\(",
+    r"\beval\s*\(",
+    r#"\w+\.execute\s*\(\s*['"].*%s"#,
+    r"(?i)select\s+.*\s+from\s+",
+    r#"(?i)PASSWORD\s*=\s*['"][^'"]+['"]"#,
+    r"\w+\s*=\s*\w+",
+    r"x?abc",
+    r"a*b+c?",
+    r"(?:foo|ba[rz])\(",
+    r"^import\s+(os|sys)",
+    r"debug\s*=\s*True",
+];
+
+const HAYSTACKS: &[&str] = &[
+    "",
+    "x",
+    "import os\nos.system(cmd)\n",
+    "subprocess.run(args, shell=True)\n",
+    "data = pickle.loads(blob)\nd2 = pickle.load(f)\n",
+    "cfg = yaml.load(f)\ncfg2 = yaml.load(stream)\n",
+    "h = hashlib.md5(data)\nh2 = hashlib.sha1(x)\n",
+    "result = eval(expr)\nweval(x)\n",
+    "cur.execute('SELECT * FROM t WHERE id=%s' % uid)\n",
+    "password = 'hunter2'\nPASSWORD = \"secret\"\n",
+    "abc xabc abcabc",
+    "aaabbbccc b bc abbc",
+    "foo() bar() baz() ba() bar( baz(\n",
+    "import sys\nimport os\n",
+    "app.run(debug=True)\n",
+    "no vulnerabilities here, just plain prose.\n",
+    "émile café \u{212A}elvin Straße\n",
+    "SELECT x FROM y\nselect * from z\n",
+];
+
+fn spans(ms: &[rxlite::RxMatch<'_>]) -> Vec<(usize, usize)> {
+    ms.iter().map(|m| (m.start(), m.end())).collect()
+}
+
+fn all_group_spans(re: &Regex, text: &str) -> Vec<Vec<Option<(usize, usize)>>> {
+    re.captures_iter(text).iter().map(|c| (0..c.len()).map(|g| c.span(g)).collect()).collect()
+}
+
+/// Exhaustive cross-product: every catalog-style pattern over every fixed
+/// haystack, comparing matches AND captures with the prefilter on/off.
+#[test]
+fn catalog_patterns_identical_on_and_off() {
+    for pat in PATTERNS {
+        let on = Regex::new(pat).unwrap();
+        let mut off = Regex::new(pat).unwrap();
+        off.set_prefilter(false);
+        for hay in HAYSTACKS {
+            assert_eq!(on.is_match(hay), off.is_match(hay), "is_match diverged: {pat} on {hay:?}");
+            assert_eq!(
+                spans(&on.find_iter(hay)),
+                spans(&off.find_iter(hay)),
+                "find_iter diverged: {pat} on {hay:?}"
+            );
+            assert_eq!(
+                all_group_spans(&on, hay),
+                all_group_spans(&off, hay),
+                "captures diverged: {pat} on {hay:?}"
+            );
+            assert_eq!(
+                on.replace_all(hay, "<$1>"),
+                off.replace_all(hay, "<$1>"),
+                "replace_all diverged: {pat} on {hay:?}"
+            );
+        }
+    }
+}
+
+/// Regression: patterns with no extractable literal must scan unfiltered
+/// (an over-eager prefilter here would reject everything).
+#[test]
+fn no_literal_pattern_still_matches() {
+    for pat in [r"\w+", r".+", r"[a-z]+[0-9]*", r"\s*\S+"] {
+        let re = Regex::new(pat).unwrap();
+        assert!(re.literal_prefix().is_empty(), "{pat}");
+        assert!(re.required_literals().is_empty(), "{pat}");
+        assert!(re.is_match("some code = here(1)"), "{pat}");
+    }
+}
+
+/// Case-insensitive patterns over non-ASCII text bypass the byte
+/// prefilter entirely; matches that depend on Unicode case folds (Kelvin
+/// sign → k) must survive.
+#[test]
+fn unicode_fold_matches_survive_prefilter() {
+    let re = Regex::new(r"(?i)kelvin").unwrap();
+    for hay in ["\u{212A}elvin", "0 \u{212A}elvin", "KELVIN über alles"] {
+        let mut off = Regex::new(r"(?i)kelvin").unwrap();
+        off.set_prefilter(false);
+        assert_eq!(spans(&re.find_iter(hay)), spans(&off.find_iter(hay)), "{hay:?}");
+        assert!(re.is_match(hay), "{hay:?}");
+    }
+}
+
+/// `find_at` through the prefilter honours the start offset.
+#[test]
+fn find_at_agrees_on_and_off() {
+    let text = "eval(a) eval(b) eval(c)";
+    let on = Regex::new(r"eval\(").unwrap();
+    let mut off = Regex::new(r"eval\(").unwrap();
+    off.set_prefilter(false);
+    for start in [0usize, 1, 5, 8, 16, 23] {
+        assert_eq!(
+            on.find_at(text, start).map(|m| (m.start(), m.end())),
+            off.find_at(text, start).map(|m| (m.start(), m.end())),
+            "start={start}"
+        );
+    }
+}
+
+/// Restricted pattern AST rendered to rxlite syntax (mirrors
+/// tests/reference.rs, kept small: the goal here is only on/off parity).
+#[derive(Debug, Clone)]
+enum Pat {
+    Lit(char),
+    Any,
+    Seq(Vec<Pat>),
+    Alt(Box<Pat>, Box<Pat>),
+    Star(Box<Pat>),
+    Plus(Box<Pat>),
+    Opt(Box<Pat>),
+}
+
+impl Pat {
+    fn to_regex(&self) -> String {
+        match self {
+            Pat::Lit(c) => c.to_string(),
+            Pat::Any => ".".to_string(),
+            Pat::Seq(items) => items.iter().map(|p| p.group()).collect(),
+            Pat::Alt(a, b) => format!("(?:{}|{})", a.to_regex(), b.to_regex()),
+            Pat::Star(p) => format!("{}*", p.group()),
+            Pat::Plus(p) => format!("{}+", p.group()),
+            Pat::Opt(p) => format!("{}?", p.group()),
+        }
+    }
+
+    fn group(&self) -> String {
+        match self {
+            Pat::Lit(_) | Pat::Any => self.to_regex(),
+            _ => format!("(?:{})", self.to_regex()),
+        }
+    }
+}
+
+fn pat_strategy() -> impl Strategy<Value = Pat> {
+    let leaf = prop_oneof![prop::char::range('a', 'd').prop_map(Pat::Lit), Just(Pat::Any)];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Pat::Seq),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Pat::Alt(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|p| Pat::Star(Box::new(p))),
+            inner.clone().prop_map(|p| Pat::Plus(Box::new(p))),
+            inner.prop_map(|p| Pat::Opt(Box::new(p))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Randomized patterns and haystacks: match positions and capture
+    /// spans are identical with the prefilter on and off.
+    #[test]
+    fn random_patterns_identical_on_and_off(
+        pat in pat_strategy(),
+        hay in "[abcd]{0,12}",
+    ) {
+        let text = pat.to_regex();
+        let on = Regex::new(&text).unwrap();
+        let mut off = Regex::new(&text).unwrap();
+        off.set_prefilter(false);
+        prop_assert_eq!(on.is_match(&hay), off.is_match(&hay), "is_match: {} on {:?}", text, hay);
+        prop_assert_eq!(
+            spans(&on.find_iter(&hay)),
+            spans(&off.find_iter(&hay)),
+            "find_iter: {} on {:?}", text, hay
+        );
+    }
+
+    /// Randomized haystacks against the fixed catalog-style patterns,
+    /// including characters that stress the literal searchers.
+    #[test]
+    fn catalog_patterns_on_random_haystacks(
+        idx in 0..15usize,
+        hay in "[a-z.()= %'\"\\n]{0,40}",
+    ) {
+        let pat = PATTERNS[idx];
+        let on = Regex::new(pat).unwrap();
+        let mut off = Regex::new(pat).unwrap();
+        off.set_prefilter(false);
+        prop_assert_eq!(
+            spans(&on.find_iter(&hay)),
+            spans(&off.find_iter(&hay)),
+            "find_iter: {} on {:?}", pat, hay
+        );
+    }
+}
