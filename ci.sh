@@ -20,6 +20,12 @@ cargo build --offline --release -q
 echo "==> tier-1: cargo test -q"
 cargo test --offline -q
 
+echo "==> robustness: adversarial pipeline property tests"
+cargo test --offline -q -p evalharness --test adversarial
+
+echo "==> robustness: hang regression (pathological pattern -> BudgetExhausted)"
+cargo test --offline -q -p rxlite --test budget
+
 echo "==> bench smoke: scan_prefilter (one criterion pass)"
 cargo bench --offline -p patchit-bench --bench scan_prefilter
 

@@ -45,6 +45,12 @@ fn bench_regex(c: &mut Criterion) {
     let ci = rxlite::Regex::new(r"(?i)select\s+.+\s+from\s+\w+").expect("compiles");
     let sql = "q = \"SELECT name, role FROM users WHERE id = %s\"  # query\n".repeat(16);
     c.bench_function("rxlite/ci_fold_scan", |b| b.iter(|| ci.find_iter(black_box(&sql))));
+    // Fuel accounting overhead: the budgeted sweep against the infallible
+    // one (which threads UNBOUNDED fuel through the same code path) on
+    // the same hit-heavy haystack. These should be indistinguishable.
+    c.bench_function("rxlite/budgeted_find_iter", |b| {
+        b.iter(|| re.try_find_iter(black_box(&hit), rxlite::DEFAULT_BUDGET))
+    });
 }
 
 fn bench_diff(c: &mut Criterion) {

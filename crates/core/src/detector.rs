@@ -9,7 +9,7 @@
 use crate::catalog::all_rules;
 use crate::rule::{Finding, Rule};
 use analysis::SourceAnalysis;
-use rxlite::{MultiLiteral, Regex};
+use rxlite::{BudgetExhausted, MultiLiteral, Regex};
 
 /// A compiled rule: the catalog entry plus its compiled patterns.
 #[derive(Debug)]
@@ -33,11 +33,23 @@ pub struct DetectorOptions {
     /// results, large speedup on rule-sparse code). Default `true`;
     /// disabling exists for differential tests and benchmarks.
     pub prefilter: bool,
+    /// Per-rule execution budget in regex engine steps. A rule whose
+    /// sweep exhausts the budget on a sample is skipped for that sample
+    /// (recorded in [`ScanStats::budget_exhausted`]) instead of stalling
+    /// the scan. The default ([`rxlite::DEFAULT_BUDGET`]) never fires on
+    /// realistic code; lower it to harden against adversarial inputs,
+    /// raise it (`u64::MAX`) to effectively disable budgeting.
+    pub budget: u64,
 }
 
 impl Default for DetectorOptions {
     fn default() -> Self {
-        DetectorOptions { blank_comments: true, apply_suppressions: true, prefilter: true }
+        DetectorOptions {
+            blank_comments: true,
+            apply_suppressions: true,
+            prefilter: true,
+            budget: rxlite::DEFAULT_BUDGET,
+        }
     }
 }
 
@@ -52,6 +64,11 @@ pub struct ScanStats {
     /// Rules skipped because none of their required literals occur in
     /// the text.
     pub rules_skipped: usize,
+    /// Rules whose engine ran but exhausted the execution budget on this
+    /// sample (their findings are dropped for the sample; the scan
+    /// degrades instead of hanging). Always 0 on realistic code under the
+    /// default budget.
+    pub budget_exhausted: usize,
 }
 
 /// The PatchitPy vulnerability detector.
@@ -100,7 +117,14 @@ impl Detector {
 
     /// Compiles the full catalog with explicit feature switches.
     pub fn with_options(options: DetectorOptions) -> Self {
-        let mut d = Self::with_rules(all_rules());
+        Self::with_rules_options(all_rules(), options)
+    }
+
+    /// Compiles a custom rule set with explicit feature switches (used by
+    /// ablations and adversarial tests that pair nasty rules with tight
+    /// budgets).
+    pub fn with_rules_options(rules: Vec<Rule>, options: DetectorOptions) -> Self {
+        let mut d = Self::with_rules(rules);
         d.options = options;
         d
     }
@@ -252,6 +276,7 @@ impl Detector {
             ps = a.prepared_source();
             Some(&ps.0)
         };
+        let budget = self.options.budget;
         let mut stats = ScanStats { rules_total: self.rules.len(), ..ScanStats::default() };
         let mut findings = Vec::new();
         for (i, c) in self.rules.iter().enumerate() {
@@ -261,16 +286,34 @@ impl Detector {
             }
             stats.rules_executed += 1;
             let matches = match prep {
-                Some(p) => c.pattern.find_iter_prepared(region, p),
-                None => c.pattern.find_iter(region),
+                Some(p) => c.pattern.try_find_iter_prepared(region, p, budget),
+                None => c.pattern.try_find_iter(region, budget),
             };
+            let Ok(matches) = matches else {
+                // The rule blew its budget on this sample: skip it here,
+                // record the degradation, keep scanning the other rules.
+                stats.budget_exhausted += 1;
+                continue;
+            };
+            let mut exhausted = false;
             for m in matches {
                 let at = start + m.start();
                 let line_text = line_text_at(source, at);
                 if self.options.apply_suppressions {
                     if let Some(sup) = &c.suppress {
-                        if sup.is_match(m.as_str()) || sup.is_match(line_text) {
-                            continue;
+                        match try_suppressed(sup, m.as_str(), line_text, budget) {
+                            Ok(true) => continue,
+                            Ok(false) => {}
+                            Err(BudgetExhausted) => {
+                                // Conservatively drop the finding: an
+                                // undecidable suppression must not turn
+                                // into a spurious report.
+                                if !exhausted {
+                                    exhausted = true;
+                                    stats.budget_exhausted += 1;
+                                }
+                                continue;
+                            }
                         }
                     }
                 }
@@ -310,16 +353,24 @@ impl Detector {
             ps = a.prepared_source();
             &ps.0
         };
+        let budget = self.options.budget;
         for (i, c) in self.rules.iter().enumerate() {
             if !live[i] {
                 continue;
             }
-            for m in c.pattern.find_iter_prepared(scan, prep) {
+            // A rule that exhausts its budget is skipped for this sample,
+            // mirroring `detect_analysis` degradation semantics.
+            let Ok(matches) = c.pattern.try_find_iter_prepared(scan, prep, budget) else {
+                continue;
+            };
+            for m in matches {
                 let line_text = line_text_at(source, m.start());
                 let suppressed = self.options.apply_suppressions
-                    && c.suppress
-                        .as_ref()
-                        .is_some_and(|s| s.is_match(m.as_str()) || s.is_match(line_text));
+                    && c.suppress.as_ref().is_some_and(|s| {
+                        // Undecidable suppression counts as suppressed,
+                        // consistent with `detect` dropping the finding.
+                        try_suppressed(s, m.as_str(), line_text, budget).unwrap_or(true)
+                    });
                 if !suppressed {
                     return true;
                 }
@@ -328,10 +379,26 @@ impl Detector {
         false
     }
 
+    /// The feature switches this detector was built with.
+    pub fn options(&self) -> DetectorOptions {
+        self.options
+    }
+
     /// Looks up a compiled rule by id (used by the patcher).
     pub(crate) fn compiled(&self, rule_id: &str) -> Option<&CompiledRule> {
         self.rules.iter().find(|c| c.rule.id == rule_id)
     }
+}
+
+/// Whether `sup` fires on the matched text or its full line, under a
+/// budget covering both checks.
+fn try_suppressed(
+    sup: &Regex,
+    matched: &str,
+    line: &str,
+    budget: u64,
+) -> Result<bool, BudgetExhausted> {
+    Ok(sup.try_is_match(matched, budget)? || sup.try_is_match(line, budget)?)
 }
 
 /// Replaces every comment byte with a space, preserving all offsets.
@@ -598,6 +665,75 @@ def load_config(path):
         for src in samples {
             assert_eq!(on.detect(src), off.detect(src), "prefilter changed findings on {src:?}");
             assert_eq!(on.is_vulnerable(src), off.is_vulnerable(src), "{src:?}");
+        }
+    }
+
+    /// A two-rule detector with one deliberately pathological rule, used
+    /// by the budget-degradation tests.
+    fn redos_detector(budget: u64) -> Detector {
+        let nasty = Rule {
+            id: "PIP-TST-REDOS",
+            cwe: 78,
+            owasp: crate::owasp::Owasp::A03Injection,
+            description: "pathological pattern",
+            pattern: r"(a+)+$",
+            suppress_if: None,
+            fix: None,
+            imports: &[],
+        };
+        let benign = Rule {
+            id: "PIP-TST-EVAL",
+            cwe: 95,
+            owasp: crate::owasp::Owasp::A03Injection,
+            description: "eval",
+            pattern: r"eval\s*\(",
+            suppress_if: None,
+            fix: None,
+            imports: &[],
+        };
+        let mut d = Detector::with_rules(vec![nasty, benign]);
+        d.options.budget = budget;
+        d
+    }
+
+    #[test]
+    fn budget_exhausted_rule_skipped_other_rules_still_fire() {
+        let d = redos_detector(10_000);
+        let src = format!("{}!\nx = eval(y)\n", "a".repeat(4_000));
+        let a = SourceAnalysis::new(&src);
+        let (findings, stats) = d.detect_analysis_with_stats(&a);
+        // The pathological rule degraded; the benign rule still reported.
+        assert_eq!(stats.budget_exhausted, 1, "{stats:?}");
+        assert_eq!(stats.rules_executed + stats.rules_skipped, stats.rules_total);
+        assert!(findings.iter().any(|f| f.rule_id == "PIP-TST-EVAL"), "{findings:#?}");
+        assert!(!findings.iter().any(|f| f.rule_id == "PIP-TST-REDOS"));
+        // is_vulnerable degrades the same way: the benign rule decides.
+        assert!(d.is_vulnerable_analysis(&a));
+        assert!(!d.is_vulnerable(&format!("{}!\n", "a".repeat(4_000))));
+    }
+
+    #[test]
+    fn generous_budget_reports_both_rules() {
+        let d = redos_detector(u64::MAX);
+        // The anchored pathological rule can only match at end-of-text.
+        let src = "x = eval(y)\naaa";
+        let (findings, stats) = d.detect_analysis_with_stats(&SourceAnalysis::new(src));
+        assert_eq!(stats.budget_exhausted, 0, "{stats:?}");
+        assert!(findings.iter().any(|f| f.rule_id == "PIP-TST-REDOS"), "{findings:#?}");
+        assert!(findings.iter().any(|f| f.rule_id == "PIP-TST-EVAL"));
+    }
+
+    #[test]
+    fn default_budget_never_fires_on_catalog_scans() {
+        let d = det();
+        assert_eq!(d.options().budget, rxlite::DEFAULT_BUDGET);
+        for src in [
+            "import os\nos.system(cmd)\n",
+            "h = hashlib.md5(data, usedforsecurity=False)\n",
+            &"x = compute(1, 2)\n".repeat(500),
+        ] {
+            let (_, stats) = d.detect_analysis_with_stats(&SourceAnalysis::new(src));
+            assert_eq!(stats.budget_exhausted, 0, "{stats:?} on {:?}…", &src[..30.min(src.len())]);
         }
     }
 

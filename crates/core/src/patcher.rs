@@ -153,6 +153,7 @@ impl Patcher {
         let source = a.source();
         let scan = a.blanked();
         let prep = a.prepared_blanked();
+        let budget = self.detector.options().budget;
         let mut skipped = Vec::new();
         let mut plans: Vec<AppliedFix> = Vec::new();
         let mut imports: Vec<&'static str> = Vec::new();
@@ -177,12 +178,14 @@ impl Patcher {
                 skipped.push(f.clone());
                 continue;
             };
-            // Recover captures for this exact match.
+            // Recover captures for this exact match, under the detector's
+            // execution budget: exhaustion degrades the finding to
+            // "reported but unpatched" instead of stalling the pass.
             let caps = compiled
                 .pattern
-                .captures_iter_prepared(scan, &prep.0)
-                .into_iter()
-                .find(|c| c.span(0) == Some((f.start, f.end)));
+                .try_captures_iter_prepared(scan, &prep.0, budget)
+                .ok()
+                .and_then(|cs| cs.into_iter().find(|c| c.span(0) == Some((f.start, f.end))));
             let Some(caps) = caps else {
                 skipped.push(f.clone());
                 continue;
@@ -744,6 +747,40 @@ data = yaml.load(f)
         assert!(out.source.contains("verify=True"));
         assert!(out.source.contains("timeout=10"), "got: {}", out.source);
         assert!(out.applied.len() >= 2);
+    }
+
+    #[test]
+    fn capture_recovery_budget_exhaustion_degrades_to_skip() {
+        use crate::detector::DetectorOptions;
+        use crate::rule::{Fix, Rule};
+        fn nasty_rule() -> Rule {
+            Rule {
+                id: "PIP-TST-REDOS",
+                cwe: 95,
+                owasp: crate::owasp::Owasp::A03Injection,
+                description: "pathological fixable rule",
+                pattern: r"(a+)+b",
+                suppress_if: None,
+                fix: Some(Fix::Template { replacement: "SAFE" }),
+                imports: &[],
+            }
+        }
+        // One cheap match up front, then a long `a…ac` run that makes the
+        // full capture-recovery sweep expensive.
+        let src = format!("aaab = {}c\n", "a".repeat(500));
+        let generous = Patcher::with_detector(Detector::with_rules(vec![nasty_rule()]));
+        let findings = generous.detector().detect(&src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(generous.patch_findings(&src, &findings).applied.len(), 1);
+
+        let strapped = Patcher::with_detector(Detector::with_rules_options(
+            vec![nasty_rule()],
+            DetectorOptions { budget: 2_000, ..Default::default() },
+        ));
+        let out = strapped.patch_findings(&src, &findings);
+        assert!(out.applied.is_empty(), "{:#?}", out.applied);
+        assert_eq!(out.skipped.len(), 1);
+        assert_eq!(out.source, src, "degraded pass must leave the source untouched");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Table II: detection performance of PatchitPy and the six baselines.
 
-use crate::parallel::{default_jobs, par_map_samples};
+use crate::parallel::{default_jobs, par_map_samples_isolated};
 use baselines::{BanditLike, CodeqlLike, DetectionTool, LlmKind, LlmTool, SemgrepLike};
 use corpusgen::{Corpus, Model};
 use patchit_core::{Detector, DetectorOptions};
@@ -70,7 +70,10 @@ pub fn run_detection_jobs_opts(
     let llms: Vec<LlmTool> =
         LlmKind::all().into_iter().map(|k| LlmTool::new(k, LLM_SEED)).collect();
 
-    let verdicts: Vec<[bool; TOOLS]> = par_map_samples(corpus, jobs, |_, s, a| {
+    // Panic isolation: a sample that crashes any tool degrades to an
+    // all-negative row (every tool "missed" it) instead of aborting the
+    // study. No corpus sample triggers this; it guards adversarial input.
+    let verdicts: Vec<[bool; TOOLS]> = par_map_samples_isolated(corpus, jobs, |_, s, a| {
         [
             detector.is_vulnerable_analysis(a),
             codeql.flags_analysis(a),
@@ -80,7 +83,10 @@ pub fn run_detection_jobs_opts(
             llms[1].detect_analysis(a, s.vulnerable),
             llms[2].detect_analysis(a, s.vulnerable),
         ]
-    });
+    })
+    .into_iter()
+    .map(|o| o.unwrap_or([false; TOOLS]))
+    .collect();
 
     let names: [&str; TOOLS] = [
         "PatchitPy",

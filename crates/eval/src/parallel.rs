@@ -11,10 +11,58 @@
 
 use analysis::SourceAnalysis;
 use corpusgen::{Corpus, Sample};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Default worker count: available parallelism capped at 8.
 pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
+}
+
+/// Per-sample result of an isolated fan-out: the tool's value, or the
+/// panic payload of a sample whose processing crashed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SampleOutcome<T> {
+    /// The sample was processed normally.
+    Ok(T),
+    /// Processing this sample panicked; the message is the payload (or a
+    /// placeholder for non-string payloads). Surrounding samples are
+    /// unaffected.
+    Panicked(String),
+}
+
+impl<T> SampleOutcome<T> {
+    /// The value, or `fallback` for a panicked sample.
+    pub fn unwrap_or(self, fallback: T) -> T {
+        match self {
+            SampleOutcome::Ok(v) => v,
+            SampleOutcome::Panicked(_) => fallback,
+        }
+    }
+
+    /// The value, or the result of `fallback` for a panicked sample.
+    pub fn unwrap_or_else(self, fallback: impl FnOnce() -> T) -> T {
+        match self {
+            SampleOutcome::Ok(v) => v,
+            SampleOutcome::Panicked(_) => fallback(),
+        }
+    }
+
+    /// Whether this sample panicked.
+    pub fn is_panicked(&self) -> bool {
+        matches!(self, SampleOutcome::Panicked(_))
+    }
+}
+
+/// Renders a panic payload as a message: `&str` and `String` payloads
+/// verbatim, anything else as a placeholder.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Maps every corpus sample through `f`, building exactly one
@@ -26,15 +74,43 @@ where
     T: Send,
     F: Fn(usize, &Sample, &SourceAnalysis) -> T + Sync,
 {
+    par_map_samples_raw(corpus, jobs, |i, s| f(i, s, &SourceAnalysis::new(s.code.as_str())))
+}
+
+/// [`par_map_samples`] with per-sample panic isolation: each call to `f`
+/// runs under [`catch_unwind`], so one sample whose processing crashes
+/// yields [`SampleOutcome::Panicked`] for that row while every other
+/// sample's result is unaffected — one bad input degrades instead of
+/// poisoning the whole `--jobs N` run.
+///
+/// `SourceAnalysis` construction is inside the guard too: a lexer or
+/// parser crash on adversarial input is exactly the failure mode this
+/// exists to contain.
+pub fn par_map_samples_isolated<T, F>(corpus: &Corpus, jobs: usize, f: F) -> Vec<SampleOutcome<T>>
+where
+    T: Send,
+    F: Fn(usize, &Sample, &SourceAnalysis) -> T + Sync,
+{
+    par_map_samples_raw(corpus, jobs, |i, s| {
+        catch_unwind(AssertUnwindSafe(|| f(i, s, &SourceAnalysis::new(s.code.as_str()))))
+            .map_or_else(
+                |payload| SampleOutcome::Panicked(panic_message(payload)),
+                SampleOutcome::Ok,
+            )
+    })
+}
+
+/// Chunked fan-out core shared by the plain and isolated variants; `f`
+/// receives the sample only and owns artifact construction.
+fn par_map_samples_raw<T, F>(corpus: &Corpus, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &Sample) -> T + Sync,
+{
     let n = corpus.samples.len();
     let jobs = jobs.max(1).min(n.max(1));
     if jobs == 1 {
-        return corpus
-            .samples
-            .iter()
-            .enumerate()
-            .map(|(i, s)| f(i, s, &SourceAnalysis::new(s.code.as_str())))
-            .collect();
+        return corpus.samples.iter().enumerate().map(|(i, s)| f(i, s)).collect();
     }
     let chunk = n.div_ceil(jobs);
     let per_chunk: Vec<Vec<T>> = crossbeam::scope(|scope| {
@@ -48,7 +124,7 @@ where
                     samples
                         .iter()
                         .enumerate()
-                        .map(|(j, s)| f(ci * chunk + j, s, &SourceAnalysis::new(s.code.as_str())))
+                        .map(|(j, s)| f(ci * chunk + j, s))
                         .collect::<Vec<T>>()
                 })
             })
@@ -81,5 +157,58 @@ mod tests {
         let corpus = generate_corpus();
         let ok = par_map_samples(&corpus, 4, |_, s, a| a.source() == s.code);
         assert!(ok.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn isolated_matches_plain_when_nothing_panics() {
+        let corpus = generate_corpus();
+        let plain = par_map_samples(&corpus, 3, |i, s, _| (i, s.code.len()));
+        let isolated = par_map_samples_isolated(&corpus, 3, |i, s, _| (i, s.code.len()));
+        assert_eq!(isolated.len(), plain.len());
+        for (got, want) in isolated.into_iter().zip(plain) {
+            assert_eq!(got, SampleOutcome::Ok(want));
+        }
+    }
+
+    #[test]
+    fn panicking_sample_degrades_without_poisoning_neighbors() {
+        let corpus = generate_corpus();
+        let bad = corpus.samples.len() / 2;
+        for jobs in [1, 4] {
+            let out = par_map_samples_isolated(&corpus, jobs, |i, s, _| {
+                assert!(i != bad, "deliberate per-sample crash");
+                s.code.len()
+            });
+            assert_eq!(out.len(), corpus.samples.len());
+            for (i, o) in out.iter().enumerate() {
+                if i == bad {
+                    assert!(o.is_panicked(), "jobs={jobs}: sample {i} should have panicked");
+                } else {
+                    assert_eq!(
+                        *o,
+                        SampleOutcome::Ok(corpus.samples[i].code.len()),
+                        "jobs={jobs}: neighbor {i} corrupted"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panic_message_is_preserved() {
+        let corpus = generate_corpus();
+        let out = par_map_samples_isolated(&corpus, 2, |i, _, _| {
+            if i == 0 {
+                panic!("boom on sample {i}");
+            }
+            i
+        });
+        match &out[0] {
+            SampleOutcome::Panicked(msg) => assert!(msg.contains("boom on sample 0"), "{msg}"),
+            other => panic!("expected panic outcome, got {other:?}"),
+        }
+        assert_eq!(out[1], SampleOutcome::Ok(1));
+        assert_eq!(out[0].clone().unwrap_or(99), 99);
+        assert_eq!(out[1].clone().unwrap_or_else(|| 99), 1);
     }
 }

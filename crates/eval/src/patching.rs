@@ -6,7 +6,7 @@
 //! reported separately by [`suggestion_rates`]).
 
 use crate::detection::LLM_SEED;
-use crate::parallel::{default_jobs, par_map_samples};
+use crate::parallel::{default_jobs, par_map_samples, par_map_samples_isolated};
 use analysis::SourceAnalysis;
 use baselines::{BanditLike, DetectionTool, LlmKind, LlmTool, SemgrepLike};
 use corpusgen::{Corpus, Model};
@@ -114,20 +114,27 @@ pub fn run_patching_jobs_opts(
         LlmKind::all().into_iter().map(|k| LlmTool::new(k, LLM_SEED)).collect();
 
     // Per-sample (detected, patched) per tool; None for non-vulnerable
-    // samples, which Table III skips entirely.
-    let outcomes: Vec<Option<[(bool, bool); TOOLS]>> = par_map_samples(corpus, jobs, |_, s, a| {
-        if !s.vulnerable {
-            return None;
-        }
-        let mut row = [(false, false); TOOLS];
-        row[0] = patchitpy_sample(&patcher, a);
-        for (slot, tool) in row.iter_mut().skip(1).zip(&llms) {
-            let detected = tool.detect_analysis(a, true);
-            let patched = detected && tool.patch_analysis(a).correct;
-            *slot = (detected, patched);
-        }
-        Some(row)
-    });
+    // samples, which Table III skips entirely. Panic isolation: a sample
+    // that crashes degrades to an all-(false, false) row — it keeps its
+    // place in the "Tot." denominator but no tool gets credit for it.
+    let outcomes: Vec<Option<[(bool, bool); TOOLS]>> =
+        par_map_samples_isolated(corpus, jobs, |_, s, a| {
+            if !s.vulnerable {
+                return None;
+            }
+            let mut row = [(false, false); TOOLS];
+            row[0] = patchitpy_sample(&patcher, a);
+            for (slot, tool) in row.iter_mut().skip(1).zip(&llms) {
+                let detected = tool.detect_analysis(a, true);
+                let patched = detected && tool.patch_analysis(a).correct;
+                *slot = (detected, patched);
+            }
+            Some(row)
+        })
+        .into_iter()
+        .zip(&corpus.samples)
+        .map(|(o, s)| o.unwrap_or_else(|| s.vulnerable.then_some([(false, false); TOOLS])))
+        .collect();
 
     let names: [&str; TOOLS] = ["PatchitPy", llms[0].name(), llms[1].name(), llms[2].name()];
     names

@@ -1,0 +1,157 @@
+//! Adversarial robustness harness: generated nasty inputs — deep
+//! nesting, pathological quantifier bait, huge logical lines, character
+//! soup — are fed through the full pipeline (lexer → parser → analysis
+//! views → detector → patcher) and must neither crash nor hang.
+//!
+//! The detector runs with a deliberately tight execution budget so that
+//! worst-case inputs degrade fast (each case is individually time-bound);
+//! `budget_equivalence.rs` separately proves budgets never change results
+//! on the real corpus.
+
+use analysis::SourceAnalysis;
+use patchit_core::{Detector, DetectorOptions, Patcher};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Shared pipeline, compiled once for the whole suite: a tight per-rule
+/// budget keeps even the worst generated case inside the time bound.
+fn patcher() -> &'static Patcher {
+    static P: OnceLock<Patcher> = OnceLock::new();
+    P.get_or_init(|| {
+        Patcher::with_detector(Detector::with_options(DetectorOptions {
+            budget: 100_000,
+            ..DetectorOptions::default()
+        }))
+    })
+}
+
+/// Runs one source through every pipeline stage. Panics and stalls are
+/// the failure modes under test; results are only sanity-checked.
+fn pipeline_survives(src: &str) -> Result<(), TestCaseError> {
+    let t0 = Instant::now();
+    // Lexer and parser directly (parse errors are fine; panics are not).
+    let tokens = pylex::tokenize(src);
+    prop_assert!(tokens.len() <= 2 * src.len() + 4, "token count bounded by input size");
+    let _ = pyast::parse_module_strict(src);
+    // Shared analysis artifact and every derived view.
+    let a = SourceAnalysis::new(src);
+    prop_assert_eq!(a.blanked().len(), src.len());
+    // Detect + patch under the tight budget.
+    let p = patcher();
+    let (findings, stats) = p.detector().detect_analysis_with_stats(&a);
+    prop_assert_eq!(stats.rules_executed + stats.rules_skipped, stats.rules_total);
+    let out = p.patch_findings_analysis(&a, &findings);
+    prop_assert!(out.applied.len() + out.skipped.len() <= findings.len());
+    // Generous wall-clock bound (debug builds in CI): the budget keeps the
+    // honest figure orders of magnitude lower.
+    let elapsed = t0.elapsed();
+    prop_assert!(elapsed < Duration::from_secs(10), "case took {elapsed:?} on {src:?}");
+    Ok(())
+}
+
+/// Deeply nested brackets and parens around a rule trigger.
+fn deep_nesting() -> BoxedStrategy<String> {
+    (1usize..300).prop_map(|d| format!("{}eval(x){}\n", "(".repeat(d), ")".repeat(d))).boxed()
+}
+
+/// Deeply indented `if` ladder: stresses the lexer's indent stack.
+fn indent_ladder() -> BoxedStrategy<String> {
+    (1usize..150)
+        .prop_map(|d| {
+            let mut out = String::new();
+            for i in 0..d {
+                out.push_str(&" ".repeat(i));
+                out.push_str("if a:\n");
+            }
+            out.push_str(&" ".repeat(d));
+            out.push_str("os.system(cmd)\n");
+            out
+        })
+        .boxed()
+}
+
+/// Rule-trigger prefix followed by a long single-character run — the
+/// shape that makes a backtracking sweep quadratic.
+fn quantifier_bait() -> BoxedStrategy<String> {
+    let prefixes = ["os.system(", "cursor.execute(\"SELECT ", "yaml.load(", "f\"<p>{", "x = "];
+    let fillers = ['a', ' ', '%', '{', '('];
+    ((0usize..prefixes.len()), (0usize..fillers.len()), (0usize..3000))
+        .prop_map(move |(p, f, n)| format!("{}{}", prefixes[p], fillers[f].to_string().repeat(n)))
+        .boxed()
+}
+
+/// One huge logical line (binary-op chain, no newline until the end).
+fn huge_logical_line() -> BoxedStrategy<String> {
+    (1usize..1500).prop_map(|n| format!("x = {}1\n", "a + ".repeat(n))).boxed()
+}
+
+/// Printable soup with newlines, tabs, form feeds, quotes, hashes, and a
+/// few case-folding Unicode landmines.
+fn char_soup() -> BoxedStrategy<String> {
+    "[ -~\n\t\u{0c}éİıſµΣ\u{212A}]{0,800}".boxed()
+}
+
+/// Unterminated strings and stray quotes.
+fn broken_strings() -> BoxedStrategy<String> {
+    prop_oneof![
+        (0usize..2000).prop_map(|n| format!("s = \"{}", "a".repeat(n))),
+        (0usize..500).prop_map(|n| format!("s = \"\"\"doc {}\n", "'\"".repeat(n))),
+        (0usize..500).prop_map(|n| format!("{}x = '\n", "\\\n".repeat(n))),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn deep_nesting_survives(src in deep_nesting()) {
+        pipeline_survives(&src)?;
+    }
+
+    #[test]
+    fn indent_ladder_survives(src in indent_ladder()) {
+        pipeline_survives(&src)?;
+    }
+
+    #[test]
+    fn quantifier_bait_survives(src in quantifier_bait()) {
+        pipeline_survives(&src)?;
+    }
+
+    #[test]
+    fn huge_logical_line_survives(src in huge_logical_line()) {
+        pipeline_survives(&src)?;
+    }
+
+    #[test]
+    fn char_soup_survives(src in char_soup()) {
+        pipeline_survives(&src)?;
+    }
+
+    #[test]
+    fn broken_strings_survive(src in broken_strings()) {
+        pipeline_survives(&src)?;
+    }
+}
+
+/// Deterministic worst-case gallery: the known-nasty shapes at sizes past
+/// what the random generators reach.
+#[test]
+fn worst_case_gallery_is_time_bounded() {
+    let cases = [
+        format!("os.system({}", "a".repeat(50_000)),
+        format!("{}eval(x){}", "(".repeat(2_000), ")".repeat(2_000)),
+        format!("cursor.execute(\"SELECT {} FROM t\")", "%s, ".repeat(5_000)),
+        format!("x = {}1", "a + ".repeat(10_000)),
+        format!("{}!", "a".repeat(100_000)),
+        "\u{0c}\u{0c}if a:\n\u{0c}    os.system(x)\n".to_string(),
+    ];
+    let t0 = Instant::now();
+    for src in &cases {
+        pipeline_survives(src).unwrap();
+    }
+    let elapsed = t0.elapsed();
+    assert!(elapsed < Duration::from_secs(30), "gallery took {elapsed:?}");
+}

@@ -1,0 +1,41 @@
+//! Budget equivalence: the default execution budget must never fire on
+//! the real corpus, so the paper tables rendered from a full corpus run
+//! must be **byte-identical** under the default budget and an effectively
+//! unlimited one — budgeting degrades adversarial inputs only.
+
+use corpusgen::generate_corpus;
+use evalharness::{render_table2, render_table3, run_detection_jobs_opts, run_patching_jobs_opts};
+use patchit_core::{Detector, DetectorOptions};
+
+fn opts(budget: u64) -> DetectorOptions {
+    DetectorOptions { budget, ..DetectorOptions::default() }
+}
+
+#[test]
+fn table2_is_byte_identical_under_default_and_unlimited_budget() {
+    let corpus = generate_corpus();
+    let default = render_table2(&run_detection_jobs_opts(&corpus, 4, opts(rxlite::DEFAULT_BUDGET)));
+    let unlimited = render_table2(&run_detection_jobs_opts(&corpus, 4, opts(u64::MAX)));
+    assert_eq!(default, unlimited);
+}
+
+#[test]
+fn table3_is_byte_identical_under_default_and_unlimited_budget() {
+    let corpus = generate_corpus();
+    let default = render_table3(&run_patching_jobs_opts(&corpus, 4, opts(rxlite::DEFAULT_BUDGET)));
+    let unlimited = render_table3(&run_patching_jobs_opts(&corpus, 4, opts(u64::MAX)));
+    assert_eq!(default, unlimited);
+}
+
+#[test]
+fn per_sample_findings_identical_and_no_exhaustion_on_corpus() {
+    let corpus = generate_corpus();
+    let default = Detector::with_options(opts(rxlite::DEFAULT_BUDGET));
+    let unlimited = Detector::with_options(opts(u64::MAX));
+    for s in &corpus.samples {
+        let a = analysis::SourceAnalysis::new(&s.code);
+        let (df, ds) = default.detect_analysis_with_stats(&a);
+        assert_eq!(ds.budget_exhausted, 0, "default budget fired on:\n{}", s.code);
+        assert_eq!(df, unlimited.detect_analysis(&a), "sample diverged:\n{}", s.code);
+    }
+}

@@ -1,0 +1,57 @@
+//! Panic-isolation regression: one sample whose tool crashes must yield a
+//! degraded row for that sample only — every other sample's verdict row
+//! is byte-identical to a crash-free run.
+
+use corpusgen::generate_corpus;
+use evalharness::{par_map_samples, par_map_samples_isolated};
+use patchit_core::Detector;
+
+#[test]
+fn panicking_fake_tool_degrades_only_its_sample() {
+    let corpus = generate_corpus();
+    let detector = Detector::new();
+    // Crash on a vulnerable sample so its clean row is non-trivial and
+    // the degradation is observable.
+    let bad = corpus.samples.iter().position(|s| s.vulnerable).expect("corpus has vulnerable");
+
+    // Reference: the same two-column verdict row with no crash injected.
+    let clean: Vec<[bool; 2]> =
+        par_map_samples(&corpus, 4, |_, s, a| [detector.is_vulnerable_analysis(a), s.vulnerable]);
+
+    // Same tool, but deliberately crashing on one sample.
+    let degraded: Vec<[bool; 2]> = par_map_samples_isolated(&corpus, 4, |i, s, a| {
+        assert!(i != bad, "injected tool crash");
+        [detector.is_vulnerable_analysis(a), s.vulnerable]
+    })
+    .into_iter()
+    .map(|o| o.unwrap_or([false, false]))
+    .collect();
+
+    assert_eq!(degraded.len(), clean.len());
+    for (i, (d, c)) in degraded.iter().zip(&clean).enumerate() {
+        if i == bad {
+            assert_eq!(*d, [false, false], "crashed sample must degrade to all-negative");
+        } else {
+            assert_eq!(d, c, "row {i} changed by a crash in sample {bad}");
+        }
+    }
+    // The degraded run really does differ somewhere (the crashed sample
+    // is vulnerable or detected in the clean run) — otherwise this test
+    // would pass vacuously.
+    assert_ne!(degraded[bad], clean[bad], "pick a `bad` index whose clean row is non-trivial");
+}
+
+#[test]
+fn isolation_is_identity_on_the_real_corpus() {
+    // No corpus sample panics: the isolated fan-out must be a transparent
+    // wrapper in production runs.
+    let corpus = generate_corpus();
+    let detector = Detector::new();
+    let plain = par_map_samples(&corpus, 4, |_, _, a| detector.is_vulnerable_analysis(a));
+    let isolated: Vec<bool> =
+        par_map_samples_isolated(&corpus, 4, |_, _, a| detector.is_vulnerable_analysis(a))
+            .into_iter()
+            .map(|o| o.unwrap_or(false))
+            .collect();
+    assert_eq!(plain, isolated);
+}

@@ -166,6 +166,12 @@ impl<'s> Lexer<'s> {
                         width = (width / 8 + 1) * 8;
                         self.pos += 1;
                     }
+                    b'\x0c' => {
+                        // Form feed resets the column to 0, as CPython's
+                        // tokenizer ('\014' case in tok_get).
+                        width = 0;
+                        self.pos += 1;
+                    }
                     _ => break,
                 }
             }
@@ -230,7 +236,7 @@ impl<'s> Lexer<'s> {
     fn lex_line_tokens(&mut self) {
         while let Some(c) = self.peek() {
             match c {
-                b' ' | b'\t' => {
+                b' ' | b'\t' | b'\x0c' => {
                     self.pos += 1;
                 }
                 b'\\' if matches!(self.peek_at(1), Some(b'\n') | Some(b'\r')) => {
@@ -534,6 +540,44 @@ mod tests {
         let i = ks.iter().filter(|k| **k == TokenKind::Indent).count();
         let d = ks.iter().filter(|k| **k == TokenKind::Dedent).count();
         assert_eq!(i, d);
+    }
+
+    #[test]
+    fn form_feed_resets_indentation_column() {
+        // CPython's tokenizer resets the column to 0 at a form feed in
+        // leading whitespace, so `\x0cc = 2` after an indented block is a
+        // *dedent* back to column 0, not a deeper indent or an error.
+        let src = "if a:\n    b = 1\n\x0cc = 2\n";
+        let toks = tokenize(src);
+        let ks: Vec<TokenKind> = toks.iter().map(|t| t.kind).collect();
+        assert!(!ks.contains(&TokenKind::Error), "{toks:#?}");
+        let i = ks.iter().filter(|k| **k == TokenKind::Indent).count();
+        let d = ks.iter().filter(|k| **k == TokenKind::Dedent).count();
+        assert_eq!((i, d), (1, 1), "{toks:#?}");
+        // The dedent precedes `c`: the form-feed line is at top level.
+        let c_idx = toks.iter().position(|t| t.text == "c").expect("c token");
+        let d_idx = ks.iter().position(|k| *k == TokenKind::Dedent).expect("dedent");
+        assert!(d_idx < c_idx, "{toks:#?}");
+    }
+
+    #[test]
+    fn form_feed_then_spaces_still_measures_from_zero() {
+        // `\x0c` resets, then the following spaces measure a fresh
+        // indent — "\x0c    x" is indentation 4, matching the block.
+        let src = "if a:\n    b = 1\n\x0c    c = 2\n";
+        let ks = kinds(src);
+        assert!(!ks.contains(&TokenKind::Error));
+        let i = ks.iter().filter(|k| **k == TokenKind::Indent).count();
+        let d = ks.iter().filter(|k| **k == TokenKind::Dedent).count();
+        assert_eq!(i, d, "indents must balance: {ks:?}");
+        assert_eq!(i, 1, "c stays inside the block: {ks:?}");
+    }
+
+    #[test]
+    fn form_feed_inside_line_is_whitespace() {
+        assert_eq!(texts("x =\x0c1\n"), ["x", "=", "1"]);
+        let ks = kinds("x =\x0c1\n");
+        assert!(!ks.contains(&TokenKind::Error), "{ks:?}");
     }
 
     #[test]

@@ -31,6 +31,26 @@ impl fmt::Display for ParsePatternError {
 
 impl Error for ParsePatternError {}
 
+/// Error returned by the budgeted `try_*` execution APIs when the fuel
+/// budget runs out before the search completes.
+///
+/// The engine's bounded backtracking already guarantees polynomial work
+/// (`O(pattern × text)` per start position), but polynomial is not
+/// *small*: a pathological pattern over a large haystack can legally
+/// consume billions of steps. A fuel budget turns that tail into a typed,
+/// fast outcome instead of a multi-second stall. See
+/// [`crate::Regex::try_find_iter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BudgetExhausted;
+
+impl fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("regex execution budget exhausted")
+    }
+}
+
+impl Error for BudgetExhausted {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -42,5 +62,12 @@ mod tests {
         assert!(s.contains("byte 4"));
         assert!(s.contains("unbalanced"));
         assert_eq!(e.offset(), 4);
+    }
+
+    #[test]
+    fn budget_exhausted_display_and_source() {
+        let e = BudgetExhausted;
+        assert!(e.to_string().contains("budget exhausted"));
+        assert!(e.source().is_none());
     }
 }

@@ -16,8 +16,14 @@
 //!   capture slots. Reusing one across calls makes the hot match path
 //!   allocation-free after warmup.
 
+use crate::error::BudgetExhausted;
 use crate::program::{class_item_matches, Inst, Program};
 use std::sync::OnceLock;
+
+/// Fuel value used by the infallible entry points: decrementing once per
+/// engine step, `u64::MAX` cannot be consumed within the lifetime of the
+/// process, so the `expect` in those wrappers is unreachable.
+pub(crate) const UNBOUNDED_FUEL: u64 = u64::MAX;
 
 /// A text prepared for matching: the `(byte_offset, char)` table plus a
 /// lazily built case-folded view. Pattern-independent, so one `Prepared`
@@ -134,15 +140,42 @@ impl<'h, 'p> Haystack<'h, 'p> {
     }
 }
 
-/// Simple one-char case folding; ASCII stays on a branch-free fast path,
-/// everything else takes the full Unicode mapping (sufficient for
-/// source-code patterns, and identical to the previous
-/// `to_lowercase()`-per-char behavior).
+/// Simple one-char case folding, mirroring CPython `re`'s `(?i)`
+/// semantics: ASCII stays on a branch-free fast path; everything else
+/// takes the *simple* (one-to-one) case mapping plus the small
+/// equivalence table `sre_compile` applies on top of it.
+///
+/// `char::to_lowercase` is the *full* mapping and may yield several chars
+/// (e.g. 'İ' U+0130 → "i\u{307}"); truncating it with `.next()` silently
+/// drops the tail. The simple mapping is one-to-one by construction —
+/// U+0130, the only unconditional multi-char lowering, simple-lowers to
+/// plain 'i', which is also what CPython's `Py_UNICODE_TOLOWER` returns.
 pub(crate) fn fold(c: char) -> char {
     if c.is_ascii() {
-        c.to_ascii_lowercase()
-    } else {
-        c.to_lowercase().next().unwrap_or(c)
+        return c.to_ascii_lowercase();
+    }
+    match c {
+        // Simple case mapping where the full mapping is multi-char.
+        '\u{0130}' => 'i', // LATIN CAPITAL LETTER I WITH DOT ABOVE
+        // CPython sre equivalence classes (sre_compile._equivalences):
+        // one-to-one folds the plain lowercase mapping cannot express.
+        '\u{0131}' => 'i',                     // dotless ı ~ i
+        '\u{017F}' => 's',                     // long ſ ~ s
+        '\u{00B5}' => '\u{03BC}',              // micro sign µ ~ greek mu μ
+        '\u{03C2}' => '\u{03C3}',              // final sigma ς ~ sigma σ
+        '\u{0345}' | '\u{1FBE}' => '\u{03B9}', // ypogegrammeni ~ iota ι
+        _ => {
+            let mut lower = c.to_lowercase();
+            let first = lower.next().unwrap_or(c);
+            // A multi-char full lowering outside the table above keeps
+            // the original char: one-to-one folding must not invent a
+            // partial mapping.
+            if lower.next().is_some() {
+                c
+            } else {
+                first
+            }
+        }
     }
 }
 
@@ -193,15 +226,20 @@ impl Scratch {
     }
 }
 
-/// Attempts an anchored match of `prog` at char index `start`. On success
-/// returns `true` with the capture slots in `scratch.slots` (char
-/// indices).
-pub fn match_at(
+/// Attempts an anchored match of `prog` at char index `start` with an
+/// execution budget: `fuel` is decremented once per engine step and the
+/// attempt aborts with [`BudgetExhausted`] when it reaches zero. On
+/// success returns `true` with the capture slots in `scratch.slots` (char
+/// indices). The same counter can be threaded through many attempts to
+/// budget a whole sweep; pass [`UNBOUNDED_FUEL`] for an effectively
+/// infallible attempt.
+pub fn try_match_at(
     prog: &Program,
     hay: &Haystack<'_, '_>,
     start: usize,
     scratch: &mut Scratch,
-) -> bool {
+    fuel: &mut u64,
+) -> Result<bool, BudgetExhausted> {
     let n_slots = 2 * (prog.group_count as usize + 1);
     let width = hay.len() + 1;
     let gen = scratch.next_gen(prog.insts.len() * width);
@@ -220,6 +258,10 @@ pub fn match_at(
             continue;
         }
         loop {
+            if *fuel == 0 {
+                return Err(BudgetExhausted);
+            }
+            *fuel -= 1;
             let key = pc * width + pos;
             if scratch.visited[key] == gen {
                 break;
@@ -303,19 +345,32 @@ pub fn match_at(
                 Inst::Jump(t) => {
                     pc = *t;
                 }
-                Inst::MatchEnd => return true,
+                Inst::MatchEnd => return Ok(true),
             }
         }
     }
-    false
+    Ok(false)
 }
 
 /// Searches for the leftmost match of `prog` in `hay` at or after char
-/// index `from`. Returns `true` with capture slots in `scratch.slots`.
-pub fn search(prog: &Program, hay: &Haystack<'_, '_>, from: usize, scratch: &mut Scratch) -> bool {
+/// index `from` with an execution budget: every candidate start position
+/// and every engine step inside the attempts decrements `fuel`; the
+/// search aborts with [`BudgetExhausted`] when it reaches zero. Returns
+/// `true` with capture slots in `scratch.slots`.
+pub fn try_search(
+    prog: &Program,
+    hay: &Haystack<'_, '_>,
+    from: usize,
+    scratch: &mut Scratch,
+    fuel: &mut u64,
+) -> Result<bool, BudgetExhausted> {
     let hint = first_char_hint(prog);
     let ci = prog.flags.ignore_case;
     for start in from..=hay.len() {
+        if *fuel == 0 {
+            return Err(BudgetExhausted);
+        }
+        *fuel -= 1;
         // Prefilter: if the pattern must begin with a known literal char,
         // skip start positions that cannot match.
         if let Some(c) = hint {
@@ -325,11 +380,11 @@ pub fn search(prog: &Program, hay: &Haystack<'_, '_>, from: usize, scratch: &mut
                 _ => continue,
             }
         }
-        if match_at(prog, hay, start, scratch) {
-            return true;
+        if try_match_at(prog, hay, start, scratch, fuel)? {
+            return Ok(true);
         }
     }
-    false
+    Ok(false)
 }
 
 /// If the first concrete instruction is a literal char (after any Save or
@@ -351,6 +406,12 @@ mod tests {
     use super::*;
     use crate::parser::parse;
     use crate::program::compile;
+
+    /// Unbudgeted search, kept as a test convenience over [`try_search`].
+    fn search(prog: &Program, hay: &Haystack<'_, '_>, from: usize, scratch: &mut Scratch) -> bool {
+        let mut fuel = UNBOUNDED_FUEL;
+        try_search(prog, hay, from, scratch, &mut fuel).expect("unbounded fuel cannot exhaust")
+    }
 
     fn run(pat: &str, text: &str) -> Option<(usize, usize)> {
         let prog = compile(&parse(pat).unwrap()).unwrap();
@@ -401,6 +462,44 @@ mod tests {
         // Non-ASCII still goes through the full mapping.
         assert_eq!(fold('É'), 'é');
         assert_eq!(fold('\u{212A}'), 'k'); // Kelvin sign folds to ASCII k
+    }
+
+    #[test]
+    fn fold_is_simple_one_to_one_not_truncated_full_lowering() {
+        // 'İ' U+0130 full-lowers to two chars ("i\u{307}"); the simple
+        // mapping (and CPython's re) gives plain 'i'.
+        assert_eq!(fold('\u{0130}'), 'i');
+        // sre equivalence classes.
+        assert_eq!(fold('\u{0131}'), 'i'); // dotless ı
+        assert_eq!(fold('\u{017F}'), 's'); // long ſ
+        assert_eq!(fold('\u{00B5}'), '\u{03BC}'); // micro ~ mu
+        assert_eq!(fold('\u{03C2}'), '\u{03C3}'); // final sigma
+        assert_eq!(fold('\u{1FBE}'), '\u{03B9}'); // prosgegrammeni ~ iota
+                                                  // Plain one-char mappings are untouched.
+        assert_eq!(fold('Σ'), 'σ');
+        assert_eq!(fold('ß'), 'ß');
+    }
+
+    #[test]
+    fn try_search_exhausts_budget_instead_of_spinning() {
+        let prog = compile(&parse("(a+)+$").unwrap()).unwrap();
+        let text = "a".repeat(512) + "X";
+        let hay = Haystack::new(&text);
+        let mut scratch = Scratch::new();
+        let mut fuel = 1_000u64;
+        assert_eq!(try_search(&prog, &hay, 0, &mut scratch, &mut fuel), Err(BudgetExhausted));
+        assert_eq!(fuel, 0);
+    }
+
+    #[test]
+    fn try_search_with_enough_fuel_agrees_with_search() {
+        let prog = compile(&parse(r"os\.system\(").unwrap()).unwrap();
+        let hay = Haystack::new("import os\nos.system(cmd)\n");
+        let mut scratch = Scratch::new();
+        let mut fuel = 100_000u64;
+        assert_eq!(try_search(&prog, &hay, 0, &mut scratch, &mut fuel), Ok(true));
+        assert!(fuel < 100_000, "fuel must be consumed");
+        assert!(search(&prog, &hay, 0, &mut scratch));
     }
 
     #[test]

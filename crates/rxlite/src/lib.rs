@@ -10,7 +10,12 @@
 //! Execution uses **bounded backtracking**: every `(instruction, position)`
 //! pair is visited at most once, so matching is `O(pattern × text)` and a
 //! rule author cannot accidentally introduce catastrophic backtracking
-//! (ReDoS) into the scanner itself.
+//! (ReDoS) into the scanner itself. Polynomial is still not *small* over
+//! adversarial haystacks, so every search additionally runs on a fuel
+//! budget: the `try_*` APIs take an explicit step budget and return
+//! [`BudgetExhausted`] instead of stalling, while the plain APIs keep
+//! their infallible signatures (they run unbudgeted, relying on the
+//! polynomial bound alone).
 //!
 //! ```
 //! use rxlite::Regex;
@@ -31,7 +36,7 @@ mod parser;
 mod program;
 mod regex;
 
-pub use error::ParsePatternError;
+pub use error::{BudgetExhausted, ParsePatternError};
 pub use exec::Prepared;
 pub use multi::MultiLiteral;
-pub use regex::{Captures, Regex, RxMatch};
+pub use regex::{Captures, Regex, RxMatch, DEFAULT_BUDGET};

@@ -7,8 +7,8 @@
 //! are identical with the prefilter on or off ([`Regex::set_prefilter`])
 //! — and are exercised differentially by the test suite.
 
-use crate::error::ParsePatternError;
-use crate::exec::{self, Haystack, Prepared, Scratch, Slots};
+use crate::error::{BudgetExhausted, ParsePatternError};
+use crate::exec::{self, Haystack, Prepared, Scratch, Slots, UNBOUNDED_FUEL};
 use crate::literal::{extract, Finder, LiteralSet};
 use crate::parser::parse;
 use crate::program::{compile, Program};
@@ -24,6 +24,13 @@ thread_local! {
 fn with_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
     SCRATCH.with(|s| f(&mut s.borrow_mut()))
 }
+
+/// Default execution budget for the `try_*` APIs, in engine steps.
+///
+/// Chosen so that it can never fire on legitimate rule-over-snippet scans
+/// (which consume thousands of steps, not millions) while still bounding
+/// a pathological pattern/haystack pair to well under a second of work.
+pub const DEFAULT_BUDGET: u64 = 20_000_000;
 
 /// A compiled regular expression.
 ///
@@ -190,8 +197,23 @@ impl Regex {
     /// Leftmost match at or after char index `from_char`; fills
     /// `scratch.slots` on success.
     fn search_hay(&self, hay: &Haystack<'_, '_>, from_char: usize, scratch: &mut Scratch) -> bool {
+        let mut fuel = UNBOUNDED_FUEL;
+        self.try_search_hay(hay, from_char, scratch, &mut fuel)
+            .expect("unbounded fuel cannot exhaust")
+    }
+
+    /// Budgeted [`Regex::search_hay`]: `fuel` is decremented per engine
+    /// step across candidate attempts; one counter can be threaded
+    /// through a whole `find_iter`-style sweep.
+    fn try_search_hay(
+        &self,
+        hay: &Haystack<'_, '_>,
+        from_char: usize,
+        scratch: &mut Scratch,
+        fuel: &mut u64,
+    ) -> Result<bool, BudgetExhausted> {
         if !self.prefilter_usable(hay) {
-            return exec::search(&self.prog, hay, from_char, scratch);
+            return exec::try_search(&self.prog, hay, from_char, scratch, fuel);
         }
         let bytes = hay.text.as_bytes();
         if let Some(pf) = &self.prefix_finder {
@@ -199,20 +221,24 @@ impl Regex {
             // positions directly instead of walking char by char.
             let mut at = hay.byte_of(from_char);
             while let Some(hit) = pf.find(bytes, at) {
-                if exec::match_at(&self.prog, hay, hay.char_index_of(hit), scratch) {
-                    return true;
+                if *fuel == 0 {
+                    return Err(BudgetExhausted);
+                }
+                *fuel -= 1;
+                if exec::try_match_at(&self.prog, hay, hay.char_index_of(hit), scratch, fuel)? {
+                    return Ok(true);
                 }
                 at = hit + 1;
             }
-            return false;
+            return Ok(false);
         }
         if !self.required_finders.is_empty() {
             let from_byte = hay.byte_of(from_char);
             if !self.required_finders.iter().any(|f| f.find(bytes, from_byte).is_some()) {
-                return false;
+                return Ok(false);
             }
         }
-        exec::search(&self.prog, hay, from_char, scratch)
+        exec::try_search(&self.prog, hay, from_char, scratch, fuel)
     }
 
     /// Whether the pattern matches anywhere in `text`.
@@ -228,6 +254,36 @@ impl Regex {
 
     fn is_match_hay(&self, hay: &Haystack<'_, '_>) -> bool {
         with_scratch(|scratch| self.search_hay(hay, 0, scratch))
+    }
+
+    /// Budgeted [`Regex::is_match`]: spends at most `budget` engine steps
+    /// and returns [`BudgetExhausted`] instead of completing a search that
+    /// would exceed them. [`DEFAULT_BUDGET`] never fires on realistic
+    /// rule-over-snippet scans.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExhausted`] when the budget runs out first.
+    pub fn try_is_match(&self, text: &str, budget: u64) -> Result<bool, BudgetExhausted> {
+        let mut fuel = budget;
+        with_scratch(|scratch| self.try_search_hay(&Haystack::new(text), 0, scratch, &mut fuel))
+    }
+
+    /// Budgeted [`Regex::is_match_prepared`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExhausted`] when the budget runs out first.
+    pub fn try_is_match_prepared(
+        &self,
+        text: &str,
+        prep: &Prepared,
+        budget: u64,
+    ) -> Result<bool, BudgetExhausted> {
+        let mut fuel = budget;
+        with_scratch(|scratch| {
+            self.try_search_hay(&Haystack::shared(text, prep), 0, scratch, &mut fuel)
+        })
     }
 
     /// Leftmost match, if any.
@@ -262,6 +318,27 @@ impl Regex {
         })
     }
 
+    /// Budgeted [`Regex::find`]: one budget covers the whole search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExhausted`] when the budget runs out first.
+    pub fn try_find<'h>(
+        &self,
+        text: &'h str,
+        budget: u64,
+    ) -> Result<Option<RxMatch<'h>>, BudgetExhausted> {
+        let mut fuel = budget;
+        let hay = Haystack::new(text);
+        with_scratch(|scratch| {
+            Ok(self.try_search_hay(&hay, 0, scratch, &mut fuel)?.then(|| RxMatch {
+                haystack: hay.text,
+                start: hay.byte_of(scratch.slots[0]),
+                end: hay.byte_of(scratch.slots[1]),
+            }))
+        })
+    }
+
     /// All non-overlapping matches, left to right.
     pub fn find_iter<'h>(&self, text: &'h str) -> Vec<RxMatch<'h>> {
         self.find_iter_hay(&Haystack::new(text))
@@ -275,11 +352,20 @@ impl Regex {
     }
 
     fn find_iter_hay<'h>(&self, hay: &Haystack<'h, '_>) -> Vec<RxMatch<'h>> {
+        let mut fuel = UNBOUNDED_FUEL;
+        self.try_find_iter_hay(hay, &mut fuel).expect("unbounded fuel cannot exhaust")
+    }
+
+    fn try_find_iter_hay<'h>(
+        &self,
+        hay: &Haystack<'h, '_>,
+        fuel: &mut u64,
+    ) -> Result<Vec<RxMatch<'h>>, BudgetExhausted> {
         with_scratch(|scratch| {
             let mut out = Vec::new();
             let mut from = 0usize;
             while from <= hay.len() {
-                if !self.search_hay(hay, from, scratch) {
+                if !self.try_search_hay(hay, from, scratch, fuel)? {
                     break;
                 }
                 let (s, e) = (scratch.slots[0], scratch.slots[1]);
@@ -291,8 +377,39 @@ impl Regex {
                 // Advance past the match; at least one char for empty matches.
                 from = if e > s { e } else { e + 1 };
             }
-            out
+            Ok(out)
         })
+    }
+
+    /// Budgeted [`Regex::find_iter`]: one budget covers the entire sweep,
+    /// so a text whose matches are individually cheap but collectively
+    /// pathological is still bounded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExhausted`] when the budget runs out first.
+    pub fn try_find_iter<'h>(
+        &self,
+        text: &'h str,
+        budget: u64,
+    ) -> Result<Vec<RxMatch<'h>>, BudgetExhausted> {
+        let mut fuel = budget;
+        self.try_find_iter_hay(&Haystack::new(text), &mut fuel)
+    }
+
+    /// Budgeted [`Regex::find_iter_prepared`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExhausted`] when the budget runs out first.
+    pub fn try_find_iter_prepared<'h>(
+        &self,
+        text: &'h str,
+        prep: &Prepared,
+        budget: u64,
+    ) -> Result<Vec<RxMatch<'h>>, BudgetExhausted> {
+        let mut fuel = budget;
+        self.try_find_iter_hay(&Haystack::shared(text, prep), &mut fuel)
     }
 
     /// Capture groups of the leftmost match.
@@ -323,19 +440,57 @@ impl Regex {
     }
 
     fn captures_iter_hay<'h>(&self, hay: &Haystack<'h, '_>) -> Vec<Captures<'h>> {
+        let mut fuel = UNBOUNDED_FUEL;
+        self.try_captures_iter_hay(hay, &mut fuel).expect("unbounded fuel cannot exhaust")
+    }
+
+    fn try_captures_iter_hay<'h>(
+        &self,
+        hay: &Haystack<'h, '_>,
+        fuel: &mut u64,
+    ) -> Result<Vec<Captures<'h>>, BudgetExhausted> {
         with_scratch(|scratch| {
             let mut out = Vec::new();
             let mut from = 0usize;
             while from <= hay.len() {
-                if !self.search_hay(hay, from, scratch) {
+                if !self.try_search_hay(hay, from, scratch, fuel)? {
                     break;
                 }
                 let (s, e) = (scratch.slots[0], scratch.slots[1]);
                 out.push(self.slots_to_captures(hay.text, hay, &scratch.slots));
                 from = if e > s { e } else { e + 1 };
             }
-            out
+            Ok(out)
         })
+    }
+
+    /// Budgeted [`Regex::captures_iter`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExhausted`] when the budget runs out first.
+    pub fn try_captures_iter<'h>(
+        &self,
+        text: &'h str,
+        budget: u64,
+    ) -> Result<Vec<Captures<'h>>, BudgetExhausted> {
+        let mut fuel = budget;
+        self.try_captures_iter_hay(&Haystack::new(text), &mut fuel)
+    }
+
+    /// Budgeted [`Regex::captures_iter_prepared`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExhausted`] when the budget runs out first.
+    pub fn try_captures_iter_prepared<'h>(
+        &self,
+        text: &'h str,
+        prep: &Prepared,
+        budget: u64,
+    ) -> Result<Vec<Captures<'h>>, BudgetExhausted> {
+        let mut fuel = budget;
+        self.try_captures_iter_hay(&Haystack::shared(text, prep), &mut fuel)
     }
 
     /// Replaces the leftmost match with `replacement`, substituting
@@ -569,6 +724,42 @@ mod tests {
         let ms = re.find_iter(text);
         assert_eq!(ms.len(), 1);
         assert_eq!(ms[0].as_str(), "\u{212A}elvin");
+    }
+
+    #[test]
+    fn try_apis_agree_with_infallible_under_default_budget() {
+        let re = Regex::new(r"(\w+)\s*=\s*(\w+)").unwrap();
+        let text = "a = 1\nbb=22\n# c = 3\n";
+        let prep = Prepared::new(text);
+        assert_eq!(re.try_is_match(text, DEFAULT_BUDGET), Ok(re.is_match(text)));
+        assert_eq!(re.try_is_match_prepared(text, &prep, DEFAULT_BUDGET), Ok(re.is_match(text)));
+        assert_eq!(re.try_find(text, DEFAULT_BUDGET).unwrap(), re.find(text));
+        assert_eq!(re.try_find_iter(text, DEFAULT_BUDGET).unwrap(), re.find_iter(text));
+        assert_eq!(
+            re.try_find_iter_prepared(text, &prep, DEFAULT_BUDGET).unwrap(),
+            re.find_iter(text)
+        );
+        let spans =
+            |cs: &[Captures<'_>]| cs.iter().map(|c| (c.span(1), c.span(2))).collect::<Vec<_>>();
+        assert_eq!(
+            spans(&re.try_captures_iter(text, DEFAULT_BUDGET).unwrap()),
+            spans(&re.captures_iter(text))
+        );
+        assert_eq!(
+            spans(&re.try_captures_iter_prepared(text, &prep, DEFAULT_BUDGET).unwrap()),
+            spans(&re.captures_iter(text))
+        );
+    }
+
+    #[test]
+    fn try_apis_surface_budget_exhaustion() {
+        let re = Regex::new(r"(a+)+$").unwrap();
+        let text = format!("{}!", "a".repeat(256));
+        assert_eq!(re.try_is_match(&text, 500), Err(BudgetExhausted));
+        assert_eq!(re.try_find(&text, 500), Err(BudgetExhausted));
+        assert_eq!(re.try_find_iter(&text, 500), Err(BudgetExhausted));
+        // A zero budget cannot even start.
+        assert_eq!(re.try_is_match("aaa", 0), Err(BudgetExhausted));
     }
 
     #[test]

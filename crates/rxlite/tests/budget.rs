@@ -1,0 +1,95 @@
+//! Hang-regression tests for the fuel-budgeted `try_*` APIs.
+//!
+//! The bounded backtracker guarantees polynomial work, but polynomial
+//! over a large adversarial haystack is still seconds of CPU. These tests
+//! pin the contract that matters for a corpus scanner: a pathological
+//! pattern/input pair returns `BudgetExhausted` quickly instead of
+//! stalling, and the budgeted APIs agree with the infallible ones
+//! whenever the budget does not fire.
+
+use rxlite::{BudgetExhausted, Regex, DEFAULT_BUDGET};
+use std::time::{Duration, Instant};
+
+/// Classic ReDoS shape from the issue: nested quantifier plus an anchor
+/// that forces every attempt to fail, over a long all-`a` haystack with a
+/// poison tail.
+#[test]
+fn pathological_pattern_exhausts_default_budget_in_under_a_second() {
+    let re = Regex::new(r"(a+)+$").unwrap();
+    let text = format!("{}!", "a".repeat(20_000));
+    let t0 = Instant::now();
+    let got = re.try_find_iter(&text, DEFAULT_BUDGET);
+    let elapsed = t0.elapsed();
+    assert_eq!(got, Err(BudgetExhausted));
+    assert!(elapsed < Duration::from_secs(1), "took {elapsed:?}, budget must bound the stall");
+}
+
+#[test]
+fn pathological_is_match_is_bounded_too() {
+    let re = Regex::new(r"(a|aa)+x").unwrap();
+    let text = "a".repeat(30_000);
+    let t0 = Instant::now();
+    assert_eq!(re.try_is_match(&text, DEFAULT_BUDGET), Err(BudgetExhausted));
+    assert!(t0.elapsed() < Duration::from_secs(1));
+}
+
+/// The default budget must never fire on realistic rule-over-snippet
+/// scans: rule-shaped patterns over code-shaped text agree byte-for-byte
+/// with the infallible APIs.
+#[test]
+fn budgeted_apis_agree_with_infallible_on_realistic_scans() {
+    let patterns = [
+        r"os\.system\s*\(",
+        r"subprocess\.\w+\([^)]*shell\s*=\s*True",
+        r"(?i)select\s+.*\s+from\s+",
+        r"pickle\.loads?\s*\(",
+        r"yaml\.load\(([^)]*)\)",
+        r"(\w+)\s*=\s*(\w+)",
+        r"a*",
+        r"\b",
+    ];
+    let texts = [
+        "",
+        "import os\nos.system(cmd)\nsubprocess.call(c, shell=True)\n",
+        "q = \"SELECT * FROM users WHERE id = %s\" % uid\n",
+        "d = yaml.load(f)\nx = pickle.loads(blob)\n",
+        "é = 1\nbb=22\n# unicode: \u{212A}elvin İstanbul ſtraße\n",
+        &"padding line\n".repeat(200),
+    ];
+    for pat in patterns {
+        let re = Regex::new(pat).unwrap();
+        for text in texts {
+            assert_eq!(
+                re.try_is_match(text, DEFAULT_BUDGET),
+                Ok(re.is_match(text)),
+                "is_match: {pat:?} over {:?}…",
+                &text[..text.len().min(30)]
+            );
+            assert_eq!(
+                re.try_find_iter(text, DEFAULT_BUDGET).as_deref(),
+                Ok(re.find_iter(text).as_slice()),
+                "find_iter: {pat:?}"
+            );
+            let budgeted: Vec<_> = re
+                .try_captures_iter(text, DEFAULT_BUDGET)
+                .unwrap()
+                .iter()
+                .map(|c| c.span(0))
+                .collect();
+            let plain: Vec<_> = re.captures_iter(text).iter().map(|c| c.span(0)).collect();
+            assert_eq!(budgeted, plain, "captures_iter: {pat:?}");
+        }
+    }
+}
+
+/// Exhaustion is a property of the (pattern, text, budget) triple, not
+/// sticky state: the same `Regex` keeps working on benign inputs after a
+/// budgeted call fails.
+#[test]
+fn regex_is_reusable_after_exhaustion() {
+    let re = Regex::new(r"(a+)+$").unwrap();
+    let nasty = format!("{}!", "a".repeat(20_000));
+    assert_eq!(re.try_is_match(&nasty, DEFAULT_BUDGET), Err(BudgetExhausted));
+    assert_eq!(re.try_is_match("aaa", DEFAULT_BUDGET), Ok(true));
+    assert!(re.is_match("aaa"));
+}

@@ -160,6 +160,67 @@ fn pat_strategy() -> impl Strategy<Value = Pat> {
     })
 }
 
+/// `find_iter` byte spans pinned against CPython `re.finditer`. Every
+/// expectation below is the literal output of
+/// `[(m.start(), m.end()) for m in re.finditer(pat, hay)]` on the UTF-8
+/// byte offsets (CPython reports code-point offsets; the fixtures here
+/// are chosen so the translation is spelled out per case).
+#[test]
+fn find_iter_empty_match_advancement_matches_python() {
+    type Case = (&'static str, &'static str, &'static [(usize, usize)]);
+    let cases: &[Case] = &[
+        // re.finditer('a*', 'ba')  -> (0,0), (1,2), (2,2)
+        ("a*", "ba", &[(0, 0), (1, 2), (2, 2)]),
+        // re.finditer('a*', 'aa')  -> (0,2), (2,2)
+        ("a*", "aa", &[(0, 2), (2, 2)]),
+        // re.finditer(r'\b', 'ab cd') -> (0,0), (2,2), (3,3), (5,5)
+        (r"\b", "ab cd", &[(0, 0), (2, 2), (3, 3), (5, 5)]),
+        // re.finditer('(?i)x?', 'aXa') -> (0,0), (1,2), (2,2), (3,3)
+        ("(?i)x?", "aXa", &[(0, 0), (1, 2), (2, 2), (3, 3)]),
+        // re.finditer('a*', 'éa'): code points (0,0),(1,2),(2,2); 'é' is
+        // two UTF-8 bytes, so the byte spans are (0,0),(2,3),(3,3).
+        ("a*", "éa", &[(0, 0), (2, 3), (3, 3)]),
+        // Empty match at end of haystack only: re.finditer('x*', '') -> (0,0)
+        ("x*", "", &[(0, 0)]),
+    ];
+    for (pat, hay, expected) in cases {
+        let re = rxlite::Regex::new(pat).unwrap();
+        let spans: Vec<(usize, usize)> =
+            re.find_iter(hay).into_iter().map(|m| (m.start(), m.end())).collect();
+        assert_eq!(&spans, expected, "finditer({pat:?}, {hay:?})");
+    }
+}
+
+/// Simple case folding pinned against CPython `re` with `(?i)`: each pair
+/// below satisfies `re.search(pat, hay) is not None` in Python 3, and
+/// must match here too. Covers the multi-char-lowering landmine 'İ'
+/// (U+0130, lowercases to "i\u{307}" in full Unicode lowering — simple
+/// fold maps it to plain 'i') plus the classic one-way fold pairs.
+#[test]
+fn case_insensitive_fold_pairs_match_python_re() {
+    let matching: &[(&str, &str)] = &[
+        ("(?i)i", "İ"), // U+0130 LATIN CAPITAL LETTER I WITH DOT ABOVE
+        ("(?i)İ", "i"),
+        ("(?i)i", "ı"), // U+0131 LATIN SMALL LETTER DOTLESS I
+        ("(?i)ı", "I"),
+        ("(?i)s", "ſ"), // U+017F LATIN SMALL LETTER LONG S
+        ("(?i)ſ", "S"),
+        ("(?i)µ", "μ"), // U+00B5 MICRO SIGN vs U+03BC GREEK SMALL MU
+        ("(?i)μ", "µ"),
+        ("(?i)σ", "ς"), // final sigma folds with sigma
+        ("(?i)Σ", "ς"),
+        ("(?i)k", "\u{212A}"), // KELVIN SIGN
+        ("(?i)\u{212A}", "K"),
+    ];
+    for (pat, hay) in matching {
+        let re = rxlite::Regex::new(pat).unwrap();
+        assert!(re.is_match(hay), "Python re matches {pat:?} against {hay:?}; rxlite must too");
+    }
+    // And the fold stays *simple*: 'ß' does not expand to "ss".
+    assert!(!rxlite::Regex::new("(?i)ss").unwrap().is_match("ß"));
+    assert!(!rxlite::Regex::new("(?i)ß").unwrap().is_match("ss"));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
 
