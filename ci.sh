@@ -29,4 +29,24 @@ cargo test --offline -q -p rxlite --test budget
 echo "==> bench smoke: scan_prefilter (one criterion pass)"
 cargo bench --offline -p patchit-bench --bench scan_prefilter
 
+echo "==> telemetry: overhead guard (recording session within 1.10x of off)"
+./target/release/bench_scan --check-overhead > /dev/null
+
+echo "==> telemetry: emitted JSON artifacts parse"
+artifacts_dir=$(mktemp -d)
+trap 'rm -rf "$artifacts_dir"' EXIT
+cargo run --offline --release -q -p evalharness --bin dump_corpus -- "$artifacts_dir/corpus" > /dev/null
+# scan exits 1 when findings exist (expected on the corpus) — only rc >= 2 is an error.
+rc=0
+./target/release/patchitpy scan --profile "$artifacts_dir/TRACE_scan.json" \
+    "$artifacts_dir"/corpus/*/*.py > /dev/null 2> /dev/null || rc=$?
+if [ "$rc" -ge 2 ]; then
+    echo "scan --profile failed with rc=$rc" >&2
+    exit 1
+fi
+cargo run --offline --release -q -p evalharness --bin table2 -- \
+    --metrics "$artifacts_dir/METRICS_eval.json" > /dev/null 2> /dev/null
+cargo run --offline --release -q -p obsv --bin jsonck -- \
+    "$artifacts_dir/TRACE_scan.json" "$artifacts_dir/METRICS_eval.json" BENCH_scan.json
+
 echo "CI green."

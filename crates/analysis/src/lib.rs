@@ -39,6 +39,20 @@ use std::sync::{Arc, OnceLock, RwLock};
 use pyast::{parse_module, parse_module_strict, Module, ParseError};
 use pylex::{logical_lines, tokenize, LogicalLine, Token, TokenKind};
 
+/// Telemetry: times one lazy view's construction under the
+/// `analysis.view{key}` profile (one row per view kind, aggregated over
+/// every sample). When telemetry is off, this is one relaxed atomic load
+/// on top of calling `f`.
+fn timed<R>(key: &'static str, f: impl FnOnce() -> R) -> R {
+    if !obsv::enabled() {
+        return f();
+    }
+    let start = obsv::now_ns();
+    let out = f();
+    obsv::profile("analysis.view", key, obsv::now_ns().saturating_sub(start), 1);
+    out
+}
+
 /// Immutable analyze-once/consume-many artifact for one Python source.
 ///
 /// Construction is O(1): every derived view is computed on first access
@@ -89,7 +103,7 @@ impl SourceAnalysis {
 
     /// The full `pylex` token stream (computed once).
     pub fn tokens(&self) -> &[Token] {
-        self.tokens.get_or_init(|| tokenize(&self.source))
+        self.tokens.get_or_init(|| timed("tokens", || tokenize(&self.source)))
     }
 
     /// The source with every comment byte replaced by a space — same
@@ -98,37 +112,41 @@ impl SourceAnalysis {
     /// cannot fire.
     pub fn blanked(&self) -> &str {
         self.blanked.get_or_init(|| {
-            let mut out = self.source.as_bytes().to_vec();
-            for tok in self.tokens() {
-                if tok.kind == TokenKind::Comment {
-                    for b in &mut out[tok.span.start..tok.span.end] {
-                        if *b != b'\n' {
-                            *b = b' ';
+            timed("blanked", || {
+                let mut out = self.source.as_bytes().to_vec();
+                for tok in self.tokens() {
+                    if tok.kind == TokenKind::Comment {
+                        for b in &mut out[tok.span.start..tok.span.end] {
+                            if *b != b'\n' {
+                                *b = b' ';
+                            }
                         }
                     }
                 }
-            }
-            String::from_utf8(out)
-                .expect("blanking preserves UTF-8: only ASCII bytes are overwritten")
+                String::from_utf8(out)
+                    .expect("blanking preserves UTF-8: only ASCII bytes are overwritten")
+            })
         })
     }
 
     /// Logical lines (continuation-joined), as `pylex::logical_lines`.
     pub fn logical_lines(&self) -> &[LogicalLine] {
-        self.logical.get_or_init(|| logical_lines(&self.source))
+        self.logical.get_or_init(|| timed("logical_lines", || logical_lines(&self.source)))
     }
 
     /// The error-tolerant AST (never fails; broken lines become `Error`
     /// statements).
     pub fn module(&self) -> &Module {
-        self.tolerant.get_or_init(|| parse_module(&self.source))
+        self.tolerant.get_or_init(|| timed("module", || parse_module(&self.source)))
     }
 
     /// The strict parse: `Ok` only when the whole file is syntactically
     /// valid, mirroring how real AST-based tools reject incomplete
     /// snippets.
     pub fn strict_module(&self) -> Result<&Module, &ParseError> {
-        self.strict.get_or_init(|| parse_module_strict(&self.source)).as_ref()
+        self.strict
+            .get_or_init(|| timed("strict_module", || parse_module_strict(&self.source)))
+            .as_ref()
     }
 
     /// Whether any view has been computed yet (used by tests asserting
@@ -178,13 +196,17 @@ pub struct PreparedBlanked(pub rxlite::Prepared);
 impl SourceAnalysis {
     /// The shared [`rxlite::Prepared`] table for the raw source text.
     pub fn prepared_source(&self) -> Arc<PreparedSource> {
-        self.extension(|a| PreparedSource(rxlite::Prepared::new(a.source())))
+        self.extension(|a| {
+            timed("prepared_source", || PreparedSource(rxlite::Prepared::new(a.source())))
+        })
     }
 
     /// The shared [`rxlite::Prepared`] table for the comment-blanked
     /// text (building it also materializes [`SourceAnalysis::blanked`]).
     pub fn prepared_blanked(&self) -> Arc<PreparedBlanked> {
-        self.extension(|a| PreparedBlanked(rxlite::Prepared::new(a.blanked())))
+        self.extension(|a| {
+            timed("prepared_blanked", || PreparedBlanked(rxlite::Prepared::new(a.blanked())))
+        })
     }
 }
 

@@ -1,12 +1,19 @@
 //! Emits `BENCH_scan.json`: before/after numbers for the literal-prefilter
 //! scan engine on the table2 end-to-end workload (full 609-sample catalog
-//! scan), plus the prefilter-off control measured with the same engine.
+//! scan), the prefilter-off control measured with the same engine, exact
+//! per-sample latency percentiles, and the telemetry-overhead comparison
+//! (profiling off vs enabled-but-discarding vs recording).
 //!
 //! Run from the repo root:
 //!
 //! ```text
 //! cargo run --release -p patchit-bench --bin bench_scan
+//! cargo run --release -p patchit-bench --bin bench_scan -- --check-overhead
 //! ```
+//!
+//! `--check-overhead` exits nonzero if the recording session is more than
+//! 1.10× the profiling-off wall time — the CI guard for the telemetry
+//! layer's "≤10% when recording" budget.
 
 use patchit_core::{Detector, DetectorOptions, SourceAnalysis};
 use std::time::Instant;
@@ -16,6 +23,10 @@ use std::time::Instant;
 const BASELINE_FULL_CORPUS_MS: f64 = 595.209;
 /// table2/patchitpy_60_samples on the pre-prefilter engine.
 const BASELINE_60_SAMPLES_MS: f64 = 36.703;
+
+/// CI budget: a recording telemetry session may cost at most this factor
+/// over profiling-off on the full-corpus scan.
+const RECORDING_BUDGET: f64 = 1.10;
 
 /// Mean wall-clock milliseconds of `f` over `iters` timed runs (after
 /// one warmup run).
@@ -31,6 +42,13 @@ fn time_ms<F: FnMut() -> usize>(iters: u32, mut f: F) -> f64 {
     ms
 }
 
+/// Median of a measurement series — robust against the odd
+/// scheduler-noise outlier that a mean would average in.
+fn median_ms(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
 fn scan_all(det: &Detector, codes: &[String]) -> usize {
     let mut hits = 0usize;
     for code in codes {
@@ -39,7 +57,29 @@ fn scan_all(det: &Detector, codes: &[String]) -> usize {
     hits
 }
 
+/// One wall-clock measurement per sample, nanoseconds, in corpus order.
+fn per_sample_ns(det: &Detector, codes: &[String]) -> Vec<u64> {
+    codes
+        .iter()
+        .map(|code| {
+            let t0 = Instant::now();
+            std::hint::black_box(det.is_vulnerable(code));
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect()
+}
+
+/// Exact nearest-rank percentile over the raw latency vector (no bucket
+/// interpolation — this is the ground truth the registry histograms
+/// approximate).
+fn pct(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 fn main() {
+    let check_overhead = std::env::args().skip(1).any(|a| a == "--check-overhead");
     let corpus = corpusgen::generate_corpus();
     let codes: Vec<String> = corpus.samples.iter().map(|s| s.code.clone()).collect();
     let codes60: Vec<String> = codes.iter().take(60).cloned().collect();
@@ -53,6 +93,39 @@ fn main() {
     let full_off = time_ms(iters, || scan_all(&off, &codes));
     let s60_on = time_ms(iters, || scan_all(&on, &codes60));
     let s60_off = time_ms(iters, || scan_all(&off, &codes60));
+
+    // Exact per-sample latency distribution (one timed pass, warmed up by
+    // the runs above).
+    let mut lat = per_sample_ns(&on, &codes);
+    lat.sort_unstable();
+    let (p50, p95, p99) = (pct(&lat, 50.0), pct(&lat, 95.0), pct(&lat, 99.0));
+    let lat_max = *lat.last().expect("non-empty corpus");
+
+    // Telemetry overhead, three modes over the identical workload:
+    // profiling off (the default), a no-op session (enabled flag on,
+    // events discarded — the cost of the `enabled()` gates plus clock
+    // reads), and a recording session (full registry updates). The modes
+    // are measured in interleaved rounds — off/noop/recording within each
+    // round — so CPU-frequency drift between rounds biases the *level*,
+    // not the ratios; the median round then discards outliers.
+    let rounds = 5;
+    let (mut r_off, mut r_noop, mut r_rec) = (Vec::new(), Vec::new(), Vec::new());
+    for _ in 0..rounds {
+        r_off.push(time_ms(3, || scan_all(&on, &codes)));
+        r_noop.push({
+            let _s = obsv::session_noop();
+            time_ms(3, || scan_all(&on, &codes))
+        });
+        r_rec.push({
+            let s = obsv::session();
+            let ms = time_ms(3, || scan_all(&on, &codes));
+            std::hint::black_box(s.finish().counters.len());
+            ms
+        });
+    }
+    let (tele_off, tele_noop, tele_rec) = (median_ms(r_off), median_ms(r_noop), median_ms(r_rec));
+    let noop_ratio = tele_noop / tele_off;
+    let rec_ratio = tele_rec / tele_off;
 
     // Prescan effectiveness on one representative sample.
     let a = SourceAnalysis::new(codes[0].clone());
@@ -85,6 +158,22 @@ fn main() {
     "full_corpus_609": {:.2},
     "samples_60": {:.2}
   }},
+  "per_sample_latency_ns": {{
+    "p50": {p50},
+    "p95": {p95},
+    "p99": {p99},
+    "max": {lat_max},
+    "note": "exact nearest-rank percentiles over one timed pass per sample"
+  }},
+  "telemetry_overhead": {{
+    "off_ms": {tele_off:.3},
+    "noop_session_ms": {tele_noop:.3},
+    "recording_ms": {tele_rec:.3},
+    "noop_ratio": {noop_ratio:.3},
+    "recording_ratio": {rec_ratio:.3},
+    "budget_recording_ratio": {RECORDING_BUDGET},
+    "note": "median of {rounds} interleaved rounds; noop = enabled flag on with a discarding sink"
+  }},
   "prescan_stats_sample0": {{
     "rules_total": {},
     "rules_executed": {},
@@ -106,8 +195,14 @@ fn main() {
     std::fs::write("BENCH_scan.json", &json).expect("write BENCH_scan.json");
     print!("{json}");
     eprintln!(
-        "wrote BENCH_scan.json (full corpus: {full_on:.1} ms prefiltered vs {:.1} ms baseline, {:.1}x)",
+        "wrote BENCH_scan.json (full corpus: {full_on:.1} ms prefiltered vs {:.1} ms baseline, {:.1}x; telemetry recording {rec_ratio:.3}x)",
         BASELINE_FULL_CORPUS_MS,
         BASELINE_FULL_CORPUS_MS / full_on
     );
+    if check_overhead && rec_ratio > RECORDING_BUDGET {
+        eprintln!(
+            "OVERHEAD GUARD FAILED: recording session {rec_ratio:.3}x > budget {RECORDING_BUDGET}x"
+        );
+        std::process::exit(1);
+    }
 }

@@ -55,6 +55,12 @@ impl Default for DetectorOptions {
 
 /// Counters from one scan: how much engine work the catalog-wide literal
 /// prescan avoided.
+///
+/// This is a per-scan *view*: the same counts are pushed to the `obsv`
+/// registry (`detector.scans`, `detector.rules_executed`,
+/// `detector.rules_skipped`, and per-rule
+/// `detector.budget_exhausted{rule}`) whenever a telemetry session is
+/// recording, where they aggregate across a whole corpus run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ScanStats {
     /// Rules in the catalog.
@@ -69,6 +75,19 @@ pub struct ScanStats {
     /// degrades instead of hanging). Always 0 on realistic code under the
     /// default budget.
     pub budget_exhausted: usize,
+}
+
+impl ScanStats {
+    /// Pushes this scan's counts to the telemetry registry (no-op when no
+    /// session is recording). The per-rule budget attribution happens at
+    /// the exhaustion site; this flush carries the scan-level aggregates.
+    fn flush_to_registry(&self) {
+        if obsv::enabled() {
+            obsv::add("detector.scans", 1);
+            obsv::add("detector.rules_executed", self.rules_executed as u64);
+            obsv::add("detector.rules_skipped", self.rules_skipped as u64);
+        }
+    }
 }
 
 /// The PatchitPy vulnerability detector.
@@ -277,6 +296,7 @@ impl Detector {
             Some(&ps.0)
         };
         let budget = self.options.budget;
+        let telemetry = obsv::enabled();
         let mut stats = ScanStats { rules_total: self.rules.len(), ..ScanStats::default() };
         let mut findings = Vec::new();
         for (i, c) in self.rules.iter().enumerate() {
@@ -285,14 +305,20 @@ impl Detector {
                 continue;
             }
             stats.rules_executed += 1;
+            let t0 = if telemetry { obsv::now_ns() } else { 0 };
             let matches = match prep {
                 Some(p) => c.pattern.try_find_iter_prepared(region, p, budget),
                 None => c.pattern.try_find_iter(region, budget),
             };
+            if telemetry {
+                let n = matches.as_ref().map_or(0, |ms| ms.len() as u64);
+                obsv::profile("detector.rule", c.rule.id, obsv::now_ns().saturating_sub(t0), n);
+            }
             let Ok(matches) = matches else {
                 // The rule blew its budget on this sample: skip it here,
                 // record the degradation, keep scanning the other rules.
                 stats.budget_exhausted += 1;
+                obsv::add2("detector.budget_exhausted", c.rule.id, 1);
                 continue;
             };
             let mut exhausted = false;
@@ -311,6 +337,7 @@ impl Detector {
                                 if !exhausted {
                                     exhausted = true;
                                     stats.budget_exhausted += 1;
+                                    obsv::add2("detector.budget_exhausted", c.rule.id, 1);
                                 }
                                 continue;
                             }
@@ -331,6 +358,7 @@ impl Detector {
             }
         }
         findings.sort_by_key(|f| (f.start, f.end));
+        stats.flush_to_registry();
         (findings, stats)
     }
 
@@ -354,13 +382,25 @@ impl Detector {
             &ps.0
         };
         let budget = self.options.budget;
+        let telemetry = obsv::enabled();
+        let mut stats = ScanStats { rules_total: self.rules.len(), ..ScanStats::default() };
         for (i, c) in self.rules.iter().enumerate() {
             if !live[i] {
+                stats.rules_skipped += 1;
                 continue;
             }
+            stats.rules_executed += 1;
+            let t0 = if telemetry { obsv::now_ns() } else { 0 };
             // A rule that exhausts its budget is skipped for this sample,
             // mirroring `detect_analysis` degradation semantics.
-            let Ok(matches) = c.pattern.try_find_iter_prepared(scan, prep, budget) else {
+            let matches = c.pattern.try_find_iter_prepared(scan, prep, budget);
+            if telemetry {
+                let n = matches.as_ref().map_or(0, |ms| ms.len() as u64);
+                obsv::profile("detector.rule", c.rule.id, obsv::now_ns().saturating_sub(t0), n);
+            }
+            let Ok(matches) = matches else {
+                stats.budget_exhausted += 1;
+                obsv::add2("detector.budget_exhausted", c.rule.id, 1);
                 continue;
             };
             for m in matches {
@@ -372,10 +412,12 @@ impl Detector {
                         try_suppressed(s, m.as_str(), line_text, budget).unwrap_or(true)
                     });
                 if !suppressed {
+                    stats.flush_to_registry();
                     return true;
                 }
             }
         }
+        stats.flush_to_registry();
         false
     }
 

@@ -9,7 +9,15 @@
 use crate::detector::Detector;
 use crate::rule::{BuiltinFix, Finding, Fix};
 use analysis::SourceAnalysis;
+use rxlite::BudgetExhausted;
 use serde::{Deserialize, Serialize};
+
+/// Telemetry: one finding left unpatched, bucketed by reason
+/// (`patcher.skip{reason}`). No-op when no session is recording.
+#[inline]
+fn record_skip(reason: &'static str) {
+    obsv::add2("patcher.skip", reason, 1);
+}
 
 /// One applied patch.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -154,6 +162,7 @@ impl Patcher {
         let scan = a.blanked();
         let prep = a.prepared_blanked();
         let budget = self.detector.options().budget;
+        let telemetry = obsv::enabled();
         let mut skipped = Vec::new();
         let mut plans: Vec<AppliedFix> = Vec::new();
         let mut imports: Vec<&'static str> = Vec::new();
@@ -161,32 +170,42 @@ impl Patcher {
         let mut last_end = 0usize;
         for f in findings {
             if !f.fixable {
+                record_skip("not_fixable");
                 skipped.push(f.clone());
                 continue;
             }
             // Overlap policy: first (leftmost) fix wins; a second rule
             // matching inside an already-patched region is skipped.
             if f.start < last_end {
+                record_skip("overlap");
                 skipped.push(f.clone());
                 continue;
             }
             let Some(compiled) = self.detector.compiled(&f.rule_id) else {
+                record_skip("unknown_rule");
                 skipped.push(f.clone());
                 continue;
             };
             let Some(fix) = compiled.rule.fix else {
+                record_skip("no_fix");
                 skipped.push(f.clone());
                 continue;
             };
+            let t0 = if telemetry { obsv::now_ns() } else { 0 };
             // Recover captures for this exact match, under the detector's
             // execution budget: exhaustion degrades the finding to
             // "reported but unpatched" instead of stalling the pass.
-            let caps = compiled
-                .pattern
-                .try_captures_iter_prepared(scan, &prep.0, budget)
-                .ok()
-                .and_then(|cs| cs.into_iter().find(|c| c.span(0) == Some((f.start, f.end))));
+            let caps = match compiled.pattern.try_captures_iter_prepared(scan, &prep.0, budget) {
+                Ok(cs) => cs.into_iter().find(|c| c.span(0) == Some((f.start, f.end))),
+                Err(BudgetExhausted) => {
+                    record_skip("budget_exhausted");
+                    obsv::add2("patcher.budget_exhausted", compiled.rule.id, 1);
+                    skipped.push(f.clone());
+                    continue;
+                }
+            };
             let Some(caps) = caps else {
+                record_skip("captures");
                 skipped.push(f.clone());
                 continue;
             };
@@ -196,14 +215,24 @@ impl Patcher {
                 Fix::Builtin(kind) => match apply_builtin(kind, matched, &caps) {
                     Some(r) => r,
                     None => {
+                        record_skip("builtin_shape");
                         skipped.push(f.clone());
                         continue;
                     }
                 },
             };
             if replacement == matched {
+                record_skip("no_change");
                 skipped.push(f.clone());
                 continue;
+            }
+            if telemetry {
+                obsv::profile(
+                    "patcher.fix",
+                    compiled.rule.id,
+                    obsv::now_ns().saturating_sub(t0),
+                    1,
+                );
             }
             for imp in compiled.rule.imports {
                 if !imports.contains(imp) {

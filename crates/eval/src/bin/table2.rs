@@ -1,9 +1,27 @@
 //! Regenerates Table II: detection metrics for all seven tools.
+//!
+//! With `--metrics [PATH]` the study runs under a recording telemetry
+//! session and writes the registry snapshot (per-tool wall time, panic
+//! attribution, per-sample latency histogram) as `METRICS_eval.json` (or
+//! `PATH`). The table itself is byte-identical either way.
 
 use corpusgen::generate_corpus;
 use evalharness::{distinct_cwes_detected, render_table2, run_detection};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics = match args.first().map(String::as_str) {
+        Some("--metrics") => {
+            Some(args.get(1).cloned().unwrap_or_else(|| "METRICS_eval.json".to_string()))
+        }
+        Some(other) => {
+            eprintln!("unknown argument '{other}' (usage: table2 [--metrics [PATH]])");
+            std::process::exit(2);
+        }
+        None => None,
+    };
+    let session = metrics.as_ref().map(|_| obsv::session());
+
     let corpus = generate_corpus();
     let rows = run_detection(&corpus);
     print!("{}", render_table2(&rows));
@@ -24,4 +42,14 @@ fn main() {
     );
     println!("  recall    {:.3} [{:.3}, {:.3}]", recall_ci.point, recall_ci.lo, recall_ci.hi);
     println!("  accuracy  {:.3} [{:.3}, {:.3}]", acc_ci.point, acc_ci.lo, acc_ci.hi);
+
+    if let (Some(path), Some(session)) = (metrics, session) {
+        let snap = session.finish();
+        std::fs::write(&path, snap.metrics_json("table2")).unwrap_or_else(|e| {
+            eprintln!("error writing {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {path}");
+        eprint!("{}", snap.summary(10));
+    }
 }

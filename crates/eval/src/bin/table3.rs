@@ -1,9 +1,27 @@
 //! Regenerates Table III: patching rates for PatchitPy and the LLMs.
+//!
+//! With `--metrics [PATH]` the study runs under a recording telemetry
+//! session and writes the registry snapshot (per-tool wall time, panic
+//! attribution, per-rule patch/skip counters) as `METRICS_eval.json` (or
+//! `PATH`). The table itself is byte-identical either way.
 
 use corpusgen::generate_corpus;
 use evalharness::{render_table3, run_patching, suggestion_rates};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics = match args.first().map(String::as_str) {
+        Some("--metrics") => {
+            Some(args.get(1).cloned().unwrap_or_else(|| "METRICS_eval.json".to_string()))
+        }
+        Some(other) => {
+            eprintln!("unknown argument '{other}' (usage: table3 [--metrics [PATH]])");
+            std::process::exit(2);
+        }
+        None => None,
+    };
+    let session = metrics.as_ref().map(|_| obsv::session());
+
     let corpus = generate_corpus();
     let rows = run_patching(&corpus);
     print!("{}", render_table3(&rows));
@@ -11,5 +29,15 @@ fn main() {
     println!("Suggestion-only tools (never modify code; paper: Semgrep 19%, Bandit 17%):");
     for (tool, rate) in suggestion_rates(&corpus) {
         println!("  {tool}: fixes suggested for {:.0}% of findings", rate * 100.0);
+    }
+
+    if let (Some(path), Some(session)) = (metrics, session) {
+        let snap = session.finish();
+        std::fs::write(&path, snap.metrics_json("table3")).unwrap_or_else(|e| {
+            eprintln!("error writing {path}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {path}");
+        eprint!("{}", snap.summary(10));
     }
 }

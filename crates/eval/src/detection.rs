@@ -1,6 +1,6 @@
 //! Table II: detection performance of PatchitPy and the six baselines.
 
-use crate::parallel::{default_jobs, par_map_samples_isolated};
+use crate::parallel::{default_jobs, guard_tool, par_map_samples_isolated};
 use baselines::{BanditLike, CodeqlLike, DetectionTool, LlmKind, LlmTool, SemgrepLike};
 use corpusgen::{Corpus, Model};
 use patchit_core::{Detector, DetectorOptions};
@@ -63,6 +63,8 @@ pub fn run_detection_jobs_opts(
     jobs: usize,
     options: DetectorOptions,
 ) -> Vec<ToolDetection> {
+    let _phase = obsv::span_cat("table2.detection", "eval");
+    obsv::gauge("eval.jobs", jobs as i64);
     let detector = Detector::with_options(options);
     let codeql = CodeqlLike::new();
     let semgrep = SemgrepLike::new();
@@ -70,18 +72,20 @@ pub fn run_detection_jobs_opts(
     let llms: Vec<LlmTool> =
         LlmKind::all().into_iter().map(|k| LlmTool::new(k, LLM_SEED)).collect();
 
-    // Panic isolation: a sample that crashes any tool degrades to an
-    // all-negative row (every tool "missed" it) instead of aborting the
-    // study. No corpus sample triggers this; it guards adversarial input.
+    // Panic isolation, two layers: the outer per-sample guard (in
+    // `par_map_samples_isolated`) contains artifact-construction crashes;
+    // the per-tool `guard_tool` wrappers contain a single tool's crash to
+    // its own verdict and attribute it by name in the telemetry registry.
+    // No corpus sample triggers either; they guard adversarial input.
     let verdicts: Vec<[bool; TOOLS]> = par_map_samples_isolated(corpus, jobs, |_, s, a| {
         [
-            detector.is_vulnerable_analysis(a),
-            codeql.flags_analysis(a),
-            semgrep.flags_analysis(a),
-            bandit.flags_analysis(a),
-            llms[0].detect_analysis(a, s.vulnerable),
-            llms[1].detect_analysis(a, s.vulnerable),
-            llms[2].detect_analysis(a, s.vulnerable),
+            guard_tool("PatchitPy", false, || detector.is_vulnerable_analysis(a)),
+            guard_tool("CodeQL", false, || codeql.flags_analysis(a)),
+            guard_tool("Semgrep", false, || semgrep.flags_analysis(a)),
+            guard_tool("Bandit", false, || bandit.flags_analysis(a)),
+            guard_tool(llms[0].name(), false, || llms[0].detect_analysis(a, s.vulnerable)),
+            guard_tool(llms[1].name(), false, || llms[1].detect_analysis(a, s.vulnerable)),
+            guard_tool(llms[2].name(), false, || llms[2].detect_analysis(a, s.vulnerable)),
         ]
     })
     .into_iter()

@@ -40,7 +40,9 @@ pub use detection::{
     distinct_cwes_detected, run_detection, run_detection_jobs, run_detection_jobs_opts,
     ToolDetection, LLM_SEED,
 };
-pub use parallel::{default_jobs, par_map_samples, par_map_samples_isolated, SampleOutcome};
+pub use parallel::{
+    default_jobs, guard_tool, par_map_samples, par_map_samples_isolated, SampleOutcome,
+};
 pub use patching::{
     run_patching, run_patching_jobs, run_patching_jobs_opts, suggestion_rates, PatchCounts,
     ToolPatching,

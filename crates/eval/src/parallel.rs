@@ -18,6 +18,40 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
 }
 
+/// Telemetry: records one sample's wall time into the `eval.sample_ns`
+/// histogram (the p50/p95/p99 source for `METRICS_eval.json`).
+fn timed_sample<T>(f: impl FnOnce() -> T) -> T {
+    if !obsv::enabled() {
+        return f();
+    }
+    let t0 = obsv::now_ns();
+    let out = f();
+    obsv::observe("eval.sample_ns", obsv::now_ns().saturating_sub(t0));
+    out
+}
+
+/// Runs one tool's closure under its own [`catch_unwind`]: a panicking
+/// tool degrades only its own verdict (to `fallback`) instead of taking
+/// the whole per-sample row down, and the telemetry registry records
+/// *which* tool panicked (`eval.tool_panic{tool}`) plus its wall time
+/// (`eval.tool{tool}` profile) — so a panic or budget exhaustion in a
+/// study is attributable to a tool, not just a sample row.
+pub fn guard_tool<T>(tool: &'static str, fallback: T, f: impl FnOnce() -> T) -> T {
+    let telemetry = obsv::enabled();
+    let t0 = if telemetry { obsv::now_ns() } else { 0 };
+    let out = catch_unwind(AssertUnwindSafe(f));
+    if telemetry {
+        obsv::profile("eval.tool", tool, obsv::now_ns().saturating_sub(t0), 1);
+    }
+    match out {
+        Ok(v) => v,
+        Err(_) => {
+            obsv::add2("eval.tool_panic", tool, 1);
+            fallback
+        }
+    }
+}
+
 /// Per-sample result of an isolated fan-out: the tool's value, or the
 /// panic payload of a sample whose processing crashed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,7 +108,10 @@ where
     T: Send,
     F: Fn(usize, &Sample, &SourceAnalysis) -> T + Sync,
 {
-    par_map_samples_raw(corpus, jobs, |i, s| f(i, s, &SourceAnalysis::new(s.code.as_str())))
+    par_map_samples_raw(corpus, jobs, |i, s| {
+        let _span = obsv::span!("sample", idx = i);
+        timed_sample(|| f(i, s, &SourceAnalysis::new(s.code.as_str())))
+    })
 }
 
 /// [`par_map_samples`] with per-sample panic isolation: each call to `f`
@@ -92,11 +129,17 @@ where
     F: Fn(usize, &Sample, &SourceAnalysis) -> T + Sync,
 {
     par_map_samples_raw(corpus, jobs, |i, s| {
-        catch_unwind(AssertUnwindSafe(|| f(i, s, &SourceAnalysis::new(s.code.as_str()))))
-            .map_or_else(
-                |payload| SampleOutcome::Panicked(panic_message(payload)),
-                SampleOutcome::Ok,
-            )
+        let _span = obsv::span!("sample", idx = i);
+        timed_sample(|| {
+            catch_unwind(AssertUnwindSafe(|| f(i, s, &SourceAnalysis::new(s.code.as_str()))))
+                .map_or_else(
+                    |payload| {
+                        obsv::add("eval.sample_panic", 1);
+                        SampleOutcome::Panicked(panic_message(payload))
+                    },
+                    SampleOutcome::Ok,
+                )
+        })
     })
 }
 

@@ -6,7 +6,7 @@
 //! reported separately by [`suggestion_rates`]).
 
 use crate::detection::LLM_SEED;
-use crate::parallel::{default_jobs, par_map_samples, par_map_samples_isolated};
+use crate::parallel::{default_jobs, guard_tool, par_map_samples, par_map_samples_isolated};
 use analysis::SourceAnalysis;
 use baselines::{BanditLike, DetectionTool, LlmKind, LlmTool, SemgrepLike};
 use corpusgen::{Corpus, Model};
@@ -109,25 +109,31 @@ pub fn run_patching_jobs_opts(
     jobs: usize,
     options: DetectorOptions,
 ) -> Vec<ToolPatching> {
+    let _phase = obsv::span_cat("table3.patching", "eval");
+    obsv::gauge("eval.jobs", jobs as i64);
     let patcher = Patcher::with_detector(Detector::with_options(options));
     let llms: Vec<LlmTool> =
         LlmKind::all().into_iter().map(|k| LlmTool::new(k, LLM_SEED)).collect();
 
     // Per-sample (detected, patched) per tool; None for non-vulnerable
-    // samples, which Table III skips entirely. Panic isolation: a sample
-    // that crashes degrades to an all-(false, false) row — it keeps its
-    // place in the "Tot." denominator but no tool gets credit for it.
+    // samples, which Table III skips entirely. Panic isolation: the outer
+    // per-sample guard degrades a crashing sample to an all-(false,
+    // false) row — it keeps its place in the "Tot." denominator but no
+    // tool gets credit for it — while the per-tool `guard_tool` wrappers
+    // contain one tool's crash to its own cell and attribute it by name.
     let outcomes: Vec<Option<[(bool, bool); TOOLS]>> =
         par_map_samples_isolated(corpus, jobs, |_, s, a| {
             if !s.vulnerable {
                 return None;
             }
             let mut row = [(false, false); TOOLS];
-            row[0] = patchitpy_sample(&patcher, a);
+            row[0] = guard_tool("PatchitPy", (false, false), || patchitpy_sample(&patcher, a));
             for (slot, tool) in row.iter_mut().skip(1).zip(&llms) {
-                let detected = tool.detect_analysis(a, true);
-                let patched = detected && tool.patch_analysis(a).correct;
-                *slot = (detected, patched);
+                *slot = guard_tool(tool.name(), (false, false), || {
+                    let detected = tool.detect_analysis(a, true);
+                    let patched = detected && tool.patch_analysis(a).correct;
+                    (detected, patched)
+                });
             }
             Some(row)
         })

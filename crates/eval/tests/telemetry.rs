@@ -1,0 +1,127 @@
+//! Telemetry integration: span collection across the crossbeam fan-out,
+//! Chrome-trace export validity, and the "profiling must not perturb
+//! results" guarantee.
+//!
+//! Every test takes `TEST_LOCK`: the recording assertions need the whole
+//! test (including unrecorded control runs) to be the only pipeline
+//! activity in the process, and obsv sessions only serialize the
+//! *recording* part.
+
+use corpusgen::generate_corpus;
+use evalharness::{par_map_samples_isolated, render_table2, run_detection};
+use obsv::json::Value;
+use patchit_core::{Detector, SourceAnalysis};
+use std::sync::Mutex;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// Spans emitted from `par_map_samples_isolated` workers interleave
+/// without loss: one `sample` span per corpus sample, every index
+/// present, globally unique sequence numbers, more than one worker
+/// thread, and the snapshot ordered by `(ts_ns, seq)` — i.e. the
+/// concurrent recording is deterministic after the sort.
+#[test]
+fn concurrent_spans_are_collected_without_loss() {
+    let _t = TEST_LOCK.lock().unwrap();
+    let corpus = generate_corpus();
+    let session = obsv::session();
+    let out = par_map_samples_isolated(&corpus, 4, |i, _, _| i);
+    let snap = session.finish();
+    assert_eq!(out.len(), corpus.samples.len());
+
+    let sample_spans: Vec<_> = snap.spans.iter().filter(|e| e.name == "sample").collect();
+    assert_eq!(sample_spans.len(), corpus.samples.len(), "one span per sample, none lost");
+
+    let mut idxs: Vec<u64> = sample_spans
+        .iter()
+        .map(|e| match e.args.iter().find(|(k, _)| *k == "idx") {
+            Some((_, obsv::ArgValue::U64(v))) => *v,
+            other => panic!("sample span missing idx arg: {other:?}"),
+        })
+        .collect();
+    idxs.sort_unstable();
+    let want: Vec<u64> = (0..corpus.samples.len() as u64).collect();
+    assert_eq!(idxs, want, "every sample index recorded exactly once");
+
+    let mut seqs: Vec<u64> = snap.spans.iter().map(|e| e.seq).collect();
+    seqs.sort_unstable();
+    seqs.dedup();
+    assert_eq!(seqs.len(), snap.spans.len(), "sequence numbers are globally unique");
+
+    let tids: std::collections::BTreeSet<u64> = sample_spans.iter().map(|e| e.tid).collect();
+    assert!(tids.len() >= 2, "spans should come from multiple workers, got tids {tids:?}");
+
+    assert!(
+        snap.spans.windows(2).all(|w| (w[0].ts_ns, w[0].seq) <= (w[1].ts_ns, w[1].seq)),
+        "snapshot spans are sorted by (ts, seq)"
+    );
+}
+
+/// The Chrome-trace export is valid JSON in the Trace Event "JSON Array
+/// Format": a `traceEvents` array of complete (`ph: "X"`) events each
+/// carrying `name`, `cat`, `ts`, `dur`, `pid`, and `tid`.
+#[test]
+fn chrome_trace_export_is_valid_trace_event_json() {
+    let _t = TEST_LOCK.lock().unwrap();
+    let corpus = generate_corpus();
+    let detector = Detector::new();
+    let session = obsv::session();
+    for (i, s) in corpus.samples.iter().take(20).enumerate() {
+        let _span = obsv::span!("scan.file", idx = i, bytes = s.code.len());
+        detector.detect_analysis(&SourceAnalysis::new(s.code.as_str()));
+    }
+    let snap = session.finish();
+    assert_eq!(snap.spans.len(), 20);
+
+    let doc = obsv::json::parse(&snap.chrome_trace_json()).expect("trace must parse as JSON");
+    let events = doc.get("traceEvents").and_then(Value::as_arr).expect("traceEvents array");
+    assert_eq!(events.len(), 20);
+    for ev in events {
+        assert_eq!(ev.get("ph").and_then(Value::as_str), Some("X"));
+        assert_eq!(ev.get("name").and_then(Value::as_str), Some("scan.file"));
+        assert_eq!(ev.get("cat").and_then(Value::as_str), Some("scan"));
+        assert_eq!(ev.get("pid").and_then(Value::as_f64), Some(1.0));
+        assert!(ev.get("tid").and_then(Value::as_f64).is_some(), "tid present");
+        assert!(ev.get("ts").and_then(Value::as_f64).is_some(), "ts present");
+        assert!(ev.get("dur").and_then(Value::as_f64).unwrap_or(-1.0) >= 0.0, "dur present");
+        let args = ev.get("args").expect("span args exported");
+        assert!(args.get("idx").and_then(Value::as_f64).is_some());
+    }
+
+    let metrics = obsv::json::parse(&snap.metrics_json("test")).expect("metrics JSON parses");
+    assert_eq!(metrics.get("study").and_then(Value::as_str), Some("test"));
+}
+
+/// Profiling must not perturb results: findings on every corpus sample
+/// and the rendered Table II are byte-identical with a recording session
+/// installed and without one.
+#[test]
+fn profiling_does_not_perturb_findings_or_table2() {
+    let _t = TEST_LOCK.lock().unwrap();
+    let corpus = generate_corpus();
+    let detector = Detector::new();
+
+    let findings_off: Vec<String> = corpus
+        .samples
+        .iter()
+        .map(|s| format!("{:?}", detector.detect_analysis(&SourceAnalysis::new(s.code.as_str()))))
+        .collect();
+    let table_off = render_table2(&run_detection(&corpus));
+
+    let session = obsv::session();
+    let findings_on: Vec<String> = corpus
+        .samples
+        .iter()
+        .map(|s| format!("{:?}", detector.detect_analysis(&SourceAnalysis::new(s.code.as_str()))))
+        .collect();
+    let table_on = render_table2(&run_detection(&corpus));
+    let snap = session.finish();
+
+    assert_eq!(findings_off, findings_on, "per-sample findings identical with profiling on");
+    assert_eq!(table_off, table_on, "Table II byte-identical with profiling on");
+    assert!(snap.counter("detector.scans") > 0, "the profiled run actually recorded");
+    assert!(
+        snap.profiles.keys().any(|(instrument, _)| instrument == "eval.tool"),
+        "per-tool profiles recorded during the study"
+    );
+}

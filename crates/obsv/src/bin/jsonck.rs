@@ -1,0 +1,31 @@
+//! `jsonck` — validates that files parse as JSON.
+//!
+//! CI uses this to gate the emitted telemetry artifacts
+//! (`TRACE_scan.json`, `METRICS_eval.json`, `BENCH_scan.json`): every
+//! path given on the command line must parse; the first failure prints
+//! the parse error and exits nonzero.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: jsonck <file.json>...");
+        return ExitCode::from(2);
+    }
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("jsonck: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = obsv::json::parse(&text) {
+            eprintln!("jsonck: {path}: invalid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("jsonck: {path}: ok ({} bytes)", text.len());
+    }
+    ExitCode::SUCCESS
+}

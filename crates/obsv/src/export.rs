@@ -1,0 +1,295 @@
+//! Snapshot exporters: Chrome-trace JSON, a metrics JSON document, and a
+//! human-readable top-K summary.
+//!
+//! All output is deterministic given a snapshot: maps iterate in sorted
+//! order, spans are pre-sorted by `(ts, seq)`, and floats are printed
+//! with fixed precision.
+
+use crate::json::escape;
+use crate::{ArgValue, Snapshot};
+use std::fmt::Write as _;
+
+/// Formats nanoseconds as fractional microseconds with fixed precision —
+/// the unit Chrome-trace `ts`/`dur` fields expect.
+fn us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1_000.0)
+}
+
+fn arg_json(v: &ArgValue) -> String {
+    match v {
+        ArgValue::U64(n) => n.to_string(),
+        ArgValue::I64(n) => n.to_string(),
+        ArgValue::F64(n) if n.is_finite() => format!("{n:.6}"),
+        ArgValue::F64(_) => "null".to_string(),
+        ArgValue::Str(s) => format!("\"{}\"", escape(s)),
+    }
+}
+
+/// Renders nanoseconds for human-readable summaries (`1.25ms`, `830µs`).
+fn human_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+impl Snapshot {
+    /// Exports the spans as Chrome-trace JSON (the `chrome://tracing` /
+    /// Perfetto "JSON Array Format" with a `traceEvents` envelope). Every
+    /// span becomes one complete event: `ph: "X"`, `ts`/`dur` in
+    /// microseconds, `pid` fixed at 1, `tid` the dense telemetry thread
+    /// id.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}",
+                escape(s.name),
+                escape(s.cat),
+                us(s.ts_ns),
+                us(s.dur_ns),
+                s.tid
+            );
+            if !s.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (j, (k, v)) in s.args.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{}\":{}", escape(k), arg_json(v));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+
+    /// Exports every metric (counters, gauges, histograms with
+    /// interpolated p50/p95/p99, keyed profiles) as one JSON document
+    /// tagged with `study` (e.g. `"table2"`). Spans are *not* included —
+    /// they belong in the trace export.
+    pub fn metrics_json(&self, study: &str) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"study\":\"{}\",\"counters\":[", escape(study));
+        for (i, ((name, label), v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"name\":\"{}\",", escape(name));
+            match label {
+                Some(l) => {
+                    let _ = write!(out, "\"label\":\"{}\",", escape(l));
+                }
+                None => out.push_str("\"label\":null,"),
+            }
+            let _ = write!(out, "\"value\":{v}}}");
+        }
+        out.push_str("],\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", escape(name), v);
+        }
+        out.push_str("},\"hists\":[");
+        for (i, (name, h)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let min = if h.count == 0 { 0 } else { h.min };
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.1},\"p50\":{:.1},\"p95\":{:.1},\"p99\":{:.1}}}",
+                escape(name),
+                h.count,
+                h.sum,
+                min,
+                h.max,
+                h.mean(),
+                h.percentile(0.50),
+                h.percentile(0.95),
+                h.percentile(0.99)
+            );
+        }
+        out.push_str("],\"profiles\":[");
+        for (i, ((inst, key), p)) in self.profiles.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"instrument\":\"{}\",\"key\":\"{}\",\"count\":{},\"total_ns\":{},\"max_ns\":{},\"extra\":{}}}",
+                escape(inst),
+                escape(key),
+                p.count,
+                p.total_ns,
+                p.max_ns,
+                p.extra
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Human-readable summary: for each profiled instrument the top-`k`
+    /// rows by total time, then non-zero counters. This is what
+    /// `scan --profile` prints ("10 slowest rules…") after writing the
+    /// trace file.
+    pub fn summary(&self, k: usize) -> String {
+        let mut out = String::new();
+        let mut instruments: Vec<&str> =
+            self.profiles.keys().map(|(inst, _)| inst.as_str()).collect();
+        instruments.dedup();
+        for inst in instruments {
+            let rows = self.top_profiles(inst, k);
+            let _ = writeln!(out, "top {} by total time [{inst}]:", rows.len());
+            for (key, p) in rows {
+                let mean = p.total_ns.checked_div(p.count).unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "  {:<28} total {:>9}  n {:>6}  mean {:>8}  max {:>8}  extra {}",
+                    key,
+                    human_ns(p.total_ns),
+                    p.count,
+                    human_ns(mean),
+                    human_ns(p.max_ns),
+                    p.extra
+                );
+            }
+        }
+        let nonzero: Vec<_> = self.counters.iter().filter(|(_, v)| **v > 0).collect();
+        if !nonzero.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for ((name, label), v) in nonzero {
+                match label {
+                    Some(l) => {
+                        let _ = writeln!(out, "  {name}{{{l}}} = {v}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "  {name} = {v}");
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::registry::{Registry, Sink, SpanEvent};
+
+    fn sample_snapshot() -> Snapshot {
+        let r = Registry::new();
+        r.add("detector.scans", None, 3);
+        r.add("patcher.skip", Some("overlap"), 2);
+        r.set_gauge("eval.jobs", 8);
+        r.observe("eval.sample_ns", 1_500);
+        r.observe("eval.sample_ns", 90_000);
+        r.profile("detector.rule", "PIP-A03-001", 2_000_000, 12);
+        r.profile("detector.rule", "PIP-A02-001", 500, 1);
+        r.span(SpanEvent {
+            name: "detect",
+            cat: "scan",
+            ts_ns: 1_500,
+            dur_ns: 2_000,
+            tid: 1,
+            seq: 0,
+            args: vec![("idx", ArgValue::U64(7)), ("tool", ArgValue::Str("a\"b".into()))],
+        });
+        r.span(SpanEvent {
+            name: "patch",
+            cat: "scan",
+            ts_ns: 4_000,
+            dur_ns: 100,
+            tid: 2,
+            seq: 1,
+            args: vec![],
+        });
+        r.snapshot()
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_required_fields() {
+        let trace = sample_snapshot().chrome_trace_json();
+        let v = json::parse(&trace).expect("trace parses");
+        let events = v.get("traceEvents").and_then(|e| e.as_arr()).expect("traceEvents array");
+        assert_eq!(events.len(), 2);
+        for ev in events {
+            for field in ["name", "cat", "ph", "ts", "dur", "pid", "tid"] {
+                assert!(ev.get(field).is_some(), "missing {field}");
+            }
+            assert_eq!(ev.get("ph").and_then(|p| p.as_str()), Some("X"));
+        }
+        assert_eq!(events[0].get("name").and_then(|n| n.as_str()), Some("detect"));
+        assert_eq!(events[0].get("ts").and_then(|t| t.as_f64()), Some(1.5));
+        let args = events[0].get("args").expect("args object");
+        assert_eq!(args.get("idx").and_then(|v| v.as_f64()), Some(7.0));
+        assert_eq!(args.get("tool").and_then(|v| v.as_str()), Some("a\"b"));
+        assert!(events[1].get("args").is_none(), "empty args omitted");
+    }
+
+    #[test]
+    fn metrics_json_is_valid_and_complete() {
+        let doc = sample_snapshot().metrics_json("table2");
+        let v = json::parse(&doc).expect("metrics parse");
+        assert_eq!(v.get("study").and_then(|s| s.as_str()), Some("table2"));
+        let counters = v.get("counters").and_then(|c| c.as_arr()).unwrap();
+        assert_eq!(counters.len(), 2);
+        assert!(counters.iter().any(|c| {
+            c.get("name").and_then(|n| n.as_str()) == Some("patcher.skip")
+                && c.get("label").and_then(|l| l.as_str()) == Some("overlap")
+                && c.get("value").and_then(|x| x.as_f64()) == Some(2.0)
+        }));
+        assert_eq!(
+            v.get("gauges").and_then(|g| g.get("eval.jobs")).and_then(|x| x.as_f64()),
+            Some(8.0)
+        );
+        let hists = v.get("hists").and_then(|h| h.as_arr()).unwrap();
+        assert_eq!(hists.len(), 1);
+        for field in ["count", "sum", "min", "max", "mean", "p50", "p95", "p99"] {
+            assert!(hists[0].get(field).is_some(), "hist missing {field}");
+        }
+        let profiles = v.get("profiles").and_then(|p| p.as_arr()).unwrap();
+        assert_eq!(profiles.len(), 2);
+    }
+
+    #[test]
+    fn summary_names_slowest_first() {
+        let text = sample_snapshot().summary(10);
+        let slow = text.find("PIP-A03-001").expect("slow rule listed");
+        let fast = text.find("PIP-A02-001").expect("fast rule listed");
+        assert!(slow < fast, "slowest rule should come first:\n{text}");
+        assert!(text.contains("patcher.skip{overlap} = 2"), "{text}");
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let a = sample_snapshot();
+        let b = sample_snapshot();
+        assert_eq!(a.chrome_trace_json(), b.chrome_trace_json());
+        assert_eq!(a.metrics_json("x"), b.metrics_json("x"));
+        assert_eq!(a.summary(5), b.summary(5));
+    }
+
+    #[test]
+    fn empty_snapshot_exports_cleanly() {
+        let snap = Snapshot::default();
+        assert!(json::parse(&snap.chrome_trace_json()).is_ok());
+        assert!(json::parse(&snap.metrics_json("none")).is_ok());
+        assert_eq!(snap.summary(3), "");
+    }
+}

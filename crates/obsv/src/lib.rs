@@ -1,0 +1,482 @@
+//! # obsv — the workspace-wide telemetry substrate
+//!
+//! Every pipeline layer (rxlite, the detector, the patcher, the shared
+//! `SourceAnalysis`, the evaluation harness) answers "where do time and
+//! failures go?" through this crate: a span-based tracer and a metrics
+//! registry behind one [`Sink`] trait, self-contained (std only — the
+//! offline workspace vendors no `tracing`/`tokio`).
+//!
+//! ## Zero-cost when off
+//!
+//! Telemetry is **off by default**. Every instrumentation site first
+//! checks [`enabled`] — a single relaxed atomic load — and does no other
+//! work (no clock read, no allocation, no lock) when no session is
+//! active. The `tests/noalloc.rs` counting-allocator test pins this down.
+//!
+//! ## Sessions
+//!
+//! Recording is scoped to a [`Session`]: [`session`] installs a
+//! [`Registry`] sink (serialized process-wide, so concurrent tests cannot
+//! interleave their recordings), [`Session::finish`] uninstalls it and
+//! returns the collected [`Snapshot`]. The snapshot exports to
+//! Chrome-trace JSON (`chrome://tracing` / Perfetto), a metrics JSON
+//! document, and a human-readable top-K summary.
+//!
+//! ```
+//! let session = obsv::session();
+//! {
+//!     let _guard = obsv::span!("detect", sample = 7u64);
+//!     obsv::add("detector.scans", 1);
+//!     obsv::profile("detector.rule", "PIP-A03-001", 1_250, 1);
+//! }
+//! let snap = session.finish();
+//! assert_eq!(snap.counter("detector.scans"), 1);
+//! assert!(snap.chrome_trace_json().contains("\"name\":\"detect\""));
+//! ```
+//!
+//! ## Instruments
+//!
+//! | call | instrument | example |
+//! |---|---|---|
+//! | [`add`] / [`add2`] | counter (optionally labeled) | `rxlite.fuel_spent`, `patcher.skip{overlap}` |
+//! | [`gauge`] | last-write-wins gauge | `eval.jobs` |
+//! | [`observe`] | fixed-bucket duration histogram | `eval.sample_ns` |
+//! | [`profile`] | keyed duration profile (count/total/max) | `detector.rule{PIP-A02-001}` |
+//! | [`span!`] / [`span_cat`] | trace span (RAII guard) | per-sample, per-phase |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod json;
+mod registry;
+
+pub use registry::{Hist, NoopSink, Prof, Registry, Sink, Snapshot, SpanEvent};
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError, RwLock};
+use std::time::Instant;
+
+/// Process-wide enable flag: `true` only while a [`Session`] is active.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The installed sink (present only while a session is active).
+static SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
+
+/// Serializes sessions process-wide: two tests (or a test and a bench)
+/// recording at once would corrupt each other's snapshots.
+static SESSION_LOCK: Mutex<()> = Mutex::new(());
+
+/// Monotonic epoch for [`now_ns`]: first telemetry clock read in the
+/// process.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Global event sequence: combined with the timestamp it totally orders
+/// events emitted concurrently from many threads.
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Small dense thread ids for trace events (`std::thread::ThreadId` has
+/// no stable numeric accessor).
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Whether a telemetry session is currently recording. Instrumentation
+/// sites gate **all** work on this — when `false` (the default) the whole
+/// telemetry layer costs one relaxed atomic load per site.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Monotonic nanoseconds since the process's first telemetry clock read.
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// This thread's small dense telemetry id (the `tid` of its trace events).
+pub fn tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// Next value of the global event sequence.
+fn next_seq() -> u64 {
+    SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Runs `f` against the installed sink, if any. All public record helpers
+/// funnel through here after their [`enabled`] gate.
+fn with_sink(f: impl FnOnce(&dyn Sink)) {
+    let guard = SINK.read().unwrap_or_else(PoisonError::into_inner);
+    if let Some(sink) = guard.as_ref() {
+        f(&**sink);
+    }
+}
+
+/// Increments counter `name` by `delta`. No-op when telemetry is off.
+#[inline]
+pub fn add(name: &'static str, delta: u64) {
+    if enabled() {
+        with_sink(|s| s.add(name, None, delta));
+    }
+}
+
+/// Increments the labeled counter `name{label}` by `delta` (e.g.
+/// `detector.budget_exhausted{PIP-A03-001}`). No-op when telemetry is off.
+#[inline]
+pub fn add2(name: &'static str, label: &'static str, delta: u64) {
+    if enabled() {
+        with_sink(|s| s.add(name, Some(label), delta));
+    }
+}
+
+/// Sets gauge `name` to `value` (last write wins). No-op when off.
+#[inline]
+pub fn gauge(name: &'static str, value: i64) {
+    if enabled() {
+        with_sink(|s| s.set_gauge(name, value));
+    }
+}
+
+/// Records one sample into the fixed-bucket histogram `name` (values are
+/// conventionally nanoseconds). No-op when telemetry is off.
+#[inline]
+pub fn observe(name: &'static str, value: u64) {
+    if enabled() {
+        with_sink(|s| s.observe(name, value));
+    }
+}
+
+/// Records one observation into the keyed duration profile
+/// `instrument{key}`: `ns` of wall time and an instrument-defined `extra`
+/// count (match count, view size, …). No-op when telemetry is off.
+#[inline]
+pub fn profile(instrument: &'static str, key: &'static str, ns: u64, extra: u64) {
+    if enabled() {
+        with_sink(|s| s.profile(instrument, key, ns, extra));
+    }
+}
+
+/// An argument value attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer argument.
+    U64(u64),
+    /// Signed integer argument.
+    I64(i64),
+    /// Floating-point argument.
+    F64(f64),
+    /// Owned string argument.
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::I64(v)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// RAII span guard: created by [`span`]/[`span_cat`]/[`span!`], records a
+/// complete trace event (`ph: "X"`) when dropped. A guard created while
+/// telemetry is off is inert — no clock read, no allocation, no record.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing useful"]
+pub struct SpanGuard(Option<SpanInner>);
+
+struct SpanInner {
+    name: &'static str,
+    cat: &'static str,
+    start_ns: u64,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+impl SpanGuard {
+    /// An inert guard (what every span site returns while telemetry is
+    /// off).
+    pub fn disabled() -> Self {
+        SpanGuard(None)
+    }
+
+    /// Attaches an argument to the span (shown under `args` in the trace
+    /// viewer). On an inert guard this is a no-op — but note the *value*
+    /// expression has already been evaluated by the caller; hot paths
+    /// should prefer the [`span!`] macro, which skips argument evaluation
+    /// entirely when telemetry is off.
+    pub fn arg(mut self, key: &'static str, value: impl Into<ArgValue>) -> Self {
+        if let Some(inner) = &mut self.0 {
+            inner.args.push((key, value.into()));
+        }
+        self
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = self.0.take() else {
+            return;
+        };
+        // The session may have finished while the guard was alive; the
+        // enabled re-check makes the record race-free with uninstall.
+        if !enabled() {
+            return;
+        }
+        let end = now_ns();
+        let ev = SpanEvent {
+            name: inner.name,
+            cat: inner.cat,
+            ts_ns: inner.start_ns,
+            dur_ns: end.saturating_sub(inner.start_ns),
+            tid: tid(),
+            seq: next_seq(),
+            args: inner.args,
+        };
+        with_sink(|s| s.span(ev));
+    }
+}
+
+/// Opens a span named `name` in the default category (`"scan"`). Returns
+/// an inert guard when telemetry is off.
+pub fn span(name: &'static str) -> SpanGuard {
+    span_cat(name, "scan")
+}
+
+/// Opens a span with an explicit category (`cat` groups related rows in
+/// the trace viewer: `"eval"`, `"analysis"`, `"patch"`, …).
+pub fn span_cat(name: &'static str, cat: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::disabled();
+    }
+    SpanGuard(Some(SpanInner { name, cat, start_ns: now_ns(), args: Vec::new() }))
+}
+
+/// Opens a span, attaching arguments only when telemetry is on — the
+/// argument expressions are **not evaluated** when off, so the macro is
+/// safe in hot paths:
+///
+/// ```
+/// let _g = obsv::span!("sample");
+/// let _g = obsv::span!("sample", idx = 7u64, tool = "PatchitPy");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        if $crate::enabled() {
+            $crate::span($name)$(.arg(stringify!($key), $value))+
+        } else {
+            $crate::SpanGuard::disabled()
+        }
+    };
+}
+
+/// An active telemetry session: holds the process-wide session lock and
+/// the recording sink. Obtain one with [`session`] (recording) or
+/// [`session_noop`] (enabled-path overhead measurement); end it with
+/// [`Session::finish`] to collect the [`Snapshot`].
+pub struct Session {
+    _lock: MutexGuard<'static, ()>,
+    registry: Option<Arc<Registry>>,
+}
+
+/// Starts a recording session: installs a fresh [`Registry`] as the
+/// process sink and flips [`enabled`] on. Blocks until any other session
+/// has ended (sessions are serialized process-wide).
+pub fn session() -> Session {
+    let lock = SESSION_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let registry = Arc::new(Registry::new());
+    install(registry.clone());
+    Session { _lock: lock, registry: Some(registry) }
+}
+
+/// Starts a **no-op** session: telemetry is enabled (every site pays its
+/// full gating + event-construction cost) but all events are discarded.
+/// Exists to measure the enabled-path overhead in isolation; nothing is
+/// collected and [`Session::finish`] returns an empty snapshot.
+pub fn session_noop() -> Session {
+    let lock = SESSION_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    install(Arc::new(NoopSink));
+    Session { _lock: lock, registry: None }
+}
+
+fn install(sink: Arc<dyn Sink>) {
+    *SINK.write().unwrap_or_else(PoisonError::into_inner) = Some(sink);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+fn uninstall() {
+    ENABLED.store(false, Ordering::SeqCst);
+    *SINK.write().unwrap_or_else(PoisonError::into_inner) = None;
+}
+
+impl Session {
+    /// Ends the session and returns everything it recorded. Spans are
+    /// sorted by `(ts, seq)` — a deterministic total order even for
+    /// events emitted concurrently from many threads.
+    pub fn finish(mut self) -> Snapshot {
+        uninstall();
+        let snap = match self.registry.take() {
+            Some(registry) => registry.snapshot(),
+            None => Snapshot::default(),
+        };
+        // Drop runs next but finds nothing left to do.
+        snap
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // A session dropped without `finish` (e.g. on a panic path) must
+        // still uninstall so later sessions start clean.
+        if self.registry.is_some() || enabled() {
+            uninstall();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_records_nothing() {
+        // No session active: helpers are inert and guards are inert.
+        assert!(!enabled());
+        add("x", 1);
+        add2("x", "l", 1);
+        observe("h", 5);
+        profile("p", "k", 10, 1);
+        gauge("g", 3);
+        let g = span!("s", idx = 1u64);
+        drop(g);
+        // Nothing panics, nothing is retained: a subsequent session
+        // starts empty.
+        let s = session();
+        let snap = s.finish();
+        assert_eq!(snap.counters.len(), 0);
+        assert_eq!(snap.spans.len(), 0);
+    }
+
+    #[test]
+    fn session_records_counters_gauges_hists_profiles() {
+        let s = session();
+        add("c.plain", 2);
+        add("c.plain", 3);
+        add2("c.labeled", "a", 1);
+        add2("c.labeled", "b", 4);
+        gauge("g.v", -7);
+        observe("h.ns", 1_500);
+        observe("h.ns", 250_000);
+        profile("rule", "R1", 100, 2);
+        profile("rule", "R1", 300, 1);
+        profile("rule", "R2", 50, 0);
+        let snap = s.finish();
+
+        assert_eq!(snap.counter("c.plain"), 5);
+        assert_eq!(snap.counter_labeled("c.labeled", "a"), 1);
+        assert_eq!(snap.counter_labeled("c.labeled", "b"), 4);
+        assert_eq!(snap.gauges.get("g.v"), Some(&-7));
+        let h = snap.hists.get("h.ns").expect("histogram recorded");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 251_500);
+        let r1 = snap.prof("rule", "R1").expect("profile recorded");
+        assert_eq!((r1.count, r1.total_ns, r1.max_ns, r1.extra), (2, 400, 300, 3));
+        assert!(snap.prof("rule", "R3").is_none());
+    }
+
+    #[test]
+    fn span_guard_measures_and_orders() {
+        let s = session();
+        {
+            let _outer = span_cat("outer", "test");
+            let _inner = span!("inner", idx = 42u64);
+        }
+        let snap = s.finish();
+        assert_eq!(snap.spans.len(), 2);
+        // Sorted by (ts, seq): outer starts first but records second;
+        // order is by start timestamp.
+        assert_eq!(snap.spans[0].name, "outer");
+        assert_eq!(snap.spans[1].name, "inner");
+        assert!(snap.spans[1].args.iter().any(|(k, v)| *k == "idx" && *v == ArgValue::U64(42)));
+        // Inner is contained in outer.
+        assert!(snap.spans[1].ts_ns >= snap.spans[0].ts_ns);
+        assert!(snap.spans[0].dur_ns >= snap.spans[1].dur_ns);
+    }
+
+    #[test]
+    fn noop_session_discards_everything() {
+        let s = session_noop();
+        assert!(enabled());
+        add("c", 1);
+        let _g = span!("s");
+        drop(_g);
+        let snap = s.finish();
+        assert!(!enabled());
+        assert!(snap.counters.is_empty() && snap.spans.is_empty());
+    }
+
+    #[test]
+    fn dropped_session_uninstalls() {
+        {
+            let _s = session();
+            assert!(enabled());
+        }
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn guard_outliving_session_is_safe() {
+        let s = session();
+        let g = span!("orphan");
+        let snap = s.finish();
+        assert_eq!(snap.spans.len(), 0);
+        drop(g); // session gone: must not panic, must not record anywhere
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn tids_are_distinct_across_threads() {
+        let mine = tid();
+        let other = std::thread::spawn(tid).join().unwrap();
+        assert_ne!(mine, other);
+        assert_eq!(mine, tid(), "tid is stable within a thread");
+    }
+}

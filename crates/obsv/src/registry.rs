@@ -1,0 +1,370 @@
+//! The [`Sink`] trait and the recording [`Registry`] behind a session.
+//!
+//! Instrument keys are `&'static str` by design: every hot-path record is
+//! a map lookup on pointer-sized keys with **no allocation**, and the
+//! rule catalog / tool names / skip reasons are all static strings
+//! already. Dynamic context (sample indices, file names) travels on span
+//! arguments instead, which only allocate while a session is recording.
+
+use crate::ArgValue;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Mutex, PoisonError};
+
+/// One completed trace span.
+#[derive(Debug, Clone)]
+pub struct SpanEvent {
+    /// Span name (static: span sites are compiled in).
+    pub name: &'static str,
+    /// Category — groups related rows in the trace viewer.
+    pub cat: &'static str,
+    /// Start timestamp, nanoseconds since the telemetry epoch.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Dense per-thread id of the emitting thread.
+    pub tid: u64,
+    /// Global sequence number: `(ts_ns, seq)` totally orders events even
+    /// when many threads emit at the same timestamp.
+    pub seq: u64,
+    /// Attached arguments.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// Where telemetry events go while a session is active. The no-op
+/// implementation ([`NoopSink`]) discards everything; the recording
+/// implementation ([`Registry`]) aggregates metrics and buffers spans.
+///
+/// To add a new instrument to the pipeline, pick the event shape — a
+/// counter for "how often", a histogram for "how is it distributed", a
+/// keyed profile for "how much per rule/tool/view", a span for "when and
+/// how long, with context" — and call the matching `obsv::` helper from
+/// the instrumented site; no sink changes are needed.
+pub trait Sink: Send + Sync {
+    /// Increments counter `name` (optionally labeled) by `delta`.
+    fn add(&self, name: &'static str, label: Option<&'static str>, delta: u64);
+    /// Sets gauge `name` (last write wins).
+    fn set_gauge(&self, name: &'static str, value: i64);
+    /// Records one histogram sample.
+    fn observe(&self, name: &'static str, value: u64);
+    /// Records one observation into keyed profile `instrument{key}`.
+    fn profile(&self, instrument: &'static str, key: &'static str, ns: u64, extra: u64);
+    /// Records one completed span.
+    fn span(&self, ev: SpanEvent);
+}
+
+/// Discards every event. Installed by [`crate::session_noop`] to measure
+/// the enabled-path overhead without retention.
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn add(&self, _: &'static str, _: Option<&'static str>, _: u64) {}
+    fn set_gauge(&self, _: &'static str, _: i64) {}
+    fn observe(&self, _: &'static str, _: u64) {}
+    fn profile(&self, _: &'static str, _: &'static str, _: u64, _: u64) {}
+    fn span(&self, _: SpanEvent) {}
+}
+
+/// Histogram bucket upper bounds in nanoseconds: a 1–2–5 series from 1 µs
+/// to 10 s. Values above the last bound land in an implicit overflow
+/// bucket.
+pub const NS_BUCKET_BOUNDS: [u64; 22] = [
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    20_000_000,
+    50_000_000,
+    100_000_000,
+    200_000_000,
+    500_000_000,
+    1_000_000_000,
+    2_000_000_000,
+    5_000_000_000,
+    10_000_000_000,
+];
+
+/// A fixed-bucket histogram (bounds: [`NS_BUCKET_BOUNDS`] plus an
+/// overflow bucket).
+#[derive(Debug, Clone)]
+pub struct Hist {
+    /// Per-bucket counts; `counts[i]` counts values `<= NS_BUCKET_BOUNDS[i]`
+    /// (last slot is the overflow bucket).
+    pub counts: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample seen.
+    pub min: u64,
+    /// Largest sample seen.
+    pub max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            counts: vec![0; NS_BUCKET_BOUNDS.len() + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Hist {
+    fn record(&mut self, value: u64) {
+        let idx = NS_BUCKET_BOUNDS.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Approximate percentile (`p` in `[0, 1]`) from the bucket counts,
+    /// linearly interpolated within the target bucket. Exact enough for
+    /// profile summaries; exact percentiles need the raw samples.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = p.clamp(0.0, 1.0) * self.count as f64;
+        let mut seen = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = seen + c as f64;
+            if next >= rank {
+                let lo = if i == 0 { 0 } else { NS_BUCKET_BOUNDS[i - 1] };
+                let hi = NS_BUCKET_BOUNDS.get(i).copied().unwrap_or(self.max.max(lo));
+                let frac = if c == 0 { 0.0 } else { (rank - seen) / c as f64 };
+                let est = lo as f64 + frac * (hi.saturating_sub(lo)) as f64;
+                // Never extrapolate beyond the observed range.
+                return est.clamp(self.min as f64, self.max as f64);
+            }
+            seen = next;
+        }
+        self.max as f64
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One keyed-profile row: how many times `instrument{key}` ran, for how
+/// long, and an instrument-defined extra count (regex matches, …).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Prof {
+    /// Observations recorded.
+    pub count: u64,
+    /// Total wall time, nanoseconds.
+    pub total_ns: u64,
+    /// Largest single observation, nanoseconds.
+    pub max_ns: u64,
+    /// Instrument-defined extra count accumulated across observations.
+    pub extra: u64,
+}
+
+/// The recording sink: aggregates counters, gauges, histograms, and
+/// keyed profiles, and buffers spans. Thread-safe; every map is keyed by
+/// `&'static str` so recording never allocates keys.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<HashMap<(&'static str, Option<&'static str>), u64>>,
+    gauges: Mutex<HashMap<&'static str, i64>>,
+    hists: Mutex<HashMap<&'static str, Hist>>,
+    profiles: Mutex<HashMap<(&'static str, &'static str), Prof>>,
+    spans: Mutex<Vec<SpanEvent>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Drains the registry into an immutable [`Snapshot`], sorting spans
+    /// by `(ts, seq)` and metrics by name for deterministic export.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = lock(&self.counters)
+            .drain()
+            .map(|((name, label), v)| ((name.to_string(), label.map(str::to_string)), v))
+            .collect();
+        let gauges = lock(&self.gauges).drain().map(|(k, v)| (k.to_string(), v)).collect();
+        let hists = lock(&self.hists).drain().map(|(k, v)| (k.to_string(), v)).collect();
+        let profiles = lock(&self.profiles)
+            .drain()
+            .map(|((inst, key), v)| ((inst.to_string(), key.to_string()), v))
+            .collect();
+        let mut spans: Vec<SpanEvent> = std::mem::take(&mut *lock(&self.spans));
+        spans.sort_by_key(|s| (s.ts_ns, s.seq));
+        Snapshot { counters, gauges, hists, profiles, spans }
+    }
+}
+
+impl Sink for Registry {
+    fn add(&self, name: &'static str, label: Option<&'static str>, delta: u64) {
+        *lock(&self.counters).entry((name, label)).or_insert(0) += delta;
+    }
+
+    fn set_gauge(&self, name: &'static str, value: i64) {
+        lock(&self.gauges).insert(name, value);
+    }
+
+    fn observe(&self, name: &'static str, value: u64) {
+        lock(&self.hists).entry(name).or_default().record(value);
+    }
+
+    fn profile(&self, instrument: &'static str, key: &'static str, ns: u64, extra: u64) {
+        let mut map = lock(&self.profiles);
+        let p = map.entry((instrument, key)).or_default();
+        p.count += 1;
+        p.total_ns += ns;
+        p.max_ns = p.max_ns.max(ns);
+        p.extra += extra;
+    }
+
+    fn span(&self, ev: SpanEvent) {
+        lock(&self.spans).push(ev);
+    }
+}
+
+/// Everything one session recorded, in deterministic order (maps are
+/// sorted by key, spans by `(ts, seq)`). Export with
+/// [`Snapshot::chrome_trace_json`], [`Snapshot::metrics_json`], or
+/// [`Snapshot::summary`] (see [`crate::export`]).
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter totals, keyed by `(name, label)`.
+    pub counters: BTreeMap<(String, Option<String>), u64>,
+    /// Gauge values.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histograms.
+    pub hists: BTreeMap<String, Hist>,
+    /// Keyed-profile rows, keyed by `(instrument, key)`.
+    pub profiles: BTreeMap<(String, String), Prof>,
+    /// Completed spans sorted by `(ts_ns, seq)`.
+    pub spans: Vec<SpanEvent>,
+}
+
+impl Snapshot {
+    /// Total of unlabeled counter `name` (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(&(name.to_string(), None)).copied().unwrap_or(0)
+    }
+
+    /// Total of labeled counter `name{label}` (0 when never incremented).
+    pub fn counter_labeled(&self, name: &str, label: &str) -> u64 {
+        self.counters.get(&(name.to_string(), Some(label.to_string()))).copied().unwrap_or(0)
+    }
+
+    /// Sum of every label of counter `name`, including the unlabeled slot.
+    pub fn counter_all_labels(&self, name: &str) -> u64 {
+        self.counters.iter().filter(|((n, _), _)| n == name).map(|(_, v)| *v).sum()
+    }
+
+    /// The profile row `instrument{key}`, if recorded.
+    pub fn prof(&self, instrument: &str, key: &str) -> Option<&Prof> {
+        self.profiles.get(&(instrument.to_string(), key.to_string()))
+    }
+
+    /// Rows of `instrument` sorted by descending total time, truncated to
+    /// `k` — "the top-k slowest rules" in one call.
+    pub fn top_profiles(&self, instrument: &str, k: usize) -> Vec<(&str, Prof)> {
+        let mut rows: Vec<(&str, Prof)> = self
+            .profiles
+            .iter()
+            .filter(|((inst, _), _)| inst == instrument)
+            .map(|((_, key), p)| (key.as_str(), *p))
+            .collect();
+        rows.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then_with(|| a.0.cmp(b.0)));
+        rows.truncate(k);
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hist_buckets_and_percentiles() {
+        let mut h = Hist::default();
+        for v in [500, 1_500, 3_000, 3_000, 9_000, 700_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.min, 500);
+        assert_eq!(h.max, 700_000);
+        assert_eq!(h.sum, 717_000);
+        // p50 lands among the 3 µs samples; p99 in the largest bucket.
+        let p50 = h.percentile(0.50);
+        assert!((1_000.0..=5_000.0).contains(&p50), "p50 = {p50}");
+        let p99 = h.percentile(0.99);
+        assert!(p99 > 100_000.0, "p99 = {p99}");
+        assert!(p99 <= h.max as f64);
+        // Degenerate cases.
+        assert_eq!(Hist::default().percentile(0.5), 0.0);
+        assert_eq!(Hist::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn hist_overflow_bucket() {
+        let mut h = Hist::default();
+        h.record(u64::MAX / 2);
+        assert_eq!(h.counts.last().copied(), Some(1));
+        assert!(h.percentile(0.5) <= h.max as f64);
+    }
+
+    #[test]
+    fn registry_aggregates_and_snapshots_deterministically() {
+        let r = Registry::new();
+        r.add("b", None, 1);
+        r.add("a", Some("y"), 2);
+        r.add("a", Some("x"), 3);
+        r.profile("p", "k2", 10, 0);
+        r.profile("p", "k1", 20, 5);
+        let snap = r.snapshot();
+        let names: Vec<String> = snap.counters.keys().map(|(n, _)| n.clone()).collect();
+        assert_eq!(names, ["a", "a", "b"]);
+        assert_eq!(snap.counter_all_labels("a"), 5);
+        assert_eq!(snap.counter("b"), 1);
+        let top = snap.top_profiles("p", 10);
+        assert_eq!(top[0].0, "k1");
+        assert_eq!(top[1].0, "k2");
+        // Snapshot drains: a second snapshot is empty.
+        assert!(r.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn top_profiles_ties_break_by_key() {
+        let r = Registry::new();
+        r.profile("p", "b", 10, 0);
+        r.profile("p", "a", 10, 0);
+        let snap = r.snapshot();
+        let top = snap.top_profiles("p", 2);
+        assert_eq!(top[0].0, "a");
+        assert_eq!(top[1].0, "b");
+    }
+}

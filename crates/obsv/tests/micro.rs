@@ -1,0 +1,49 @@
+//! Microbenchmark for the per-event cost of the telemetry fast paths.
+//! Ignored by default; run with:
+//!
+//! ```text
+//! cargo test --release -p obsv --test micro -- --ignored --nocapture
+//! ```
+
+use std::time::Instant;
+
+fn ns_per_op(label: &str, iters: u64, mut f: impl FnMut(u64)) {
+    let start = Instant::now();
+    for i in 0..iters {
+        f(i);
+    }
+    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{label:<40} {ns:8.1} ns/op");
+}
+
+#[test]
+#[ignore = "manual microbenchmark"]
+fn per_event_costs() {
+    const N: u64 = 2_000_000;
+    ns_per_op("off: add", N, |_| obsv::add("micro.counter", 1));
+    ns_per_op("off: profile", N, |_| obsv::profile("micro.prof", "k", 100, 1));
+    ns_per_op("off: now_ns", N, |_| {
+        std::hint::black_box(obsv::now_ns());
+    });
+    ns_per_op("off: span!", N, |i| {
+        let _g = obsv::span!("micro", idx = i);
+    });
+
+    {
+        let _s = obsv::session_noop();
+        ns_per_op("noop: add", N, |_| obsv::add("micro.counter", 1));
+        ns_per_op("noop: profile", N, |_| obsv::profile("micro.prof", "k", 100, 1));
+        ns_per_op("noop: span!", N, |i| {
+            let _g = obsv::span!("micro", idx = i);
+        });
+    }
+
+    {
+        let s = obsv::session();
+        ns_per_op("recording: add", N, |_| obsv::add("micro.counter", 1));
+        ns_per_op("recording: profile", N, |_| obsv::profile("micro.prof", "k", 100, 1));
+        ns_per_op("recording: observe", N, |_| obsv::observe("micro.hist", 100));
+        let snap = s.finish();
+        assert!(snap.counter("micro.counter") >= N);
+    }
+}

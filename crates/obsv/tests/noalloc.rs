@@ -1,0 +1,78 @@
+//! Pins down the "zero-cost when off" contract: with no session active,
+//! the instrumentation hot path — counters, profiles, spans with
+//! arguments — performs **zero heap allocations**.
+//!
+//! A counting global allocator wraps `System`; the assertion compares its
+//! counter before and after a burst of disabled-path telemetry calls.
+//! This lives in an integration test (not the lib) because the lib
+//! forbids `unsafe`, which a `GlobalAlloc` impl requires.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn disabled_hot_path_does_not_allocate() {
+    assert!(!obsv::enabled(), "no session must be active for this test");
+
+    // Warm up thread-locals and any lazy statics outside the window.
+    obsv::add("warmup", 1);
+    let _ = obsv::span!("warmup", idx = 0u64);
+    let _ = obsv::tid();
+
+    let before = alloc_count();
+    for i in 0..10_000u64 {
+        obsv::add("detector.scans", 1);
+        obsv::add2("patcher.skip", "overlap", 1);
+        obsv::gauge("eval.jobs", 8);
+        obsv::observe("eval.sample_ns", i);
+        obsv::profile("detector.rule", "PIP-A03-001", i, 1);
+        // span! must not evaluate or box its arguments when disabled.
+        let g = obsv::span!("sample", idx = i, tool = "PatchitPy");
+        drop(g);
+    }
+    let after = alloc_count();
+    assert_eq!(after - before, 0, "disabled telemetry hot path allocated {} times", after - before);
+}
+
+#[test]
+fn enabled_noop_session_keeps_allocations_bounded() {
+    // The no-op sink may construct span events (allocation is allowed),
+    // but counters/profiles must still be allocation-free: their keys are
+    // &'static str end to end.
+    let s = obsv::session_noop();
+    let before = alloc_count();
+    for i in 0..1_000u64 {
+        obsv::add("detector.scans", 1);
+        obsv::profile("detector.rule", "PIP-A03-001", i, 1);
+    }
+    let after = alloc_count();
+    drop(s);
+    assert_eq!(after - before, 0, "counter/profile path allocated under the no-op sink");
+}

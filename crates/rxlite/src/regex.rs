@@ -25,6 +25,17 @@ fn with_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
     SCRATCH.with(|s| f(&mut s.borrow_mut()))
 }
 
+/// Telemetry: one engine search completed, spending `initial - remaining`
+/// fuel (in engine steps). Costs one relaxed atomic load when telemetry
+/// is off.
+#[inline]
+fn record_search(initial: u64, remaining: u64) {
+    if obsv::enabled() {
+        obsv::add("rxlite.searches", 1);
+        obsv::add("rxlite.fuel_spent", initial - remaining);
+    }
+}
+
 /// Default execution budget for the `try_*` APIs, in engine steps.
 ///
 /// Chosen so that it can never fire on legitimate rule-over-snippet scans
@@ -198,8 +209,11 @@ impl Regex {
     /// `scratch.slots` on success.
     fn search_hay(&self, hay: &Haystack<'_, '_>, from_char: usize, scratch: &mut Scratch) -> bool {
         let mut fuel = UNBOUNDED_FUEL;
-        self.try_search_hay(hay, from_char, scratch, &mut fuel)
-            .expect("unbounded fuel cannot exhaust")
+        let found = self
+            .try_search_hay(hay, from_char, scratch, &mut fuel)
+            .expect("unbounded fuel cannot exhaust");
+        record_search(UNBOUNDED_FUEL, fuel);
+        found
     }
 
     /// Budgeted [`Regex::search_hay`]: `fuel` is decremented per engine
@@ -220,21 +234,32 @@ impl Regex {
             // Every match starts with the prefix: enumerate candidate
             // positions directly instead of walking char by char.
             let mut at = hay.byte_of(from_char);
-            while let Some(hit) = pf.find(bytes, at) {
-                if *fuel == 0 {
-                    return Err(BudgetExhausted);
+            let mut candidates = 0u64;
+            let result = (|| {
+                while let Some(hit) = pf.find(bytes, at) {
+                    if *fuel == 0 {
+                        return Err(BudgetExhausted);
+                    }
+                    *fuel -= 1;
+                    candidates += 1;
+                    if exec::try_match_at(&self.prog, hay, hay.char_index_of(hit), scratch, fuel)? {
+                        return Ok(true);
+                    }
+                    at = hit + 1;
                 }
-                *fuel -= 1;
-                if exec::try_match_at(&self.prog, hay, hay.char_index_of(hit), scratch, fuel)? {
-                    return Ok(true);
-                }
-                at = hit + 1;
+                Ok(false)
+            })();
+            if candidates == 0 {
+                obsv::add("rxlite.prefilter_skips", 1);
+            } else {
+                obsv::add("rxlite.prefix_candidates", candidates);
             }
-            return Ok(false);
+            return result;
         }
         if !self.required_finders.is_empty() {
             let from_byte = hay.byte_of(from_char);
             if !self.required_finders.iter().any(|f| f.find(bytes, from_byte).is_some()) {
+                obsv::add("rxlite.prefilter_skips", 1);
                 return Ok(false);
             }
         }
@@ -266,7 +291,11 @@ impl Regex {
     /// Returns [`BudgetExhausted`] when the budget runs out first.
     pub fn try_is_match(&self, text: &str, budget: u64) -> Result<bool, BudgetExhausted> {
         let mut fuel = budget;
-        with_scratch(|scratch| self.try_search_hay(&Haystack::new(text), 0, scratch, &mut fuel))
+        let r = with_scratch(|scratch| {
+            self.try_search_hay(&Haystack::new(text), 0, scratch, &mut fuel)
+        });
+        record_search(budget, fuel);
+        r
     }
 
     /// Budgeted [`Regex::is_match_prepared`].
@@ -281,9 +310,11 @@ impl Regex {
         budget: u64,
     ) -> Result<bool, BudgetExhausted> {
         let mut fuel = budget;
-        with_scratch(|scratch| {
+        let r = with_scratch(|scratch| {
             self.try_search_hay(&Haystack::shared(text, prep), 0, scratch, &mut fuel)
-        })
+        });
+        record_search(budget, fuel);
+        r
     }
 
     /// Leftmost match, if any.
@@ -330,13 +361,15 @@ impl Regex {
     ) -> Result<Option<RxMatch<'h>>, BudgetExhausted> {
         let mut fuel = budget;
         let hay = Haystack::new(text);
-        with_scratch(|scratch| {
+        let r = with_scratch(|scratch| {
             Ok(self.try_search_hay(&hay, 0, scratch, &mut fuel)?.then(|| RxMatch {
                 haystack: hay.text,
                 start: hay.byte_of(scratch.slots[0]),
                 end: hay.byte_of(scratch.slots[1]),
             }))
-        })
+        });
+        record_search(budget, fuel);
+        r
     }
 
     /// All non-overlapping matches, left to right.
@@ -353,7 +386,9 @@ impl Regex {
 
     fn find_iter_hay<'h>(&self, hay: &Haystack<'h, '_>) -> Vec<RxMatch<'h>> {
         let mut fuel = UNBOUNDED_FUEL;
-        self.try_find_iter_hay(hay, &mut fuel).expect("unbounded fuel cannot exhaust")
+        let ms = self.try_find_iter_hay(hay, &mut fuel).expect("unbounded fuel cannot exhaust");
+        record_search(UNBOUNDED_FUEL, fuel);
+        ms
     }
 
     fn try_find_iter_hay<'h>(
@@ -394,7 +429,9 @@ impl Regex {
         budget: u64,
     ) -> Result<Vec<RxMatch<'h>>, BudgetExhausted> {
         let mut fuel = budget;
-        self.try_find_iter_hay(&Haystack::new(text), &mut fuel)
+        let r = self.try_find_iter_hay(&Haystack::new(text), &mut fuel);
+        record_search(budget, fuel);
+        r
     }
 
     /// Budgeted [`Regex::find_iter_prepared`].
@@ -409,7 +446,9 @@ impl Regex {
         budget: u64,
     ) -> Result<Vec<RxMatch<'h>>, BudgetExhausted> {
         let mut fuel = budget;
-        self.try_find_iter_hay(&Haystack::shared(text, prep), &mut fuel)
+        let r = self.try_find_iter_hay(&Haystack::shared(text, prep), &mut fuel);
+        record_search(budget, fuel);
+        r
     }
 
     /// Capture groups of the leftmost match.
@@ -441,7 +480,9 @@ impl Regex {
 
     fn captures_iter_hay<'h>(&self, hay: &Haystack<'h, '_>) -> Vec<Captures<'h>> {
         let mut fuel = UNBOUNDED_FUEL;
-        self.try_captures_iter_hay(hay, &mut fuel).expect("unbounded fuel cannot exhaust")
+        let cs = self.try_captures_iter_hay(hay, &mut fuel).expect("unbounded fuel cannot exhaust");
+        record_search(UNBOUNDED_FUEL, fuel);
+        cs
     }
 
     fn try_captures_iter_hay<'h>(
@@ -475,7 +516,9 @@ impl Regex {
         budget: u64,
     ) -> Result<Vec<Captures<'h>>, BudgetExhausted> {
         let mut fuel = budget;
-        self.try_captures_iter_hay(&Haystack::new(text), &mut fuel)
+        let r = self.try_captures_iter_hay(&Haystack::new(text), &mut fuel);
+        record_search(budget, fuel);
+        r
     }
 
     /// Budgeted [`Regex::captures_iter_prepared`].
@@ -490,7 +533,9 @@ impl Regex {
         budget: u64,
     ) -> Result<Vec<Captures<'h>>, BudgetExhausted> {
         let mut fuel = budget;
-        self.try_captures_iter_hay(&Haystack::shared(text, prep), &mut fuel)
+        let r = self.try_captures_iter_hay(&Haystack::shared(text, prep), &mut fuel);
+        record_search(budget, fuel);
+        r
     }
 
     /// Replaces the leftmost match with `replacement`, substituting

@@ -22,9 +22,12 @@ const USAGE: &str = "\
 PatchitPy — pattern-based vulnerability detection and patching for Python
 
 USAGE:
-    patchitpy scan  [--json] [--jobs N] [FILES...]
+    patchitpy scan  [--json] [--jobs N] [--profile TRACE.json] [FILES...]
                                         report findings (reads stdin if no
-                                        files; N worker threads over files)
+                                        files; N worker threads over files;
+                                        --profile writes a Chrome-trace
+                                        profile and prints a top-10 summary
+                                        to stderr — findings are unchanged)
     patchitpy patch [--in-place] FILES  patch and print (or rewrite) files
     patchitpy diff  [FILES...]          show patches as unified diffs
     patchitpy metrics [FILES...]        cyclomatic complexity + quality score
@@ -75,6 +78,13 @@ fn read_inputs(files: &[String]) -> Result<Vec<(String, String)>, String> {
         .collect()
 }
 
+/// Scans one input under a `scan.file` telemetry span (a no-op unless a
+/// `--profile` session is installed).
+fn scan_one(detector: &Detector, idx: usize, source: &str) -> Vec<Finding> {
+    let _span = obsv::span!("scan.file", idx = idx, bytes = source.len());
+    detector.detect_analysis(&SourceAnalysis::new(source))
+}
+
 /// Scans every input on `jobs` worker threads — one [`SourceAnalysis`]
 /// per file — returning findings in input order regardless of `jobs`.
 fn scan_files(inputs: &[(String, String)], jobs: usize) -> Vec<Vec<Finding>> {
@@ -83,21 +93,22 @@ fn scan_files(inputs: &[(String, String)], jobs: usize) -> Vec<Vec<Finding>> {
     if jobs == 1 {
         return inputs
             .iter()
-            .map(|(_, source)| detector.detect_analysis(&SourceAnalysis::new(source.as_str())))
+            .enumerate()
+            .map(|(i, (_, source))| scan_one(&detector, i, source))
             .collect();
     }
     let chunk = inputs.len().div_ceil(jobs);
     let per_chunk: Vec<Vec<Vec<Finding>>> = crossbeam::scope(|scope| {
         let handles: Vec<_> = inputs
             .chunks(chunk)
-            .map(|files| {
+            .enumerate()
+            .map(|(ci, files)| {
                 let detector = &detector;
                 scope.spawn(move |_| {
                     files
                         .iter()
-                        .map(|(_, source)| {
-                            detector.detect_analysis(&SourceAnalysis::new(source.as_str()))
-                        })
+                        .enumerate()
+                        .map(|(j, (_, source))| scan_one(detector, ci * chunk + j, source))
                         .collect::<Vec<Vec<Finding>>>()
                 })
             })
@@ -111,11 +122,19 @@ fn scan_files(inputs: &[(String, String)], jobs: usize) -> Vec<Vec<Finding>> {
 fn cmd_scan(args: &[String]) -> ExitCode {
     let mut json = false;
     let mut jobs = 1usize;
+    let mut profile: Option<String> = None;
     let mut files = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--profile" => {
+                let Some(p) = it.next() else {
+                    eprintln!("error: --profile requires an output path");
+                    return ExitCode::from(2);
+                };
+                profile = Some(p.clone());
+            }
             "--jobs" => {
                 let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
                     eprintln!("error: --jobs requires a positive integer");
@@ -137,7 +156,17 @@ fn cmd_scan(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let session = profile.as_ref().map(|_| obsv::session());
     let per_file = scan_files(&inputs, jobs);
+    if let (Some(path), Some(session)) = (&profile, session) {
+        let snap = session.finish();
+        if let Err(e) = std::fs::write(path, snap.chrome_trace_json()) {
+            eprintln!("error writing {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("wrote {path} ({} span(s))", snap.spans.len());
+        eprint!("{}", snap.summary(10));
+    }
     let mut any = false;
     let mut json_files = Vec::new();
     for ((name, _), findings) in inputs.iter().zip(&per_file) {
